@@ -1,0 +1,158 @@
+/**
+ * @file
+ * The RoSÉ packet protocol (Section 3.4.1).
+ *
+ * "Packets consist of a header, containing the packet type and number of
+ * bytes, as well as a payload containing the serialized contents of the
+ * message." Two families exist:
+ *
+ *  - Synchronization packets: communicate simulation state (cycle grants,
+ *    completion, step-size configuration) with the RoSÉ bridge but are
+ *    never visible to the modeled SoC.
+ *  - Data packets: sensor requests/responses and actuation commands; the
+ *    only packets visible to the simulated SoC, surfaced through the
+ *    bridge's memory-mapped queues.
+ *
+ * All multi-byte fields are serialized little-endian.
+ */
+
+#ifndef ROSE_BRIDGE_PACKET_HH
+#define ROSE_BRIDGE_PACKET_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "env/sensors.hh"
+#include "util/geometry.hh"
+
+namespace rose::bridge {
+
+/** Wire identifiers for every packet kind. */
+enum class PacketType : uint8_t
+{
+    // --- Synchronization packets (bridge-level only) ---
+    SyncGrant = 0x01,   ///< host -> bridge: advance N target cycles
+    SyncDone = 0x02,    ///< bridge -> host: granted cycles consumed
+    CfgStepSize = 0x03, ///< host -> bridge: cycles per sync period
+
+    // --- Data packets (visible to the SoC) ---
+    ImuReq = 0x10,
+    ImuResp = 0x11,
+    ImageReq = 0x12,
+    ImageResp = 0x13,
+    DepthReq = 0x14,
+    DepthResp = 0x15,
+    VelocityCmd = 0x16,
+};
+
+/** True for the packet kinds the modeled SoC may observe. */
+bool isDataPacket(PacketType t);
+
+/** Human-readable packet-type name for logs. */
+std::string packetTypeName(PacketType t);
+
+/** Serialized packet: fixed header plus raw payload bytes. */
+struct Packet
+{
+    PacketType type = PacketType::SyncGrant;
+    std::vector<uint8_t> payload;
+
+    /** Header bytes on the wire: 1 type byte + 4 length bytes. */
+    static constexpr size_t kHeaderBytes = 5;
+
+    size_t wireSize() const { return kHeaderBytes + payload.size(); }
+};
+
+// --------------------------------------------------------------------
+// Byte-level serialization helpers.
+
+/** Little-endian byte appender. */
+class ByteWriter
+{
+  public:
+    explicit ByteWriter(std::vector<uint8_t> &out) : out_(out) {}
+
+    void u8(uint8_t v) { out_.push_back(v); }
+    void u16(uint16_t v);
+    void u32(uint32_t v);
+    void u64(uint64_t v);
+    void f64(double v);
+    void bytes(const uint8_t *data, size_t n);
+
+  private:
+    std::vector<uint8_t> &out_;
+};
+
+/** Little-endian byte consumer; panics on underrun (malformed packet). */
+class ByteReader
+{
+  public:
+    explicit ByteReader(const std::vector<uint8_t> &in) : in_(in) {}
+
+    uint8_t u8();
+    uint16_t u16();
+    uint32_t u32();
+    uint64_t u64();
+    double f64();
+    void bytes(uint8_t *data, size_t n);
+
+    size_t remaining() const { return in_.size() - pos_; }
+
+  private:
+    const std::vector<uint8_t> &in_;
+    size_t pos_ = 0;
+};
+
+// --------------------------------------------------------------------
+// Typed payload codecs.
+
+/** Payload of a VelocityCmd data packet (companion -> flight ctrl). */
+struct VelocityCmdPayload
+{
+    double forward = 0.0;
+    double lateral = 0.0;
+    double yawRate = 0.0;
+};
+
+/** Encode/decode helpers; encode produces a full Packet. */
+Packet encodeSyncGrant(uint64_t cycles);
+uint64_t decodeSyncGrant(const Packet &p);
+
+Packet encodeSyncDone(uint64_t cycles_run);
+uint64_t decodeSyncDone(const Packet &p);
+
+Packet encodeCfgStepSize(uint64_t cycles_per_sync);
+uint64_t decodeCfgStepSize(const Packet &p);
+
+Packet encodeImuReq();
+Packet encodeImuResp(const env::ImuSample &s);
+env::ImuSample decodeImuResp(const Packet &p);
+
+Packet encodeImageReq();
+/** Image payload is quantized to 8 bits per pixel for transport. */
+Packet encodeImageResp(const env::Image &img);
+env::Image decodeImageResp(const Packet &p);
+
+Packet encodeDepthReq();
+Packet encodeDepthResp(double depth_m);
+double decodeDepthResp(const Packet &p);
+
+Packet encodeVelocityCmd(const VelocityCmdPayload &v);
+VelocityCmdPayload decodeVelocityCmd(const Packet &p);
+
+/** Serialize a packet (header + payload) onto a byte stream. */
+void serializePacket(const Packet &p, std::vector<uint8_t> &out);
+
+/**
+ * Try to deserialize one packet from the front of a byte buffer.
+ *
+ * @param buf input buffer; consumed bytes are erased on success.
+ * @param out parsed packet.
+ * @return true when a complete packet was available.
+ */
+bool deserializePacket(std::vector<uint8_t> &buf, Packet &out);
+
+} // namespace rose::bridge
+
+#endif // ROSE_BRIDGE_PACKET_HH

@@ -1,0 +1,165 @@
+#include "rose_bridge.hh"
+
+#include "util/logging.hh"
+
+namespace rose::bridge {
+
+RoseBridge::RoseBridge(Transport &transport, const BridgeConfig &cfg)
+    : transport_(transport), rx_(cfg.rxFifoBytes), tx_(cfg.txFifoBytes)
+{
+}
+
+uint32_t
+RoseBridge::readRxDataWord()
+{
+    const Packet *head = rx_.front();
+    if (!head) {
+        rose_warn("RX_DATA read with empty RX queue");
+        return 0;
+    }
+    uint32_t word = 0;
+    for (int b = 0; b < 4; ++b) {
+        size_t idx = rxReadPos_ + b;
+        uint32_t byte =
+            idx < head->payload.size() ? head->payload[idx] : 0;
+        word |= byte << (8 * b);
+    }
+    rxReadPos_ += 4;
+    return word;
+}
+
+uint32_t
+RoseBridge::read(uint64_t offset)
+{
+    ++stats_.mmioReads;
+    switch (offset) {
+      case reg::kRxCount:
+        return static_cast<uint32_t>(rx_.packetCount());
+      case reg::kRxType: {
+        const Packet *head = rx_.front();
+        return head ? static_cast<uint32_t>(head->type) : 0;
+      }
+      case reg::kRxLen: {
+        const Packet *head = rx_.front();
+        return head ? static_cast<uint32_t>(head->payload.size()) : 0;
+      }
+      case reg::kRxData:
+        return readRxDataWord();
+      case reg::kTxFree:
+        return static_cast<uint32_t>(tx_.freeBytes());
+      case reg::kBudgetLo:
+        return static_cast<uint32_t>(budget_ & 0xffffffffu);
+      case reg::kBudgetHi:
+        return static_cast<uint32_t>(budget_ >> 32);
+      default:
+        rose_warn("bridge: read of unmapped register 0x",
+                  std::hex, offset);
+        return 0;
+    }
+}
+
+void
+RoseBridge::write(uint64_t offset, uint32_t value)
+{
+    ++stats_.mmioWrites;
+    switch (offset) {
+      case reg::kRxConsume: {
+        Packet dead;
+        if (!rx_.pop(dead))
+            rose_warn("RX_CONSUME with empty RX queue");
+        rxReadPos_ = 0;
+        break;
+      }
+      case reg::kTxType:
+        txStaging_ = Packet{};
+        txStaging_.type = static_cast<PacketType>(value & 0xff);
+        txExpectedLen_ = 0;
+        break;
+      case reg::kTxLen:
+        txExpectedLen_ = value;
+        txStaging_.payload.reserve(value);
+        break;
+      case reg::kTxData:
+        for (int b = 0; b < 4; ++b) {
+            if (txStaging_.payload.size() < txExpectedLen_)
+                txStaging_.payload.push_back((value >> (8 * b)) & 0xff);
+        }
+        break;
+      case reg::kTxCommit:
+        if (txStaging_.payload.size() != txExpectedLen_) {
+            rose_warn("TX_COMMIT with short payload: ",
+                      txStaging_.payload.size(), " of ", txExpectedLen_);
+        }
+        if (tx_.push(txStaging_)) {
+            ++stats_.txPackets;
+        } else {
+            ++stats_.txBackpressure;
+        }
+        break;
+      default:
+        rose_warn("bridge: write of unmapped register 0x",
+                  std::hex, offset);
+        break;
+    }
+}
+
+void
+RoseBridge::consumeCycles(Cycles n)
+{
+    rose_assert(n <= budget_, "consuming more cycles than granted");
+    budget_ -= n;
+}
+
+void
+RoseBridge::completeSync(Cycles cycles_run)
+{
+    ++stats_.syncDones;
+    transport_.send(encodeSyncDone(cycles_run));
+}
+
+uint64_t
+RoseBridge::hostService()
+{
+    uint64_t moved = 0;
+
+    // Inbound: synchronizer -> bridge.
+    Packet p;
+    while (transport_.recv(p)) {
+        ++moved;
+        switch (p.type) {
+          case PacketType::SyncGrant:
+            budget_ += decodeSyncGrant(p);
+            ++stats_.syncGrants;
+            break;
+          case PacketType::CfgStepSize:
+            cyclesPerSync_ = decodeCfgStepSize(p);
+            break;
+          default:
+            if (!isDataPacket(p.type)) {
+                rose_warn("bridge: unexpected control packet ",
+                          packetTypeName(p.type));
+                break;
+            }
+            if (rx_.push(p)) {
+                ++stats_.rxPackets;
+            } else {
+                // A real bridge would NAK at the protocol level; we
+                // count the drop so experiments can detect sizing bugs.
+                ++stats_.rxDropped;
+                rose_warn("bridge: RX fifo full, dropping ",
+                          packetTypeName(p.type));
+            }
+            break;
+        }
+    }
+
+    // Outbound: SoC TX queue -> synchronizer.
+    Packet out;
+    while (tx_.pop(out)) {
+        transport_.send(out);
+        ++moved;
+    }
+    return moved;
+}
+
+} // namespace rose::bridge

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Packet transports between the synchronizer and the RoSÉ bridge.
+ *
+ * The paper transmits serialized packets over TCP between the
+ * synchronizer process and the FireSim host (Section 3.4.1). We provide
+ * two implementations of the same interface: an in-process channel (the
+ * default for single-process co-simulation) and a real POSIX TCP
+ * loopback transport exercising the same wire framing.
+ */
+
+#ifndef ROSE_BRIDGE_TRANSPORT_HH
+#define ROSE_BRIDGE_TRANSPORT_HH
+
+#include <deque>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "bridge/packet.hh"
+
+namespace rose::bridge {
+
+/** Bidirectional, non-blocking packet endpoint. */
+class Transport
+{
+  public:
+    virtual ~Transport() = default;
+
+    /** Queue one packet for the peer. */
+    virtual void send(const Packet &p) = 0;
+
+    /**
+     * Poll for one received packet.
+     *
+     * @return true when a packet was delivered into @p out.
+     */
+    virtual bool recv(Packet &out) = 0;
+
+    /** Bytes sent so far (wire accounting for throughput models). */
+    virtual uint64_t bytesSent() const = 0;
+    virtual uint64_t bytesReceived() const = 0;
+};
+
+/**
+ * Create a connected pair of in-process endpoints; what one sends the
+ * other receives, preserving order. Endpoints share state and must not
+ * outlive each other across threads without external synchronization
+ * (the co-simulation is single-threaded).
+ */
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+makeInProcPair();
+
+/**
+ * TCP loopback transport. The listener binds/accepts on construction of
+ * the pair factory; both ends use non-blocking reads with the shared
+ * wire framing from packet.hh.
+ */
+class TcpTransport : public Transport
+{
+  public:
+    /** Adopt a connected socket fd (owned; closed on destruction). */
+    explicit TcpTransport(int fd);
+    ~TcpTransport() override;
+
+    TcpTransport(const TcpTransport &) = delete;
+    TcpTransport &operator=(const TcpTransport &) = delete;
+
+    void send(const Packet &p) override;
+    bool recv(Packet &out) override;
+    uint64_t bytesSent() const override { return sent_; }
+    uint64_t bytesReceived() const override { return received_; }
+
+    /**
+     * Create a connected loopback pair: binds an ephemeral port on
+     * 127.0.0.1, connects, accepts. Returns {server_end, client_end}.
+     */
+    static std::pair<std::unique_ptr<TcpTransport>,
+                     std::unique_ptr<TcpTransport>>
+    makeLoopbackPair();
+
+  private:
+    void pump();
+
+    int fd_;
+    std::vector<uint8_t> rxBuf_;
+    uint64_t sent_ = 0;
+    uint64_t received_ = 0;
+};
+
+} // namespace rose::bridge
+
+#endif // ROSE_BRIDGE_TRANSPORT_HH

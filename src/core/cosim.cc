@@ -1,0 +1,199 @@
+#include "cosim.hh"
+
+#include <chrono>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+
+#include "util/logging.hh"
+
+namespace rose::core {
+
+CoSimulation::CoSimulation(const CosimConfig &cfg) : cfg_(cfg)
+{
+    // The environment frame rate must match the sync clock ratio.
+    cfg_.env.frameHz = cfg_.sync.clocks.envFrameHz;
+    env_ = std::make_unique<env::EnvSim>(cfg_.env);
+
+    if (cfg_.transport == TransportKind::Tcp) {
+        auto [server, client] = bridge::TcpTransport::makeLoopbackPair();
+        syncEnd_ = std::move(server);
+        bridgeEnd_ = std::move(client);
+    } else {
+        auto [a, b] = bridge::makeInProcPair();
+        syncEnd_ = std::move(a);
+        bridgeEnd_ = std::move(b);
+    }
+
+    bridge_ = std::make_unique<bridge::RoseBridge>(*bridgeEnd_,
+                                                   cfg_.bridgeCfg);
+    driver_ = std::make_unique<bridge::TargetDriver>(*bridge_);
+    app_ = std::make_unique<runtime::ControlApp>(*driver_, cfg_.soc,
+                                                 cfg_.app);
+    soc::Workload *workload = app_.get();
+    if (cfg_.background.enabled) {
+        backgroundLoad_ = std::make_unique<soc::BackgroundLoad>(
+            cfg_.background.batchCycles, cfg_.background.idleCycles);
+        timeShared_ = std::make_unique<soc::TimeSharedWorkload>(
+            *app_, *backgroundLoad_, cfg_.background.fgQuantum,
+            cfg_.background.bgQuantum);
+        workload = timeShared_.get();
+    }
+    soc_ = std::make_unique<soc::SocSim>(*bridge_, *workload, cfg_.soc);
+    sync_ = std::make_unique<sync::Synchronizer>(*env_, *syncEnd_,
+                                                 cfg_.sync);
+
+    sync_->configure();
+    // Deliver the step-size configuration to the bridge before the
+    // first period.
+    bridge_->hostService();
+}
+
+CoSimulation::~CoSimulation() = default;
+
+void
+CoSimulation::stepPeriod()
+{
+    // Algorithm 1 in lockstep: grant tokens, run the SoC through its
+    // budget (the SoC side services its own bridge), then translate
+    // the period's packets into environment API calls and advance the
+    // environment by the matching frames.
+    sync_->beginPeriod();
+    soc_->runPeriod();
+    sync_->endPeriod();
+    ++periods_;
+
+    if (periods_ % cfg_.samplePeriods == 0)
+        sample();
+}
+
+void
+CoSimulation::sample()
+{
+    TrajectorySample s;
+    flight::VehicleState k = env_->kinematics();
+    s.time = env_->simTime();
+    s.position = k.position;
+    s.yaw = k.attitude.yaw();
+    s.speed = std::hypot(k.velocity.x, k.velocity.y);
+    s.lateralOffset = env_->lateralOffset();
+    s.collisions = env_->collisionInfo().count;
+    const sync::LastCommand &cmd = sync_->lastCommand();
+    if (cmd.valid) {
+        s.cmdForward = cmd.forward;
+        s.cmdLateral = cmd.lateral;
+        s.cmdYawRate = cmd.yawRate;
+    }
+    trajectory_.push_back(s);
+}
+
+void
+CoSimulation::printSummary(std::ostream &os) const
+{
+    auto line = [&os](const char *name, auto value) {
+        os << std::left << std::setw(40) << name << value << "\n";
+    };
+
+    os << "---------- RoSE co-simulation summary ----------\n";
+    line("sim.periods", periods_);
+    line("env.simSeconds", env_->simTime());
+    line("env.frames", env_->frameCount());
+    line("env.collisions", env_->collisionInfo().count);
+
+    const sync::SyncStats &ss = sync_->stats();
+    line("sync.grantsSent", ss.grantsSent);
+    line("sync.donesReceived", ss.donesReceived);
+    line("sync.imageRequests", ss.imageRequests);
+    line("sync.imuRequests", ss.imuRequests);
+    line("sync.depthRequests", ss.depthRequests);
+    line("sync.velocityCommands", ss.velocityCommands);
+
+    const bridge::BridgeStats &bs = bridge_->stats();
+    line("bridge.mmioReads", bs.mmioReads);
+    line("bridge.mmioWrites", bs.mmioWrites);
+    line("bridge.rxPackets", bs.rxPackets);
+    line("bridge.txPackets", bs.txPackets);
+    line("bridge.rxDropped", bs.rxDropped);
+    line("bridge.txBackpressure", bs.txBackpressure);
+
+    const soc::SocStats &st = soc_->stats();
+    line("soc.totalCycles", st.totalCycles);
+    line("soc.cpuBusyCycles", st.cpuBusyCycles);
+    line("soc.accelBusyCycles", st.accelBusyCycles);
+    line("soc.ioBusyCycles", st.ioBusyCycles);
+    line("soc.rxStallCycles", st.rxStallCycles);
+    line("soc.accelActivityFactor", st.accelActivityFactor());
+    line("soc.actionsIssued", st.actionsIssued);
+
+    soc::EnergyModel energy;
+    line("soc.energyJoules",
+         energy.energyJoules(st, cfg_.soc.cpu));
+    line("soc.avgPowerWatts",
+         energy.averagePowerWatts(st, cfg_.soc.cpu, cfg_.soc.clockHz));
+    line("app.inferences", app_->inferenceCount());
+    os << "------------------------------------------------\n";
+}
+
+MissionResult
+CoSimulation::run()
+{
+    auto t0 = std::chrono::steady_clock::now();
+
+    double speed_sum = 0.0;
+    double max_speed = 0.0;
+    uint64_t speed_n = 0;
+    Vec3 prev_pos = env_->kinematics().position;
+    double distance = 0.0;
+
+    bool completed = false;
+    while (env_->simTime() < cfg_.maxSimSeconds) {
+        stepPeriod();
+
+        flight::VehicleState k = env_->kinematics();
+        double sp = std::hypot(k.velocity.x, k.velocity.y);
+        speed_sum += sp;
+        max_speed = std::max(max_speed, sp);
+        ++speed_n;
+        distance += (k.position - prev_pos).norm();
+        prev_pos = k.position;
+
+        if (env_->missionComplete()) {
+            completed = true;
+            break;
+        }
+    }
+
+    auto t1 = std::chrono::steady_clock::now();
+
+    MissionResult r;
+    r.completed = completed;
+    r.missionTime = env_->simTime();
+    r.collisions = env_->collisionInfo().count;
+    r.avgSpeed = speed_n ? speed_sum / double(speed_n) : 0.0;
+    r.maxSpeed = max_speed;
+    r.distanceTravelled = distance;
+    r.inferences = app_->inferenceCount();
+    r.accelActivityFactor = soc_->stats().accelActivityFactor();
+    r.trajectory = trajectory_;
+    r.inferenceLog = app_->records();
+    r.simulatedCycles = soc_->stats().totalCycles;
+    r.wallSeconds =
+        std::chrono::duration<double>(t1 - t0).count();
+
+    soc::EnergyModel energy;
+    r.energyJoules =
+        energy.energyJoules(soc_->stats(), cfg_.soc.cpu);
+    r.avgPowerWatts = energy.averagePowerWatts(
+        soc_->stats(), cfg_.soc.cpu, cfg_.soc.clockHz);
+
+    if (!r.inferenceLog.empty()) {
+        double sum = 0.0;
+        for (const auto &rec : r.inferenceLog)
+            sum += double(rec.requestToCommand());
+        r.avgInferenceLatency =
+            sum / double(r.inferenceLog.size()) / cfg_.soc.clockHz;
+    }
+    return r;
+}
+
+} // namespace rose::core

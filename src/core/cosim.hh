@@ -1,0 +1,184 @@
+/**
+ * @file
+ * RoSÉ co-simulation top: wires the environment simulator, the
+ * SimpleFlight-class flight controller (inside EnvSim), the RoSÉ
+ * bridge, the synchronizer, the SoC cycle engine, and the
+ * companion-computer application into one lockstep co-simulation
+ * (Figures 3 and 5), and runs missions to produce the metrics the
+ * evaluation section reports.
+ *
+ * This is the library's primary public entry point; see
+ * examples/quickstart.cc.
+ */
+
+#ifndef ROSE_CORE_COSIM_HH
+#define ROSE_CORE_COSIM_HH
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "bridge/rose_bridge.hh"
+#include "bridge/target_driver.hh"
+#include "bridge/transport.hh"
+#include "env/envsim.hh"
+#include "runtime/control_app.hh"
+#include "soc/config.hh"
+#include "soc/energy.hh"
+#include "soc/multitenant.hh"
+#include "soc/socsim.hh"
+#include "sync/synchronizer.hh"
+
+namespace rose::core {
+
+/** Transport selection between synchronizer and bridge. */
+enum class TransportKind
+{
+    InProcess, ///< default: shared-memory channel
+    Tcp,       ///< real loopback TCP sockets (the paper's transport)
+};
+
+/** Optional co-tenant sharing the companion computer (Section 1's
+ *  resource-contention motivation). */
+struct BackgroundConfig
+{
+    bool enabled = false;
+    /** Work per background batch [cycles]; always-busy when idle=0. */
+    Cycles batchCycles = 200'000;
+    Cycles idleCycles = 0;
+    /** Scheduler quanta: background share = bg / (fg + bg). */
+    Cycles fgQuantum = 100'000;
+    Cycles bgQuantum = 100'000;
+};
+
+/** Full co-simulation configuration. */
+struct CosimConfig
+{
+    env::EnvConfig env;
+    soc::SocConfig soc = soc::configA();
+    sync::SyncConfig sync;
+    runtime::AppConfig app;
+    BackgroundConfig background;
+    bridge::BridgeConfig bridgeCfg;
+    TransportKind transport = TransportKind::InProcess;
+
+    /** Stop after this much environment time [s]. */
+    double maxSimSeconds = 60.0;
+
+    /** Record one trajectory sample every N sync periods. */
+    uint64_t samplePeriods = 1;
+};
+
+/** One trajectory sample. */
+struct TrajectorySample
+{
+    double time = 0.0;
+    Vec3 position;
+    double yaw = 0.0;
+    double speed = 0.0;
+    double lateralOffset = 0.0;
+    uint64_t collisions = 0;
+    double cmdForward = 0.0;
+    double cmdLateral = 0.0;
+    double cmdYawRate = 0.0;
+};
+
+/** Mission outcome and metrics. */
+struct MissionResult
+{
+    bool completed = false;
+    /** Environment time at completion (or at timeout) [s]. */
+    double missionTime = 0.0;
+    uint64_t collisions = 0;
+    double avgSpeed = 0.0;
+    double maxSpeed = 0.0;
+    double distanceTravelled = 0.0;
+
+    uint64_t inferences = 0;
+    /** Mean image-request-to-command latency [s] (Figure 16c). */
+    double avgInferenceLatency = 0.0;
+    /** Accelerator activity factor (Figure 13). */
+    double accelActivityFactor = 0.0;
+
+    std::vector<TrajectorySample> trajectory;
+    std::vector<runtime::InferenceRecord> inferenceLog;
+
+    /** Mission energy of the companion SoC [J] and its average power
+     *  [W] under the default soc::EnergyModel. */
+    double energyJoules = 0.0;
+    double avgPowerWatts = 0.0;
+
+    /** Wall-clock cost of the run and simulated cycles (Figure 15). */
+    double wallSeconds = 0.0;
+    Cycles simulatedCycles = 0;
+
+    /** Effective simulation rate [simulated MHz of the SoC clock]. */
+    double
+    simulationRateMHz() const
+    {
+        return wallSeconds > 0.0
+                   ? double(simulatedCycles) / wallSeconds / 1e6
+                   : 0.0;
+    }
+};
+
+/** The co-simulation. */
+class CoSimulation
+{
+  public:
+    explicit CoSimulation(const CosimConfig &cfg);
+    ~CoSimulation();
+
+    CoSimulation(const CoSimulation &) = delete;
+    CoSimulation &operator=(const CoSimulation &) = delete;
+
+    /** Run one synchronization period (Algorithm 1 body). */
+    void stepPeriod();
+
+    /**
+     * Run until mission completion or the simulated-time limit.
+     *
+     * @return metrics of the mission.
+     */
+    MissionResult run();
+
+    // --- component access (read-mostly; for tests and custom loops) --
+    env::EnvSim &environment() { return *env_; }
+    soc::SocSim &socSim() { return *soc_; }
+    sync::Synchronizer &synchronizer() { return *sync_; }
+    bridge::RoseBridge &bridge() { return *bridge_; }
+    runtime::ControlApp &app() { return *app_; }
+    const CosimConfig &config() const { return cfg_; }
+
+    /** Periods executed so far. */
+    uint64_t periods() const { return periods_; }
+
+    /**
+     * Write a gem5-style stats summary of all components (sync,
+     * bridge, SoC engine, energy) to the stream.
+     */
+    void printSummary(std::ostream &os) const;
+
+  private:
+    void sample();
+
+    CosimConfig cfg_;
+    std::unique_ptr<env::EnvSim> env_;
+    std::unique_ptr<bridge::Transport> syncEnd_;
+    std::unique_ptr<bridge::Transport> bridgeEnd_;
+    std::unique_ptr<bridge::RoseBridge> bridge_;
+    std::unique_ptr<bridge::TargetDriver> driver_;
+    std::unique_ptr<runtime::ControlApp> app_;
+    std::unique_ptr<soc::BackgroundLoad> backgroundLoad_;
+    std::unique_ptr<soc::TimeSharedWorkload> timeShared_;
+    std::unique_ptr<soc::SocSim> soc_;
+    std::unique_ptr<sync::Synchronizer> sync_;
+
+    uint64_t periods_ = 0;
+    std::vector<TrajectorySample> trajectory_;
+};
+
+} // namespace rose::core
+
+#endif // ROSE_CORE_COSIM_HH

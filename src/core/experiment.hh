@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Shared experiment drivers for the evaluation harness (bench/): a
+ * declarative mission spec, CSV emission of trajectories and series,
+ * and paper-style table printing. Every bench binary regenerating a
+ * table/figure of the paper builds on these.
+ */
+
+#ifndef ROSE_CORE_EXPERIMENT_HH
+#define ROSE_CORE_EXPERIMENT_HH
+
+#include <string>
+
+#include "core/cosim.hh"
+#include "runtime/mpc_app.hh"
+
+namespace rose::core {
+
+/** Declarative description of one closed-loop mission. */
+struct MissionSpec
+{
+    std::string world = "tunnel";
+    /** "quadrotor" (default) or "rover" (the artifact's car option). */
+    std::string vehicle = "quadrotor";
+    std::string socName = "A";
+    int modelDepth = 14;
+    double velocity = 3.0;
+    double initialYawDeg = 0.0;
+    Cycles syncGranularity = 10 * kMegaCycles;
+    runtime::RuntimeMode mode = runtime::RuntimeMode::Static;
+    uint64_t seed = 1;
+    double maxSimSeconds = 60.0;
+
+    /** Construct the full co-simulation configuration. */
+    CosimConfig toConfig() const;
+
+    /** One-line description for table rows/logs. */
+    std::string label() const;
+};
+
+/** Run one mission to completion/timeout. */
+MissionResult runMission(const MissionSpec &spec);
+
+/**
+ * Write a mission's trajectory as CSV
+ * (columns: t,x,y,z,yaw,speed,offset,collisions,cmd_fwd,cmd_lat,cmd_yaw).
+ */
+void writeTrajectoryCsv(const std::string &path, const MissionResult &r);
+
+/** Format seconds as "12.34s" or "DNF" for incomplete missions. */
+std::string missionTimeString(const MissionResult &r);
+
+/** Outcome of a classical-MPC mission (Section 6 workload). */
+struct MpcMissionResult
+{
+    bool completed = false;
+    double missionTime = 0.0;
+    uint64_t collisions = 0;
+    double avgSpeed = 0.0;
+    std::vector<runtime::MpcRecord> log;
+    soc::SocStats socStats;
+
+    /** Mean request-to-command latency [s]. */
+    double avgLatencySeconds(double clock_hz = 1e9) const;
+};
+
+/**
+ * Run a mission with the vision-aided MPC companion application
+ * instead of the DNN controller (same environment, bridge,
+ * synchronizer, and SoC engine; only the target software differs).
+ * The spec's modelDepth is ignored.
+ */
+MpcMissionResult runMpcMission(const MissionSpec &spec,
+                               const runtime::MpcConfig &mpc = {});
+
+} // namespace rose::core
+
+#endif // ROSE_CORE_EXPERIMENT_HH

@@ -1,0 +1,12 @@
+#include "hostmodel.hh"
+
+namespace rose::core {
+
+std::vector<Cycles>
+granularitySweep()
+{
+    return {10 * kMegaCycles, 20 * kMegaCycles, 50 * kMegaCycles,
+            100 * kMegaCycles, 200 * kMegaCycles, 400 * kMegaCycles};
+}
+
+} // namespace rose::core

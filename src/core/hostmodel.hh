@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Host-deployment throughput model for Figure 15.
+ *
+ * On a real deployment (Table 4) the simulation rate is bounded by two
+ * effects the paper measures: the maximum FPGA emulation rate, and the
+ * per-synchronization host overhead (the FireSim scheduler polling the
+ * RoSÉ bridge, TCP round trips, AirSim frame batching). For a
+ * synchronization granularity of G target cycles:
+ *
+ *     wall_time(G)  = G / R_fpga + T_sync
+ *     throughput(G) = G / wall_time(G)
+ *
+ * so fine granularities are sync-overhead-bound while coarse
+ * granularities approach the FPGA's native rate — the two bottleneck
+ * regimes of Figure 15. We have no FPGA here, so the parameters
+ * default to the paper's deployment class; the in-process co-sim's
+ * own wall-clock rate is measured separately by MissionResult.
+ */
+
+#ifndef ROSE_CORE_HOSTMODEL_HH
+#define ROSE_CORE_HOSTMODEL_HH
+
+#include <vector>
+
+#include "util/units.hh"
+
+namespace rose::core {
+
+/** Deployment parameters (Table 4-class hardware). */
+struct HostModel
+{
+    /** Native FPGA emulation rate of the SoC design [Hz]. */
+    double fpgaRateHz = 40.0e6;
+    /** Per-synchronization host overhead [s]: bridge polling, packet
+     *  round trip, environment frame batching. */
+    double syncOverheadSeconds = 0.12;
+
+    /** Wall-clock time to simulate one sync period of G cycles [s]. */
+    double
+    periodWallSeconds(Cycles granularity) const
+    {
+        return double(granularity) / fpgaRateHz + syncOverheadSeconds;
+    }
+
+    /** Achieved simulation throughput [simulated Hz]. */
+    double
+    throughputHz(Cycles granularity) const
+    {
+        return double(granularity) / periodWallSeconds(granularity);
+    }
+
+    /** Fraction of wall time spent in sync overhead (the bottleneck
+     *  indicator of Figure 15). */
+    double
+    syncOverheadFraction(Cycles granularity) const
+    {
+        return syncOverheadSeconds / periodWallSeconds(granularity);
+    }
+};
+
+/** The granularity sweep of Figures 15/16: 10M..400M cycles. */
+std::vector<Cycles> granularitySweep();
+
+} // namespace rose::core
+
+#endif // ROSE_CORE_HOSTMODEL_HH

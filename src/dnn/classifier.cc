@@ -1,0 +1,240 @@
+#include "classifier.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "dnn/layers.hh"
+#include "util/geometry.hh"
+#include "util/logging.hh"
+
+namespace rose::dnn {
+
+int
+HeadOutput::argmax() const
+{
+    return int(std::max_element(probs.begin(), probs.end()) -
+               probs.begin());
+}
+
+namespace {
+
+/**
+ * Expected column profile for a wall at perpendicular distance d_perp
+ * seen through a column at camera-relative azimuth alpha, mirroring
+ * the renderer's shading model (learned by the trained network).
+ */
+void
+expectedColumn(double d_perp, double alpha, int height, double focal,
+               const EstimatorConfig &cfg, std::vector<float> &out)
+{
+    out.resize(size_t(height));
+    double mid = height / 2.0 - 0.5;
+    double d_shade = d_perp / std::max(0.2, std::cos(alpha));
+    double top = mid - focal * (cfg.wallHeight - cfg.camAltitude) / d_perp;
+    double bot = mid + focal * cfg.camAltitude / d_perp;
+    double wall = 0.25 + 0.6 / (1.0 + 0.12 * d_shade);
+    for (int r = 0; r < height; ++r) {
+        if (r < top) {
+            out[size_t(r)] = 0.85f;
+        } else if (r > bot) {
+            double floor_d =
+                focal * cfg.camAltitude / std::max(0.5, double(r) - mid);
+            out[size_t(r)] =
+                float(0.10 + 0.25 / (1.0 + 0.2 * floor_d));
+        } else {
+            out[size_t(r)] = float(wall);
+        }
+    }
+}
+
+/** Open-corridor profile (no wall within range). */
+void
+openColumn(int height, std::vector<float> &out)
+{
+    out.resize(size_t(height));
+    double mid = height / 2.0 - 0.5;
+    for (int r = 0; r < height; ++r)
+        out[size_t(r)] = r < mid ? 0.85f : 0.15f;
+}
+
+double
+ssd(const std::vector<float> &a, const float *col, int height, int width,
+    const env::Image &img, int c)
+{
+    (void)width;
+    (void)col;
+    double sum = 0.0;
+    for (int r = 0; r < height; ++r) {
+        double d = double(a[size_t(r)]) - double(img.at(r, c));
+        sum += d * d;
+    }
+    return sum;
+}
+
+} // namespace
+
+PoseEstimate
+estimatePose(const env::Image &img, const EstimatorConfig &cfg)
+{
+    PoseEstimate est;
+    if (img.width < 8 || img.height < 8)
+        return est;
+
+    double hfov = deg2rad(cfg.horizontalFovDeg);
+    double focal = (img.width / 2.0) / std::tan(hfov / 2.0);
+
+    // Candidate perpendicular distances, log-spaced.
+    std::vector<double> candidates;
+    for (double d = 0.6; d < cfg.maxDepth; d *= 1.22)
+        candidates.push_back(d);
+
+    std::vector<double> rayDist(size_t(img.width), 0.0);
+    std::vector<bool> open(size_t(img.width), false);
+    std::vector<float> profile;
+
+    for (int c = 0; c < img.width; ++c) {
+        double u = img.width / 2.0 - 0.5 - c;
+        double alpha = std::atan2(u, focal);
+
+        double best = 1e30;
+        double best_d = cfg.maxDepth;
+        bool best_open = false;
+        for (double d : candidates) {
+            expectedColumn(d, alpha, img.height, focal, cfg, profile);
+            double e = ssd(profile, nullptr, img.height, img.width,
+                           img, c);
+            if (e < best) {
+                best = e;
+                best_d = d;
+                best_open = false;
+            }
+        }
+        openColumn(img.height, profile);
+        double e_open =
+            ssd(profile, nullptr, img.height, img.width, img, c);
+        if (e_open < best) {
+            best_open = true;
+            best_d = cfg.maxDepth;
+        }
+        open[size_t(c)] = best_open;
+        // Convert the fitted perpendicular distance to ray distance.
+        rayDist[size_t(c)] =
+            best_open ? cfg.maxDepth
+                      : best_d / std::max(0.2, std::cos(alpha));
+    }
+
+    // --- Heading: the deepest view direction points down the corridor.
+    // Average the azimuths of the top-distance columns for subpixel
+    // stability.
+    double best_d = 0.0;
+    for (int c = 0; c < img.width; ++c)
+        best_d = std::max(best_d, rayDist[size_t(c)]);
+    double az_sum = 0.0, az_w = 0.0;
+    for (int c = 0; c < img.width; ++c) {
+        if (rayDist[size_t(c)] >= 0.85 * best_d) {
+            double u = img.width / 2.0 - 0.5 - c;
+            double alpha = std::atan2(u, focal);
+            az_sum += alpha;
+            az_w += 1.0;
+        }
+    }
+    if (az_w == 0.0)
+        return est;
+    double alpha_axis = az_sum / az_w;
+    // Corridor axis is at world azimuth ~0, so heading = -alpha_axis.
+    est.headingRad = -alpha_axis;
+
+    // --- Offset: triangulate from wall hits on both sides of the
+    // corridor axis. For a column at corridor-relative angle theta
+    // hitting the left wall: offset = halfWidth - d*sin(theta); right
+    // wall: offset = -halfWidth - d*sin(theta). Averaging both sides
+    // cancels a wrong trained halfWidth on unfamiliar (wider) maps.
+    double left_sum = 0.0, right_sum = 0.0;
+    int left_n = 0, right_n = 0;
+    for (int c = 0; c < img.width; ++c) {
+        if (open[size_t(c)])
+            continue;
+        double u = img.width / 2.0 - 0.5 - c;
+        double alpha = std::atan2(u, focal);
+        double theta = alpha - alpha_axis; // corridor-relative azimuth
+        double a = std::abs(theta);
+        if (a < deg2rad(18.0) || a > deg2rad(60.0))
+            continue;
+        double lateral = rayDist[size_t(c)] * std::sin(theta);
+        if (theta > 0) {
+            left_sum += cfg.trainedHalfWidth - lateral;
+            ++left_n;
+        } else {
+            right_sum += -cfg.trainedHalfWidth - lateral;
+            ++right_n;
+        }
+    }
+    if (left_n > 0 && right_n > 0) {
+        est.offsetM =
+            0.5 * (left_sum / left_n + right_sum / right_n);
+    } else if (left_n > 0) {
+        est.offsetM = left_sum / left_n;
+    } else if (right_n > 0) {
+        est.offsetM = right_sum / right_n;
+    } else {
+        est.offsetM = 0.0;
+    }
+    est.valid = true;
+    return est;
+}
+
+// ------------------------------------------------------------ Classifier
+
+Classifier::Classifier(const Model &model, Rng rng,
+                       const EstimatorConfig &cfg)
+    : model_(model), rng_(rng), cfg_(cfg)
+{
+}
+
+HeadOutput
+Classifier::scoreHead(double value, double class_threshold,
+                      double temperature)
+{
+    // Class prototypes at -2t, 0, +2t; logits fall off linearly with
+    // distance, sharpened by the model's confidence temperature.
+    std::vector<float> logits(3);
+    const double centers[3] = {2.0 * class_threshold, 0.0,
+                               -2.0 * class_threshold};
+    for (int i = 0; i < 3; ++i) {
+        logits[size_t(i)] = float(-std::abs(value - centers[i]) /
+                                  (class_threshold * temperature));
+    }
+    std::vector<float> p = softmax(logits);
+    HeadOutput out;
+    out.probs = {p[0], p[1], p[2]};
+    return out;
+}
+
+ClassifierOutput
+Classifier::infer(const env::Image &img)
+{
+    ClassifierOutput out;
+    PoseEstimate pose = estimatePose(img, cfg_);
+    if (!pose.valid) {
+        // Degenerate view: maximum-entropy outputs.
+        out.angular.probs = {1.f / 3, 1.f / 3, 1.f / 3};
+        out.lateral.probs = {1.f / 3, 1.f / 3, 1.f / 3};
+        return out;
+    }
+    out.rawHeadingRad = pose.headingRad;
+    out.rawOffsetM = pose.offsetM;
+
+    const ClassifierCalib &cal = model_.calib;
+    double heading =
+        pose.headingRad + rng_.gaussian(0.0, cal.sigmaHeading);
+    double offset = pose.offsetM + rng_.gaussian(0.0, cal.sigmaOffset);
+
+    out.angular =
+        scoreHead(heading, cfg_.headingClassRad, cal.temperature);
+    out.lateral = scoreHead(offset, cfg_.offsetClassM, cal.temperature);
+    out.valid = true;
+    return out;
+}
+
+} // namespace rose::dnn

@@ -1,0 +1,88 @@
+#include "engine.hh"
+
+#include "util/logging.hh"
+
+namespace rose::dnn {
+
+ExecutionEngine::ExecutionEngine(const soc::SocConfig &soc,
+                                 const gemmini::GemminiConfig &gem,
+                                 const EngineParams &params)
+    : soc_(soc), gem_(gem), params_(params)
+{
+}
+
+Cycles
+ExecutionEngine::sessionOverhead() const
+{
+    return soc_.cpu == soc::CpuModel::Boom
+               ? params_.sessionOverheadBoom
+               : params_.sessionOverheadRocket;
+}
+
+InferenceSchedule
+ExecutionEngine::schedule(const Model &model) const
+{
+    InferenceSchedule sched;
+    const soc::CpuParams &cpu = soc_.cpuParams;
+
+    auto add = [&](Cycles c, soc::Unit unit, const char *label) {
+        if (c == 0)
+            return;
+        sched.actions.push_back(soc::Action::compute(c, unit, label));
+        sched.totalCycles += c;
+        if (unit == soc::Unit::Accel)
+            sched.accelCycles += c;
+        else
+            sched.hostCycles += c;
+    };
+
+    // Runtime session overhead: graph setup, tensor allocation,
+    // operator dispatch bookkeeping.
+    add(sessionOverhead(), soc::Unit::Cpu, "session");
+
+    for (const LayerSpec &l : model.layers) {
+        LayerTiming t;
+        t.name = l.name;
+        t.macs = l.macs();
+
+        if (l.weighted()) {
+            if (soc_.hasGemmini) {
+                int m, k, n;
+                l.gemmDims(m, k, n);
+                gemmini::GemmCost cost = gem_.gemmCycles(m, k, n);
+                t.onAccel = true;
+                t.accelCycles = cost.totalCycles;
+                t.hostCycles =
+                    cpu.perLayerFixedCycles +
+                    Cycles(params_.hostPasses * double(l.im2colBytes()) /
+                           cpu.hostBytesPerCycle);
+            } else {
+                // Scalar CPU fallback: 2 FLOPs per MAC at the config's
+                // effective FP throughput, plus one lowering pass.
+                t.onAccel = false;
+                t.hostCycles =
+                    cpu.perLayerFixedCycles +
+                    Cycles(2.0 * double(l.macs()) / cpu.flopsPerCycle) +
+                    Cycles(double(l.im2colBytes()) /
+                           cpu.hostBytesPerCycle);
+            }
+        } else {
+            // Pool / residual / softmax stay on the CPU.
+            t.hostCycles = Cycles(params_.cpuCyclesPerElem *
+                                  double(l.outShape().elems()));
+        }
+
+        add(t.hostCycles, soc::Unit::Cpu, "layer-host");
+        add(t.accelCycles, soc::Unit::Accel, "layer-accel");
+        sched.layers.push_back(std::move(t));
+    }
+    return sched;
+}
+
+double
+ExecutionEngine::latencySeconds(const Model &model) const
+{
+    return double(schedule(model).totalCycles) / soc_.clockHz;
+}
+
+} // namespace rose::dnn

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * DNN execution engine: the ONNX-Runtime-with-Gemmini-backend
+ * substitute. Lowers each model layer onto the modeled SoC and produces
+ * a timed schedule:
+ *
+ *  - on Gemmini configs, weighted layers run as im2col + tiled GEMM on
+ *    the accelerator model, with the host CPU charged for the lowering
+ *    passes and kernel dispatch (this host component is what separates
+ *    Rocket-host from BOOM-host latency in Table 3);
+ *  - without an accelerator (config C), weighted layers fall back to
+ *    scalar FP32 loops on the CPU — the ~6 s ResNet inference of
+ *    Section 5.1;
+ *  - unweighted layers (pool/residual/softmax) always run on the CPU;
+ *  - each inference pays a fixed runtime-session overhead.
+ *
+ * The schedule is a list of soc::Action, directly consumable by the
+ * SoC cycle engine, so accelerator activity factors (Figure 13) fall
+ * out of the same accounting.
+ */
+
+#ifndef ROSE_DNN_ENGINE_HH
+#define ROSE_DNN_ENGINE_HH
+
+#include <vector>
+
+#include "dnn/resnet.hh"
+#include "gemmini/gemmini.hh"
+#include "soc/config.hh"
+#include "soc/workload.hh"
+
+namespace rose::dnn {
+
+/** Engine tunables beyond the SoC/accelerator configs. */
+struct EngineParams
+{
+    /** Host passes over the im2col matrix per conv (read activations,
+     *  write the lowered matrix, copy results back). */
+    double hostPasses = 2.5;
+    /** Per-inference runtime session overhead [cycles], by CPU class. */
+    Cycles sessionOverheadBoom = 56 * kMegaCycles;
+    Cycles sessionOverheadRocket = 75 * kMegaCycles;
+    /** CPU cycles per element for unweighted layers. */
+    double cpuCyclesPerElem = 2.0;
+};
+
+/** Timing breakdown of one layer. */
+struct LayerTiming
+{
+    std::string name;
+    bool onAccel = false;
+    Cycles hostCycles = 0;  ///< CPU: lowering + dispatch (or fallback)
+    Cycles accelCycles = 0; ///< Gemmini busy time
+    uint64_t macs = 0;
+};
+
+/** Full inference schedule. */
+struct InferenceSchedule
+{
+    std::vector<soc::Action> actions;
+    std::vector<LayerTiming> layers;
+    Cycles totalCycles = 0;
+    Cycles accelCycles = 0;
+    Cycles hostCycles = 0;
+};
+
+/** The engine. */
+class ExecutionEngine
+{
+  public:
+    ExecutionEngine(const soc::SocConfig &soc,
+                    const gemmini::GemminiConfig &gem = {},
+                    const EngineParams &params = {});
+
+    /** Build the timed schedule of one inference of the model. */
+    InferenceSchedule schedule(const Model &model) const;
+
+    /** Convenience: end-to-end inference latency [s]. */
+    double latencySeconds(const Model &model) const;
+
+    const soc::SocConfig &socConfig() const { return soc_; }
+    const gemmini::Gemmini &accelerator() const { return gem_; }
+    const EngineParams &params() const { return params_; }
+
+  private:
+    Cycles sessionOverhead() const;
+
+    soc::SocConfig soc_;
+    gemmini::Gemmini gem_;
+    EngineParams params_;
+};
+
+} // namespace rose::dnn
+
+#endif // ROSE_DNN_ENGINE_HH

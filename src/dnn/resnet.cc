@@ -1,0 +1,168 @@
+#include "resnet.hh"
+
+#include "util/logging.hh"
+
+namespace rose::dnn {
+
+uint64_t
+Model::totalMacs() const
+{
+    uint64_t sum = 0;
+    for (const LayerSpec &l : layers)
+        sum += l.macs();
+    return sum;
+}
+
+uint64_t
+Model::totalWeights() const
+{
+    uint64_t sum = 0;
+    for (const LayerSpec &l : layers)
+        sum += l.weightCount();
+    return sum;
+}
+
+uint64_t
+Model::totalIm2colBytes() const
+{
+    uint64_t sum = 0;
+    for (const LayerSpec &l : layers)
+        sum += l.im2colBytes();
+    return sum;
+}
+
+int
+Model::weightedLayers() const
+{
+    int n = 0;
+    for (const LayerSpec &l : layers)
+        n += l.weighted() ? 1 : 0;
+    return n;
+}
+
+namespace {
+
+/** Behavioral calibrations per depth. Noise values are fit so that the
+ *  classifier's validation accuracy lands on Table 3 (see
+ *  tests/test_dnn.cc and bench_table3); temperature encodes the
+ *  confidence-vs-capacity trend of Section 5.2. */
+ClassifierCalib
+calibFor(int depth)
+{
+    switch (depth) {
+      case 6: return {0.122, 0.435, 3.6, 0.72};
+      case 11: return {0.094, 0.327, 2.0, 0.78};
+      case 14: return {0.073, 0.251, 1.15, 0.82};
+      case 18: return {0.068, 0.233, 0.85, 0.83};
+      case 34: return {0.053, 0.181, 0.55, 0.86};
+      default:
+        rose_fatal("no calibration for depth ", depth);
+    }
+}
+
+std::vector<int>
+blockPlanFor(int depth)
+{
+    switch (depth) {
+      case 6: return {1, 1};
+      case 11: return {1, 1, 1, 1};
+      case 14: return {1, 2, 2, 1};
+      case 18: return {2, 2, 2, 2};
+      case 34: return {3, 4, 6, 3};
+      default:
+        rose_fatal("unsupported ResNet depth ", depth,
+                   " (zoo: 6, 11, 14, 18, 34)");
+    }
+}
+
+/** Stage-1 channel width per depth. The small nets (6/11/14) are thin
+ *  custom classifiers — which is why Table 3's latencies are nearly
+ *  flat across them — while 18/34 use near-standard ResNet widths. */
+int
+baseChannelsFor(int depth)
+{
+    switch (depth) {
+      case 6: return 32;
+      case 11: return 28;
+      case 14: return 24;
+      case 18: return 36;
+      case 34: return 40;
+      default:
+        rose_fatal("no width for depth ", depth);
+    }
+}
+
+} // namespace
+
+Model
+makeResNet(int depth)
+{
+    Model m;
+    m.depth = depth;
+    m.name = "ResNet" + std::to_string(depth);
+    m.blockPlan = blockPlanFor(depth);
+    m.calib = calibFor(depth);
+
+    const int base = baseChannelsFor(depth);
+    const int stage_ch[] = {base, 2 * base, 4 * base, 8 * base};
+
+    // Stem: 5x5/2 conv + 2x2/2 maxpool (DroNet-style front end).
+    Shape cur{1, kDnnInputH, kDnnInputW};
+    LayerSpec stem = makeConv("stem", cur, stage_ch[0], 5, 2, 2);
+    cur = stem.outShape();
+    m.layers.push_back(stem);
+    LayerSpec pool = makeMaxPool("stem.pool", cur, 2, 2);
+    cur = pool.outShape();
+    m.layers.push_back(pool);
+
+    // Residual stages.
+    for (size_t stage = 0; stage < m.blockPlan.size(); ++stage) {
+        int ch = stage_ch[stage];
+        for (int block = 0; block < m.blockPlan[stage]; ++block) {
+            std::string base = "s" + std::to_string(stage + 1) + ".b" +
+                               std::to_string(block + 1);
+            // First block of stages >= 2 downsamples and widens; its
+            // shortcut needs a 1x1 projection conv.
+            bool transition = stage > 0 && block == 0;
+            int stride = transition ? 2 : 1;
+
+            LayerSpec c1 =
+                makeConv(base + ".conv1", cur, ch, 3, stride, 1);
+            m.layers.push_back(c1);
+            Shape mid = c1.outShape();
+            LayerSpec c2 = makeConv(base + ".conv2", mid, ch, 3, 1, 1);
+            m.layers.push_back(c2);
+            if (transition) {
+                m.layers.push_back(
+                    makeConv(base + ".proj", cur, ch, 1, 2, 0));
+            }
+            cur = c2.outShape();
+            m.layers.push_back(makeResidual(base + ".add", cur));
+        }
+    }
+
+    // Heads: global average pool, then one 3-way dense + softmax per
+    // head (angular and lateral), as in Figure 8.
+    m.layers.push_back(makeGlobalAvgPool("gap", cur));
+    Shape pooled{cur.c, 1, 1};
+    m.layers.push_back(
+        makeDense("head.angular", pooled, kClassesPerHead));
+    m.layers.push_back(
+        makeSoftmax("head.angular.softmax",
+                    Shape{kClassesPerHead, 1, 1}));
+    m.layers.push_back(
+        makeDense("head.lateral", pooled, kClassesPerHead));
+    m.layers.push_back(
+        makeSoftmax("head.lateral.softmax",
+                    Shape{kClassesPerHead, 1, 1}));
+    return m;
+}
+
+const std::vector<int> &
+resnetZoo()
+{
+    static const std::vector<int> zoo{6, 11, 14, 18, 34};
+    return zoo;
+}
+
+} // namespace rose::dnn

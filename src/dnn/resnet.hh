@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The DNN controller model zoo (Section 4.2.2, Table 3, Figure 8).
+ *
+ * TrailNet-style dual-headed ResNet classifiers: a shared convolutional
+ * backbone followed by two 3-class heads — y_omega classifying the
+ * UAV's angle relative to the trail (left/center/right) and y_l
+ * classifying its lateral offset. Five capacities are evaluated:
+ * ResNet-6/11/14/18/34.
+ *
+ * Each model carries its behavioral calibration: estimator noise
+ * (larger nets are more accurate) and softmax temperature (larger nets
+ * are more confident — the property driving Section 5.2's finding that
+ * high-capacity DNNs make sharper corrections). The calibration is
+ * validated against Table 3's accuracy column by tests/benches.
+ */
+
+#ifndef ROSE_DNN_RESNET_HH
+#define ROSE_DNN_RESNET_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dnn/layers.hh"
+
+namespace rose::dnn {
+
+/** Behavioral calibration of a trained controller DNN. */
+struct ClassifierCalib
+{
+    /** Std-dev of the model's internal heading estimate [rad]. */
+    double sigmaHeading = 0.1;
+    /** Std-dev of the model's internal lateral-offset estimate [m]. */
+    double sigmaOffset = 0.3;
+    /** Softmax temperature: lower = sharper/more confident outputs. */
+    double temperature = 1.0;
+    /** Paper-reported validation accuracy (Table 3), for reporting. */
+    double paperAccuracy = 0.8;
+};
+
+/** One controller DNN. */
+struct Model
+{
+    std::string name;
+    int depth = 0;
+    /** Per-stage residual block counts. */
+    std::vector<int> blockPlan;
+    std::vector<LayerSpec> layers;
+    ClassifierCalib calib;
+
+    uint64_t totalMacs() const;
+    uint64_t totalWeights() const;
+    uint64_t totalIm2colBytes() const;
+    int weightedLayers() const;
+};
+
+/** Classifier input resolution (DroNet-style grayscale). */
+constexpr int kDnnInputH = 200;
+constexpr int kDnnInputW = 200;
+
+/** Number of classes per head (left / center / right). */
+constexpr int kClassesPerHead = 3;
+
+/**
+ * Build a zoo model.
+ *
+ * @param depth one of 6, 11, 14, 18, 34.
+ */
+Model makeResNet(int depth);
+
+/** All evaluated depths, ascending. */
+const std::vector<int> &resnetZoo();
+
+} // namespace rose::dnn
+
+#endif // ROSE_DNN_RESNET_HH

@@ -1,0 +1,49 @@
+#include "tensor.hh"
+
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace rose::dnn {
+
+Tensor::Tensor(int c, int h, int w)
+    : c_(c), h_(h), w_(w), data_(size_t(c) * h * w, 0.0f)
+{
+    rose_assert(c > 0 && h > 0 && w > 0, "bad tensor shape");
+}
+
+float &
+Tensor::at(int c, int y, int x)
+{
+    return data_[(size_t(c) * h_ + y) * w_ + x];
+}
+
+float
+Tensor::at(int c, int y, int x) const
+{
+    return data_[(size_t(c) * h_ + y) * w_ + x];
+}
+
+float
+Tensor::atPadded(int c, int y, int x) const
+{
+    if (y < 0 || y >= h_ || x < 0 || x >= w_)
+        return 0.0f;
+    return at(c, y, x);
+}
+
+void
+Tensor::fill(float v)
+{
+    data_.assign(data_.size(), v);
+}
+
+std::string
+Tensor::shapeString() const
+{
+    std::ostringstream os;
+    os << "(" << c_ << "," << h_ << "," << w_ << ")";
+    return os.str();
+}
+
+} // namespace rose::dnn

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Pure-C++ training path for the dual-headed trail classifiers.
+ *
+ * The paper trains its controllers in PyTorch on 12,000 rendered
+ * images "with randomized positions, angles, and textures" (Section
+ * 4.2.2) and validates on 1,200 held-out images. We reproduce that
+ * pipeline end to end in C++ at reduced capacity: the dataset
+ * generator renders camera images at randomized corridor poses and
+ * labels them with the three-class heading/offset rules of Figure 8;
+ * the trainer fits two softmax-regression heads (one angular, one
+ * lateral) on pixel features by mini-batch SGD. Accuracy therefore
+ * *emerges from data* rather than being asserted — the calibrated
+ * Classifier in classifier.hh remains the runtime model (its noise
+ * parameters are fit to Table 3), while this module demonstrates and
+ * tests the learning pipeline itself.
+ */
+
+#ifndef ROSE_DNN_TRAIN_HH
+#define ROSE_DNN_TRAIN_HH
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+#include "dnn/classifier.hh"
+#include "env/sensors.hh"
+#include "env/world.hh"
+#include "util/rng.hh"
+
+namespace rose::dnn {
+
+/** One labeled example. */
+struct Example
+{
+    std::vector<float> features;
+    int angularLabel = 1; ///< 0 left, 1 center, 2 right
+    int lateralLabel = 1;
+};
+
+/** A labeled image dataset. */
+struct Dataset
+{
+    std::vector<Example> examples;
+    size_t featureDim = 0;
+};
+
+/** Dataset generation parameters (paper Section 4.2.2 ranges). */
+struct DatasetConfig
+{
+    int samples = 2000;
+    double offsetRange = 1.2;      ///< |y| <= range [m]
+    double headingRangeRad = 0.35; ///< |psi| <= range
+    /** Label thresholds (the training-label rule of Figure 8). */
+    EstimatorConfig thresholds;
+    uint64_t seed = 1;
+};
+
+/**
+ * Feature extraction: the image downsampled to a coarse pixel grid
+ * plus per-column means, with a trailing bias term.
+ */
+std::vector<float> extractFeatures(const env::Image &img);
+
+/** Render and label a dataset in the given world. */
+Dataset generateDataset(const env::World &world,
+                        const DatasetConfig &cfg);
+
+/** A 3-class softmax-regression head. */
+class SoftmaxHead
+{
+  public:
+    explicit SoftmaxHead(size_t feature_dim);
+
+    /** Class probabilities for one feature vector. */
+    std::array<float, 3> predict(const std::vector<float> &x) const;
+
+    int
+    predictClass(const std::vector<float> &x) const
+    {
+        auto p = predict(x);
+        return int(std::max_element(p.begin(), p.end()) - p.begin());
+    }
+
+    /** One SGD step on a single example; returns its cross-entropy. */
+    double sgdStep(const std::vector<float> &x, int label, double lr,
+                   double l2);
+
+    size_t featureDim() const { return dim_; }
+
+  private:
+    size_t dim_;
+    /** Row-major [3][dim] weights (bias folded into the features). */
+    std::vector<float> w_;
+};
+
+/** Training hyperparameters. */
+struct TrainConfig
+{
+    int epochs = 25;
+    double learningRate = 0.05;
+    double l2 = 1e-4;
+    uint64_t seed = 7;
+};
+
+/** The trained dual-head model. */
+struct TrainedClassifier
+{
+    SoftmaxHead angular;
+    SoftmaxHead lateral;
+
+    explicit TrainedClassifier(size_t dim) : angular(dim), lateral(dim) {}
+
+    /** Dual-head inference on an image. */
+    ClassifierOutput infer(const env::Image &img) const;
+};
+
+/** Per-head accuracies on a dataset. */
+struct EvalResult
+{
+    double angularAccuracy = 0.0;
+    double lateralAccuracy = 0.0;
+
+    double mean() const
+    { return 0.5 * (angularAccuracy + lateralAccuracy); }
+};
+
+/** Fit both heads by mini-batch SGD over shuffled epochs. */
+TrainedClassifier trainClassifier(const Dataset &train,
+                                  const TrainConfig &cfg);
+
+/** Evaluate a trained classifier on a labeled dataset. */
+EvalResult evaluate(const TrainedClassifier &model, const Dataset &ds);
+
+} // namespace rose::dnn
+
+#endif // ROSE_DNN_TRAIN_HH

@@ -1,0 +1,123 @@
+#include "drone.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace rose::env {
+
+Drone::Drone(const DroneParams &params) : params_(params)
+{
+}
+
+void
+Drone::setPose(const Vec3 &position, const Quat &attitude)
+{
+    pos_ = position;
+    att_ = attitude;
+    att_.normalize();
+    vel_ = Vec3{};
+    omega_ = Vec3{};
+    cmd_ = {0.0, 0.0, 0.0, 0.0};
+    thrust_ = {0.0, 0.0, 0.0, 0.0};
+    lastAccel_ = Vec3{};
+}
+
+void
+Drone::step(double dt)
+{
+    rose_assert(dt > 0.0, "drone step requires positive dt");
+
+    // --- Motor lag: first-order response toward the commanded thrust.
+    double alpha = dt / (params_.motorTauS + dt);
+    for (int i = 0; i < 4; ++i) {
+        double c = clampd(cmd_[i], 0.0, params_.maxMotorThrustN);
+        thrust_[i] += alpha * (c - thrust_[i]);
+    }
+    double t_total = thrust_[0] + thrust_[1] + thrust_[2] + thrust_[3];
+
+    // --- Forces: thrust along body z, gravity, drag.
+    Vec3 f_world = att_.rotate(Vec3{0.0, 0.0, t_total});
+    f_world.z -= params_.massKg * params_.gravity;
+    f_world += extForce_;
+    double speed = vel_.norm();
+    f_world -= vel_ * (params_.linearDrag + params_.quadDrag * speed);
+
+    Vec3 accel = f_world / params_.massKg;
+    lastAccel_ = accel;
+
+    // --- Torques. Motor layout (X config, arms at 45 deg):
+    //   0 FL(+x,+y) CCW, 1 FR(+x,-y) CW, 2 RR(-x,-y) CCW, 3 RL(-x,+y) CW.
+    // tau = sum r_i x (T_i z) = sum T_i * (y_i, -x_i, 0); CCW motors add
+    // positive yaw reaction torque.
+    double a = params_.armM * 0.70710678118;
+    double k = params_.yawTorquePerThrust;
+    Vec3 tau{
+        a * (thrust_[0] - thrust_[1] - thrust_[2] + thrust_[3]),
+        a * (-thrust_[0] - thrust_[1] + thrust_[2] + thrust_[3]),
+        k * (thrust_[0] - thrust_[1] + thrust_[2] - thrust_[3])};
+
+    // Euler's equation with diagonal inertia: I w_dot = tau - w x (I w).
+    Vec3 iw{params_.inertia.x * omega_.x, params_.inertia.y * omega_.y,
+            params_.inertia.z * omega_.z};
+    Vec3 gyro = omega_.cross(iw);
+    Vec3 omega_dot{(tau.x - gyro.x) / params_.inertia.x,
+                   (tau.y - gyro.y) / params_.inertia.y,
+                   (tau.z - gyro.z) / params_.inertia.z};
+
+    // --- Semi-implicit Euler: rates first, then pose.
+    omega_ += omega_dot * dt;
+    vel_ += accel * dt;
+
+    // Quaternion kinematics: q_dot = 0.5 * q * (0, omega_body).
+    Quat wq{0.0, omega_.x, omega_.y, omega_.z};
+    Quat q_dot = att_ * wq;
+    att_.w += 0.5 * q_dot.w * dt;
+    att_.x += 0.5 * q_dot.x * dt;
+    att_.y += 0.5 * q_dot.y * dt;
+    att_.z += 0.5 * q_dot.z * dt;
+    att_.normalize();
+
+    pos_ += vel_ * dt;
+
+    // --- Ground contact: inelastic floor at z = 0.
+    if (pos_.z < 0.0) {
+        pos_.z = 0.0;
+        if (vel_.z < 0.0)
+            vel_.z = 0.0;
+        // Ground friction bleeds horizontal speed and body rates.
+        vel_.x *= 0.98;
+        vel_.y *= 0.98;
+        omega_ *= 0.90;
+    }
+}
+
+flight::VehicleState
+Drone::state() const
+{
+    return {pos_, vel_, att_, omega_};
+}
+
+double
+Drone::resolveWallCollision(const Vec3 &clamped_pos, const Vec3 &wall_normal,
+                            double restitution)
+{
+    Vec3 n = wall_normal.normalized();
+    double v_into = -vel_.dot(n);
+    pos_ = clamped_pos;
+    if (v_into > 0.0) {
+        // Reflect the into-wall component with restitution. A wall
+        // strike is violent for a quadrotor: most momentum is lost to
+        // the impact and the body is sent tumbling, which the flight
+        // controller then has to recover from (the paper notes large
+        // post-collision trajectory variance, Appendix A.7).
+        vel_ += n * (v_into * (1.0 + restitution));
+        vel_ *= 0.3;
+        omega_ *= 0.3;
+        omega_.z += (vel_.x * n.y - vel_.y * n.x > 0 ? 1.0 : -1.0) *
+                    (1.5 + 0.5 * v_into);
+    }
+    return v_into > 0.0 ? v_into : 0.0;
+}
+
+} // namespace rose::env

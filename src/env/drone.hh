@@ -1,0 +1,108 @@
+/**
+ * @file
+ * 6-DOF quadrotor rigid-body dynamics with first-order motor (ESC) lag.
+ *
+ * Substitutes for AirSim's internal multirotor physics model: quaternion
+ * attitude, thrust/torque generation from four motors in X configuration,
+ * linear + quadratic aerodynamic drag, and ground contact. Integrated
+ * with semi-implicit Euler at a sub-frame timestep.
+ */
+
+#ifndef ROSE_ENV_DRONE_HH
+#define ROSE_ENV_DRONE_HH
+
+#include "flight/types.hh"
+#include "util/geometry.hh"
+
+namespace rose::env {
+
+/** Physical parameters of the simulated quadrotor. */
+struct DroneParams
+{
+    double massKg = 1.0;
+    /** Diagonal inertia tensor [kg m^2]. */
+    Vec3 inertia{0.010, 0.010, 0.020};
+    /** Motor moment arm (hub to motor) [m]. */
+    double armM = 0.18;
+    /** Yaw reaction torque per newton of thrust [m]. */
+    double yawTorquePerThrust = 0.016;
+    double maxMotorThrustN = 7.0;
+    /** First-order motor/ESC time constant [s]. */
+    double motorTauS = 0.02;
+    /** Linear drag coefficient [N s/m]. */
+    double linearDrag = 0.12;
+    /** Quadratic drag coefficient [N s^2/m^2]. */
+    double quadDrag = 0.008;
+    /** Collision sphere radius used against world geometry [m]. */
+    double bodyRadius = 0.25;
+    double gravity = 9.81;
+};
+
+/**
+ * The quadrotor body. step() advances the dynamics one timestep under
+ * the currently commanded motor thrusts.
+ */
+class Drone
+{
+  public:
+    explicit Drone(const DroneParams &params = {});
+
+    /** Place the vehicle at a pose with zero rates (sim reset). */
+    void setPose(const Vec3 &position, const Quat &attitude);
+
+    /** Latch the motor thrust commands [N] (ESC input). */
+    void setMotorCommand(const flight::MotorCommand &cmd) { cmd_ = cmd; }
+
+    /**
+     * Set a world-frame disturbance force [N] applied on subsequent
+     * steps (wind/turbulence injected by the environment).
+     */
+    void setExternalForce(const Vec3 &f) { extForce_ = f; }
+
+    /**
+     * Integrate one physics substep.
+     *
+     * @param dt substep length [s].
+     */
+    void step(double dt);
+
+    /** Kinematic state snapshot in the controller's vocabulary. */
+    flight::VehicleState state() const;
+
+    const Vec3 &position() const { return pos_; }
+    const Vec3 &velocity() const { return vel_; }
+    const Quat &attitude() const { return att_; }
+    const Vec3 &bodyRates() const { return omega_; }
+
+    /** Current (lagged) per-motor thrusts [N]. */
+    const flight::MotorCommand &motorThrust() const { return thrust_; }
+
+    /** Most recent world-frame acceleration (for the IMU model). */
+    const Vec3 &lastAccel() const { return lastAccel_; }
+
+    const DroneParams &params() const { return params_; }
+
+    /**
+     * Resolve a wall collision: clamp position back to the boundary
+     * normal offset and remove the into-wall velocity component,
+     * applying a restitution bounce. Returns the impact speed [m/s].
+     */
+    double resolveWallCollision(const Vec3 &clamped_pos,
+                                const Vec3 &wall_normal,
+                                double restitution = 0.3);
+
+  private:
+    DroneParams params_;
+    Vec3 pos_{0.0, 0.0, 0.0};
+    Vec3 vel_;
+    Quat att_;
+    Vec3 omega_;
+    flight::MotorCommand cmd_{0.0, 0.0, 0.0, 0.0};
+    flight::MotorCommand thrust_{0.0, 0.0, 0.0, 0.0};
+    Vec3 lastAccel_;
+    Vec3 extForce_;
+};
+
+} // namespace rose::env
+
+#endif // ROSE_ENV_DRONE_HH

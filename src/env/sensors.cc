@@ -1,0 +1,142 @@
+#include "sensors.hh"
+
+#include <cmath>
+
+namespace rose::env {
+
+Imu::Imu(const ImuConfig &cfg, Rng rng) : cfg_(cfg), rng_(rng)
+{
+    accelBias_ = Vec3{rng_.gaussian(0, cfg_.accelBiasStd),
+                      rng_.gaussian(0, cfg_.accelBiasStd),
+                      rng_.gaussian(0, cfg_.accelBiasStd)};
+    gyroBias_ = Vec3{rng_.gaussian(0, cfg_.gyroBiasStd),
+                     rng_.gaussian(0, cfg_.gyroBiasStd),
+                     rng_.gaussian(0, cfg_.gyroBiasStd)};
+}
+
+ImuSample
+Imu::sample(const SensorFrame &frame, double time_s)
+{
+    // Specific force: the accelerometer measures kinematic acceleration
+    // minus gravity, expressed in the body frame.
+    Vec3 f_world = frame.accelWorld + Vec3{0.0, 0.0, cfg_.gravity};
+    Vec3 f_body = frame.attitude.rotateInverse(f_world);
+
+    ImuSample s;
+    s.accel = f_body + accelBias_ +
+              Vec3{rng_.gaussian(0, cfg_.accelNoiseStd),
+                   rng_.gaussian(0, cfg_.accelNoiseStd),
+                   rng_.gaussian(0, cfg_.accelNoiseStd)};
+    s.gyro = frame.bodyRates + gyroBias_ +
+             Vec3{rng_.gaussian(0, cfg_.gyroNoiseStd),
+                  rng_.gaussian(0, cfg_.gyroNoiseStd),
+                  rng_.gaussian(0, cfg_.gyroNoiseStd)};
+    s.timestamp = time_s;
+    return s;
+}
+
+ImuSample
+Imu::sample(const Drone &drone, double time_s)
+{
+    return sample(SensorFrame{drone.position(), drone.attitude(),
+                              drone.bodyRates(), drone.lastAccel()},
+                  time_s);
+}
+
+namespace {
+
+/** Deterministic texture hash: smooth-ish brightness jitter keyed on the
+ *  wall-hit position, standing in for Unreal's randomized textures. */
+double
+textureAt(double x, double z, int side)
+{
+    double u = x * 2.7 + z * 1.3 + side * 17.0;
+    double v = std::sin(u) * 43758.5453;
+    return v - std::floor(v); // [0,1)
+}
+
+} // namespace
+
+Camera::Camera(const CameraConfig &cfg, Rng rng) : cfg_(cfg), rng_(rng)
+{
+}
+
+Image
+Camera::render(const World &world, const Vec3 &position,
+               const Quat &attitude)
+{
+    Image img(cfg_.width, cfg_.height);
+    double yaw = attitude.yaw();
+    double hfov = deg2rad(cfg_.horizontalFovDeg);
+    // Pinhole focal length in pixels (same for both axes).
+    double focal = (cfg_.width / 2.0) / std::tan(hfov / 2.0);
+    double cam_z = position.z;
+    double wall_h = world.wallHeight();
+
+    for (int c = 0; c < cfg_.width; ++c) {
+        // Column azimuth: leftmost column looks left of the heading.
+        double u = (cfg_.width / 2.0 - 0.5 - c);
+        double az = yaw + std::atan2(u, focal);
+        RayHit hit = world.raycast(position, az);
+
+        // Perpendicular distance for projection (avoids fisheye).
+        double d = std::max(0.05, hit.distance * std::cos(az - yaw));
+
+        // Rows of the wall's top and bottom edges.
+        double mid = cfg_.height / 2.0 - 0.5;
+        double top_row = mid - focal * (wall_h - cam_z) / d;
+        double bot_row = mid + focal * cam_z / d;
+
+        double shade_base = 0.25 + 0.6 / (1.0 + 0.12 * hit.distance);
+        for (int r = 0; r < cfg_.height; ++r) {
+            float v;
+            if (!hit.hit) {
+                // Open end of the corridor: horizon split.
+                v = r < mid ? 0.85f : 0.15f;
+            } else if (r < top_row) {
+                v = 0.85f; // sky above the wall
+            } else if (r > bot_row) {
+                // Floor: brightness falls off with projected distance.
+                double floor_d = focal * cam_z /
+                                 std::max(0.5, double(r) - mid);
+                v = float(0.10 + 0.25 / (1.0 + 0.2 * floor_d));
+            } else {
+                // Wall: distance shading plus texture jitter keyed on
+                // the hit position and row height.
+                double frac = (bot_row - r) /
+                              std::max(1.0, bot_row - top_row);
+                double tex = textureAt(hit.point.x + hit.point.y,
+                                       frac * wall_h, hit.side);
+                v = float(shade_base *
+                          (1.0 + cfg_.textureAmplitude * (tex - 0.5)));
+            }
+            v += float(rng_.gaussian(0.0, cfg_.noiseStd));
+            img.at(r, c) = float(clampd(v, 0.0, 1.0));
+        }
+    }
+    return img;
+}
+
+Image
+Camera::render(const World &world, const Drone &drone)
+{
+    return render(world, drone.position(), drone.attitude());
+}
+
+double
+DepthSensor::sample(const World &world, const Vec3 &position,
+                    double heading_rad)
+{
+    RayHit hit = world.raycast(position, heading_rad, maxRange_);
+    double d = hit.hit ? hit.distance : maxRange_;
+    d += rng_.gaussian(0.0, noiseStd_);
+    return clampd(d, 0.0, maxRange_);
+}
+
+double
+DepthSensor::sample(const World &world, const Drone &drone)
+{
+    return sample(world, drone.position(), drone.attitude().yaw());
+}
+
+} // namespace rose::env

@@ -1,0 +1,209 @@
+#include "vehicle.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace rose::env {
+
+namespace {
+
+flight::VehicleParams
+vehicleParamsFrom(const DroneParams &d)
+{
+    flight::VehicleParams p;
+    p.massKg = d.massKg;
+    p.armM = d.armM;
+    p.yawTorquePerThrust = d.yawTorquePerThrust;
+    p.maxMotorThrustN = d.maxMotorThrustN;
+    p.gravity = d.gravity;
+    return p;
+}
+
+} // namespace
+
+// ------------------------------------------------------ QuadrotorVehicle
+
+QuadrotorVehicle::QuadrotorVehicle(const DroneParams &params,
+                                   const flight::ControllerConfig &ctrl,
+                                   double cruise_altitude)
+    : drone_(params), controller_(vehicleParamsFrom(params), ctrl),
+      cruiseAltitude_(cruise_altitude)
+{
+}
+
+void
+QuadrotorVehicle::reset(const Vec3 &position, double yaw_rad)
+{
+    drone_.setPose(position, Quat::fromEuler(0.0, 0.0, yaw_rad));
+    controller_.reset();
+    flight::VelocityCommand hover;
+    hover.altitude = cruiseAltitude_;
+    controller_.setCommand(hover);
+}
+
+void
+QuadrotorVehicle::command(const flight::VelocityCommand &cmd)
+{
+    flight::VelocityCommand c = cmd;
+    c.altitude = cruiseAltitude_;
+    controller_.setCommand(c);
+}
+
+void
+QuadrotorVehicle::step(double dt, const Vec3 &disturbance)
+{
+    drone_.setExternalForce(disturbance);
+    drone_.setMotorCommand(controller_.update(drone_.state(), dt));
+    drone_.step(dt);
+}
+
+flight::VehicleState
+QuadrotorVehicle::state() const
+{
+    return drone_.state();
+}
+
+SensorFrame
+QuadrotorVehicle::sensorFrame() const
+{
+    return {drone_.position(), drone_.attitude(), drone_.bodyRates(),
+            drone_.lastAccel()};
+}
+
+double
+QuadrotorVehicle::bodyRadius() const
+{
+    return drone_.params().bodyRadius;
+}
+
+double
+QuadrotorVehicle::resolveWallCollision(const Vec3 &clamped_pos,
+                                       const Vec3 &wall_normal)
+{
+    return drone_.resolveWallCollision(clamped_pos, wall_normal);
+}
+
+// -------------------------------------------------------- AckermannRover
+
+AckermannRover::AckermannRover(const RoverParams &params)
+    : params_(params)
+{
+    rose_assert(params_.wheelbase > 0, "bad wheelbase");
+}
+
+void
+AckermannRover::reset(const Vec3 &position, double yaw_rad)
+{
+    pos_ = position;
+    pos_.z = params_.sensorHeight;
+    yaw_ = yaw_rad;
+    speed_ = 0.0;
+    steer_ = 0.0;
+    cmd_ = flight::VelocityCommand{};
+    lastAccel_ = Vec3{};
+}
+
+void
+AckermannRover::command(const flight::VelocityCommand &cmd)
+{
+    cmd_ = cmd;
+}
+
+void
+AckermannRover::step(double dt, const Vec3 &disturbance)
+{
+    // --- Longitudinal: speed servo with acceleration limit.
+    double v_target = clampd(cmd_.forward, 0.0, params_.maxSpeed);
+    double dv = clampd(v_target - speed_, -params_.maxAccel * dt,
+                       params_.maxAccel * dt);
+    // Disturbance force projects onto the direction of travel.
+    double fwd_dist = (disturbance.x * std::cos(yaw_) +
+                       disturbance.y * std::sin(yaw_)) /
+                      params_.massKg;
+    double v_prev = speed_;
+    speed_ = clampd(speed_ + dv + fwd_dist * dt, 0.0, params_.maxSpeed);
+
+    // --- Steering: bicycle relation, first-order servo. The lateral
+    // target (non-holonomic) biases steering toward the same side.
+    double v_eff = std::max(0.5, speed_);
+    double steer_target =
+        std::atan(params_.wheelbase * cmd_.yawRate / v_eff) +
+        std::atan2(0.5 * cmd_.lateral, v_eff);
+    steer_target = clampd(steer_target, -params_.maxSteer,
+                          params_.maxSteer);
+    double alpha = dt / (params_.steerTau + dt);
+    steer_ += alpha * (steer_target - steer_);
+
+    // --- Kinematic bicycle integration.
+    double yaw_rate = speed_ / params_.wheelbase * std::tan(steer_);
+    double cy = std::cos(yaw_), sy = std::sin(yaw_);
+    pos_.x += speed_ * cy * dt;
+    pos_.y += speed_ * sy * dt;
+    yaw_ = wrapAngle(yaw_ + yaw_rate * dt);
+
+    // Acceleration for the IMU model (longitudinal + centripetal).
+    double a_long = (speed_ - v_prev) / dt;
+    double a_lat = speed_ * yaw_rate;
+    lastAccel_ = Vec3{a_long * cy - a_lat * sy,
+                     a_long * sy + a_lat * cy, 0.0};
+}
+
+flight::VehicleState
+AckermannRover::state() const
+{
+    flight::VehicleState s;
+    s.position = pos_;
+    s.velocity = Vec3{speed_ * std::cos(yaw_), speed_ * std::sin(yaw_),
+                      0.0};
+    s.attitude = Quat::fromEuler(0.0, 0.0, yaw_);
+    s.bodyRates =
+        Vec3{0.0, 0.0, speed_ / params_.wheelbase * std::tan(steer_)};
+    return s;
+}
+
+SensorFrame
+AckermannRover::sensorFrame() const
+{
+    flight::VehicleState s = state();
+    return {s.position, s.attitude, s.bodyRates, lastAccel_};
+}
+
+double
+AckermannRover::bodyRadius() const
+{
+    return params_.bodyRadius;
+}
+
+double
+AckermannRover::resolveWallCollision(const Vec3 &clamped_pos,
+                                     const Vec3 &wall_normal)
+{
+    flight::VehicleState s = state();
+    double v_into = -s.velocity.dot(wall_normal.normalized());
+    pos_ = clamped_pos;
+    pos_.z = params_.sensorHeight;
+    if (v_into > 0.0) {
+        // Scrape: lose most speed, steer stays.
+        speed_ *= 0.2;
+    }
+    return v_into > 0.0 ? v_into : 0.0;
+}
+
+// ---------------------------------------------------------------- factory
+
+std::unique_ptr<VehicleModel>
+makeVehicle(const std::string &name, const DroneParams &drone_params,
+            const flight::ControllerConfig &ctrl_cfg,
+            double cruise_altitude, const RoverParams &rover_params)
+{
+    if (name == "quadrotor" || name == "drone") {
+        return std::make_unique<QuadrotorVehicle>(
+            drone_params, ctrl_cfg, cruise_altitude);
+    }
+    if (name == "rover" || name == "car")
+        return std::make_unique<AckermannRover>(rover_params);
+    rose_fatal("unknown vehicle: ", name);
+}
+
+} // namespace rose::env

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Vehicle abstraction for the environment simulator.
+ *
+ * The paper's artifact supports "deploying a car vs a drone
+ * simulation" (Appendix A.8.3); RoSÉ's roadmap spans robot
+ * morphologies (Section 6). This interface decouples EnvSim from the
+ * quadrotor so different vehicle models plug into the same worlds,
+ * sensors, synchronizer, and SoC stack:
+ *
+ *  - QuadrotorVehicle: the 6-DOF drone + SimpleFlight-class cascaded
+ *    controller (the paper's evaluated platform);
+ *  - AckermannRover: a non-holonomic ground vehicle (kinematic bicycle
+ *    model with speed/steering servos), interpreting the same
+ *    VelocityCommand targets a companion computer sends.
+ */
+
+#ifndef ROSE_ENV_VEHICLE_HH
+#define ROSE_ENV_VEHICLE_HH
+
+#include <memory>
+#include <string>
+
+#include "env/drone.hh"
+#include "flight/controller.hh"
+#include "util/rng.hh"
+
+namespace rose::env {
+
+/** Everything the sensor models need from a vehicle. */
+struct SensorFrame
+{
+    Vec3 position;
+    Quat attitude;
+    Vec3 bodyRates;
+    /** World-frame kinematic acceleration (for the IMU). */
+    Vec3 accelWorld;
+};
+
+/** A vehicle that can live inside EnvSim. */
+class VehicleModel
+{
+  public:
+    virtual ~VehicleModel() = default;
+
+    virtual std::string vehicleName() const = 0;
+
+    /** Place the vehicle at a pose with zero rates. */
+    virtual void reset(const Vec3 &position, double yaw_rad) = 0;
+
+    /** Latch a companion-computer command (tracked until replaced). */
+    virtual void command(const flight::VelocityCommand &cmd) = 0;
+
+    /**
+     * Advance one physics substep.
+     *
+     * @param dt substep [s].
+     * @param disturbance world-frame disturbance force [N].
+     */
+    virtual void step(double dt, const Vec3 &disturbance) = 0;
+
+    virtual flight::VehicleState state() const = 0;
+    virtual SensorFrame sensorFrame() const = 0;
+
+    /** Collision sphere radius against world geometry [m]. */
+    virtual double bodyRadius() const = 0;
+
+    /**
+     * Resolve a wall collision (position already clamped by the
+     * caller); returns the impact speed.
+     */
+    virtual double resolveWallCollision(const Vec3 &clamped_pos,
+                                        const Vec3 &wall_normal) = 0;
+};
+
+/** The paper's UAV: Drone dynamics + cascaded flight controller. */
+class QuadrotorVehicle : public VehicleModel
+{
+  public:
+    QuadrotorVehicle(const DroneParams &params,
+                     const flight::ControllerConfig &ctrl_cfg,
+                     double cruise_altitude);
+
+    std::string vehicleName() const override { return "quadrotor"; }
+    void reset(const Vec3 &position, double yaw_rad) override;
+    void command(const flight::VelocityCommand &cmd) override;
+    void step(double dt, const Vec3 &disturbance) override;
+    flight::VehicleState state() const override;
+    SensorFrame sensorFrame() const override;
+    double bodyRadius() const override;
+    double resolveWallCollision(const Vec3 &clamped_pos,
+                                const Vec3 &wall_normal) override;
+
+    const Drone &drone() const { return drone_; }
+
+  private:
+    Drone drone_;
+    flight::CascadedController controller_;
+    double cruiseAltitude_;
+};
+
+/** Parameters of the ground rover. */
+struct RoverParams
+{
+    /** Wheelbase [m]. */
+    double wheelbase = 0.6;
+    /** Maximum steering angle [rad]. */
+    double maxSteer = 0.55;
+    /** Longitudinal acceleration limit [m/s^2]. */
+    double maxAccel = 4.0;
+    /** Maximum speed [m/s]. */
+    double maxSpeed = 15.0;
+    /** Steering servo time constant [s]. */
+    double steerTau = 0.08;
+    /** Camera/sensor mast height [m]. */
+    double sensorHeight = 0.8;
+    /** Collision radius [m]. */
+    double bodyRadius = 0.35;
+    double massKg = 8.0;
+};
+
+/**
+ * Kinematic-bicycle ground vehicle. VelocityCommand interpretation:
+ * `forward` is the speed target; `yawRate` maps to a steering angle
+ * via the bicycle relation delta = atan(L * omega / v); `lateral`
+ * (not executable by a non-holonomic platform) biases steering;
+ * `altitude` is ignored.
+ */
+class AckermannRover : public VehicleModel
+{
+  public:
+    explicit AckermannRover(const RoverParams &params = {});
+
+    std::string vehicleName() const override { return "rover"; }
+    void reset(const Vec3 &position, double yaw_rad) override;
+    void command(const flight::VelocityCommand &cmd) override;
+    void step(double dt, const Vec3 &disturbance) override;
+    flight::VehicleState state() const override;
+    SensorFrame sensorFrame() const override;
+    double bodyRadius() const override;
+    double resolveWallCollision(const Vec3 &clamped_pos,
+                                const Vec3 &wall_normal) override;
+
+    double speed() const { return speed_; }
+    double steerAngle() const { return steer_; }
+
+  private:
+    RoverParams params_;
+    Vec3 pos_;
+    double yaw_ = 0.0;
+    double speed_ = 0.0;
+    double steer_ = 0.0;
+    flight::VelocityCommand cmd_;
+    Vec3 lastAccel_;
+};
+
+/**
+ * Vehicle factory.
+ *
+ * @param name "quadrotor" or "rover".
+ */
+std::unique_ptr<VehicleModel>
+makeVehicle(const std::string &name, const DroneParams &drone_params,
+            const flight::ControllerConfig &ctrl_cfg,
+            double cruise_altitude, const RoverParams &rover_params = {});
+
+} // namespace rose::env
+
+#endif // ROSE_ENV_VEHICLE_HH

@@ -1,0 +1,99 @@
+#include "controller.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace rose::flight {
+
+CascadedController::CascadedController(const VehicleParams &params,
+                                       const ControllerConfig &cfg)
+    : params_(params), cfg_(cfg),
+      altPid_(cfg.altitude),
+      velFwdPid_(cfg.velocity), velLatPid_(cfg.velocity),
+      rollPid_(cfg.attitude), pitchPid_(cfg.attitude),
+      rateRollPid_(cfg.rate), ratePitchPid_(cfg.rate), rateYawPid_(cfg.rate)
+{
+}
+
+MotorCommand
+CascadedController::update(const VehicleState &state, double dt)
+{
+    rose_assert(dt > 0.0, "controller requires positive dt");
+
+    // --- Altitude loop: z error -> vertical acceleration -> collective.
+    double az_cmd =
+        altPid_.update(command_.altitude - state.position.z, dt);
+    double tilt_comp =
+        std::max(0.35, state.attitude.rotate(Vec3{0, 0, 1}).z);
+    double thrust_total =
+        params_.massKg * (params_.gravity + az_cmd) / tilt_comp;
+    thrust_total = clampd(thrust_total, 0.0,
+                          4.0 * params_.maxMotorThrustN);
+
+    // --- Horizontal velocity loop in the body-yaw frame.
+    double yaw = state.attitude.yaw();
+    double cy = std::cos(yaw), sy = std::sin(yaw);
+    // World velocity expressed in the yaw-aligned frame.
+    double v_fwd = cy * state.velocity.x + sy * state.velocity.y;
+    double v_lat = -sy * state.velocity.x + cy * state.velocity.y;
+
+    double a_fwd = velFwdPid_.update(command_.forward - v_fwd, dt);
+    double a_lat = velLatPid_.update(command_.lateral - v_lat, dt);
+
+    // Acceleration targets map to tilt. With body x-forward / z-up,
+    // positive pitch (about +y) tilts thrust toward +x (forward accel);
+    // positive roll (about +x) tilts thrust toward -y, so a leftward
+    // (+y) acceleration needs negative roll.
+    double pitch_cmd = clampd(std::atan2(a_fwd, params_.gravity),
+                              -cfg_.tiltLimit, cfg_.tiltLimit);
+    double roll_cmd = clampd(-std::atan2(a_lat, params_.gravity),
+                             -cfg_.tiltLimit, cfg_.tiltLimit);
+
+    // --- Attitude loop: tilt error -> body-rate target.
+    double roll = state.attitude.roll();
+    double pitch = state.attitude.pitch();
+    double p_cmd = rollPid_.update(wrapAngle(roll_cmd - roll), dt);
+    double q_cmd = pitchPid_.update(wrapAngle(pitch_cmd - pitch), dt);
+    double r_cmd = command_.yawRate;
+
+    // --- Rate loop: body-rate error -> torques.
+    double tau_x = rateRollPid_.update(p_cmd - state.bodyRates.x, dt);
+    double tau_y = ratePitchPid_.update(q_cmd - state.bodyRates.y, dt);
+    double tau_z = rateYawPid_.update(r_cmd - state.bodyRates.z, dt);
+
+    // --- X-configuration mixer. Motors: 0 FL(+x,+y), 1 FR(+x,-y),
+    // 2 RR(-x,-y), 3 RL(-x,+y); 0/2 spin CCW, 1/3 CW.
+    double arm = params_.armM * 0.70710678; // diagonal arms at 45 deg
+    double k_yaw = params_.yawTorquePerThrust;
+
+    double base = thrust_total / 4.0;
+    double d_roll = tau_x / (4.0 * arm);   // +roll: raise +y motors
+    double d_pitch = tau_y / (4.0 * arm);  // +pitch torque: raise -x motors
+    double d_yaw = tau_z / (4.0 * k_yaw);  // CCW motors add +z torque
+
+    MotorCommand cmd;
+    cmd[0] = base + d_roll - d_pitch + d_yaw;  // FL, CCW
+    cmd[1] = base - d_roll - d_pitch - d_yaw;  // FR, CW
+    cmd[2] = base - d_roll + d_pitch + d_yaw;  // RR, CCW
+    cmd[3] = base + d_roll + d_pitch - d_yaw;  // RL, CW
+
+    for (double &t : cmd)
+        t = clampd(t, 0.0, params_.maxMotorThrustN);
+    return cmd;
+}
+
+void
+CascadedController::reset()
+{
+    altPid_.reset();
+    velFwdPid_.reset();
+    velLatPid_.reset();
+    rollPid_.reset();
+    pitchPid_.reset();
+    rateRollPid_.reset();
+    ratePitchPid_.reset();
+    rateYawPid_.reset();
+}
+
+} // namespace rose::flight

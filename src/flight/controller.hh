@@ -1,0 +1,96 @@
+/**
+ * @file
+ * SimpleFlight-class cascaded flight controller.
+ *
+ * Mirrors the paper's partitioning (Figure 7): the companion computer
+ * sends angular and linear velocity targets; this controller tracks the
+ * most recent target received through a hierarchy of PID loops
+ * (velocity -> attitude -> body rate) and emits per-motor thrusts via an
+ * X-configuration mixer. It is the "software-in-the-loop" flight
+ * controller, modeled functionally rather than at RTL as in the paper.
+ */
+
+#ifndef ROSE_FLIGHT_CONTROLLER_HH
+#define ROSE_FLIGHT_CONTROLLER_HH
+
+#include "flight/pid.hh"
+#include "flight/types.hh"
+
+namespace rose::flight {
+
+/** Physical parameters the controller needs for feedforward/mixing. */
+struct VehicleParams
+{
+    double massKg = 1.0;
+    /** Motor moment arm about both horizontal axes [m]. */
+    double armM = 0.18;
+    /** Yaw torque per newton of motor thrust [m]. */
+    double yawTorquePerThrust = 0.016;
+    /** Per-motor thrust limit [N]. */
+    double maxMotorThrustN = 7.0;
+    double gravity = 9.81;
+};
+
+/** Gains for the full cascade; defaults are tuned for VehicleParams{}. */
+struct ControllerConfig
+{
+    PidConfig altitude{/*kp=*/5.0, /*ki=*/1.2, /*kd=*/3.2,
+                       /*outputLimit=*/8.0, /*integralLimit=*/4.0};
+    PidConfig velocity{/*kp=*/2.4, /*ki=*/0.5, /*kd=*/0.0,
+                       /*outputLimit=*/7.0, /*integralLimit=*/3.0};
+    PidConfig attitude{/*kp=*/9.0, /*ki=*/0.0, /*kd=*/0.0,
+                       /*outputLimit=*/7.0, /*integralLimit=*/0.0};
+    PidConfig rate{/*kp=*/0.09, /*ki=*/0.02, /*kd=*/0.002,
+                   /*outputLimit=*/0.0, /*integralLimit=*/0.4};
+    /** Maximum commanded tilt [rad]. */
+    double tiltLimit = 0.55;
+};
+
+/**
+ * Cascaded velocity/attitude/rate controller.
+ *
+ * Call setCommand() whenever the companion computer issues a new target
+ * (the controller keeps tracking the last one, as SimpleFlight does) and
+ * update() once per physics step.
+ */
+class CascadedController
+{
+  public:
+    CascadedController(const VehicleParams &params,
+                       const ControllerConfig &cfg = {});
+
+    /** Replace the tracked target. */
+    void setCommand(const VelocityCommand &cmd) { command_ = cmd; }
+
+    const VelocityCommand &command() const { return command_; }
+
+    /**
+     * Run one control step.
+     *
+     * @param state current vehicle kinematics.
+     * @param dt control period [s].
+     * @return clamped per-motor thrusts [N].
+     */
+    MotorCommand update(const VehicleState &state, double dt);
+
+    /** Reset all loop state (integral terms, derivative history). */
+    void reset();
+
+  private:
+    VehicleParams params_;
+    ControllerConfig cfg_;
+    VelocityCommand command_;
+
+    Pid altPid_;
+    Pid velFwdPid_;
+    Pid velLatPid_;
+    Pid rollPid_;
+    Pid pitchPid_;
+    Pid rateRollPid_;
+    Pid ratePitchPid_;
+    Pid rateYawPid_;
+};
+
+} // namespace rose::flight
+
+#endif // ROSE_FLIGHT_CONTROLLER_HH

@@ -1,0 +1,38 @@
+#include "pid.hh"
+
+#include "util/geometry.hh"
+#include "util/logging.hh"
+
+namespace rose::flight {
+
+double
+Pid::update(double error, double dt)
+{
+    rose_assert(dt > 0.0, "PID update requires positive dt");
+
+    integral_ += error * dt;
+    if (cfg_.integralLimit > 0.0)
+        integral_ = clampd(integral_, -cfg_.integralLimit,
+                           cfg_.integralLimit);
+
+    double deriv = 0.0;
+    if (havePrev_)
+        deriv = (error - prevError_) / dt;
+    prevError_ = error;
+    havePrev_ = true;
+
+    double out = cfg_.kp * error + cfg_.ki * integral_ + cfg_.kd * deriv;
+    if (cfg_.outputLimit > 0.0)
+        out = clampd(out, -cfg_.outputLimit, cfg_.outputLimit);
+    return out;
+}
+
+void
+Pid::reset()
+{
+    integral_ = 0.0;
+    prevError_ = 0.0;
+    havePrev_ = false;
+}
+
+} // namespace rose::flight

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Scalar PID controller with output saturation and anti-windup, the
+ * building block of the SimpleFlight-style cascaded controller
+ * (Section 4.2.2: "Simple Flight contains a hierarchy of PID controllers
+ * that manage the position, velocity, and angle of attack targets").
+ */
+
+#ifndef ROSE_FLIGHT_PID_HH
+#define ROSE_FLIGHT_PID_HH
+
+namespace rose::flight {
+
+/** Gains and limits for one PID loop. */
+struct PidConfig
+{
+    double kp = 0.0;
+    double ki = 0.0;
+    double kd = 0.0;
+    /** Symmetric output saturation; <= 0 disables. */
+    double outputLimit = 0.0;
+    /** Symmetric integral-term clamp; <= 0 disables. */
+    double integralLimit = 0.0;
+};
+
+/** One scalar PID loop; update() advances it by dt seconds. */
+class Pid
+{
+  public:
+    explicit Pid(const PidConfig &cfg) : cfg_(cfg) {}
+
+    /**
+     * Advance the controller.
+     *
+     * @param error setpoint minus measurement.
+     * @param dt timestep in seconds; must be positive.
+     * @return saturated control output.
+     */
+    double update(double error, double dt);
+
+    /** Clear integral and derivative history (e.g. on arming). */
+    void reset();
+
+    double integral() const { return integral_; }
+    const PidConfig &config() const { return cfg_; }
+
+  private:
+    PidConfig cfg_;
+    double integral_ = 0.0;
+    double prevError_ = 0.0;
+    bool havePrev_ = false;
+};
+
+} // namespace rose::flight
+
+#endif // ROSE_FLIGHT_PID_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Shared vehicle-state and command vocabulary between the flight
+ * controller and the environment simulator. World frame is ENU (z up);
+ * body frame is x-forward, y-left, z-up.
+ */
+
+#ifndef ROSE_FLIGHT_TYPES_HH
+#define ROSE_FLIGHT_TYPES_HH
+
+#include <array>
+
+#include "util/geometry.hh"
+
+namespace rose::flight {
+
+/** Kinematic state of the vehicle as seen by the controller. */
+struct VehicleState
+{
+    /** Position in the world frame [m]. */
+    Vec3 position;
+    /** Velocity in the world frame [m/s]. */
+    Vec3 velocity;
+    /** Attitude: body-to-world rotation. */
+    Quat attitude;
+    /** Angular velocity in the body frame [rad/s]. */
+    Vec3 bodyRates;
+};
+
+/**
+ * The intermediate-level command interface between companion computer
+ * and flight controller (Section 3.4.2): linear velocity targets in the
+ * body-yaw frame plus a yaw-rate target, with altitude held separately.
+ */
+struct VelocityCommand
+{
+    /** Target forward (body-x) velocity [m/s]. */
+    double forward = 0.0;
+    /** Target leftward (body-y) velocity [m/s]. */
+    double lateral = 0.0;
+    /** Target yaw rate, positive counterclockwise [rad/s]. */
+    double yawRate = 0.0;
+    /** Altitude setpoint [m]. */
+    double altitude = 1.5;
+};
+
+/** Per-motor thrust commands [N]; X-quad order FL, FR, RR, RL. */
+using MotorCommand = std::array<double, 4>;
+
+} // namespace rose::flight
+
+#endif // ROSE_FLIGHT_TYPES_HH

@@ -1,0 +1,153 @@
+#include "control_app.hh"
+
+#include "util/logging.hh"
+
+namespace rose::runtime {
+
+ControlApp::ControlApp(bridge::TargetDriver &driver,
+                       const soc::SocConfig &soc, const AppConfig &cfg)
+    : driver_(driver), soc_(soc), cfg_(cfg),
+      bigModel_(dnn::makeResNet(cfg.modelDepth)),
+      smallModel_(dnn::makeResNet(cfg.smallModelDepth)),
+      bigClassifier_(bigModel_, Rng(cfg.seed), cfg.estimator),
+      smallClassifier_(smallModel_, Rng(cfg.seed ^ 0x5a11ULL),
+                       cfg.estimator),
+      engine_(soc, cfg.gemmini, cfg.engine),
+      bigSchedule_(engine_.schedule(bigModel_)),
+      smallSchedule_(engine_.schedule(smallModel_))
+{
+}
+
+std::string
+ControlApp::workloadName() const
+{
+    if (cfg_.mode == RuntimeMode::Static)
+        return "trailnav-static-" + bigModel_.name;
+    return "trailnav-dynamic-" + bigModel_.name + "/" +
+           smallModel_.name;
+}
+
+soc::Action
+ControlApp::ioAction(const char *label)
+{
+    uint64_t accesses = driver_.takeAccessCount();
+    Cycles c = accesses * soc_.cpuParams.mmioAccessCycles;
+    return soc::Action::compute(c ? c : 1, soc::Unit::Io, label);
+}
+
+soc::Action
+ControlApp::next(const soc::SocContext &ctx)
+{
+    switch (state_) {
+      case State::Boot: {
+        state_ = State::SendRequests;
+        return soc::Action::compute(cfg_.bootCycles, soc::Unit::Cpu,
+                                    "boot");
+      }
+
+      case State::SendRequests: {
+        current_ = InferenceRecord{};
+        current_.requestCycle = ctx.now;
+        if (!driver_.txSend(bridge::encodeImageReq()))
+            rose_warn("control app: image request backpressured");
+        if (cfg_.mode == RuntimeMode::Dynamic) {
+            if (!driver_.txSend(bridge::encodeDepthReq()))
+                rose_warn("control app: depth request backpressured");
+        }
+        sawDepth_ = false;
+        image_.reset();
+        state_ = State::AwaitResponses;
+        return ioAction("sensor-request");
+      }
+
+      case State::AwaitResponses: {
+        state_ = State::ReadResponses;
+        return soc::Action::waitRx("sensor-wait");
+      }
+
+      case State::ReadResponses: {
+        while (auto p = driver_.rxPop()) {
+            switch (p->type) {
+              case bridge::PacketType::ImageResp:
+                image_ = bridge::decodeImageResp(*p);
+                break;
+              case bridge::PacketType::DepthResp:
+                depth_ = bridge::decodeDepthResp(*p);
+                sawDepth_ = true;
+                break;
+              default:
+                rose_warn("control app: unexpected packet ",
+                          bridge::packetTypeName(p->type));
+                break;
+            }
+        }
+        bool need_depth =
+            cfg_.mode == RuntimeMode::Dynamic && !sawDepth_;
+        if (!image_ || need_depth) {
+            // Response split across boundaries; keep waiting.
+            state_ = State::AwaitResponses;
+            return ioAction("sensor-poll");
+        }
+        current_.responseCycle = ctx.now;
+        current_.depthMeters =
+            cfg_.mode == RuntimeMode::Dynamic ? depth_ : 0.0;
+
+        // --- Model selection -----------------------------------------
+        activeDepth_ = cfg_.modelDepth;
+        current_.usedArgmax = false;
+        if (cfg_.mode == RuntimeMode::Dynamic) {
+            double big_lat =
+                double(bigSchedule_.totalCycles) / soc_.clockHz;
+            double budget = cfg_.deadline.processDeadline(
+                depth_, cfg_.policy.forwardVelocity);
+            current_.deadlineSeconds = budget;
+            if (budget < cfg_.deadlineSafetyFactor * big_lat) {
+                activeDepth_ = cfg_.smallModelDepth;
+                current_.usedArgmax = true;
+            }
+        }
+        current_.modelDepth = activeDepth_;
+
+        // --- Functional inference + timed schedule -------------------
+        bool use_small = activeDepth_ == cfg_.smallModelDepth &&
+                         cfg_.mode == RuntimeMode::Dynamic;
+        lastOutput_ = use_small ? smallClassifier_.infer(*image_)
+                                : bigClassifier_.infer(*image_);
+        const dnn::InferenceSchedule &sched =
+            use_small ? smallSchedule_ : bigSchedule_;
+        queue_.assign(sched.actions.begin(), sched.actions.end());
+        if (cfg_.mode == RuntimeMode::Dynamic) {
+            queue_.push_front(soc::Action::compute(
+                cfg_.dualSessionOverhead, soc::Unit::Cpu,
+                "dual-session"));
+        }
+        state_ = State::Inference;
+        return ioAction("sensor-read");
+      }
+
+      case State::Inference: {
+        if (!queue_.empty()) {
+            soc::Action a = queue_.front();
+            queue_.pop_front();
+            return a;
+        }
+        state_ = State::SendCommand;
+        [[fallthrough]];
+      }
+
+      case State::SendCommand: {
+        PolicyConfig policy = cfg_.policy;
+        policy.argmaxPolicy = current_.usedArgmax;
+        current_.command = computeCommand(lastOutput_, policy);
+        if (!driver_.txSend(bridge::encodeVelocityCmd(current_.command)))
+            rose_warn("control app: command backpressured");
+        current_.commandCycle = ctx.now;
+        records_.push_back(current_);
+        state_ = State::SendRequests;
+        return ioAction("command-send");
+      }
+    }
+    rose_panic("unreachable control-app state");
+}
+
+} // namespace rose::runtime

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * The companion-computer application: a DNN-based end-to-end visual
+ * navigation controller (Section 4.2.2) expressed as a SoC workload.
+ *
+ * Per control iteration the app:
+ *   1. requests a camera frame (and, in dynamic mode, a depth reading)
+ *      through the RoSÉ bridge;
+ *   2. stalls until the response arrives (requests cross the
+ *      synchronizer at period boundaries, so this is where
+ *      synchronization-granularity latency appears, Figure 16);
+ *   3. selects the DNN — statically configured, or deadline-driven
+ *      between a big and a small model (Section 5.3);
+ *   4. runs inference: the execution engine's timed layer schedule is
+ *      replayed on the SoC (accelerator busy time feeds the activity
+ *      factor of Figure 13) while the classifier computes the actual
+ *      outputs from the received image;
+ *   5. computes Equation 2 control targets and sends a VelocityCmd.
+ *
+ * The app records per-inference telemetry (request/response/command
+ * timestamps, model used, deadline) for the evaluation harness.
+ */
+
+#ifndef ROSE_RUNTIME_CONTROL_APP_HH
+#define ROSE_RUNTIME_CONTROL_APP_HH
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "bridge/target_driver.hh"
+#include "dnn/classifier.hh"
+#include "dnn/engine.hh"
+#include "runtime/control_policy.hh"
+#include "runtime/deadline.hh"
+#include "soc/workload.hh"
+
+namespace rose::runtime {
+
+/** Model-selection mode. */
+enum class RuntimeMode
+{
+    Static,  ///< always run `model`
+    Dynamic, ///< deadline-driven switch between big and small model
+};
+
+/** Application configuration. */
+struct AppConfig
+{
+    RuntimeMode mode = RuntimeMode::Static;
+    /** Static model depth (or the dynamic runtime's big model). */
+    int modelDepth = 14;
+    /** Dynamic runtime's small (fallback) model depth. */
+    int smallModelDepth = 6;
+    /** Deadline safety factor: switch to the small model when the
+     *  available t_process is below factor * big-model latency. */
+    double deadlineSafetyFactor = 10.0;
+    /** Extra per-inference cycles in dynamic mode (dual ONNX-Runtime
+     *  sessions; calibrated to the paper's "15% fewer inferences"). */
+    Cycles dualSessionOverhead = 12 * kMegaCycles;
+    /** One-time application startup cost [cycles]. */
+    Cycles bootCycles = 50 * kMegaCycles;
+
+    PolicyConfig policy;
+    DeadlineModel deadline;
+    dnn::EstimatorConfig estimator;
+    dnn::EngineParams engine;
+    /** Accelerator instance (mesh/scratchpad/bus) used when the SoC
+     *  config has Gemmini; swept by the accelerator-DSE ablation. */
+    gemmini::GemminiConfig gemmini;
+    /** Classifier noise seed. */
+    uint64_t seed = 1234;
+};
+
+/** Telemetry of one completed control iteration. */
+struct InferenceRecord
+{
+    Cycles requestCycle = 0;  ///< image request issued
+    Cycles responseCycle = 0; ///< image received from the bridge
+    Cycles commandCycle = 0;  ///< velocity command sent
+    int modelDepth = 0;
+    bool usedArgmax = false;
+    double deadlineSeconds = 0.0; ///< Equation 5 budget (dynamic mode)
+    double depthMeters = 0.0;
+    bridge::VelocityCmdPayload command;
+
+    /** Image-request-to-command latency [cycles] (Figure 16c). */
+    Cycles requestToCommand() const { return commandCycle - requestCycle; }
+};
+
+/** The application workload. */
+class ControlApp : public soc::Workload
+{
+  public:
+    /**
+     * @param driver target-side bridge driver.
+     * @param soc SoC configuration (selects CPU/accelerator models).
+     * @param cfg application configuration.
+     */
+    ControlApp(bridge::TargetDriver &driver, const soc::SocConfig &soc,
+               const AppConfig &cfg);
+
+    std::string workloadName() const override;
+    soc::Action next(const soc::SocContext &ctx) override;
+
+    const std::vector<InferenceRecord> &records() const
+    { return records_; }
+
+    /** Inferences completed so far. */
+    uint64_t inferenceCount() const { return records_.size(); }
+
+    const AppConfig &config() const { return cfg_; }
+
+  private:
+    enum class State
+    {
+        Boot,
+        SendRequests,
+        AwaitResponses,
+        ReadResponses,
+        Inference,
+        SendCommand,
+    };
+
+    soc::Action ioAction(const char *label);
+
+    bridge::TargetDriver &driver_;
+    soc::SocConfig soc_;
+    AppConfig cfg_;
+
+    dnn::Model bigModel_;
+    dnn::Model smallModel_;
+    dnn::Classifier bigClassifier_;
+    dnn::Classifier smallClassifier_;
+    dnn::ExecutionEngine engine_;
+    dnn::InferenceSchedule bigSchedule_;
+    dnn::InferenceSchedule smallSchedule_;
+
+    State state_ = State::Boot;
+    std::deque<soc::Action> queue_; ///< staged inference actions
+    std::optional<env::Image> image_;
+    double depth_ = 1e9;
+    bool sawDepth_ = false;
+
+    InferenceRecord current_;
+    dnn::ClassifierOutput lastOutput_;
+    int activeDepth_ = 0;
+    std::vector<InferenceRecord> records_;
+};
+
+} // namespace rose::runtime
+
+#endif // ROSE_RUNTIME_CONTROL_APP_HH

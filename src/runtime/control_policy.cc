@@ -1,0 +1,42 @@
+#include "control_policy.hh"
+
+namespace rose::runtime {
+
+namespace {
+
+/** Signed correction signal from one head: +1 favors "right". */
+double
+headSignal(const dnn::HeadOutput &h, bool argmax)
+{
+    if (!argmax)
+        return h.margin();
+    int cls = h.argmax();
+    if (cls == 0)
+        return -1.0; // left
+    if (cls == 2)
+        return 1.0; // right
+    return 0.0;
+}
+
+} // namespace
+
+bridge::VelocityCmdPayload
+computeCommand(const dnn::ClassifierOutput &y, const PolicyConfig &cfg)
+{
+    bridge::VelocityCmdPayload cmd;
+    cmd.forward = cfg.forwardVelocity;
+
+    // Class semantics: the angular head says the UAV is yawed
+    // left/center/right of the corridor axis; the lateral head says it
+    // is offset left/center/right of the centerline. Corrections steer
+    // back toward center: "left" classifications command rightward
+    // (negative, in our +y-left body frame) motion.
+    double ang = headSignal(y.angular, cfg.argmaxPolicy);
+    double lat = headSignal(y.lateral, cfg.argmaxPolicy);
+
+    cmd.lateral = cfg.betaLateral * lat;  // right-heavy -> move left
+    cmd.yawRate = cfg.betaYaw * ang;      // right-heavy -> yaw left
+    return cmd;
+}
+
+} // namespace rose::runtime

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Control-target computation from classifier outputs (Equation 2):
+ *
+ *   v_l = beta_l * (y_l^left - y_l^right)
+ *   omega = beta_omega * (y_omega^right - y_omega^left)
+ *
+ * Targets scale with the softmax margins, so low-confidence (small)
+ * models command gentler corrections — Section 5.2's wide-turn-radius
+ * effect. The argmax policy (used by the dynamic runtime when running
+ * the small net near obstacles, Section 5.3) replaces the margins with
+ * hard +-1 decisions so the UAV corrects at full authority.
+ */
+
+#ifndef ROSE_RUNTIME_CONTROL_POLICY_HH
+#define ROSE_RUNTIME_CONTROL_POLICY_HH
+
+#include "bridge/packet.hh"
+#include "dnn/classifier.hh"
+
+namespace rose::runtime {
+
+/** Gains and mode of the Equation 2 policy. */
+struct PolicyConfig
+{
+    /** Mission forward-velocity target [m/s] (swept in Figure 12). */
+    double forwardVelocity = 3.0;
+    /** Lateral correction gain beta_l [m/s per probability]. */
+    double betaLateral = 1.4;
+    /** Yaw correction gain beta_omega [rad/s per probability]. */
+    double betaYaw = 1.4;
+    /** Use argmax decisions instead of probability scaling. */
+    bool argmaxPolicy = false;
+};
+
+/**
+ * Compute the velocity command for the flight controller from one
+ * inference result.
+ */
+bridge::VelocityCmdPayload computeCommand(const dnn::ClassifierOutput &y,
+                                          const PolicyConfig &cfg);
+
+} // namespace rose::runtime
+
+#endif // ROSE_RUNTIME_CONTROL_POLICY_HH

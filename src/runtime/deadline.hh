@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Compute-deadline model (Section 5.2, Equations 3-5):
+ *
+ *   t_collision = D_obj / velocity                          (3)
+ *   t_collision >= t_sensor + t_process + t_actuation       (4)
+ *   t_process  <= t_collision - t_sensor - t_actuation      (5)
+ *
+ * D_obj is the forward depth-sensor reading. The dynamic runtime
+ * (Section 5.3) compares the available t_process against the big
+ * model's inference latency to decide which DNN to run.
+ */
+
+#ifndef ROSE_RUNTIME_DEADLINE_HH
+#define ROSE_RUNTIME_DEADLINE_HH
+
+namespace rose::runtime {
+
+/** Latency budget terms outside compute. */
+struct DeadlineModel
+{
+    /** Sensor pipeline latency [s]. */
+    double sensorLatency = 0.020;
+    /** Actuation response latency (controller + motors) [s]. */
+    double actuationLatency = 0.080;
+
+    /**
+     * Available processing time before a collision becomes
+     * unavoidable (Equation 5). Never negative.
+     *
+     * @param depth_m forward obstacle distance D_obj [m].
+     * @param velocity_mps current forward speed [m/s].
+     */
+    double
+    processDeadline(double depth_m, double velocity_mps) const
+    {
+        if (velocity_mps <= 0.05)
+            return 1e9; // hovering: effectively unconstrained
+        double t_collision = depth_m / velocity_mps;
+        double t = t_collision - sensorLatency - actuationLatency;
+        return t > 0.0 ? t : 0.0;
+    }
+};
+
+} // namespace rose::runtime
+
+#endif // ROSE_RUNTIME_DEADLINE_HH

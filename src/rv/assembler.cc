@@ -1,0 +1,522 @@
+#include "assembler.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <optional>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace rose::rv {
+
+namespace {
+
+// ----------------------------------------------------------- tokenizing
+
+std::string
+stripComment(const std::string &line)
+{
+    size_t hash = line.find('#');
+    std::string s =
+        hash == std::string::npos ? line : line.substr(0, hash);
+    size_t slashes = s.find("//");
+    if (slashes != std::string::npos)
+        s = s.substr(0, slashes);
+    return s;
+}
+
+std::string
+trim(const std::string &s)
+{
+    size_t b = s.find_first_not_of(" \t\r");
+    if (b == std::string::npos)
+        return "";
+    size_t e = s.find_last_not_of(" \t\r");
+    return s.substr(b, e - b + 1);
+}
+
+std::vector<std::string>
+splitOperands(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : s) {
+        if (c == ',') {
+            out.push_back(trim(cur));
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    cur = trim(cur);
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+// ----------------------------------------------------------- registers
+
+std::optional<uint8_t>
+parseReg(const std::string &name)
+{
+    static const std::map<std::string, uint8_t> abi = {
+        {"zero", 0}, {"ra", 1}, {"sp", 2}, {"gp", 3}, {"tp", 4},
+        {"t0", 5}, {"t1", 6}, {"t2", 7}, {"s0", 8}, {"fp", 8},
+        {"s1", 9}, {"a0", 10}, {"a1", 11}, {"a2", 12}, {"a3", 13},
+        {"a4", 14}, {"a5", 15}, {"a6", 16}, {"a7", 17}, {"s2", 18},
+        {"s3", 19}, {"s4", 20}, {"s5", 21}, {"s6", 22}, {"s7", 23},
+        {"s8", 24}, {"s9", 25}, {"s10", 26}, {"s11", 27}, {"t3", 28},
+        {"t4", 29}, {"t5", 30}, {"t6", 31}};
+    auto it = abi.find(name);
+    if (it != abi.end())
+        return it->second;
+    if (name.size() >= 2 && name[0] == 'x') {
+        int n = 0;
+        for (size_t i = 1; i < name.size(); ++i) {
+            if (!std::isdigit(static_cast<unsigned char>(name[i])))
+                return std::nullopt;
+            n = n * 10 + (name[i] - '0');
+        }
+        if (n < 32)
+            return uint8_t(n);
+    }
+    return std::nullopt;
+}
+
+// ------------------------------------------------------------ encoders
+
+uint32_t
+encodeR(uint32_t f7, uint8_t rs2, uint8_t rs1, uint32_t f3, uint8_t rd,
+        uint32_t opcode)
+{
+    return (f7 << 25) | (uint32_t(rs2) << 20) | (uint32_t(rs1) << 15) |
+           (f3 << 12) | (uint32_t(rd) << 7) | opcode;
+}
+
+uint32_t
+encodeI(int32_t imm, uint8_t rs1, uint32_t f3, uint8_t rd,
+        uint32_t opcode)
+{
+    return (uint32_t(imm & 0xfff) << 20) | (uint32_t(rs1) << 15) |
+           (f3 << 12) | (uint32_t(rd) << 7) | opcode;
+}
+
+uint32_t
+encodeS(int32_t imm, uint8_t rs2, uint8_t rs1, uint32_t f3,
+        uint32_t opcode)
+{
+    uint32_t u = uint32_t(imm);
+    return ((u >> 5 & 0x7f) << 25) | (uint32_t(rs2) << 20) |
+           (uint32_t(rs1) << 15) | (f3 << 12) | ((u & 0x1f) << 7) |
+           opcode;
+}
+
+uint32_t
+encodeB(int32_t imm, uint8_t rs2, uint8_t rs1, uint32_t f3,
+        uint32_t opcode)
+{
+    uint32_t u = uint32_t(imm);
+    return ((u >> 12 & 1) << 31) | ((u >> 5 & 0x3f) << 25) |
+           (uint32_t(rs2) << 20) | (uint32_t(rs1) << 15) | (f3 << 12) |
+           ((u >> 1 & 0xf) << 8) | ((u >> 11 & 1) << 7) | opcode;
+}
+
+uint32_t
+encodeU(int32_t imm, uint8_t rd, uint32_t opcode)
+{
+    return (uint32_t(imm) & 0xfffff000u) | (uint32_t(rd) << 7) | opcode;
+}
+
+uint32_t
+encodeJ(int32_t imm, uint8_t rd, uint32_t opcode)
+{
+    uint32_t u = uint32_t(imm);
+    return ((u >> 20 & 1) << 31) | ((u >> 1 & 0x3ff) << 21) |
+           ((u >> 11 & 1) << 20) | ((u >> 12 & 0xff) << 12) |
+           (uint32_t(rd) << 7) | opcode;
+}
+
+// ------------------------------------------------------------ assembler
+
+struct Line
+{
+    int number;
+    std::string mnemonic;
+    std::vector<std::string> operands;
+};
+
+class Assembler
+{
+  public:
+    Assembler(const std::string &source, uint32_t base) : base_(base)
+    {
+        firstPass(source);
+        secondPass();
+    }
+
+    Program
+    take()
+    {
+        Program p;
+        p.words = std::move(words_);
+        p.symbols = std::move(symbols_);
+        p.base = base_;
+        return p;
+    }
+
+  private:
+    [[noreturn]] void
+    err(int line, const std::string &msg)
+    {
+        rose_fatal("asm line ", line, ": ", msg);
+    }
+
+    uint8_t
+    reg(const Line &l, size_t idx)
+    {
+        if (idx >= l.operands.size())
+            err(l.number, "missing operand");
+        auto r = parseReg(l.operands[idx]);
+        if (!r)
+            err(l.number, "bad register: " + l.operands[idx]);
+        return *r;
+    }
+
+    int32_t
+    imm(const Line &l, size_t idx)
+    {
+        if (idx >= l.operands.size())
+            err(l.number, "missing immediate");
+        const std::string &s = l.operands[idx];
+        // Label reference?
+        auto it = symbols_.find(s);
+        if (it != symbols_.end())
+            return int32_t(it->second);
+        try {
+            size_t pos = 0;
+            long v = std::stol(s, &pos, 0);
+            if (pos != s.size())
+                err(l.number, "bad immediate: " + s);
+            return int32_t(v);
+        } catch (...) {
+            err(l.number, "bad immediate or unknown label: " + s);
+        }
+    }
+
+    /** Parse "imm(reg)" memory operands. */
+    void
+    memOperand(const Line &l, size_t idx, int32_t &off, uint8_t &basereg)
+    {
+        if (idx >= l.operands.size())
+            err(l.number, "missing memory operand");
+        const std::string &s = l.operands[idx];
+        size_t lp = s.find('(');
+        size_t rp = s.find(')');
+        if (lp == std::string::npos || rp == std::string::npos || rp < lp)
+            err(l.number, "bad memory operand: " + s);
+        std::string offs = trim(s.substr(0, lp));
+        std::string regs = trim(s.substr(lp + 1, rp - lp - 1));
+        off = offs.empty() ? 0 : [&] {
+            try {
+                return int32_t(std::stol(offs, nullptr, 0));
+            } catch (...) {
+                err(l.number, "bad offset: " + offs);
+            }
+        }();
+        auto r = parseReg(regs);
+        if (!r)
+            err(l.number, "bad base register: " + regs);
+        basereg = *r;
+    }
+
+    int32_t
+    branchTarget(const Line &l, size_t idx, uint32_t pc)
+    {
+        if (idx >= l.operands.size())
+            err(l.number, "missing branch target");
+        const std::string &s = l.operands[idx];
+        auto it = symbols_.find(s);
+        if (it != symbols_.end())
+            return int32_t(it->second - pc);
+        try {
+            return int32_t(std::stol(s, nullptr, 0));
+        } catch (...) {
+            err(l.number, "unknown label: " + s);
+        }
+    }
+
+    /** Number of words a mnemonic expands to (for pass-1 layout). */
+    size_t
+    sizeOf(const Line &l)
+    {
+        if (l.mnemonic == ".word")
+            return l.operands.size();
+        if (l.mnemonic == "li") {
+            // Worst-case decided in pass 1 and honored in pass 2 so the
+            // layout cannot shift: small immediates still take 1 word.
+            int32_t v = 0;
+            try {
+                v = int32_t(std::stol(l.operands.at(1), nullptr, 0));
+            } catch (...) {
+                return 2; // label/large constant
+            }
+            return (v >= -2048 && v < 2048) ? 1 : 2;
+        }
+        if (l.mnemonic == "call")
+            return 1;
+        return 1;
+    }
+
+    void
+    firstPass(const std::string &source)
+    {
+        std::istringstream is(source);
+        std::string raw;
+        int lineno = 0;
+        uint32_t pc = base_;
+        while (std::getline(is, raw)) {
+            ++lineno;
+            std::string s = trim(stripComment(raw));
+            // Peel off any labels ("name:") prefixing the statement.
+            while (true) {
+                size_t colon = s.find(':');
+                if (colon == std::string::npos)
+                    break;
+                std::string label = trim(s.substr(0, colon));
+                if (label.empty() ||
+                    label.find(' ') != std::string::npos)
+                    err(lineno, "bad label");
+                if (symbols_.count(label))
+                    err(lineno, "duplicate label: " + label);
+                symbols_[label] = pc;
+                s = trim(s.substr(colon + 1));
+            }
+            if (s.empty())
+                continue;
+            size_t sp = s.find_first_of(" \t");
+            Line line;
+            line.number = lineno;
+            line.mnemonic = sp == std::string::npos ? s : s.substr(0, sp);
+            std::transform(line.mnemonic.begin(), line.mnemonic.end(),
+                           line.mnemonic.begin(), ::tolower);
+            if (sp != std::string::npos)
+                line.operands = splitOperands(trim(s.substr(sp + 1)));
+            pc += uint32_t(sizeOf(line) * 4);
+            lines_.push_back(std::move(line));
+        }
+    }
+
+    void
+    emit(uint32_t w)
+    {
+        words_.push_back(w);
+    }
+
+    void
+    secondPass()
+    {
+        uint32_t pc = base_;
+        for (const Line &l : lines_) {
+            size_t before = words_.size();
+            encodeLine(l, pc);
+            size_t emitted = words_.size() - before;
+            pc += uint32_t(emitted * 4);
+        }
+    }
+
+    void
+    encodeLine(const Line &l, uint32_t pc)
+    {
+        const std::string &m = l.mnemonic;
+
+        // --- directives -------------------------------------------------
+        if (m == ".word") {
+            for (size_t i = 0; i < l.operands.size(); ++i)
+                emit(uint32_t(imm(l, i)));
+            return;
+        }
+
+        // --- pseudo-instructions ---------------------------------------
+        if (m == "nop") { emit(encodeI(0, 0, 0, 0, 0x13)); return; }
+        if (m == "mv") {
+            emit(encodeI(0, reg(l, 1), 0, reg(l, 0), 0x13));
+            return;
+        }
+        if (m == "li") {
+            uint8_t rd = reg(l, 0);
+            int32_t v = imm(l, 1);
+            // Mirror pass 1's layout decision exactly: only a literal
+            // that fits 12 bits takes one word; labels always take two.
+            bool small = sizeOf(l) == 1;
+            if (small) {
+                emit(encodeI(v, 0, 0, rd, 0x13));
+            } else {
+                int32_t hi = (v + 0x800) & ~0xfff;
+                int32_t lo = v - hi;
+                emit(encodeU(hi, rd, 0x37));
+                emit(encodeI(lo, rd, 0, rd, 0x13));
+            }
+            return;
+        }
+        if (m == "j") {
+            emit(encodeJ(branchTarget(l, 0, pc), 0, 0x6f));
+            return;
+        }
+        if (m == "call") {
+            emit(encodeJ(branchTarget(l, 0, pc), 1, 0x6f));
+            return;
+        }
+        if (m == "jr") {
+            emit(encodeI(0, reg(l, 0), 0, 0, 0x67));
+            return;
+        }
+        if (m == "ret") { emit(encodeI(0, 1, 0, 0, 0x67)); return; }
+        if (m == "beqz") {
+            emit(encodeB(branchTarget(l, 1, pc), 0, reg(l, 0), 0, 0x63));
+            return;
+        }
+        if (m == "bnez") {
+            emit(encodeB(branchTarget(l, 1, pc), 0, reg(l, 0), 1, 0x63));
+            return;
+        }
+        if (m == "seqz") {
+            emit(encodeI(1, reg(l, 1), 3, reg(l, 0), 0x13)); // sltiu rd,rs,1
+            return;
+        }
+        if (m == "snez") {
+            emit(encodeR(0, reg(l, 1), 0, 3, reg(l, 0), 0x33)); // sltu rd,x0,rs
+            return;
+        }
+        if (m == "not") {
+            emit(encodeI(-1, reg(l, 1), 4, reg(l, 0), 0x13)); // xori -1
+            return;
+        }
+        if (m == "neg") {
+            emit(encodeR(0x20, reg(l, 1), 0, 0, reg(l, 0), 0x33)); // sub rd,x0,rs
+            return;
+        }
+        if (m == "ecall") { emit(0x00000073); return; }
+        if (m == "ebreak") { emit(0x00100073); return; }
+        if (m == "fence") { emit(0x0000000f); return; }
+
+        // --- U / J formats ----------------------------------------------
+        // lui/auipc take the standard 20-bit upper immediate.
+        if (m == "lui") {
+            emit(encodeU(imm(l, 1) << 12, reg(l, 0), 0x37));
+            return;
+        }
+        if (m == "auipc") {
+            emit(encodeU(imm(l, 1) << 12, reg(l, 0), 0x17));
+            return;
+        }
+        if (m == "jal") {
+            if (l.operands.size() == 1) {
+                emit(encodeJ(branchTarget(l, 0, pc), 1, 0x6f));
+            } else {
+                emit(encodeJ(branchTarget(l, 1, pc), reg(l, 0), 0x6f));
+            }
+            return;
+        }
+        if (m == "jalr") {
+            int32_t off;
+            uint8_t base;
+            if (l.operands.size() == 1) {
+                emit(encodeI(0, reg(l, 0), 0, 1, 0x67));
+            } else {
+                memOperand(l, 1, off, base);
+                emit(encodeI(off, base, 0, reg(l, 0), 0x67));
+            }
+            return;
+        }
+
+        // --- branches ----------------------------------------------------
+        static const std::map<std::string, uint32_t> branches = {
+            {"beq", 0}, {"bne", 1}, {"blt", 4}, {"bge", 5},
+            {"bltu", 6}, {"bgeu", 7}};
+        if (auto it = branches.find(m); it != branches.end()) {
+            emit(encodeB(branchTarget(l, 2, pc), reg(l, 1), reg(l, 0),
+                         it->second, 0x63));
+            return;
+        }
+
+        // --- loads / stores ----------------------------------------------
+        static const std::map<std::string, uint32_t> loads = {
+            {"lb", 0}, {"lh", 1}, {"lw", 2}, {"lbu", 4}, {"lhu", 5}};
+        if (auto it = loads.find(m); it != loads.end()) {
+            int32_t off;
+            uint8_t base;
+            memOperand(l, 1, off, base);
+            emit(encodeI(off, base, it->second, reg(l, 0), 0x03));
+            return;
+        }
+        static const std::map<std::string, uint32_t> stores = {
+            {"sb", 0}, {"sh", 1}, {"sw", 2}};
+        if (auto it = stores.find(m); it != stores.end()) {
+            int32_t off;
+            uint8_t base;
+            memOperand(l, 1, off, base);
+            emit(encodeS(off, reg(l, 0), base, it->second, 0x23));
+            return;
+        }
+
+        // --- ALU immediate -------------------------------------------------
+        static const std::map<std::string, uint32_t> aluImm = {
+            {"addi", 0}, {"slti", 2}, {"sltiu", 3}, {"xori", 4},
+            {"ori", 6}, {"andi", 7}};
+        if (auto it = aluImm.find(m); it != aluImm.end()) {
+            emit(encodeI(imm(l, 2), reg(l, 1), it->second, reg(l, 0),
+                         0x13));
+            return;
+        }
+        if (m == "slli" || m == "srli" || m == "srai") {
+            uint32_t f3 = m == "slli" ? 1 : 5;
+            uint32_t f7 = m == "srai" ? 0x20 : 0;
+            uint32_t sh = uint32_t(imm(l, 2)) & 31;
+            emit(encodeR(f7, uint8_t(sh), reg(l, 1), f3, reg(l, 0),
+                         0x13));
+            return;
+        }
+
+        // --- ALU register / M extension ------------------------------------
+        struct RSpec { uint32_t f7, f3; };
+        static const std::map<std::string, RSpec> aluReg = {
+            {"add", {0x00, 0}}, {"sub", {0x20, 0}}, {"sll", {0x00, 1}},
+            {"slt", {0x00, 2}}, {"sltu", {0x00, 3}}, {"xor", {0x00, 4}},
+            {"srl", {0x00, 5}}, {"sra", {0x20, 5}}, {"or", {0x00, 6}},
+            {"and", {0x00, 7}},
+            {"mul", {0x01, 0}}, {"mulh", {0x01, 1}},
+            {"mulhsu", {0x01, 2}}, {"mulhu", {0x01, 3}},
+            {"div", {0x01, 4}}, {"divu", {0x01, 5}},
+            {"rem", {0x01, 6}}, {"remu", {0x01, 7}}};
+        if (auto it = aluReg.find(m); it != aluReg.end()) {
+            emit(encodeR(it->second.f7, reg(l, 2), reg(l, 1),
+                         it->second.f3, reg(l, 0), 0x33));
+            return;
+        }
+
+        if (m == "csrr") {
+            // csrr rd, csr -> csrrs rd, csr, x0
+            emit((uint32_t(imm(l, 1)) << 20) | (0u << 15) | (2u << 12) |
+                 (uint32_t(reg(l, 0)) << 7) | 0x73);
+            return;
+        }
+
+        err(l.number, "unknown mnemonic: " + m);
+    }
+
+    uint32_t base_;
+    std::vector<Line> lines_;
+    std::vector<uint32_t> words_;
+    std::map<std::string, uint32_t> symbols_;
+};
+
+} // namespace
+
+Program
+assemble(const std::string &source, uint32_t base)
+{
+    Assembler as(source, base);
+    return as.take();
+}
+
+} // namespace rose::rv

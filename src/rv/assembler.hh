@@ -1,0 +1,44 @@
+/**
+ * @file
+ * A small two-pass RV32IM assembler.
+ *
+ * Substitutes for the paper's RISC-V software build flow (Section 3.3):
+ * target programs — e.g. the classical-control workloads — are written
+ * in assembly, built into flat images, and executed on the functional
+ * core under a timing model. Supports labels, the full RV32IM mnemonic
+ * set, common pseudo-instructions (li, mv, nop, j, ret, beqz, bnez,
+ * call), ABI register names, `.word` data directives, and `#` comments.
+ */
+
+#ifndef ROSE_RV_ASSEMBLER_HH
+#define ROSE_RV_ASSEMBLER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rose::rv {
+
+/** Assembly output: flat word image plus the resolved symbol table. */
+struct Program
+{
+    std::vector<uint32_t> words;
+    std::map<std::string, uint32_t> symbols;
+    uint32_t base = 0;
+
+    size_t byteSize() const { return words.size() * 4; }
+};
+
+/**
+ * Assemble source text.
+ *
+ * @param source assembly listing.
+ * @param base load address of the first instruction.
+ * @return assembled image; fatal on syntax errors (with line numbers).
+ */
+Program assemble(const std::string &source, uint32_t base = 0);
+
+} // namespace rose::rv
+
+#endif // ROSE_RV_ASSEMBLER_HH

@@ -1,0 +1,235 @@
+#include "core.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace rose::rv {
+
+Core::Core(size_t mem_bytes) : mem_(mem_bytes, 0)
+{
+}
+
+void
+Core::loadProgram(const std::vector<uint32_t> &words, uint32_t base)
+{
+    rose_assert(base + words.size() * 4 <= mem_.size(),
+                "program does not fit in memory");
+    for (size_t i = 0; i < words.size(); ++i)
+        storeWord(base + uint32_t(i) * 4, words[i]);
+    pc_ = base;
+    stop_ = StopReason::Running;
+}
+
+void
+Core::setReg(unsigned i, uint32_t v)
+{
+    rose_assert(i < 32, "register index out of range");
+    if (i != 0)
+        regs_[i] = v;
+}
+
+uint32_t
+Core::loadWord(uint32_t addr) const
+{
+    rose_assert(addr + 4 <= mem_.size(), "loadWord out of range");
+    uint32_t v;
+    std::memcpy(&v, mem_.data() + addr, 4);
+    return v;
+}
+
+void
+Core::storeWord(uint32_t addr, uint32_t value)
+{
+    rose_assert(addr + 4 <= mem_.size(), "storeWord out of range");
+    std::memcpy(mem_.data() + addr, &value, 4);
+}
+
+uint32_t
+Core::memRead(uint32_t addr, int bytes, bool sign, bool &mmio)
+{
+    if (inMmio(addr)) {
+        mmio = true;
+        uint32_t v = mmioRead_ ? mmioRead_(addr - mmioBase_) : 0;
+        if (bytes == 1)
+            v &= 0xff;
+        else if (bytes == 2)
+            v &= 0xffff;
+        return v;
+    }
+    if (addr + uint32_t(bytes) > mem_.size()) {
+        stop_ = StopReason::BadAddress;
+        return 0;
+    }
+    uint32_t v = 0;
+    std::memcpy(&v, mem_.data() + addr, size_t(bytes));
+    if (sign) {
+        if (bytes == 1)
+            v = uint32_t(int32_t(int8_t(v)));
+        else if (bytes == 2)
+            v = uint32_t(int32_t(int16_t(v)));
+    }
+    return v;
+}
+
+void
+Core::memWrite(uint32_t addr, uint32_t value, int bytes, bool &mmio)
+{
+    if (inMmio(addr)) {
+        mmio = true;
+        if (mmioWrite_)
+            mmioWrite_(addr - mmioBase_, value);
+        return;
+    }
+    if (addr + uint32_t(bytes) > mem_.size()) {
+        stop_ = StopReason::BadAddress;
+        return;
+    }
+    std::memcpy(mem_.data() + addr, &value, size_t(bytes));
+}
+
+Retired
+Core::step()
+{
+    rose_assert(stop_ == StopReason::Running,
+                "stepping a stopped core");
+
+    Retired r;
+    r.pc = pc_;
+    uint32_t raw = loadWord(pc_);
+    Insn insn = decode(raw);
+    r.insn = insn;
+
+    uint32_t next = pc_ + 4;
+    uint32_t a = regs_[insn.rs1];
+    uint32_t b = regs_[insn.rs2];
+
+    auto wr = [&](uint32_t v) {
+        if (insn.rd != 0)
+            regs_[insn.rd] = v;
+    };
+
+    switch (insn.op) {
+      case Op::Lui: wr(uint32_t(insn.imm)); break;
+      case Op::Auipc: wr(pc_ + uint32_t(insn.imm)); break;
+      case Op::Jal:
+        wr(pc_ + 4);
+        next = pc_ + uint32_t(insn.imm);
+        r.branchTaken = true;
+        break;
+      case Op::Jalr:
+        wr(pc_ + 4);
+        next = (a + uint32_t(insn.imm)) & ~1u;
+        r.branchTaken = true;
+        break;
+      case Op::Beq: if (a == b) { next = pc_ + uint32_t(insn.imm); r.branchTaken = true; } break;
+      case Op::Bne: if (a != b) { next = pc_ + uint32_t(insn.imm); r.branchTaken = true; } break;
+      case Op::Blt: if (int32_t(a) < int32_t(b)) { next = pc_ + uint32_t(insn.imm); r.branchTaken = true; } break;
+      case Op::Bge: if (int32_t(a) >= int32_t(b)) { next = pc_ + uint32_t(insn.imm); r.branchTaken = true; } break;
+      case Op::Bltu: if (a < b) { next = pc_ + uint32_t(insn.imm); r.branchTaken = true; } break;
+      case Op::Bgeu: if (a >= b) { next = pc_ + uint32_t(insn.imm); r.branchTaken = true; } break;
+      case Op::Lb: case Op::Lh: case Op::Lw: case Op::Lbu: case Op::Lhu: {
+        int bytes = insn.op == Op::Lw ? 4
+                  : (insn.op == Op::Lh || insn.op == Op::Lhu) ? 2 : 1;
+        bool sign = insn.op == Op::Lb || insn.op == Op::Lh;
+        uint32_t addr = a + uint32_t(insn.imm);
+        r.memAccess = true;
+        r.memAddr = addr;
+        uint32_t v = memRead(addr, bytes, sign, r.mmio);
+        if (stop_ == StopReason::Running)
+            wr(v);
+        break;
+      }
+      case Op::Sb: case Op::Sh: case Op::Sw: {
+        int bytes = insn.op == Op::Sw ? 4 : insn.op == Op::Sh ? 2 : 1;
+        uint32_t addr = a + uint32_t(insn.imm);
+        r.memAccess = true;
+        r.memAddr = addr;
+        memWrite(addr, b, bytes, r.mmio);
+        break;
+      }
+      case Op::Addi: wr(a + uint32_t(insn.imm)); break;
+      case Op::Slti: wr(int32_t(a) < insn.imm ? 1 : 0); break;
+      case Op::Sltiu: wr(a < uint32_t(insn.imm) ? 1 : 0); break;
+      case Op::Xori: wr(a ^ uint32_t(insn.imm)); break;
+      case Op::Ori: wr(a | uint32_t(insn.imm)); break;
+      case Op::Andi: wr(a & uint32_t(insn.imm)); break;
+      case Op::Slli: wr(a << (insn.imm & 31)); break;
+      case Op::Srli: wr(a >> (insn.imm & 31)); break;
+      case Op::Srai: wr(uint32_t(int32_t(a) >> (insn.imm & 31))); break;
+      case Op::Add: wr(a + b); break;
+      case Op::Sub: wr(a - b); break;
+      case Op::Sll: wr(a << (b & 31)); break;
+      case Op::Slt: wr(int32_t(a) < int32_t(b) ? 1 : 0); break;
+      case Op::Sltu: wr(a < b ? 1 : 0); break;
+      case Op::Xor: wr(a ^ b); break;
+      case Op::Srl: wr(a >> (b & 31)); break;
+      case Op::Sra: wr(uint32_t(int32_t(a) >> (b & 31))); break;
+      case Op::Or: wr(a | b); break;
+      case Op::And: wr(a & b); break;
+      case Op::Mul: wr(a * b); break;
+      case Op::Mulh:
+        wr(uint32_t((int64_t(int32_t(a)) * int64_t(int32_t(b))) >> 32));
+        break;
+      case Op::Mulhsu:
+        wr(uint32_t((int64_t(int32_t(a)) * int64_t(uint64_t(b))) >> 32));
+        break;
+      case Op::Mulhu:
+        wr(uint32_t((uint64_t(a) * uint64_t(b)) >> 32));
+        break;
+      case Op::Div:
+        if (b == 0)
+            wr(0xffffffffu);
+        else if (a == 0x80000000u && b == 0xffffffffu)
+            wr(a); // overflow case per spec
+        else
+            wr(uint32_t(int32_t(a) / int32_t(b)));
+        break;
+      case Op::Divu: wr(b == 0 ? 0xffffffffu : a / b); break;
+      case Op::Rem:
+        if (b == 0)
+            wr(a);
+        else if (a == 0x80000000u && b == 0xffffffffu)
+            wr(0);
+        else
+            wr(uint32_t(int32_t(a) % int32_t(b)));
+        break;
+      case Op::Remu: wr(b == 0 ? a : a % b); break;
+      case Op::Fence: break;
+      case Op::Csrrs:
+        // Only the cycle/instret counters exist; both read instret
+        // (the timing model owns real cycle accounting).
+        wr(uint32_t(instret_));
+        break;
+      case Op::Ecall:
+        stop_ = StopReason::Ecall;
+        break;
+      case Op::Ebreak:
+        stop_ = StopReason::Ebreak;
+        break;
+      case Op::Illegal:
+        stop_ = StopReason::IllegalInsn;
+        break;
+    }
+
+    if (stop_ == StopReason::Running ||
+        stop_ == StopReason::Ecall || stop_ == StopReason::Ebreak) {
+        pc_ = next;
+        ++instret_;
+    }
+    r.nextPc = pc_;
+    return r;
+}
+
+uint64_t
+Core::run(uint64_t max_insns)
+{
+    uint64_t n = 0;
+    while (n < max_insns && stop_ == StopReason::Running) {
+        step();
+        ++n;
+    }
+    return n;
+}
+
+} // namespace rose::rv

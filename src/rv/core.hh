@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Functional RV32IM core with a flat memory and an optional MMIO window.
+ *
+ * This is the ISA-level substrate under the SoC timing models: programs
+ * produced by the bundled assembler (the software-build-flow substitute,
+ * Section 3.3) execute here, and the retired-instruction stream feeds
+ * the Rocket-class and BOOM-class timing models.
+ */
+
+#ifndef ROSE_RV_CORE_HH
+#define ROSE_RV_CORE_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "rv/insn.hh"
+
+namespace rose::rv {
+
+/** Why the core stopped executing. */
+enum class StopReason
+{
+    Running,     ///< still executable
+    Ecall,       ///< program requested services/halt
+    Ebreak,      ///< breakpoint
+    IllegalInsn, ///< decode failure
+    BadAddress,  ///< access outside memory and MMIO windows
+};
+
+/** Retired-instruction record consumed by the timing models. */
+struct Retired
+{
+    Insn insn;
+    uint32_t pc = 0;
+    uint32_t nextPc = 0;
+    bool branchTaken = false;
+    bool memAccess = false;
+    uint32_t memAddr = 0;
+    bool mmio = false;
+};
+
+/** Functional RV32IM hart. */
+class Core
+{
+  public:
+    /**
+     * @param mem_bytes size of flat RAM starting at address 0.
+     */
+    explicit Core(size_t mem_bytes = 1 << 20);
+
+    /** Load a program image at the given address and set the PC. */
+    void loadProgram(const std::vector<uint32_t> &words,
+                     uint32_t base = 0);
+
+    /**
+     * Register an MMIO window: accesses in [base, base+size) are
+     * forwarded to the handlers instead of RAM.
+     */
+    void
+    setMmioWindow(uint32_t base, uint32_t size,
+                  std::function<uint32_t(uint32_t)> read,
+                  std::function<void(uint32_t, uint32_t)> write)
+    {
+        mmioBase_ = base;
+        mmioSize_ = size;
+        mmioRead_ = std::move(read);
+        mmioWrite_ = std::move(write);
+    }
+
+    /** Execute one instruction; returns the retirement record. */
+    Retired step();
+
+    /**
+     * Run until a stop condition or the instruction limit.
+     *
+     * @return number of instructions retired.
+     */
+    uint64_t run(uint64_t max_insns = UINT64_MAX);
+
+    StopReason stopReason() const { return stop_; }
+    uint32_t pc() const { return pc_; }
+    void setPc(uint32_t pc) { pc_ = pc; stop_ = StopReason::Running; }
+
+    uint32_t reg(unsigned i) const { return regs_.at(i); }
+    void setReg(unsigned i, uint32_t v);
+
+    uint64_t instret() const { return instret_; }
+
+    /** Raw RAM access for test setup/inspection (no MMIO). */
+    uint32_t loadWord(uint32_t addr) const;
+    void storeWord(uint32_t addr, uint32_t value);
+    uint8_t loadByte(uint32_t addr) const { return mem_.at(addr); }
+    void storeByte(uint32_t addr, uint8_t v) { mem_.at(addr) = v; }
+
+    size_t memSize() const { return mem_.size(); }
+
+  private:
+    uint32_t memRead(uint32_t addr, int bytes, bool sign, bool &mmio);
+    void memWrite(uint32_t addr, uint32_t value, int bytes, bool &mmio);
+    bool inMmio(uint32_t addr) const
+    { return mmioSize_ && addr >= mmioBase_ &&
+             addr < mmioBase_ + mmioSize_; }
+
+    std::vector<uint8_t> mem_;
+    std::array<uint32_t, 32> regs_{};
+    uint32_t pc_ = 0;
+    uint64_t instret_ = 0;
+    StopReason stop_ = StopReason::Running;
+
+    uint32_t mmioBase_ = 0;
+    uint32_t mmioSize_ = 0;
+    std::function<uint32_t(uint32_t)> mmioRead_;
+    std::function<void(uint32_t, uint32_t)> mmioWrite_;
+};
+
+} // namespace rose::rv
+
+#endif // ROSE_RV_CORE_HH

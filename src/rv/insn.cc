@@ -1,0 +1,271 @@
+#include "insn.hh"
+
+#include <sstream>
+
+namespace rose::rv {
+
+namespace {
+
+int32_t
+signExtend(uint32_t v, int bits)
+{
+    uint32_t mask = 1u << (bits - 1);
+    return int32_t((v ^ mask) - mask);
+}
+
+int32_t
+immI(uint32_t raw)
+{
+    return signExtend(raw >> 20, 12);
+}
+
+int32_t
+immS(uint32_t raw)
+{
+    uint32_t v = ((raw >> 25) << 5) | ((raw >> 7) & 0x1f);
+    return signExtend(v, 12);
+}
+
+int32_t
+immB(uint32_t raw)
+{
+    uint32_t v = (((raw >> 31) & 1) << 12) | (((raw >> 7) & 1) << 11) |
+                 (((raw >> 25) & 0x3f) << 5) | (((raw >> 8) & 0xf) << 1);
+    return signExtend(v, 13);
+}
+
+int32_t
+immU(uint32_t raw)
+{
+    return int32_t(raw & 0xfffff000u);
+}
+
+int32_t
+immJ(uint32_t raw)
+{
+    uint32_t v = (((raw >> 31) & 1) << 20) | (((raw >> 12) & 0xff) << 12) |
+                 (((raw >> 20) & 1) << 11) | (((raw >> 21) & 0x3ff) << 1);
+    return signExtend(v, 21);
+}
+
+} // namespace
+
+Insn
+decode(uint32_t raw)
+{
+    Insn insn;
+    insn.raw = raw;
+    insn.rd = (raw >> 7) & 0x1f;
+    insn.rs1 = (raw >> 15) & 0x1f;
+    insn.rs2 = (raw >> 20) & 0x1f;
+    uint32_t opcode = raw & 0x7f;
+    uint32_t f3 = (raw >> 12) & 0x7;
+    uint32_t f7 = raw >> 25;
+
+    switch (opcode) {
+      case 0x37:
+        insn.op = Op::Lui;
+        insn.imm = immU(raw);
+        break;
+      case 0x17:
+        insn.op = Op::Auipc;
+        insn.imm = immU(raw);
+        break;
+      case 0x6f:
+        insn.op = Op::Jal;
+        insn.imm = immJ(raw);
+        break;
+      case 0x67:
+        insn.op = Op::Jalr;
+        insn.imm = immI(raw);
+        break;
+      case 0x63:
+        insn.imm = immB(raw);
+        switch (f3) {
+          case 0: insn.op = Op::Beq; break;
+          case 1: insn.op = Op::Bne; break;
+          case 4: insn.op = Op::Blt; break;
+          case 5: insn.op = Op::Bge; break;
+          case 6: insn.op = Op::Bltu; break;
+          case 7: insn.op = Op::Bgeu; break;
+          default: insn.op = Op::Illegal; break;
+        }
+        break;
+      case 0x03:
+        insn.imm = immI(raw);
+        switch (f3) {
+          case 0: insn.op = Op::Lb; break;
+          case 1: insn.op = Op::Lh; break;
+          case 2: insn.op = Op::Lw; break;
+          case 4: insn.op = Op::Lbu; break;
+          case 5: insn.op = Op::Lhu; break;
+          default: insn.op = Op::Illegal; break;
+        }
+        break;
+      case 0x23:
+        insn.imm = immS(raw);
+        switch (f3) {
+          case 0: insn.op = Op::Sb; break;
+          case 1: insn.op = Op::Sh; break;
+          case 2: insn.op = Op::Sw; break;
+          default: insn.op = Op::Illegal; break;
+        }
+        break;
+      case 0x13:
+        insn.imm = immI(raw);
+        switch (f3) {
+          case 0: insn.op = Op::Addi; break;
+          case 2: insn.op = Op::Slti; break;
+          case 3: insn.op = Op::Sltiu; break;
+          case 4: insn.op = Op::Xori; break;
+          case 6: insn.op = Op::Ori; break;
+          case 7: insn.op = Op::Andi; break;
+          case 1:
+            insn.op = Op::Slli;
+            insn.imm = insn.rs2;
+            break;
+          case 5:
+            insn.op = (f7 & 0x20) ? Op::Srai : Op::Srli;
+            insn.imm = insn.rs2;
+            break;
+          default: insn.op = Op::Illegal; break;
+        }
+        break;
+      case 0x33:
+        if (f7 == 0x01) {
+            switch (f3) {
+              case 0: insn.op = Op::Mul; break;
+              case 1: insn.op = Op::Mulh; break;
+              case 2: insn.op = Op::Mulhsu; break;
+              case 3: insn.op = Op::Mulhu; break;
+              case 4: insn.op = Op::Div; break;
+              case 5: insn.op = Op::Divu; break;
+              case 6: insn.op = Op::Rem; break;
+              case 7: insn.op = Op::Remu; break;
+            }
+        } else {
+            switch (f3) {
+              case 0: insn.op = (f7 & 0x20) ? Op::Sub : Op::Add; break;
+              case 1: insn.op = Op::Sll; break;
+              case 2: insn.op = Op::Slt; break;
+              case 3: insn.op = Op::Sltu; break;
+              case 4: insn.op = Op::Xor; break;
+              case 5: insn.op = (f7 & 0x20) ? Op::Sra : Op::Srl; break;
+              case 6: insn.op = Op::Or; break;
+              case 7: insn.op = Op::And; break;
+            }
+        }
+        break;
+      case 0x0f:
+        insn.op = Op::Fence;
+        break;
+      case 0x73:
+        if (f3 == 2) {
+            insn.op = Op::Csrrs;
+            insn.imm = int32_t(raw >> 20); // CSR number
+        } else if ((raw >> 20) == 1) {
+            insn.op = Op::Ebreak;
+        } else {
+            insn.op = Op::Ecall;
+        }
+        break;
+      default:
+        insn.op = Op::Illegal;
+        break;
+    }
+    return insn;
+}
+
+OpClass
+Insn::opClass() const
+{
+    switch (op) {
+      case Op::Beq: case Op::Bne: case Op::Blt:
+      case Op::Bge: case Op::Bltu: case Op::Bgeu:
+        return OpClass::Branch;
+      case Op::Jal: case Op::Jalr:
+        return OpClass::Jump;
+      case Op::Lb: case Op::Lh: case Op::Lw:
+      case Op::Lbu: case Op::Lhu:
+        return OpClass::Load;
+      case Op::Sb: case Op::Sh: case Op::Sw:
+        return OpClass::Store;
+      case Op::Mul: case Op::Mulh: case Op::Mulhsu: case Op::Mulhu:
+        return OpClass::Mul;
+      case Op::Div: case Op::Divu: case Op::Rem: case Op::Remu:
+        return OpClass::Div;
+      case Op::Fence: case Op::Ecall: case Op::Ebreak: case Op::Csrrs:
+        return OpClass::System;
+      default:
+        return OpClass::IntAlu;
+    }
+}
+
+std::string
+opName(Op op)
+{
+    switch (op) {
+      case Op::Lui: return "lui";
+      case Op::Auipc: return "auipc";
+      case Op::Jal: return "jal";
+      case Op::Jalr: return "jalr";
+      case Op::Beq: return "beq";
+      case Op::Bne: return "bne";
+      case Op::Blt: return "blt";
+      case Op::Bge: return "bge";
+      case Op::Bltu: return "bltu";
+      case Op::Bgeu: return "bgeu";
+      case Op::Lb: return "lb";
+      case Op::Lh: return "lh";
+      case Op::Lw: return "lw";
+      case Op::Lbu: return "lbu";
+      case Op::Lhu: return "lhu";
+      case Op::Sb: return "sb";
+      case Op::Sh: return "sh";
+      case Op::Sw: return "sw";
+      case Op::Addi: return "addi";
+      case Op::Slti: return "slti";
+      case Op::Sltiu: return "sltiu";
+      case Op::Xori: return "xori";
+      case Op::Ori: return "ori";
+      case Op::Andi: return "andi";
+      case Op::Slli: return "slli";
+      case Op::Srli: return "srli";
+      case Op::Srai: return "srai";
+      case Op::Add: return "add";
+      case Op::Sub: return "sub";
+      case Op::Sll: return "sll";
+      case Op::Slt: return "slt";
+      case Op::Sltu: return "sltu";
+      case Op::Xor: return "xor";
+      case Op::Srl: return "srl";
+      case Op::Sra: return "sra";
+      case Op::Or: return "or";
+      case Op::And: return "and";
+      case Op::Fence: return "fence";
+      case Op::Ecall: return "ecall";
+      case Op::Ebreak: return "ebreak";
+      case Op::Csrrs: return "csrrs";
+      case Op::Mul: return "mul";
+      case Op::Mulh: return "mulh";
+      case Op::Mulhsu: return "mulhsu";
+      case Op::Mulhu: return "mulhu";
+      case Op::Div: return "div";
+      case Op::Divu: return "divu";
+      case Op::Rem: return "rem";
+      case Op::Remu: return "remu";
+      case Op::Illegal: return "illegal";
+    }
+    return "?";
+}
+
+std::string
+Insn::toString() const
+{
+    std::ostringstream os;
+    os << opName(op) << " rd=x" << int(rd) << " rs1=x" << int(rs1)
+       << " rs2=x" << int(rs2) << " imm=" << imm;
+    return os.str();
+}
+
+} // namespace rose::rv

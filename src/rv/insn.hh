@@ -1,0 +1,74 @@
+/**
+ * @file
+ * RV32IM instruction encodings and decoder.
+ *
+ * Stands in for the Rocket/BOOM RTL front-ends at the functional level:
+ * the timing models in rv/timing.hh consume the decoded stream to
+ * produce cycle counts for the two CPU classes of Table 2.
+ */
+
+#ifndef ROSE_RV_INSN_HH
+#define ROSE_RV_INSN_HH
+
+#include <cstdint>
+#include <string>
+
+namespace rose::rv {
+
+/** Operation identifiers after decode. */
+enum class Op
+{
+    // RV32I
+    Lui, Auipc,
+    Jal, Jalr,
+    Beq, Bne, Blt, Bge, Bltu, Bgeu,
+    Lb, Lh, Lw, Lbu, Lhu,
+    Sb, Sh, Sw,
+    Addi, Slti, Sltiu, Xori, Ori, Andi, Slli, Srli, Srai,
+    Add, Sub, Sll, Slt, Sltu, Xor, Srl, Sra, Or, And,
+    Fence, Ecall, Ebreak,
+    Csrrs, // subset: read-only CSR access (cycle/instret)
+    // RV32M
+    Mul, Mulh, Mulhsu, Mulhu, Div, Divu, Rem, Remu,
+    Illegal,
+};
+
+/** Broad classes used by the timing models. */
+enum class OpClass
+{
+    IntAlu,
+    Branch,
+    Jump,
+    Load,
+    Store,
+    Mul,
+    Div,
+    System,
+};
+
+/** Decoded instruction. */
+struct Insn
+{
+    Op op = Op::Illegal;
+    uint8_t rd = 0;
+    uint8_t rs1 = 0;
+    uint8_t rs2 = 0;
+    int32_t imm = 0;
+    uint32_t raw = 0;
+
+    /** Timing class of this operation. */
+    OpClass opClass() const;
+
+    /** Disassembly for debugging. */
+    std::string toString() const;
+};
+
+/** Decode one 32-bit instruction word. */
+Insn decode(uint32_t raw);
+
+/** Mnemonic of an Op ("addi", "lw", ...). */
+std::string opName(Op op);
+
+} // namespace rose::rv
+
+#endif // ROSE_RV_INSN_HH

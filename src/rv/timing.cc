@@ -1,0 +1,232 @@
+#include "timing.hh"
+
+#include "util/logging.hh"
+
+namespace rose::rv {
+
+// ------------------------------------------------------------ SimpleCache
+
+SimpleCache::SimpleCache(uint32_t size_bytes, uint32_t line_bytes)
+{
+    rose_assert(line_bytes && (line_bytes & (line_bytes - 1)) == 0,
+                "line size must be a power of two");
+    rose_assert(size_bytes >= line_bytes, "cache smaller than a line");
+    lineShift_ = 0;
+    while ((1u << lineShift_) < line_bytes)
+        ++lineShift_;
+    sets_ = size_bytes / line_bytes;
+    tags_.assign(sets_, 0);
+    valid_.assign(sets_, false);
+}
+
+bool
+SimpleCache::access(uint32_t addr)
+{
+    uint32_t line = addr >> lineShift_;
+    uint32_t set = line % sets_;
+    uint64_t tag = line / sets_;
+    if (valid_[set] && tags_[set] == tag) {
+        ++hits_;
+        return true;
+    }
+    valid_[set] = true;
+    tags_[set] = tag;
+    ++misses_;
+    return false;
+}
+
+void
+SimpleCache::reset()
+{
+    valid_.assign(sets_, false);
+    hits_ = 0;
+    misses_ = 0;
+}
+
+// ---------------------------------------------------------------- shared
+
+bool
+btfnPredict(const Retired &r)
+{
+    if (r.insn.opClass() != OpClass::Branch)
+        return true; // jumps resolve early enough in both designs
+    bool backward = r.insn.imm < 0;
+    bool predicted_taken = backward;
+    return predicted_taken == r.branchTaken;
+}
+
+// ---------------------------------------------------------------- Rocket
+
+RocketTiming::RocketTiming(const TimingParams &p)
+    : params_(p), dcache_(p.dcacheBytes, p.dcacheLine)
+{
+}
+
+void
+RocketTiming::retire(const Retired &r)
+{
+    ++stats_.insns;
+    Cycles c = 1;
+
+    OpClass cls = r.insn.opClass();
+    switch (cls) {
+      case OpClass::Branch:
+        ++stats_.branches;
+        if (!btfnPredict(r)) {
+            ++stats_.mispredicts;
+            c += 3; // front-end redirect
+        }
+        break;
+      case OpClass::Jump:
+        c += 2; // fetch bubble on the redirect
+        break;
+      case OpClass::Mul:
+        c += 3;
+        break;
+      case OpClass::Div:
+        c += 32; // iterative divider
+        break;
+      default:
+        break;
+    }
+
+    if (r.memAccess) {
+        if (cls == OpClass::Load)
+            ++stats_.loads;
+        else
+            ++stats_.stores;
+        if (r.mmio) {
+            ++stats_.mmioAccesses;
+            c += params_.mmioLatency;
+        } else if (!dcache_.access(r.memAddr)) {
+            ++stats_.cacheMisses;
+            c += params_.dramLatency;
+        }
+    }
+
+    // Load-use interlock: one bubble when the very next instruction
+    // consumes the loaded register.
+    if (lastWasLoad_ && lastLoadRd_ != 0 &&
+        (r.insn.rs1 == lastLoadRd_ || r.insn.rs2 == lastLoadRd_)) {
+        c += 1;
+    }
+    lastWasLoad_ = (cls == OpClass::Load);
+    lastLoadRd_ = lastWasLoad_ ? r.insn.rd : 0;
+
+    cycles_ += c;
+}
+
+void
+RocketTiming::reset()
+{
+    cycles_ = 0;
+    stats_ = TimingStats{};
+    dcache_.reset();
+    lastWasLoad_ = false;
+    lastLoadRd_ = 0;
+}
+
+// ------------------------------------------------------------------ BOOM
+
+BoomTiming::BoomTiming(const TimingParams &p)
+    : params_(p), dcache_(2 * p.dcacheBytes, p.dcacheLine)
+{
+}
+
+void
+BoomTiming::closeGroup()
+{
+    if (groupSize_ > 0) {
+        cycles_ += 1 + groupExtra_;
+        groupSize_ = 0;
+        groupHasMem_ = false;
+        groupHasCtrl_ = false;
+        groupExtra_ = 0;
+    }
+}
+
+void
+BoomTiming::retire(const Retired &r)
+{
+    ++stats_.insns;
+    OpClass cls = r.insn.opClass();
+    bool is_mem = r.memAccess;
+    bool is_ctrl = cls == OpClass::Branch || cls == OpClass::Jump;
+
+    // Structural limits: 3 ops per group, one memory port, one branch
+    // unit. Start a new group when the incoming op does not fit.
+    if (groupSize_ >= 3 || (is_mem && groupHasMem_) ||
+        (is_ctrl && groupHasCtrl_)) {
+        closeGroup();
+    }
+
+    ++groupSize_;
+    groupHasMem_ |= is_mem;
+    groupHasCtrl_ |= is_ctrl;
+
+    Cycles extra = 0;
+    if (cls == OpClass::Branch) {
+        ++stats_.branches;
+        if (!btfnPredict(r)) {
+            ++stats_.mispredicts;
+            extra += 10; // deep-pipeline squash
+        }
+    } else if (cls == OpClass::Div) {
+        extra += 16; // pipelined-ish iterative divider
+    }
+
+    if (is_mem) {
+        if (cls == OpClass::Load)
+            ++stats_.loads;
+        else
+            ++stats_.stores;
+        if (r.mmio) {
+            ++stats_.mmioAccesses;
+            extra += params_.mmioLatency; // uncached, serializing
+        } else if (!dcache_.access(r.memAddr)) {
+            ++stats_.cacheMisses;
+            // The OoO window hides part of the miss latency.
+            extra += params_.dramLatency / 2;
+        }
+    }
+
+    if (extra > groupExtra_)
+        groupExtra_ = extra;
+
+    // A taken control-flow op ends the fetch group.
+    if (is_ctrl && r.branchTaken)
+        closeGroup();
+}
+
+Cycles
+BoomTiming::cycles() const
+{
+    // Include the still-open group so cycle reads are monotonic.
+    return cycles_ + (groupSize_ > 0 ? 1 + groupExtra_ : 0);
+}
+
+void
+BoomTiming::reset()
+{
+    cycles_ = 0;
+    stats_ = TimingStats{};
+    dcache_.reset();
+    groupSize_ = 0;
+    groupHasMem_ = false;
+    groupHasCtrl_ = false;
+    groupExtra_ = 0;
+}
+
+// --------------------------------------------------------------- factory
+
+std::unique_ptr<TimingModel>
+makeTimingModel(const std::string &name, const TimingParams &p)
+{
+    if (name == "rocket")
+        return std::make_unique<RocketTiming>(p);
+    if (name == "boom")
+        return std::make_unique<BoomTiming>(p);
+    rose_fatal("unknown timing model: ", name);
+}
+
+} // namespace rose::rv

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Cycle-approximate timing models for the two CPU classes of Table 2:
+ * a Rocket-class 5-stage in-order scalar core and a BOOM-class 3-wide
+ * superscalar out-of-order core. The models consume the retired
+ * instruction stream from the functional core (execute-first,
+ * timing-second, as gem5's atomic+timing split does) and accumulate a
+ * cycle count, including a small data-cache model and uncached-MMIO
+ * penalties.
+ */
+
+#ifndef ROSE_RV_TIMING_HH
+#define ROSE_RV_TIMING_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rv/core.hh"
+#include "util/units.hh"
+
+namespace rose::rv {
+
+/** Direct-mapped data-cache model (tags only; data lives in Core). */
+class SimpleCache
+{
+  public:
+    /**
+     * @param size_bytes total capacity.
+     * @param line_bytes line size (power of two).
+     */
+    SimpleCache(uint32_t size_bytes, uint32_t line_bytes);
+
+    /** Look up and allocate-on-miss; returns true on hit. */
+    bool access(uint32_t addr);
+
+    void reset();
+
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+
+  private:
+    uint32_t lineShift_;
+    uint32_t sets_;
+    std::vector<uint64_t> tags_;
+    std::vector<bool> valid_;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+};
+
+/** Timing statistics common to both models. */
+struct TimingStats
+{
+    uint64_t insns = 0;
+    uint64_t branches = 0;
+    uint64_t mispredicts = 0;
+    uint64_t loads = 0;
+    uint64_t stores = 0;
+    uint64_t cacheMisses = 0;
+    uint64_t mmioAccesses = 0;
+};
+
+/** Interface: feed retirements, read cycles. */
+class TimingModel
+{
+  public:
+    virtual ~TimingModel() = default;
+
+    virtual std::string modelName() const = 0;
+
+    /** Account one retired instruction. */
+    virtual void retire(const Retired &r) = 0;
+
+    virtual Cycles cycles() const = 0;
+    virtual const TimingStats &stats() const = 0;
+    virtual void reset() = 0;
+
+    /** Retired instructions per cycle so far. */
+    double
+    ipc() const
+    {
+        return cycles() ? double(stats().insns) / double(cycles()) : 0.0;
+    }
+};
+
+/** Shared microarchitectural parameters. */
+struct TimingParams
+{
+    Cycles mmioLatency = 40;   ///< uncached I/O round trip
+    Cycles dramLatency = 80;   ///< cache-miss fill latency
+    uint32_t dcacheBytes = 16 * 1024;
+    uint32_t dcacheLine = 64;
+};
+
+/**
+ * Rocket-class: single-issue in-order 5-stage pipeline. CPI 1 base;
+ * penalties for taken control flow (pipeline redirect), load-use
+ * dependencies, long-latency mul/div, cache misses, and MMIO.
+ */
+class RocketTiming : public TimingModel
+{
+  public:
+    explicit RocketTiming(const TimingParams &p = {});
+
+    std::string modelName() const override { return "rocket"; }
+    void retire(const Retired &r) override;
+    Cycles cycles() const override { return cycles_; }
+    const TimingStats &stats() const override { return stats_; }
+    void reset() override;
+
+  private:
+    TimingParams params_;
+    SimpleCache dcache_;
+    Cycles cycles_ = 0;
+    TimingStats stats_;
+    uint8_t lastLoadRd_ = 0;
+    bool lastWasLoad_ = false;
+};
+
+/**
+ * BOOM-class: 3-wide superscalar out-of-order. Groups up to three
+ * retirements per cycle (at most one memory op and one control-flow op
+ * per group, groups end at taken branches); mispredicted branches pay a
+ * deep-pipeline redirect, cache misses are partially overlapped by the
+ * out-of-order window.
+ */
+class BoomTiming : public TimingModel
+{
+  public:
+    explicit BoomTiming(const TimingParams &p = {});
+
+    std::string modelName() const override { return "boom"; }
+    void retire(const Retired &r) override;
+    Cycles cycles() const override;
+    const TimingStats &stats() const override { return stats_; }
+    void reset() override;
+
+  private:
+    void closeGroup();
+
+    TimingParams params_;
+    SimpleCache dcache_;
+    Cycles cycles_ = 0;
+    TimingStats stats_;
+    // Current issue group state.
+    int groupSize_ = 0;
+    bool groupHasMem_ = false;
+    bool groupHasCtrl_ = false;
+    Cycles groupExtra_ = 0;
+};
+
+/**
+ * Static branch predictor shared by both models: backward-taken,
+ * forward-not-taken.
+ *
+ * @return true if the prediction was correct.
+ */
+bool btfnPredict(const Retired &r);
+
+/** Factory by model name ("rocket" or "boom"). */
+std::unique_ptr<TimingModel> makeTimingModel(const std::string &name,
+                                             const TimingParams &p = {});
+
+} // namespace rose::rv
+
+#endif // ROSE_RV_TIMING_HH

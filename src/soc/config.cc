@@ -1,0 +1,74 @@
+#include "config.hh"
+
+#include "util/logging.hh"
+
+namespace rose::soc {
+
+CpuParams
+rocketParams()
+{
+    CpuParams p;
+    p.mmioAccessCycles = 45;      // in-order core blocks on each access
+    p.hostBytesPerCycle = 1.4;    // scalar loads/stores, no overlap
+    p.flopsPerCycle = 0.030;
+    p.perLayerFixedCycles = 1'000'000;
+    return p;
+}
+
+CpuParams
+boomParams()
+{
+    CpuParams p;
+    p.mmioAccessCycles = 30;
+    p.hostBytesPerCycle = 4.0;    // wide core overlaps address math
+    p.flopsPerCycle = 0.075;
+    p.perLayerFixedCycles = 500'000;
+    return p;
+}
+
+SocConfig
+configA()
+{
+    SocConfig c;
+    c.name = "A";
+    c.cpu = CpuModel::Boom;
+    c.hasGemmini = true;
+    c.cpuParams = boomParams();
+    return c;
+}
+
+SocConfig
+configB()
+{
+    SocConfig c;
+    c.name = "B";
+    c.cpu = CpuModel::Rocket;
+    c.hasGemmini = true;
+    c.cpuParams = rocketParams();
+    return c;
+}
+
+SocConfig
+configC()
+{
+    SocConfig c;
+    c.name = "C";
+    c.cpu = CpuModel::Boom;
+    c.hasGemmini = false;
+    c.cpuParams = boomParams();
+    return c;
+}
+
+SocConfig
+configByName(const std::string &name)
+{
+    if (name == "A")
+        return configA();
+    if (name == "B")
+        return configB();
+    if (name == "C")
+        return configC();
+    rose_fatal("unknown SoC config: ", name, " (expected A, B, or C)");
+}
+
+} // namespace rose::soc

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * SoC configurations evaluated by RoSÉ (Table 2):
+ *
+ *   Config | CPU          | Accelerator
+ *   -------+--------------+------------
+ *     A    | 3-wide BOOM  | Gemmini
+ *     B    | Rocket       | Gemmini
+ *     C    | 3-wide BOOM  | none
+ *
+ * The per-CPU parameters feed the DNN execution engine's latency model:
+ * uncached MMIO cost, host data-movement bandwidth (im2col, DMA
+ * programming — the per-layer overhead that separates Rocket-host from
+ * BOOM-host latencies in Table 3), and scalar FP throughput for
+ * accelerator-less fallback (config C's ~6 s inference, Section 5.1).
+ */
+
+#ifndef ROSE_SOC_CONFIG_HH
+#define ROSE_SOC_CONFIG_HH
+
+#include <string>
+
+#include "util/units.hh"
+
+namespace rose::soc {
+
+/** CPU microarchitecture class. */
+enum class CpuModel { Rocket, Boom };
+
+/** Per-CPU timing parameters for the workload model. */
+struct CpuParams
+{
+    /** Uncached MMIO access round trip [cycles]. */
+    Cycles mmioAccessCycles = 30;
+    /**
+     * Sustained data-rearrangement bandwidth for host-side layer prep
+     * (im2col, scratchpad DMA programming) [bytes/cycle].
+     */
+    double hostBytesPerCycle = 4.0;
+    /** Effective scalar FP32 throughput for CPU-fallback convolutions
+     *  [FLOP/cycle] — scalar FPU, cache-miss-bound. */
+    double flopsPerCycle = 0.075;
+    /** Fixed per-layer kernel-launch / driver cost [cycles]. */
+    Cycles perLayerFixedCycles = 500'000;
+};
+
+/** Full SoC configuration. */
+struct SocConfig
+{
+    std::string name = "A";
+    CpuModel cpu = CpuModel::Boom;
+    bool hasGemmini = true;
+    double clockHz = 1.0e9;
+    CpuParams cpuParams;
+
+    /** Human-readable CPU name. */
+    std::string cpuName() const
+    { return cpu == CpuModel::Boom ? "3-wide BOOM" : "Rocket"; }
+
+    std::string acceleratorName() const
+    { return hasGemmini ? "Gemmini" : "None"; }
+};
+
+/** Parameters of the two CPU classes. */
+CpuParams rocketParams();
+CpuParams boomParams();
+
+/** Table 2 configurations. */
+SocConfig configA(); ///< BOOM + Gemmini
+SocConfig configB(); ///< Rocket + Gemmini
+SocConfig configC(); ///< BOOM only (no accelerator)
+
+/** Lookup by letter; fatal on unknown names. */
+SocConfig configByName(const std::string &name);
+
+} // namespace rose::soc
+
+#endif // ROSE_SOC_CONFIG_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Memory-mapped device interface for the modeled SoC system bus.
+ *
+ * The RoSÉ bridge is "exposed to the target SoC as memory-mapped I/O
+ * registers on the system bus" (Section 3.2, Figure 4); this interface
+ * is what such devices implement. Accesses are 32-bit, word-aligned
+ * offsets relative to the device base.
+ */
+
+#ifndef ROSE_SOC_DEVICE_HH
+#define ROSE_SOC_DEVICE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace rose::soc {
+
+/** A device reachable through MMIO loads/stores on the system bus. */
+class MmioDevice
+{
+  public:
+    virtual ~MmioDevice() = default;
+
+    /** Device name for the address map / debug output. */
+    virtual std::string deviceName() const = 0;
+
+    /** Size of the device's register window in bytes. */
+    virtual uint64_t windowSize() const = 0;
+
+    /**
+     * 32-bit register read.
+     *
+     * @param offset byte offset within the window (word aligned).
+     */
+    virtual uint32_t read(uint64_t offset) = 0;
+
+    /** 32-bit register write. */
+    virtual void write(uint64_t offset, uint32_t value) = 0;
+};
+
+} // namespace rose::soc
+
+#endif // ROSE_SOC_DEVICE_HH

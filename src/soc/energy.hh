@@ -1,0 +1,83 @@
+/**
+ * @file
+ * SoC energy model.
+ *
+ * The paper's opening motivation is power: a fruit fly navigates on
+ * 120 nW while state-of-the-art VIO silicon needs 2 mW (Section 1),
+ * and UAV battery/weight limits bound the onboard compute budget
+ * (Section 2.1). This model converts the cycle engine's per-unit busy
+ * accounting into mission energy so design points can be compared on
+ * the axis the domain actually optimizes.
+ *
+ * Per-event energies are educated-guess class numbers for an embedded
+ * 1 GHz SoC (16 nm-ish): they are not calibrated against silicon, but
+ * their *ratios* (OoO core vs in-order core vs systolic array vs
+ * leakage) are the standard ones, which is what the cross-config
+ * comparisons need.
+ */
+
+#ifndef ROSE_SOC_ENERGY_HH
+#define ROSE_SOC_ENERGY_HH
+
+#include "soc/config.hh"
+#include "soc/socsim.hh"
+
+namespace rose::soc {
+
+/** Per-activity energy coefficients [picojoules per cycle]. */
+struct EnergyModel
+{
+    /** 3-wide out-of-order core actively executing. */
+    double boomActivePj = 150.0;
+    /** In-order scalar core actively executing. */
+    double rocketActivePj = 40.0;
+    /** Core clock-gated / spinning on an uncached load. */
+    double cpuIdlePj = 10.0;
+    /** Gemmini mesh + scratchpad while executing layers. */
+    double accelActivePj = 80.0;
+    /** Uncached I/O traffic (bus + pads). */
+    double ioPj = 25.0;
+    /** Whole-SoC leakage + always-on (every cycle). */
+    double staticPj = 30.0;
+
+    /** Active-CPU energy rate for a CPU class [pJ/cycle]. */
+    double
+    cpuActivePj(CpuModel cpu) const
+    {
+        return cpu == CpuModel::Boom ? boomActivePj : rocketActivePj;
+    }
+
+    /**
+     * Total energy of a simulated interval [J].
+     *
+     * @param stats the cycle engine's accounting.
+     * @param cpu CPU class of the SoC.
+     */
+    double
+    energyJoules(const SocStats &stats, CpuModel cpu) const
+    {
+        double pj =
+            double(stats.cpuBusyCycles) * cpuActivePj(cpu) +
+            double(stats.accelBusyCycles) * accelActivePj +
+            double(stats.ioBusyCycles) * ioPj +
+            double(stats.rxStallCycles + stats.haltIdleCycles) *
+                cpuIdlePj +
+            double(stats.totalCycles) * staticPj;
+        return pj * 1e-12;
+    }
+
+    /** Average power over the interval [W] at the given clock. */
+    double
+    averagePowerWatts(const SocStats &stats, CpuModel cpu,
+                      double clock_hz) const
+    {
+        if (stats.totalCycles == 0)
+            return 0.0;
+        double seconds = double(stats.totalCycles) / clock_hz;
+        return energyJoules(stats, cpu) / seconds;
+    }
+};
+
+} // namespace rose::soc
+
+#endif // ROSE_SOC_ENERGY_HH

@@ -1,0 +1,76 @@
+#include "mem.hh"
+
+#include "util/logging.hh"
+
+namespace rose::soc {
+
+Dram::Dram(const DramConfig &cfg) : cfg_(cfg)
+{
+    rose_assert(cfg_.bytesPerCycle > 0, "bad DRAM bandwidth");
+    rose_assert(cfg_.burstBytes > 0, "bad burst size");
+}
+
+Cycles
+Dram::access(Cycles now, uint64_t bytes)
+{
+    ++stats_.requests;
+    uint64_t bursts =
+        (bytes + cfg_.burstBytes - 1) / cfg_.burstBytes;
+    uint64_t padded = bursts * cfg_.burstBytes;
+    stats_.bytes += padded;
+
+    Cycles start = std::max(now, nextFree_);
+    stats_.queueWaitCycles += start - now;
+
+    Cycles xfer =
+        Cycles(double(padded) / cfg_.bytesPerCycle + 0.9999);
+    Cycles done = start + cfg_.accessLatency + xfer;
+    stats_.busyCycles += cfg_.accessLatency + xfer;
+    nextFree_ = done;
+    return done;
+}
+
+SharedBus::SharedBus(double bytes_per_cycle)
+    : bytesPerCycle_(bytes_per_cycle)
+{
+    rose_assert(bytesPerCycle_ > 0, "bad bus bandwidth");
+}
+
+int
+SharedBus::addMaster(const std::string &name)
+{
+    BusMasterStats s;
+    s.name = name;
+    masters_.push_back(std::move(s));
+    return int(masters_.size()) - 1;
+}
+
+Cycles
+SharedBus::transfer(int master, Cycles now, uint64_t bytes)
+{
+    rose_assert(master >= 0 && size_t(master) < masters_.size(),
+                "unknown bus master");
+    BusMasterStats &m = masters_[size_t(master)];
+    ++m.transfers;
+    m.bytes += bytes;
+
+    Cycles start = std::max(now, nextFree_);
+    m.waitCycles += start - now;
+
+    Cycles xfer = Cycles(double(bytes) / bytesPerCycle_ + 0.9999);
+    if (xfer == 0)
+        xfer = 1;
+    m.transferCycles += xfer;
+    nextFree_ = start + xfer;
+    return nextFree_;
+}
+
+const BusMasterStats &
+SharedBus::masterStats(int master) const
+{
+    rose_assert(master >= 0 && size_t(master) < masters_.size(),
+                "unknown bus master");
+    return masters_[size_t(master)];
+}
+
+} // namespace rose::soc

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Shared memory-system models: a DRAM channel with fixed access
+ * latency plus bandwidth occupancy, and a shared system bus with
+ * round-robin-fair arbitration between masters.
+ *
+ * These model the paper's motivating system-level effect: "the
+ * performance of each individual accelerator can be heavily impacted
+ * by system-level resource contentions where multiple general-purpose
+ * cores and accelerators are running together" (Section 1). The
+ * contention ablation bench couples these models with the Gemmini
+ * latency model to quantify how background memory traffic erodes
+ * end-to-end inference latency and mission outcomes.
+ */
+
+#ifndef ROSE_SOC_MEM_HH
+#define ROSE_SOC_MEM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/units.hh"
+
+namespace rose::soc {
+
+/** DRAM channel timing parameters. */
+struct DramConfig
+{
+    /** Closed-page access latency [cycles]. */
+    Cycles accessLatency = 40;
+    /** Sustained data bandwidth [bytes/cycle]. */
+    double bytesPerCycle = 16.0;
+    /** Burst granularity [bytes]; requests round up to full bursts. */
+    uint32_t burstBytes = 64;
+};
+
+/** Accumulated channel statistics. */
+struct DramStats
+{
+    uint64_t requests = 0;
+    uint64_t bytes = 0;
+    Cycles busyCycles = 0;
+    Cycles queueWaitCycles = 0;
+};
+
+/**
+ * A single DRAM channel. Requests occupy the channel serially;
+ * a request issued while the channel is busy waits for it to drain
+ * (modeling bank/channel conflicts at burst granularity).
+ */
+class Dram
+{
+  public:
+    explicit Dram(const DramConfig &cfg = {});
+
+    /**
+     * Issue a read/write burst.
+     *
+     * @param now cycle at which the request arrives.
+     * @param bytes request size.
+     * @return cycle at which the data transfer completes.
+     */
+    Cycles access(Cycles now, uint64_t bytes);
+
+    /** Earliest cycle a new request could start transferring. */
+    Cycles nextFree() const { return nextFree_; }
+
+    const DramStats &stats() const { return stats_; }
+    const DramConfig &config() const { return cfg_; }
+
+    /** Channel utilization over [0, horizon]. */
+    double
+    utilization(Cycles horizon) const
+    {
+        return horizon ? double(stats_.busyCycles) / double(horizon)
+                       : 0.0;
+    }
+
+  private:
+    DramConfig cfg_;
+    Cycles nextFree_ = 0;
+    DramStats stats_;
+};
+
+/** Per-master bus accounting. */
+struct BusMasterStats
+{
+    std::string name;
+    uint64_t transfers = 0;
+    uint64_t bytes = 0;
+    Cycles waitCycles = 0;
+    Cycles transferCycles = 0;
+};
+
+/**
+ * Shared system bus. Masters submit timed transfers; overlapping
+ * requests serialize, with queueing accounted to the later arrival
+ * (a conservative round-robin-fair approximation adequate for
+ * steady-state contention studies).
+ */
+class SharedBus
+{
+  public:
+    /**
+     * @param bytes_per_cycle bus data width x clock ratio.
+     */
+    explicit SharedBus(double bytes_per_cycle = 16.0);
+
+    /** Register a master; returns its id. */
+    int addMaster(const std::string &name);
+
+    /**
+     * Perform a transfer for a master.
+     *
+     * @param master id from addMaster().
+     * @param now arrival cycle.
+     * @param bytes transfer size.
+     * @return completion cycle (includes queueing behind other
+     *         masters' in-flight transfers).
+     */
+    Cycles transfer(int master, Cycles now, uint64_t bytes);
+
+    const BusMasterStats &masterStats(int master) const;
+    size_t masterCount() const { return masters_.size(); }
+
+    /**
+     * Effective bandwidth a foreground master sees when a background
+     * master continuously consumes the given fraction of the bus.
+     */
+    double
+    effectiveBandwidth(double background_fraction) const
+    {
+        double f = background_fraction < 0.0 ? 0.0
+                   : background_fraction > 0.95 ? 0.95
+                                                : background_fraction;
+        return bytesPerCycle_ * (1.0 - f);
+    }
+
+    double bytesPerCycle() const { return bytesPerCycle_; }
+
+  private:
+    double bytesPerCycle_;
+    Cycles nextFree_ = 0;
+    std::vector<BusMasterStats> masters_;
+};
+
+} // namespace rose::soc
+
+#endif // ROSE_SOC_MEM_HH

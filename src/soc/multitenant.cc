@@ -1,0 +1,146 @@
+#include "multitenant.hh"
+
+#include "util/logging.hh"
+
+namespace rose::soc {
+
+// --------------------------------------------------------- BackgroundLoad
+
+BackgroundLoad::BackgroundLoad(Cycles busy_cycles, Cycles idle_cycles,
+                               std::string name)
+    : busy_(busy_cycles), idle_(idle_cycles), name_(std::move(name))
+{
+    rose_assert(busy_ > 0, "background batch must do some work");
+}
+
+Action
+BackgroundLoad::next(const SocContext &)
+{
+    if (inBusy_) {
+        inBusy_ = false;
+        if (idle_ == 0)
+            return next(SocContext{});
+        return Action::compute(idle_, Unit::Io, "bg-idle");
+    }
+    inBusy_ = true;
+    ++batches_;
+    return Action::compute(busy_, Unit::Cpu, "bg-batch");
+}
+
+// ----------------------------------------------------- TimeSharedWorkload
+
+TimeSharedWorkload::TimeSharedWorkload(Workload &foreground,
+                                       Workload &background,
+                                       Cycles fg_quantum,
+                                       Cycles bg_quantum)
+    : fg_(foreground), bg_(background), fgQuantum_(fg_quantum),
+      bgQuantum_(bg_quantum)
+{
+    rose_assert(fgQuantum_ > 0 && bgQuantum_ > 0,
+                "quanta must be positive");
+}
+
+std::string
+TimeSharedWorkload::workloadName() const
+{
+    return fg_.workloadName() + "+" + bg_.workloadName();
+}
+
+Action
+TimeSharedWorkload::nextFromSide(bool fg_side, const SocContext &ctx)
+{
+    bool &have = fg_side ? fgHave_ : bgHave_;
+    Action &act = fg_side ? fgAction_ : bgAction_;
+    Cycles &left = fg_side ? fgLeft_ : bgLeft_;
+    bool &halted = fg_side ? fgHalted_ : bgHalted_;
+    Workload &w = fg_side ? fg_ : bg_;
+
+    if (!have && !halted) {
+        act = w.next(ctx);
+        left = act.cycles;
+        have = true;
+        if (act.kind == Action::Kind::Halt)
+            halted = true;
+    }
+    if (halted)
+        return Action::halt();
+
+    switch (act.kind) {
+      case Action::Kind::Compute: {
+        if (act.unit != Unit::Cpu) {
+            // Accelerator/IO actions pass through whole; the CPU
+            // scheduler does not slice them. (Serialized on the
+            // engine's single timeline — a conservative model.)
+            have = false;
+            return act;
+        }
+        Cycles take =
+            std::min(left, fg_side ? fgQuantum_ : bgQuantum_);
+        left -= take;
+        if (left == 0)
+            have = false;
+        (fg_side ? fgCpu_ : bgCpu_) += take;
+        return Action::compute(take, Unit::Cpu,
+                               fg_side ? "fg-slice" : "bg-slice");
+      }
+      case Action::Kind::WaitRx:
+        // Leave the wait pending; the caller decides what to do with
+        // a blocked side.
+        return act;
+      case Action::Kind::Halt:
+        return act;
+    }
+    rose_panic("unreachable");
+}
+
+Action
+TimeSharedWorkload::next(const SocContext &ctx)
+{
+    for (int guard = 0; guard < 8; ++guard) {
+        // Resolve a completed foreground wait first.
+        if (fgHave_ && fgAction_.kind == Action::Kind::WaitRx &&
+            ctx.rxPackets > 0) {
+            fgHave_ = false;
+        }
+
+        bool fg_blocked =
+            fgHalted_ ||
+            (fgHave_ && fgAction_.kind == Action::Kind::WaitRx);
+
+        if (fg_blocked) {
+            // Foreground is waiting on IO (or done): the background
+            // owns the core.
+            Action a = nextFromSide(false, ctx);
+            if (a.kind == Action::Kind::Compute)
+                return a;
+            // Background can't run either: expose the wait/halt.
+            if (fgHalted_ && a.kind == Action::Kind::Halt)
+                return Action::halt();
+            return fgHalted_ ? a : fgAction_;
+        }
+
+        // Foreground runnable: alternate quanta with the background
+        // when it has CPU work.
+        if (!runFg_ && !bgHalted_) {
+            Action a = nextFromSide(false, ctx);
+            runFg_ = true;
+            if (a.kind == Action::Kind::Compute)
+                return a;
+            // Background blocked/halted: fall through to foreground.
+        }
+        Action a = nextFromSide(true, ctx);
+        runFg_ = false;
+        if (a.kind == Action::Kind::WaitRx ||
+            a.kind == Action::Kind::Halt) {
+            // Newly blocked or finished: loop so the background can
+            // take the core.
+            continue;
+        }
+        return a;
+    }
+    // Both sides refusing to produce runnable work: genuine stall.
+    return fgHalted_ && bgHalted_ ? Action::halt()
+                                  : Action::waitRx("tenant-stall");
+}
+
+} // namespace rose::soc

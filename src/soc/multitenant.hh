@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Multi-tenant execution on the modeled SoC.
+ *
+ * The paper's opening motivation: "the performance of each individual
+ * accelerator can be heavily impacted by system-level resource
+ * contentions where multiple general-purpose cores and accelerators
+ * are running together" (Section 1, citing MoCA). These pieces let a
+ * RoSÉ mission co-schedule a background task next to the control
+ * application and observe the end-to-end impact:
+ *
+ *  - BackgroundLoad: a periodic batch CPU task (telemetry compression,
+ *    logging, mapping back-end) that consumes a duty-cycle fraction of
+ *    the CPU.
+ *  - TimeSharedWorkload: round-robin time slicing of two workloads on
+ *    the single modeled core — the foreground's actions are stretched
+ *    by the background's occupancy, exactly how a CFS-class scheduler
+ *    degrades a control loop.
+ */
+
+#ifndef ROSE_SOC_MULTITENANT_HH
+#define ROSE_SOC_MULTITENANT_HH
+
+#include <memory>
+#include <string>
+
+#include "soc/workload.hh"
+#include "util/units.hh"
+
+namespace rose::soc {
+
+/** A periodic batch CPU task. */
+class BackgroundLoad : public Workload
+{
+  public:
+    /**
+     * @param busy_cycles work per batch.
+     * @param idle_cycles gap between batches (0 = always busy).
+     */
+    BackgroundLoad(Cycles busy_cycles, Cycles idle_cycles,
+                   std::string name = "background");
+
+    std::string workloadName() const override { return name_; }
+    Action next(const SocContext &ctx) override;
+
+    uint64_t batchesRun() const { return batches_; }
+
+  private:
+    Cycles busy_;
+    Cycles idle_;
+    std::string name_;
+    bool inBusy_ = false;
+    uint64_t batches_ = 0;
+};
+
+/**
+ * Round-robin time slicing of a foreground and a background workload
+ * on one core. CPU compute actions from either side are interleaved at
+ * the given quantum; the foreground's waits (WaitRx) yield the core
+ * entirely to the background; accelerator actions pass through
+ * unscaled (Gemmini runs asynchronously of the CPU's scheduler).
+ */
+class TimeSharedWorkload : public Workload
+{
+  public:
+    /**
+     * @param foreground the latency-critical application.
+     * @param background the co-tenant.
+     * @param fg_quantum foreground time slice [cycles].
+     * @param bg_quantum background time slice [cycles]; the background
+     *        receives roughly bg/(fg+bg) of the core when both are
+     *        runnable.
+     */
+    TimeSharedWorkload(Workload &foreground, Workload &background,
+                       Cycles fg_quantum = 100'000,
+                       Cycles bg_quantum = 100'000);
+
+    std::string workloadName() const override;
+    Action next(const SocContext &ctx) override;
+
+    /** CPU cycles consumed by each side so far. */
+    Cycles foregroundCpuCycles() const { return fgCpu_; }
+    Cycles backgroundCpuCycles() const { return bgCpu_; }
+
+  private:
+    Action nextFromSide(bool fg_side, const SocContext &ctx);
+
+    Workload &fg_;
+    Workload &bg_;
+    Cycles fgQuantum_;
+    Cycles bgQuantum_;
+
+    // Residual cycles of each side's in-flight CPU action.
+    bool fgHave_ = false, bgHave_ = false;
+    Action fgAction_, bgAction_;
+    Cycles fgLeft_ = 0, bgLeft_ = 0;
+    bool fgHalted_ = false, bgHalted_ = false;
+    bool runFg_ = true; ///< whose turn the next quantum is
+
+    Cycles fgCpu_ = 0, bgCpu_ = 0;
+};
+
+} // namespace rose::soc
+
+#endif // ROSE_SOC_MULTITENANT_HH

@@ -1,0 +1,67 @@
+#include "rv_workload.hh"
+
+#include "util/logging.hh"
+
+namespace rose::soc {
+
+void
+attachMmioDevice(rv::Core &core, MmioDevice &dev, uint32_t base)
+{
+    core.setMmioWindow(
+        base, uint32_t(dev.windowSize()),
+        [&dev](uint32_t off) { return dev.read(off); },
+        [&dev](uint32_t off, uint32_t v) { dev.write(off, v); });
+}
+
+RvWorkload::RvWorkload(rv::Core &core, rv::TimingModel &timing,
+                       std::string name, uint64_t chunk_insns)
+    : core_(core), timing_(timing), name_(std::move(name)),
+      chunk_(chunk_insns)
+{
+    rose_assert(chunk_ > 0, "chunk must be positive");
+}
+
+Action
+RvWorkload::next(const SocContext &)
+{
+    if (wantWait_) {
+        wantWait_ = false;
+        return Action::waitRx("fence");
+    }
+    if (core_.stopReason() != rv::StopReason::Running) {
+        if (core_.stopReason() != rv::StopReason::Ecall) {
+            rose_warn("RV workload stopped abnormally: reason=",
+                      int(core_.stopReason()), " pc=0x", std::hex,
+                      core_.pc());
+        }
+        return Action::halt();
+    }
+
+    // Execute up to one chunk, breaking at fences (wait-for-IO).
+    uint64_t n = 0;
+    bool fenced = false;
+    while (n < chunk_ &&
+           core_.stopReason() == rv::StopReason::Running) {
+        rv::Retired r = core_.step();
+        timing_.retire(r);
+        ++n;
+        if (r.insn.op == rv::Op::Fence) {
+            fenced = true;
+            break;
+        }
+    }
+
+    Cycles total = timing_.cycles();
+    Cycles delta = total - lastCycles_;
+    lastCycles_ = total;
+    if (fenced)
+        wantWait_ = true;
+    if (delta == 0) {
+        // Shouldn't happen (every insn costs >= a cycle-third), but
+        // never hand the engine a zero-cost livelock.
+        delta = 1;
+    }
+    return Action::compute(delta, Unit::Cpu, "rv-chunk");
+}
+
+} // namespace rose::soc

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Adapter running an RV32IM program (built with the bundled assembler)
+ * as a SoC workload — the "classical control workloads" path of the
+ * paper's software build flow (Section 3.3).
+ *
+ * The program talks to the RoSÉ bridge through an MMIO window mapped at
+ * kBridgeMmioBase; the functional core executes instructions while a
+ * Rocket- or BOOM-class timing model accumulates cycles, which are
+ * surfaced to the SoC engine as compute actions in chunks.
+ *
+ * Two conventions give the program access to co-simulation pacing:
+ *  - `fence` parks the hart until the bridge RX queue is non-empty
+ *    (a WFI-like idiom; cheap to simulate across long stalls);
+ *  - `ecall` halts the workload.
+ */
+
+#ifndef ROSE_SOC_RV_WORKLOAD_HH
+#define ROSE_SOC_RV_WORKLOAD_HH
+
+#include <string>
+
+#include "rv/core.hh"
+#include "rv/timing.hh"
+#include "soc/device.hh"
+#include "soc/workload.hh"
+
+namespace rose::soc {
+
+/** Base address of the bridge register window in the target map. */
+constexpr uint32_t kBridgeMmioBase = 0x40000000u;
+
+/** Map an MmioDevice into a core's address space at the given base. */
+void attachMmioDevice(rv::Core &core, MmioDevice &dev,
+                      uint32_t base = kBridgeMmioBase);
+
+/** RV program as a workload. */
+class RvWorkload : public Workload
+{
+  public:
+    /**
+     * @param core functional core with the program already loaded.
+     * @param timing timing model matching the SoC's CPU class.
+     * @param name reported workload name.
+     * @param chunk_insns max instructions folded into one action.
+     */
+    RvWorkload(rv::Core &core, rv::TimingModel &timing,
+               std::string name, uint64_t chunk_insns = 4096);
+
+    std::string workloadName() const override { return name_; }
+    Action next(const SocContext &ctx) override;
+
+    const rv::Core &core() const { return core_; }
+
+  private:
+    rv::Core &core_;
+    rv::TimingModel &timing_;
+    std::string name_;
+    uint64_t chunk_;
+    Cycles lastCycles_ = 0;
+    bool wantWait_ = false;
+};
+
+} // namespace rose::soc
+
+#endif // ROSE_SOC_RV_WORKLOAD_HH

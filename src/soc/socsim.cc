@@ -1,0 +1,93 @@
+#include "socsim.hh"
+
+#include "util/logging.hh"
+
+namespace rose::soc {
+
+SocSim::SocSim(bridge::RoseBridge &bridge, Workload &workload,
+               const SocConfig &cfg)
+    : bridge_(bridge), workload_(workload), cfg_(cfg)
+{
+}
+
+void
+SocSim::runPeriod()
+{
+    // Receive the synchronizer's grant and any data packets queued at
+    // this boundary (responses to last period's requests).
+    bridge_.hostService();
+    Cycles budget = bridge_.cycleBudget();
+    rose_assert(budget > 0, "runPeriod without a cycle grant");
+
+    Cycles consumed = 0;
+    while (consumed < budget) {
+        if (!havePending_) {
+            SocContext ctx{stats_.totalCycles + consumed,
+                           bridge_.rxFifo().packetCount()};
+            pending_ = workload_.next(ctx);
+            pendingLeft_ = pending_.cycles;
+            havePending_ = true;
+            ++stats_.actionsIssued;
+        }
+
+        switch (pending_.kind) {
+          case Action::Kind::Halt: {
+            halted_ = true;
+            Cycles rest = budget - consumed;
+            if (trace_ && rest > 0) {
+                trace_->record({stats_.totalCycles + consumed, rest,
+                                Unit::Cpu, "",
+                                TraceEvent::Kind::Idle});
+            }
+            stats_.haltIdleCycles += rest;
+            consumed = budget;
+            break;
+          }
+          case Action::Kind::WaitRx: {
+            if (bridge_.rxFifo().packetCount() > 0) {
+                // Data ready: the wait completes instantly.
+                havePending_ = false;
+            } else {
+                // RX can only change at a sync boundary; the polling
+                // loop spins for the rest of the grant.
+                Cycles rest = budget - consumed;
+                if (trace_ && rest > 0) {
+                    trace_->record({stats_.totalCycles + consumed,
+                                    rest, Unit::Cpu, pending_.what,
+                                    TraceEvent::Kind::Stall});
+                }
+                stats_.rxStallCycles += rest;
+                consumed = budget;
+            }
+            break;
+          }
+          case Action::Kind::Compute: {
+            Cycles take = std::min(pendingLeft_, budget - consumed);
+            if (trace_ && take > 0) {
+                trace_->record({stats_.totalCycles + consumed, take,
+                                pending_.unit, pending_.what,
+                                TraceEvent::Kind::Compute});
+            }
+            consumed += take;
+            pendingLeft_ -= take;
+            switch (pending_.unit) {
+              case Unit::Cpu: stats_.cpuBusyCycles += take; break;
+              case Unit::Accel: stats_.accelBusyCycles += take; break;
+              case Unit::Io: stats_.ioBusyCycles += take; break;
+            }
+            if (pendingLeft_ == 0)
+                havePending_ = false;
+            break;
+          }
+        }
+    }
+
+    stats_.totalCycles += budget;
+    ++stats_.periods;
+    bridge_.consumeCycles(budget);
+    bridge_.completeSync(budget);
+    // Flush TX data packets and the SyncDone to the host.
+    bridge_.hostService();
+}
+
+} // namespace rose::soc

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The SoC cycle engine: the FireSim-equivalent simulator side.
+ *
+ * Advances the modeled SoC strictly within the cycle budget granted by
+ * the synchronizer through the RoSÉ bridge control unit, so the whole
+ * co-simulation stays in lockstep. One call to runPeriod() performs the
+ * SoC side of a synchronization period:
+ *
+ *   1. bridge host-service: receive the grant + queued RX data packets;
+ *   2. execute workload actions until the grant is exhausted — compute
+ *      bursts are charged to their unit, waits on RX stall to the
+ *      period boundary (RX only changes at boundaries, exactly the
+ *      artificial latency of Figure 16);
+ *   3. report SyncDone and flush TX packets back to the host.
+ */
+
+#ifndef ROSE_SOC_SOCSIM_HH
+#define ROSE_SOC_SOCSIM_HH
+
+#include "bridge/rose_bridge.hh"
+#include "soc/config.hh"
+#include "soc/trace.hh"
+#include "soc/workload.hh"
+#include "util/units.hh"
+
+namespace rose::soc {
+
+/** Cycle accounting for the evaluation metrics. */
+struct SocStats
+{
+    Cycles totalCycles = 0;
+    Cycles cpuBusyCycles = 0;
+    Cycles accelBusyCycles = 0;
+    Cycles ioBusyCycles = 0;
+    Cycles rxStallCycles = 0;
+    Cycles haltIdleCycles = 0;
+    uint64_t actionsIssued = 0;
+    uint64_t periods = 0;
+
+    /** Fraction of time the DNN accelerator was executing layers
+     *  (Figure 13's "accelerator activity factor"). */
+    double
+    accelActivityFactor() const
+    {
+        return totalCycles
+                   ? double(accelBusyCycles) / double(totalCycles)
+                   : 0.0;
+    }
+};
+
+/** The engine. */
+class SocSim
+{
+  public:
+    SocSim(bridge::RoseBridge &bridge, Workload &workload,
+           const SocConfig &cfg);
+
+    /** Execute the SoC side of one synchronization period. */
+    void runPeriod();
+
+    /** Current SoC time [cycles]. */
+    Cycles now() const { return stats_.totalCycles; }
+
+    /** Seconds of simulated SoC time at the configured clock. */
+    double nowSeconds() const
+    { return double(stats_.totalCycles) / cfg_.clockHz; }
+
+    bool halted() const { return halted_; }
+
+    const SocStats &stats() const { return stats_; }
+    const SocConfig &config() const { return cfg_; }
+
+    /** Attach an action trace recorder (nullptr disables). */
+    void setTrace(ActionTrace *trace) { trace_ = trace; }
+
+  private:
+    bridge::RoseBridge &bridge_;
+    Workload &workload_;
+    SocConfig cfg_;
+    SocStats stats_;
+
+    bool havePending_ = false;
+    Action pending_;
+    Cycles pendingLeft_ = 0;
+    bool halted_ = false;
+    ActionTrace *trace_ = nullptr;
+};
+
+} // namespace rose::soc
+
+#endif // ROSE_SOC_SOCSIM_HH

@@ -1,0 +1,64 @@
+#include "trace.hh"
+
+#include <fstream>
+
+#include "util/logging.hh"
+
+namespace rose::soc {
+
+namespace {
+
+const char *
+unitName(Unit u)
+{
+    switch (u) {
+      case Unit::Cpu: return "cpu";
+      case Unit::Accel: return "gemmini";
+      case Unit::Io: return "io";
+    }
+    return "?";
+}
+
+const char *
+kindName(TraceEvent::Kind k)
+{
+    switch (k) {
+      case TraceEvent::Kind::Compute: return "compute";
+      case TraceEvent::Kind::Stall: return "rx-stall";
+      case TraceEvent::Kind::Idle: return "idle";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+ActionTrace::writeChromeTrace(const std::string &path,
+                              double clock_hz) const
+{
+    std::ofstream os(path);
+    if (!os)
+        rose_fatal("cannot open trace output: ", path);
+
+    // Chrome tracing "complete" events: ts/dur in microseconds.
+    double to_us = 1e6 / clock_hz;
+    os << "[\n";
+    bool first = true;
+    for (const TraceEvent &e : events_) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        const char *name =
+            e.kind == TraceEvent::Kind::Compute
+                ? (e.label && e.label[0] ? e.label : "compute")
+                : kindName(e.kind);
+        os << "  {\"name\": \"" << name << "\", \"cat\": \""
+           << kindName(e.kind) << "\", \"ph\": \"X\", \"ts\": "
+           << double(e.start) * to_us << ", \"dur\": "
+           << double(e.duration) * to_us << ", \"pid\": 1, \"tid\": \""
+           << unitName(e.unit) << "\"}";
+    }
+    os << "\n]\n";
+}
+
+} // namespace rose::soc

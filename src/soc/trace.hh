@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Action-level execution tracing for the SoC engine.
+ *
+ * When enabled, the cycle engine records every executed action slice
+ * (unit, label, start cycle, duration). The trace can be exported in
+ * Chrome tracing format (chrome://tracing, Perfetto) so co-simulation
+ * timelines — inference phases, bridge waits, background-tenant
+ * slices, sync-boundary stalls — can be inspected visually, the way
+ * FireSim users inspect TracerV output.
+ */
+
+#ifndef ROSE_SOC_TRACE_HH
+#define ROSE_SOC_TRACE_HH
+
+#include <string>
+#include <vector>
+
+#include "soc/workload.hh"
+#include "util/units.hh"
+
+namespace rose::soc {
+
+/** One executed slice of an action. */
+struct TraceEvent
+{
+    Cycles start = 0;
+    Cycles duration = 0;
+    Unit unit = Unit::Cpu;
+    /** Static label from the Action (not owned). */
+    const char *label = "";
+    /** Stall/idle events get synthetic labels. */
+    enum class Kind { Compute, Stall, Idle } kind = Kind::Compute;
+};
+
+/** Trace recorder; attach to a SocSim via setTrace(). */
+class ActionTrace
+{
+  public:
+    /** @param max_events drop events past this bound (safety). */
+    explicit ActionTrace(size_t max_events = 1'000'000)
+        : maxEvents_(max_events) {}
+
+    void
+    record(const TraceEvent &e)
+    {
+        if (events_.size() < maxEvents_)
+            events_.push_back(e);
+    }
+
+    const std::vector<TraceEvent> &events() const { return events_; }
+    size_t dropped() const { return dropped_; }
+    void clear() { events_.clear(); }
+
+    /**
+     * Write the trace as a Chrome tracing JSON array. Cycle timestamps
+     * are exported as microseconds at the given clock so a 1 GHz SoC
+     * renders 1 cycle = 1 ns.
+     *
+     * @param path output file.
+     * @param clock_hz SoC clock for the time conversion.
+     */
+    void writeChromeTrace(const std::string &path,
+                          double clock_hz = 1.0e9) const;
+
+  private:
+    size_t maxEvents_;
+    size_t dropped_ = 0;
+    std::vector<TraceEvent> events_;
+};
+
+} // namespace rose::soc
+
+#endif // ROSE_SOC_TRACE_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Workload abstraction for the SoC cycle engine.
+ *
+ * Target software is modeled as a sequence of timed actions: compute
+ * bursts (attributed to the CPU or the DNN accelerator for
+ * activity-factor accounting, Figure 13), I/O register traffic, waits
+ * on bridge RX data, and halt. Functional side effects (bridge driver
+ * calls, DNN math) happen when the action is issued; the engine then
+ * charges the action's cycles against the synchronization budget,
+ * which is what creates the latency/contention behavior the paper
+ * measures.
+ */
+
+#ifndef ROSE_SOC_WORKLOAD_HH
+#define ROSE_SOC_WORKLOAD_HH
+
+#include <string>
+
+#include "util/units.hh"
+
+namespace rose::soc {
+
+/** Execution unit an action occupies (activity accounting buckets). */
+enum class Unit
+{
+    Cpu,
+    Accel,
+    Io,
+};
+
+/** One timed step of the workload. */
+struct Action
+{
+    enum class Kind
+    {
+        Compute, ///< busy for `cycles` on `unit`
+        WaitRx,  ///< stall until the bridge RX queue is non-empty
+        Halt,    ///< workload finished; idle forever
+    };
+
+    Kind kind = Kind::Halt;
+    Cycles cycles = 0;
+    Unit unit = Unit::Cpu;
+    /** Optional label for tracing/debug. */
+    const char *what = "";
+
+    static Action
+    compute(Cycles c, Unit u, const char *label = "")
+    {
+        return {Kind::Compute, c, u, label};
+    }
+
+    static Action
+    waitRx(const char *label = "")
+    {
+        return {Kind::WaitRx, 0, Unit::Cpu, label};
+    }
+
+    static Action halt() { return {Kind::Halt, 0, Unit::Cpu, ""}; }
+};
+
+/** Engine state visible to the workload when it picks its next step. */
+struct SocContext
+{
+    /** Current SoC simulation time [cycles]. */
+    Cycles now = 0;
+    /** Packets currently waiting in the bridge RX queue. */
+    size_t rxPackets = 0;
+};
+
+/**
+ * A target application. The engine calls next() whenever the previous
+ * action has fully elapsed (or, for WaitRx, when data is available).
+ */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    virtual std::string workloadName() const = 0;
+
+    /** Produce the next action. Must be side-effect-complete: any
+     *  bridge-driver or DNN work the action represents has already
+     *  been performed functionally when this returns. */
+    virtual Action next(const SocContext &ctx) = 0;
+};
+
+} // namespace rose::soc
+
+#endif // ROSE_SOC_WORKLOAD_HH

@@ -1,0 +1,122 @@
+#include "synchronizer.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace rose::sync {
+
+Synchronizer::Synchronizer(env::EnvSim &env, bridge::Transport &transport,
+                           const SyncConfig &cfg)
+    : env_(env), transport_(transport), cfg_(cfg)
+{
+    rose_assert(cfg_.cyclesPerSync > 0, "sync period must be positive");
+}
+
+void
+Synchronizer::configure()
+{
+    transport_.send(bridge::encodeCfgStepSize(cfg_.cyclesPerSync));
+    configured_ = true;
+}
+
+Frames
+Synchronizer::framesPerPeriod() const
+{
+    double frames = static_cast<double>(cfg_.cyclesPerSync) /
+                    (cfg_.clocks.socClockHz / cfg_.clocks.envFrameHz);
+    return static_cast<Frames>(frames);
+}
+
+double
+Synchronizer::grantedSimTime() const
+{
+    return cfg_.clocks.cyclesToSeconds(stats_.grantsSent *
+                                       cfg_.cyclesPerSync);
+}
+
+void
+Synchronizer::beginPeriod()
+{
+    rose_assert(configured_, "configure() must precede beginPeriod()");
+    rose_assert(!periodOpen_, "previous period still open");
+    transport_.send(bridge::encodeSyncGrant(cfg_.cyclesPerSync));
+    ++stats_.grantsSent;
+    periodOpen_ = true;
+}
+
+void
+Synchronizer::endPeriod()
+{
+    rose_assert(periodOpen_, "endPeriod() without beginPeriod()");
+
+    // Poll everything the SoC side produced during the period. Data
+    // packets turn into environment API calls; their responses are
+    // queued on the transport and reach the SoC's RX queue at the next
+    // bridge host-service, i.e. the next period boundary — this is the
+    // artificial synchronization latency Figure 16 measures.
+    bool done_seen = false;
+    bridge::Packet p;
+    while (transport_.recv(p)) {
+        if (p.type == bridge::PacketType::SyncDone) {
+            done_seen = true;
+            ++stats_.donesReceived;
+        } else {
+            servicePacket(p);
+        }
+    }
+    if (!done_seen) {
+        // With the in-process lockstep the SoC must have finished its
+        // grant before the boundary; a missing SyncDone means the
+        // caller drove the loop out of order.
+        rose_warn("sync period ended without SyncDone");
+    }
+
+    // Advance the environment by the matching frames (Equation 1),
+    // carrying fractional frames so long runs do not drift.
+    double exact = static_cast<double>(cfg_.cyclesPerSync) /
+                   (cfg_.clocks.socClockHz / cfg_.clocks.envFrameHz) +
+                   frameCarry_;
+    Frames whole = static_cast<Frames>(exact);
+    frameCarry_ = exact - static_cast<double>(whole);
+    env_.stepFrames(whole);
+    stats_.framesStepped += whole;
+
+    ++stats_.periods;
+    periodOpen_ = false;
+}
+
+void
+Synchronizer::servicePacket(const bridge::Packet &p)
+{
+    using bridge::PacketType;
+    switch (p.type) {
+      case PacketType::ImuReq:
+        ++stats_.imuRequests;
+        transport_.send(bridge::encodeImuResp(env_.getImu()));
+        break;
+      case PacketType::ImageReq:
+        ++stats_.imageRequests;
+        transport_.send(bridge::encodeImageResp(env_.getImage()));
+        break;
+      case PacketType::DepthReq:
+        ++stats_.depthRequests;
+        transport_.send(bridge::encodeDepthResp(env_.getDepth()));
+        break;
+      case PacketType::VelocityCmd: {
+        ++stats_.velocityCommands;
+        bridge::VelocityCmdPayload v = bridge::decodeVelocityCmd(p);
+        env_.commandVelocity(v.forward, v.lateral, v.yawRate);
+        lastCmd_ = {true, v.forward, v.lateral, v.yawRate,
+                    env_.simTime()};
+        break;
+      }
+      default:
+        ++stats_.unknownPackets;
+        rose_warn("synchronizer: unhandled packet ",
+                  bridge::packetTypeName(p.type));
+        break;
+    }
+}
+
+} // namespace rose::sync

@@ -1,0 +1,63 @@
+#include "csv.hh"
+
+#include "logging.hh"
+
+namespace rose {
+
+namespace {
+
+void
+emitRow(std::ostream &os, const std::vector<std::string> &cells)
+{
+    for (size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            os << ',';
+        // Quote cells containing separators; the logs we emit are plain
+        // numeric, so this path is rare.
+        const std::string &c = cells[i];
+        if (c.find_first_of(",\"\n") != std::string::npos) {
+            os << '"';
+            for (char ch : c) {
+                if (ch == '"')
+                    os << '"';
+                os << ch;
+            }
+            os << '"';
+        } else {
+            os << c;
+        }
+    }
+    os << '\n';
+}
+
+} // namespace
+
+CsvWriter::CsvWriter(std::ostream &os, const std::vector<std::string> &header)
+    : os_(&os), columns_(header.size())
+{
+    rose_assert(columns_ > 0, "CSV header must be non-empty");
+    emitRow(*os_, header);
+}
+
+CsvWriter::CsvWriter(const std::string &path,
+                     const std::vector<std::string> &header)
+    : owned_(path), os_(&owned_), columns_(header.size())
+{
+    if (!owned_)
+        rose_fatal("cannot open CSV output file: ", path);
+    rose_assert(columns_ > 0, "CSV header must be non-empty");
+    emitRow(*os_, header);
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &cells)
+{
+    if (cells.size() != columns_) {
+        rose_panic("CSV row has ", cells.size(), " cells, expected ",
+                   columns_);
+    }
+    emitRow(*os_, cells);
+    ++rows_;
+}
+
+} // namespace rose

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Minimal CSV emission, matching the paper's artifact output format:
+ * "CSV logs from the synchronizer, tracking UAV dynamics, sensing
+ * requests, and control targets."
+ */
+
+#ifndef ROSE_UTIL_CSV_HH
+#define ROSE_UTIL_CSV_HH
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace rose {
+
+/**
+ * Row-oriented CSV writer. Construct with a header; each row must supply
+ * exactly as many cells as the header has columns.
+ */
+class CsvWriter
+{
+  public:
+    /** Write to an externally-owned stream (e.g. std::cout). */
+    CsvWriter(std::ostream &os, const std::vector<std::string> &header);
+
+    /** Open and own a file stream; throws via fatal on failure. */
+    CsvWriter(const std::string &path,
+              const std::vector<std::string> &header);
+
+    /** Append one row of already-formatted cells. */
+    void writeRow(const std::vector<std::string> &cells);
+
+    /** Append one row, formatting each value with operator<<. */
+    template <typename... Args>
+    void
+    row(Args &&...args)
+    {
+        std::vector<std::string> cells;
+        cells.reserve(sizeof...(args));
+        (cells.push_back(format(std::forward<Args>(args))), ...);
+        writeRow(cells);
+    }
+
+    size_t columns() const { return columns_; }
+    size_t rowsWritten() const { return rows_; }
+
+  private:
+    template <typename T>
+    static std::string
+    format(T &&v)
+    {
+        std::ostringstream os;
+        os << v;
+        return os.str();
+    }
+
+    std::ofstream owned_;
+    std::ostream *os_;
+    size_t columns_;
+    size_t rows_ = 0;
+};
+
+} // namespace rose
+
+#endif // ROSE_UTIL_CSV_HH

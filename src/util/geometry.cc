@@ -1,0 +1,134 @@
+#include "geometry.hh"
+
+#include "logging.hh"
+
+namespace rose {
+
+Quat
+Quat::fromAxisAngle(const Vec3 &axis, double angle_rad)
+{
+    Vec3 u = axis.normalized();
+    double half = angle_rad * 0.5;
+    double s = std::sin(half);
+    return {std::cos(half), u.x * s, u.y * s, u.z * s};
+}
+
+Quat
+Quat::fromEuler(double roll, double pitch, double yaw)
+{
+    double cr = std::cos(roll * 0.5), sr = std::sin(roll * 0.5);
+    double cp = std::cos(pitch * 0.5), sp = std::sin(pitch * 0.5);
+    double cy = std::cos(yaw * 0.5), sy = std::sin(yaw * 0.5);
+    return {cr * cp * cy + sr * sp * sy,
+            sr * cp * cy - cr * sp * sy,
+            cr * sp * cy + sr * cp * sy,
+            cr * cp * sy - sr * sp * cy};
+}
+
+void
+Quat::normalize()
+{
+    double n = norm();
+    if (n <= 0.0) {
+        // Degenerate attitude; reset to identity rather than propagate NaNs.
+        *this = Quat{};
+        return;
+    }
+    w /= n; x /= n; y /= n; z /= n;
+}
+
+Vec3
+Quat::rotate(const Vec3 &v) const
+{
+    // v' = q * (0, v) * q^-1, expanded to avoid temporaries.
+    Vec3 u{x, y, z};
+    Vec3 t = 2.0 * u.cross(v);
+    return v + w * t + u.cross(t);
+}
+
+Vec3
+Quat::rotateInverse(const Vec3 &v) const
+{
+    return conjugate().rotate(v);
+}
+
+double
+Quat::yaw() const
+{
+    return std::atan2(2.0 * (w * z + x * y), 1.0 - 2.0 * (y * y + z * z));
+}
+
+double
+Quat::pitch() const
+{
+    double s = 2.0 * (w * y - z * x);
+    s = clampd(s, -1.0, 1.0);
+    return std::asin(s);
+}
+
+double
+Quat::roll() const
+{
+    return std::atan2(2.0 * (w * x + y * z), 1.0 - 2.0 * (x * x + y * y));
+}
+
+Mat3
+Mat3::identity()
+{
+    return diagonal(1.0, 1.0, 1.0);
+}
+
+Mat3
+Mat3::diagonal(double a, double b, double c)
+{
+    Mat3 r;
+    r.m[0][0] = a;
+    r.m[1][1] = b;
+    r.m[2][2] = c;
+    return r;
+}
+
+Vec3
+Mat3::operator*(const Vec3 &v) const
+{
+    return {m[0][0] * v.x + m[0][1] * v.y + m[0][2] * v.z,
+            m[1][0] * v.x + m[1][1] * v.y + m[1][2] * v.z,
+            m[2][0] * v.x + m[2][1] * v.y + m[2][2] * v.z};
+}
+
+Mat3
+Mat3::operator*(const Mat3 &o) const
+{
+    Mat3 r;
+    for (int i = 0; i < 3; ++i)
+        for (int j = 0; j < 3; ++j)
+            for (int k = 0; k < 3; ++k)
+                r.m[i][j] += m[i][k] * o.m[k][j];
+    return r;
+}
+
+Mat3
+Mat3::diagonalInverse() const
+{
+    for (int i = 0; i < 3; ++i) {
+        for (int j = 0; j < 3; ++j) {
+            if (i != j && m[i][j] != 0.0)
+                rose_panic("diagonalInverse on non-diagonal matrix");
+        }
+    }
+    rose_assert(m[0][0] != 0.0 && m[1][1] != 0.0 && m[2][2] != 0.0,
+                "singular diagonal matrix");
+    return diagonal(1.0 / m[0][0], 1.0 / m[1][1], 1.0 / m[2][2]);
+}
+
+double
+wrapAngle(double a)
+{
+    while (a > kPi)
+        a -= 2.0 * kPi;
+    while (a <= -kPi)
+        a += 2.0 * kPi;
+    return a;
+}
+
+} // namespace rose

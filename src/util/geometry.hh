@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Small fixed-size linear algebra used by the environment simulator:
+ * 3-vectors, quaternions, and 3x3 matrices. Double precision throughout;
+ * the physics integrator is the consumer, so numerical robustness beats
+ * raw speed here.
+ */
+
+#ifndef ROSE_UTIL_GEOMETRY_HH
+#define ROSE_UTIL_GEOMETRY_HH
+
+#include <cmath>
+
+namespace rose {
+
+/** A 3-component double-precision vector. */
+struct Vec3
+{
+    double x = 0.0;
+    double y = 0.0;
+    double z = 0.0;
+
+    constexpr Vec3() = default;
+    constexpr Vec3(double x_, double y_, double z_) : x(x_), y(y_), z(z_) {}
+
+    constexpr Vec3 operator+(const Vec3 &o) const
+    { return {x + o.x, y + o.y, z + o.z}; }
+    constexpr Vec3 operator-(const Vec3 &o) const
+    { return {x - o.x, y - o.y, z - o.z}; }
+    constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+    constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+    constexpr Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+
+    Vec3 &operator+=(const Vec3 &o)
+    { x += o.x; y += o.y; z += o.z; return *this; }
+    Vec3 &operator-=(const Vec3 &o)
+    { x -= o.x; y -= o.y; z -= o.z; return *this; }
+    Vec3 &operator*=(double s) { x *= s; y *= s; z *= s; return *this; }
+
+    constexpr double dot(const Vec3 &o) const
+    { return x * o.x + y * o.y + z * o.z; }
+
+    constexpr Vec3
+    cross(const Vec3 &o) const
+    {
+        return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+    }
+
+    double norm() const { return std::sqrt(dot(*this)); }
+    constexpr double squaredNorm() const { return dot(*this); }
+
+    /** Unit vector in this direction; returns zero vector for zero input. */
+    Vec3
+    normalized() const
+    {
+        double n = norm();
+        return n > 0.0 ? *this / n : Vec3{};
+    }
+};
+
+constexpr Vec3 operator*(double s, const Vec3 &v) { return v * s; }
+
+/**
+ * Unit quaternion for attitude representation. Hamilton convention,
+ * (w, x, y, z), rotating body-frame vectors into the world frame via
+ * rotate().
+ */
+struct Quat
+{
+    double w = 1.0;
+    double x = 0.0;
+    double y = 0.0;
+    double z = 0.0;
+
+    constexpr Quat() = default;
+    constexpr Quat(double w_, double x_, double y_, double z_)
+        : w(w_), x(x_), y(y_), z(z_) {}
+
+    /** Quaternion from an axis-angle rotation; axis need not be unit. */
+    static Quat fromAxisAngle(const Vec3 &axis, double angle_rad);
+
+    /** Quaternion from intrinsic Z-Y-X (yaw, pitch, roll) Euler angles. */
+    static Quat fromEuler(double roll, double pitch, double yaw);
+
+    constexpr Quat
+    operator*(const Quat &o) const
+    {
+        return {w * o.w - x * o.x - y * o.y - z * o.z,
+                w * o.x + x * o.w + y * o.z - z * o.y,
+                w * o.y - x * o.z + y * o.w + z * o.x,
+                w * o.z + x * o.y - y * o.x + z * o.w};
+    }
+
+    constexpr Quat conjugate() const { return {w, -x, -y, -z}; }
+
+    double norm() const { return std::sqrt(w * w + x * x + y * y + z * z); }
+
+    /** Renormalize in place; guards against integrator drift. */
+    void normalize();
+
+    /** Rotate a body-frame vector into the world frame. */
+    Vec3 rotate(const Vec3 &v) const;
+
+    /** Rotate a world-frame vector into the body frame. */
+    Vec3 rotateInverse(const Vec3 &v) const;
+
+    /** Yaw (heading) extracted from the Z-Y-X Euler decomposition. */
+    double yaw() const;
+    double pitch() const;
+    double roll() const;
+};
+
+/** Row-major 3x3 matrix; used for inertia tensors. */
+struct Mat3
+{
+    double m[3][3] = {{0, 0, 0}, {0, 0, 0}, {0, 0, 0}};
+
+    static Mat3 identity();
+    /** Diagonal matrix from the three diagonal entries. */
+    static Mat3 diagonal(double a, double b, double c);
+
+    Vec3 operator*(const Vec3 &v) const;
+    Mat3 operator*(const Mat3 &o) const;
+
+    /** Inverse of a diagonal matrix; panics when applied off-diagonal. */
+    Mat3 diagonalInverse() const;
+};
+
+/** Wrap an angle into (-pi, pi]. */
+double wrapAngle(double a);
+
+/** Linear interpolation. */
+constexpr double
+lerp(double a, double b, double t)
+{
+    return a + (b - a) * t;
+}
+
+/** Clamp helper mirroring std::clamp but constexpr-friendly on doubles. */
+constexpr double
+clampd(double v, double lo, double hi)
+{
+    return v < lo ? lo : (v > hi ? hi : v);
+}
+
+constexpr double kPi = 3.14159265358979323846;
+
+/** Degrees to radians. */
+constexpr double deg2rad(double d) { return d * kPi / 180.0; }
+/** Radians to degrees. */
+constexpr double rad2deg(double r) { return r * 180.0 / kPi; }
+
+} // namespace rose
+
+#endif // ROSE_UTIL_GEOMETRY_HH

@@ -1,0 +1,67 @@
+#include "logging.hh"
+
+#include <cstdio>
+
+namespace rose {
+
+namespace {
+
+LogLevel gThreshold = LogLevel::Inform;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Panic: return "panic";
+      case LogLevel::Fatal: return "fatal";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Inform: return "info";
+      case LogLevel::Debug: return "debug";
+    }
+    return "?";
+}
+
+} // namespace
+
+LogLevel
+logThreshold()
+{
+    return gThreshold;
+}
+
+void
+setLogThreshold(LogLevel level)
+{
+    gThreshold = level;
+}
+
+namespace detail {
+
+void
+emitLog(LogLevel level, const std::string &msg, const char *file, int line)
+{
+    if (static_cast<int>(level) > static_cast<int>(gThreshold))
+        return;
+    if (level == LogLevel::Panic || level == LogLevel::Fatal) {
+        std::fprintf(stderr, "[%s] %s (%s:%d)\n", levelName(level),
+                     msg.c_str(), file, line);
+    } else {
+        std::fprintf(stderr, "[%s] %s\n", levelName(level), msg.c_str());
+    }
+}
+
+void
+panicExit()
+{
+    std::abort();
+}
+
+void
+fatalExit()
+{
+    std::exit(1);
+}
+
+} // namespace detail
+
+} // namespace rose

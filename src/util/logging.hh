@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Status/error reporting helpers in the gem5 style.
+ *
+ * panic()  — an internal invariant was violated (simulator bug); aborts.
+ * fatal()  — the simulation cannot continue due to a user error (bad
+ *            configuration, invalid arguments); exits with code 1.
+ * warn()   — something is modeled approximately; simulation continues.
+ * inform() — normal operating status for the user.
+ */
+
+#ifndef ROSE_UTIL_LOGGING_HH
+#define ROSE_UTIL_LOGGING_HH
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace rose {
+
+/** Verbosity levels for runtime log filtering. */
+enum class LogLevel { Panic = 0, Fatal, Warn, Inform, Debug };
+
+/**
+ * Global log threshold; messages above this level are suppressed.
+ * Defaults to Inform so Debug chatter stays quiet in benches.
+ */
+LogLevel logThreshold();
+
+/** Set the global log threshold. */
+void setLogThreshold(LogLevel level);
+
+namespace detail {
+
+/** Emit one formatted log line to stderr if level passes the threshold. */
+void emitLog(LogLevel level, const std::string &msg, const char *file,
+             int line);
+
+/** Fold a parameter pack into one string via operator<<. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] void panicExit();
+[[noreturn]] void fatalExit();
+
+} // namespace detail
+
+} // namespace rose
+
+#define ROSE_LOG_AT(level, ...)                                              \
+    ::rose::detail::emitLog(level, ::rose::detail::concat(__VA_ARGS__),      \
+                            __FILE__, __LINE__)
+
+/** Internal invariant violated: print and abort (core-dumpable). */
+#define rose_panic(...)                                                      \
+    do {                                                                     \
+        ROSE_LOG_AT(::rose::LogLevel::Panic, __VA_ARGS__);                   \
+        ::rose::detail::panicExit();                                         \
+    } while (0)
+
+/** User error: print and exit(1). */
+#define rose_fatal(...)                                                      \
+    do {                                                                     \
+        ROSE_LOG_AT(::rose::LogLevel::Fatal, __VA_ARGS__);                   \
+        ::rose::detail::fatalExit();                                         \
+    } while (0)
+
+#define rose_warn(...) ROSE_LOG_AT(::rose::LogLevel::Warn, __VA_ARGS__)
+#define rose_inform(...) ROSE_LOG_AT(::rose::LogLevel::Inform, __VA_ARGS__)
+#define rose_debug(...) ROSE_LOG_AT(::rose::LogLevel::Debug, __VA_ARGS__)
+
+/** Cheap always-on assertion that reports through panic. */
+#define rose_assert(cond, ...)                                               \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            rose_panic("assertion failed: " #cond " ", ##__VA_ARGS__);       \
+        }                                                                    \
+    } while (0)
+
+#endif // ROSE_UTIL_LOGGING_HH

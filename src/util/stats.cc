@@ -1,0 +1,86 @@
+#include "stats.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "logging.hh"
+
+namespace rose {
+
+void
+ScalarStat::sample(double v)
+{
+    ++n_;
+    sum_ += v;
+    double delta = v - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (v - mean_);
+    if (v < min_)
+        min_ = v;
+    if (v > max_)
+        max_ = v;
+}
+
+double
+ScalarStat::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_);
+}
+
+double
+ScalarStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+ScalarStat::reset()
+{
+    *this = ScalarStat{};
+}
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    rose_assert(hi > lo, "histogram range must be non-empty");
+    rose_assert(bins > 0, "histogram needs at least one bin");
+}
+
+void
+Histogram::sample(double v)
+{
+    ++total_;
+    if (v < lo_) {
+        ++underflow_;
+    } else if (v >= hi_) {
+        ++overflow_;
+    } else {
+        double frac = (v - lo_) / (hi_ - lo_);
+        size_t idx = static_cast<size_t>(frac * counts_.size());
+        if (idx >= counts_.size())
+            idx = counts_.size() - 1;
+        ++counts_[idx];
+    }
+}
+
+double
+Histogram::binLow(size_t i) const
+{
+    return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                     static_cast<double>(counts_.size());
+}
+
+std::string
+Histogram::summary() const
+{
+    std::ostringstream os;
+    os << "hist[" << lo_ << "," << hi_ << ") n=" << total_ << " u="
+       << underflow_ << " o=" << overflow_ << " :";
+    for (uint64_t c : counts_)
+        os << ' ' << c;
+    return os.str();
+}
+
+} // namespace rose

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Lightweight statistics accumulators used by the metrics layer: scalar
+ * summaries (count/mean/min/max/stddev) and fixed-bin histograms.
+ */
+
+#ifndef ROSE_UTIL_STATS_HH
+#define ROSE_UTIL_STATS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace rose {
+
+/** Streaming scalar summary (Welford's online variance). */
+class ScalarStat
+{
+  public:
+    /** Record one sample. */
+    void sample(double v);
+
+    uint64_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+
+    /** Population variance; 0 with fewer than two samples. */
+    double variance() const;
+    double stddev() const;
+
+    /** Reset to empty. */
+    void reset();
+
+  private:
+    uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/** Fixed-width histogram over [lo, hi) with out-of-range tail bins. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, size_t bins);
+
+    void sample(double v);
+
+    size_t bins() const { return counts_.size(); }
+    uint64_t binCount(size_t i) const { return counts_.at(i); }
+    uint64_t underflow() const { return underflow_; }
+    uint64_t overflow() const { return overflow_; }
+    uint64_t total() const { return total_; }
+
+    /** Lower edge of bin i. */
+    double binLow(size_t i) const;
+
+    /** Render a one-line textual summary (for bench/debug output). */
+    std::string summary() const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<uint64_t> counts_;
+    uint64_t underflow_ = 0;
+    uint64_t overflow_ = 0;
+    uint64_t total_ = 0;
+};
+
+} // namespace rose
+
+#endif // ROSE_UTIL_STATS_HH

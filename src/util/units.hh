@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Simulation time/units vocabulary shared across simulators.
+ *
+ * The two coupled simulators step in different units (Section 3.4.1): the
+ * environment simulator steps in frames, the SoC simulator in clock
+ * cycles. Equation 1 of the paper relates them:
+ *
+ *     airsim_steps / firesim_steps = soc_clock_freq / airsim_frame_freq
+ *
+ * Cycles is a strong-ish typedef used throughout the SoC side; seconds
+ * are plain double on the environment side.
+ */
+
+#ifndef ROSE_UTIL_UNITS_HH
+#define ROSE_UTIL_UNITS_HH
+
+#include <cstdint>
+
+namespace rose {
+
+/** SoC simulation time in clock cycles. */
+using Cycles = uint64_t;
+
+/** Environment simulation time in frames. */
+using Frames = uint64_t;
+
+/** One million cycles; sync granularities are quoted in these. */
+constexpr Cycles kMegaCycles = 1'000'000ULL;
+
+/**
+ * Static parameters relating the two simulators' clocks.
+ * Defaults model a 1 GHz SoC synchronized against a 60 Hz environment,
+ * the "typical configuration" of Figure 6.
+ */
+struct ClockRatio
+{
+    double socClockHz = 1.0e9;
+    double envFrameHz = 60.0;
+
+    /** SoC cycles corresponding to one environment frame (Equation 1). */
+    Cycles
+    cyclesPerFrame() const
+    {
+        return static_cast<Cycles>(socClockHz / envFrameHz);
+    }
+
+    /** Convert a cycle count to seconds of simulated time. */
+    double cyclesToSeconds(Cycles c) const
+    {
+        return static_cast<double>(c) / socClockHz;
+    }
+
+    /** Convert simulated seconds to cycles (floor). */
+    Cycles secondsToCycles(double s) const
+    {
+        return static_cast<Cycles>(s * socClockHz);
+    }
+
+    /** Duration of one environment frame in seconds. */
+    double frameSeconds() const { return 1.0 / envFrameHz; }
+};
+
+} // namespace rose
+
+#endif // ROSE_UTIL_UNITS_HH

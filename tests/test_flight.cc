@@ -1,0 +1,314 @@
+/**
+ * @file
+ * Unit tests for the PID building block and closed-loop tests of the
+ * cascaded flight controller driving the quadrotor dynamics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "env/drone.hh"
+#include "flight/controller.hh"
+#include "flight/pid.hh"
+
+using namespace rose;
+using namespace rose::flight;
+
+// ------------------------------------------------------------------- PID
+
+TEST(Pid, ProportionalOnly)
+{
+    Pid p({/*kp=*/2.0, 0, 0, 0, 0});
+    EXPECT_DOUBLE_EQ(p.update(1.5, 0.01), 3.0);
+    EXPECT_DOUBLE_EQ(p.update(-1.0, 0.01), -2.0);
+}
+
+TEST(Pid, IntegralAccumulates)
+{
+    Pid p({0, /*ki=*/1.0, 0, 0, 0});
+    double out = 0;
+    for (int i = 0; i < 100; ++i)
+        out = p.update(1.0, 0.01);
+    EXPECT_NEAR(out, 1.0, 1e-9);
+    EXPECT_NEAR(p.integral(), 1.0, 1e-9);
+}
+
+TEST(Pid, DerivativeOnChange)
+{
+    Pid p({0, 0, /*kd=*/1.0, 0, 0});
+    // First update has no derivative history.
+    EXPECT_DOUBLE_EQ(p.update(1.0, 0.1), 0.0);
+    // Error rises by 1 over dt = 0.1 -> derivative 10.
+    EXPECT_NEAR(p.update(2.0, 0.1), 10.0, 1e-9);
+}
+
+TEST(Pid, OutputSaturation)
+{
+    Pid p({/*kp=*/100.0, 0, 0, /*outputLimit=*/5.0, 0});
+    EXPECT_DOUBLE_EQ(p.update(1.0, 0.01), 5.0);
+    EXPECT_DOUBLE_EQ(p.update(-1.0, 0.01), -5.0);
+}
+
+TEST(Pid, AntiWindupClamp)
+{
+    Pid p({0, /*ki=*/1.0, 0, 0, /*integralLimit=*/0.5});
+    for (int i = 0; i < 1000; ++i)
+        p.update(10.0, 0.01);
+    EXPECT_LE(p.integral(), 0.5);
+}
+
+TEST(Pid, ResetClearsState)
+{
+    Pid p({1.0, 1.0, 1.0, 0, 0});
+    p.update(1.0, 0.01);
+    p.update(2.0, 0.01);
+    p.reset();
+    EXPECT_DOUBLE_EQ(p.integral(), 0.0);
+    // After reset the derivative term must not fire on first update.
+    Pid q({0, 0, 1.0, 0, 0});
+    q.update(5.0, 0.01);
+    q.reset();
+    EXPECT_DOUBLE_EQ(q.update(1.0, 0.01), 0.0);
+}
+
+// --------------------------------------------- closed-loop vehicle tests
+
+namespace {
+
+struct Loop
+{
+    env::Drone drone;
+    CascadedController ctrl;
+
+    Loop()
+        : drone(env::DroneParams{}),
+          ctrl(VehicleParams{}, ControllerConfig{})
+    {
+        drone.setPose({0, 0, 1.5}, Quat{});
+    }
+
+    void
+    run(double seconds, double dt = 1.0 / 600.0)
+    {
+        int steps = int(seconds / dt);
+        for (int i = 0; i < steps; ++i) {
+            drone.setMotorCommand(ctrl.update(drone.state(), dt));
+            drone.step(dt);
+        }
+    }
+};
+
+} // namespace
+
+TEST(Controller, HoverHoldsAltitude)
+{
+    Loop loop;
+    VelocityCommand cmd;
+    cmd.altitude = 1.5;
+    loop.ctrl.setCommand(cmd);
+    loop.run(8.0);
+    EXPECT_NEAR(loop.drone.position().z, 1.5, 0.05);
+    EXPECT_LT(loop.drone.velocity().norm(), 0.05);
+    EXPECT_NEAR(loop.drone.position().x, 0.0, 0.2);
+    EXPECT_NEAR(loop.drone.position().y, 0.0, 0.2);
+}
+
+TEST(Controller, ClimbsToAltitude)
+{
+    Loop loop;
+    loop.drone.setPose({0, 0, 0.2}, Quat{});
+    VelocityCommand cmd;
+    cmd.altitude = 1.5;
+    loop.ctrl.setCommand(cmd);
+    loop.run(6.0);
+    EXPECT_NEAR(loop.drone.position().z, 1.5, 0.08);
+}
+
+TEST(Controller, TracksForwardVelocity)
+{
+    Loop loop;
+    VelocityCommand cmd;
+    cmd.forward = 3.0;
+    cmd.altitude = 1.5;
+    loop.ctrl.setCommand(cmd);
+    loop.run(6.0);
+    EXPECT_NEAR(loop.drone.velocity().x, 3.0, 0.3);
+    EXPECT_NEAR(loop.drone.velocity().y, 0.0, 0.2);
+    EXPECT_GT(loop.drone.position().x, 10.0);
+    EXPECT_NEAR(loop.drone.position().z, 1.5, 0.15);
+}
+
+TEST(Controller, TracksLateralVelocity)
+{
+    Loop loop;
+    VelocityCommand cmd;
+    cmd.lateral = 1.5; // leftward (+y)
+    cmd.altitude = 1.5;
+    loop.ctrl.setCommand(cmd);
+    loop.run(6.0);
+    EXPECT_NEAR(loop.drone.velocity().y, 1.5, 0.25);
+    EXPECT_GT(loop.drone.position().y, 4.0);
+}
+
+TEST(Controller, TracksYawRate)
+{
+    Loop loop;
+    VelocityCommand cmd;
+    cmd.yawRate = 0.5;
+    cmd.altitude = 1.5;
+    loop.ctrl.setCommand(cmd);
+    loop.run(2.0);
+    // After the rate loop converges, yaw should advance at ~0.5 rad/s.
+    EXPECT_NEAR(loop.drone.bodyRates().z, 0.5, 0.1);
+    EXPECT_GT(loop.drone.attitude().yaw(), 0.6);
+}
+
+TEST(Controller, ForwardFlightWhileYawingCurves)
+{
+    Loop loop;
+    VelocityCommand cmd;
+    cmd.forward = 2.0;
+    cmd.yawRate = 0.4;
+    cmd.altitude = 1.5;
+    loop.ctrl.setCommand(cmd);
+    loop.run(5.0);
+    // Heading rotated, so velocity direction rotated with it.
+    double yaw = loop.drone.attitude().yaw();
+    EXPECT_GT(yaw, 1.0);
+    double speed = std::hypot(loop.drone.velocity().x,
+                              loop.drone.velocity().y);
+    EXPECT_NEAR(speed, 2.0, 0.4);
+}
+
+TEST(Controller, MotorLimitsRespected)
+{
+    Loop loop;
+    VelocityCommand cmd;
+    cmd.forward = 50.0; // absurd target: outputs must stay clamped
+    cmd.altitude = 10.0;
+    loop.ctrl.setCommand(cmd);
+    for (int i = 0; i < 600; ++i) {
+        MotorCommand mc = loop.ctrl.update(loop.drone.state(), 1.0 / 600);
+        for (double t : mc) {
+            EXPECT_GE(t, 0.0);
+            EXPECT_LE(t, VehicleParams{}.maxMotorThrustN);
+        }
+        loop.drone.setMotorCommand(mc);
+        loop.drone.step(1.0 / 600);
+    }
+}
+
+TEST(Controller, ResetClearsIntegrators)
+{
+    Loop loop;
+    VelocityCommand cmd;
+    cmd.forward = 3.0;
+    loop.ctrl.setCommand(cmd);
+    loop.run(2.0);
+    loop.ctrl.reset();
+    // A reset controller at hover state should output near-hover thrust.
+    env::Drone fresh{env::DroneParams{}};
+    fresh.setPose({0, 0, 1.5}, Quat{});
+    VelocityCommand hover;
+    hover.altitude = 1.5;
+    loop.ctrl.setCommand(hover);
+    MotorCommand mc = loop.ctrl.update(fresh.state(), 1.0 / 600);
+    double total = mc[0] + mc[1] + mc[2] + mc[3];
+    EXPECT_NEAR(total, 9.81, 1.5);
+}
+
+// --------------------------------------------- command latching behavior
+
+TEST(Controller, TracksMostRecentTarget)
+{
+    // SimpleFlight semantics: the controller tracks the last target
+    // received, holding it until replaced.
+    Loop loop;
+    VelocityCommand a;
+    a.forward = 2.0;
+    a.altitude = 1.5;
+    loop.ctrl.setCommand(a);
+    loop.run(4.0);
+    VelocityCommand b;
+    b.forward = -1.0;
+    b.altitude = 1.5;
+    loop.ctrl.setCommand(b);
+    loop.run(5.0);
+    EXPECT_NEAR(loop.drone.velocity().x, -1.0, 0.3);
+}
+
+// ------------------------------------------- parameterized step sweeps
+
+/** Forward-velocity step responses across the command range: the
+ *  closed loop must settle near the target without large overshoot. */
+class VelocityStepResponse : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(VelocityStepResponse, SettlesNearTarget)
+{
+    double target = GetParam();
+    Loop loop;
+    VelocityCommand cmd;
+    cmd.forward = target;
+    cmd.altitude = 1.5;
+    loop.ctrl.setCommand(cmd);
+
+    // Track the peak while running to bound overshoot.
+    double peak = 0.0;
+    const double dt = 1.0 / 600.0;
+    for (int i = 0; i < int(8.0 / dt); ++i) {
+        loop.drone.setMotorCommand(
+            loop.ctrl.update(loop.drone.state(), dt));
+        loop.drone.step(dt);
+        peak = std::max(peak, loop.drone.velocity().x);
+    }
+    EXPECT_NEAR(loop.drone.velocity().x, target, 0.15 * target + 0.2);
+    EXPECT_LT(peak, 1.35 * target + 0.5);
+    // Altitude held throughout.
+    EXPECT_NEAR(loop.drone.position().z, 1.5, 0.25);
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, VelocityStepResponse,
+                         ::testing::Values(1.0, 3.0, 6.0, 9.0, 12.0));
+
+/** Yaw-rate step responses across the command range. */
+class YawRateStepResponse : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(YawRateStepResponse, TracksRate)
+{
+    double target = GetParam();
+    Loop loop;
+    VelocityCommand cmd;
+    cmd.yawRate = target;
+    cmd.altitude = 1.5;
+    loop.ctrl.setCommand(cmd);
+    loop.run(3.0);
+    EXPECT_NEAR(loop.drone.bodyRates().z, target,
+                0.15 * std::abs(target) + 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, YawRateStepResponse,
+                         ::testing::Values(-1.0, -0.5, 0.25, 0.5, 1.0));
+
+TEST(Controller, RejectsConstantWind)
+{
+    // A steady lateral disturbance force must not blow the hover away:
+    // the velocity integrator trims against it.
+    Loop loop;
+    VelocityCommand cmd;
+    cmd.altitude = 1.5;
+    loop.ctrl.setCommand(cmd);
+    const double dt = 1.0 / 600.0;
+    loop.drone.setExternalForce({0.0, 1.2, 0.0}); // ~0.12 g sideways
+    for (int i = 0; i < int(10.0 / dt); ++i) {
+        loop.drone.setMotorCommand(
+            loop.ctrl.update(loop.drone.state(), dt));
+        loop.drone.step(dt);
+    }
+    EXPECT_LT(std::abs(loop.drone.velocity().y), 0.3);
+    EXPECT_LT(std::abs(loop.drone.position().y), 3.0);
+}

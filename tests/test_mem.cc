@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for the shared memory-system models: DRAM channel timing and
+ * shared-bus arbitration/contention.
+ */
+
+#include <gtest/gtest.h>
+
+#include "soc/mem.hh"
+
+using namespace rose;
+using namespace rose::soc;
+
+// ------------------------------------------------------------------ DRAM
+
+TEST(Dram, SingleAccessLatency)
+{
+    DramConfig cfg;
+    cfg.accessLatency = 40;
+    cfg.bytesPerCycle = 16.0;
+    cfg.burstBytes = 64;
+    Dram d(cfg);
+    // 64 bytes: 40 latency + 4 transfer cycles.
+    EXPECT_EQ(d.access(0, 64), 44u);
+    EXPECT_EQ(d.stats().requests, 1u);
+    EXPECT_EQ(d.stats().bytes, 64u);
+}
+
+TEST(Dram, RoundsUpToBursts)
+{
+    Dram d;
+    d.access(0, 1); // one byte still moves a full 64 B burst
+    EXPECT_EQ(d.stats().bytes, 64u);
+}
+
+TEST(Dram, BackToBackQueues)
+{
+    DramConfig cfg;
+    cfg.accessLatency = 40;
+    cfg.bytesPerCycle = 16.0;
+    Dram d(cfg);
+    Cycles first = d.access(0, 64);
+    // Second request at cycle 0 waits for the first to drain.
+    Cycles second = d.access(0, 64);
+    EXPECT_EQ(second, first + 44);
+    EXPECT_EQ(d.stats().queueWaitCycles, first);
+}
+
+TEST(Dram, IdleGapNoQueueing)
+{
+    Dram d;
+    Cycles first = d.access(0, 64);
+    Cycles second = d.access(first + 100, 64);
+    EXPECT_EQ(second, first + 100 + 44);
+    EXPECT_EQ(d.stats().queueWaitCycles, 0u);
+}
+
+TEST(Dram, UtilizationAccounting)
+{
+    Dram d;
+    d.access(0, 640); // 40 + 40 cycles busy
+    EXPECT_DOUBLE_EQ(d.utilization(160), 0.5);
+}
+
+// ------------------------------------------------------------------- bus
+
+TEST(SharedBus, SingleMasterTransferTime)
+{
+    SharedBus bus(16.0);
+    int m = bus.addMaster("gemmini");
+    // 1600 bytes at 16 B/cy = 100 cycles.
+    EXPECT_EQ(bus.transfer(m, 0, 1600), 100u);
+    EXPECT_EQ(bus.masterStats(m).bytes, 1600u);
+    EXPECT_EQ(bus.masterStats(m).waitCycles, 0u);
+}
+
+TEST(SharedBus, ContentionSerializes)
+{
+    SharedBus bus(16.0);
+    int a = bus.addMaster("gemmini");
+    int b = bus.addMaster("cpu");
+    Cycles done_a = bus.transfer(a, 0, 1600);
+    Cycles done_b = bus.transfer(b, 0, 1600);
+    EXPECT_EQ(done_a, 100u);
+    EXPECT_EQ(done_b, 200u);
+    EXPECT_EQ(bus.masterStats(b).waitCycles, 100u);
+}
+
+TEST(SharedBus, FairAccountingPerMaster)
+{
+    SharedBus bus(8.0);
+    int a = bus.addMaster("a");
+    int b = bus.addMaster("b");
+    for (int i = 0; i < 10; ++i) {
+        bus.transfer(a, 0, 80);
+        bus.transfer(b, 0, 80);
+    }
+    EXPECT_EQ(bus.masterStats(a).transfers, 10u);
+    EXPECT_EQ(bus.masterStats(b).transfers, 10u);
+    EXPECT_EQ(bus.masterStats(a).bytes, bus.masterStats(b).bytes);
+    // The later arrival in each pair eats the wait.
+    EXPECT_GT(bus.masterStats(b).waitCycles,
+              bus.masterStats(a).waitCycles);
+}
+
+TEST(SharedBus, EffectiveBandwidthModel)
+{
+    SharedBus bus(16.0);
+    EXPECT_DOUBLE_EQ(bus.effectiveBandwidth(0.0), 16.0);
+    EXPECT_DOUBLE_EQ(bus.effectiveBandwidth(0.5), 8.0);
+    EXPECT_DOUBLE_EQ(bus.effectiveBandwidth(0.75), 4.0);
+    // Clamped: a co-tenant can never fully starve the foreground.
+    EXPECT_GT(bus.effectiveBandwidth(1.5), 0.0);
+    EXPECT_GE(bus.effectiveBandwidth(-1.0), 16.0);
+}
+
+TEST(SharedBusDeathTest, UnknownMasterPanics)
+{
+    SharedBus bus(16.0);
+    EXPECT_DEATH(bus.transfer(3, 0, 64), "unknown bus master");
+}
+
+TEST(SharedBus, MinimumOneCycle)
+{
+    SharedBus bus(16.0);
+    int m = bus.addMaster("tiny");
+    EXPECT_GE(bus.transfer(m, 0, 1), 1u);
+}

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Tests for multi-tenant execution: the background-load generator, the
+ * time-sharing scheduler's accounting and blocking semantics, and the
+ * end-to-end contention effect on the control loop.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bridge/rose_bridge.hh"
+#include "bridge/transport.hh"
+#include "core/experiment.hh"
+#include "soc/multitenant.hh"
+#include "soc/socsim.hh"
+
+using namespace rose;
+using namespace rose::soc;
+
+namespace {
+
+/** Scripted workload (same shape as in test_soc). */
+class Script : public Workload
+{
+  public:
+    explicit Script(std::vector<Action> script)
+        : script_(std::move(script)) {}
+
+    std::string workloadName() const override { return "script"; }
+
+    Action
+    next(const SocContext &) override
+    {
+        if (idx_ >= script_.size())
+            return Action::halt();
+        return script_[idx_++];
+    }
+
+  private:
+    std::vector<Action> script_;
+    size_t idx_ = 0;
+};
+
+struct Harness
+{
+    std::unique_ptr<bridge::Transport> hostEnd;
+    std::unique_ptr<bridge::Transport> bridgeEnd;
+    std::unique_ptr<bridge::RoseBridge> bridge;
+
+    Harness()
+    {
+        auto [a, b] = bridge::makeInProcPair();
+        hostEnd = std::move(a);
+        bridgeEnd = std::move(b);
+        bridge = std::make_unique<bridge::RoseBridge>(*bridgeEnd);
+    }
+};
+
+} // namespace
+
+TEST(BackgroundLoad, AlternatesBatchesAndIdle)
+{
+    BackgroundLoad bg(1000, 500);
+    SocContext ctx;
+    Action a = bg.next(ctx);
+    EXPECT_EQ(a.kind, Action::Kind::Compute);
+    EXPECT_EQ(a.unit, Unit::Cpu);
+    EXPECT_EQ(a.cycles, 1000u);
+    Action b = bg.next(ctx);
+    EXPECT_EQ(b.unit, Unit::Io); // idle gap
+    EXPECT_EQ(b.cycles, 500u);
+    Action c = bg.next(ctx);
+    EXPECT_EQ(c.unit, Unit::Cpu);
+    EXPECT_EQ(bg.batchesRun(), 2u);
+}
+
+TEST(BackgroundLoad, AlwaysBusyWhenNoIdle)
+{
+    BackgroundLoad bg(700, 0);
+    SocContext ctx;
+    for (int i = 0; i < 5; ++i) {
+        Action a = bg.next(ctx);
+        EXPECT_EQ(a.unit, Unit::Cpu);
+        EXPECT_EQ(a.cycles, 700u);
+    }
+}
+
+TEST(TimeShared, FairSlicingWhenBothBusy)
+{
+    Script fg({Action::compute(1'000'000, Unit::Cpu)});
+    BackgroundLoad bg(1'000'000, 0);
+    TimeSharedWorkload ts(fg, bg, 10'000, 10'000);
+
+    Harness h;
+    h.hostEnd->send(bridge::encodeSyncGrant(400'000));
+    SocSim sim(*h.bridge, ts, configA());
+    sim.runPeriod();
+    // Equal quanta: the 400k budget splits ~50/50.
+    EXPECT_NEAR(double(ts.foregroundCpuCycles()), 200'000.0, 20'000.0);
+    EXPECT_NEAR(double(ts.backgroundCpuCycles()), 200'000.0, 20'000.0);
+}
+
+TEST(TimeShared, AsymmetricQuantaSkewShare)
+{
+    Script fg({Action::compute(1'000'000, Unit::Cpu)});
+    BackgroundLoad bg(1'000'000, 0);
+    // Background gets 1/4 of the core.
+    TimeSharedWorkload ts(fg, bg, 30'000, 10'000);
+
+    Harness h;
+    h.hostEnd->send(bridge::encodeSyncGrant(400'000));
+    SocSim sim(*h.bridge, ts, configA());
+    sim.runPeriod();
+    double fg_share = double(ts.foregroundCpuCycles()) /
+                      double(ts.foregroundCpuCycles() +
+                             ts.backgroundCpuCycles());
+    EXPECT_NEAR(fg_share, 0.75, 0.05);
+}
+
+TEST(TimeShared, BackgroundRunsDuringForegroundWait)
+{
+    // fg: compute, then wait on RX (which never fills), so the
+    // background should own the rest of the period.
+    Script fg({Action::compute(50'000, Unit::Cpu), Action::waitRx()});
+    BackgroundLoad bg(25'000, 0);
+    TimeSharedWorkload ts(fg, bg, 10'000, 10'000);
+
+    Harness h;
+    h.hostEnd->send(bridge::encodeSyncGrant(500'000));
+    SocSim sim(*h.bridge, ts, configA());
+    sim.runPeriod();
+    EXPECT_EQ(ts.foregroundCpuCycles(), 50'000u);
+    // The background soaked up (nearly) everything else.
+    EXPECT_GT(ts.backgroundCpuCycles(), 400'000u);
+    EXPECT_EQ(sim.stats().rxStallCycles, 0u);
+}
+
+TEST(TimeShared, AcceleratorActionsPassThrough)
+{
+    Script fg({Action::compute(10'000, Unit::Accel),
+               Action::compute(10'000, Unit::Cpu)});
+    BackgroundLoad bg(5'000, 0);
+    TimeSharedWorkload ts(fg, bg, 2'000, 2'000);
+
+    Harness h;
+    h.hostEnd->send(bridge::encodeSyncGrant(100'000));
+    SocSim sim(*h.bridge, ts, configA());
+    sim.runPeriod();
+    // The accelerator action was not sliced: it shows up whole in the
+    // engine's accounting.
+    EXPECT_EQ(sim.stats().accelBusyCycles, 10'000u);
+    EXPECT_EQ(ts.foregroundCpuCycles(), 10'000u);
+}
+
+TEST(TimeShared, HaltedForegroundYieldsEverything)
+{
+    Script fg({}); // halts immediately
+    BackgroundLoad bg(10'000, 0);
+    TimeSharedWorkload ts(fg, bg, 5'000, 5'000);
+
+    Harness h;
+    h.hostEnd->send(bridge::encodeSyncGrant(100'000));
+    SocSim sim(*h.bridge, ts, configA());
+    sim.runPeriod();
+    EXPECT_EQ(ts.backgroundCpuCycles(), 100'000u);
+}
+
+// -------------------------------------------------------- end-to-end
+
+TEST(Multitenant, ContentionStretchesInferenceLatency)
+{
+    core::MissionSpec spec;
+    spec.world = "tunnel";
+    spec.modelDepth = 14;
+    spec.velocity = 3.0;
+    spec.maxSimSeconds = 15.0;
+
+    core::CosimConfig solo = spec.toConfig();
+    core::CosimConfig shared = spec.toConfig();
+    shared.background.enabled = true;
+    shared.background.fgQuantum = 100'000;
+    shared.background.bgQuantum = 100'000; // 50% co-tenant
+
+    core::CoSimulation a(solo);
+    core::MissionResult ra = a.run();
+    core::CoSimulation b(shared);
+    core::MissionResult rb = b.run();
+
+    ASSERT_GT(ra.inferences, 0u);
+    ASSERT_GT(rb.inferences, 0u);
+    // Host-side work is time-sliced: latency must grow materially,
+    // and the accelerator's activity factor must drop (same accel
+    // work spread over more wall cycles).
+    EXPECT_GT(rb.avgInferenceLatency, 1.3 * ra.avgInferenceLatency);
+    EXPECT_LT(rb.accelActivityFactor, ra.accelActivityFactor);
+}

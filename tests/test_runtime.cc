@@ -1,0 +1,315 @@
+/**
+ * @file
+ * Tests for the runtime layer: Equation 2 control policy, the
+ * Equations 3-5 deadline model, and the control application's state
+ * machine driven through bridge + SoC engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bridge/rose_bridge.hh"
+#include "bridge/target_driver.hh"
+#include "bridge/transport.hh"
+#include "env/sensors.hh"
+#include "env/world.hh"
+#include "runtime/control_app.hh"
+#include "runtime/control_policy.hh"
+#include "runtime/deadline.hh"
+#include "soc/socsim.hh"
+
+using namespace rose;
+using namespace rose::runtime;
+
+// ---------------------------------------------------------------- policy
+
+namespace {
+
+dnn::ClassifierOutput
+makeOutput(float ang_left, float ang_center, float ang_right,
+           float lat_left, float lat_center, float lat_right)
+{
+    dnn::ClassifierOutput o;
+    o.angular.probs = {ang_left, ang_center, ang_right};
+    o.lateral.probs = {lat_left, lat_center, lat_right};
+    o.valid = true;
+    return o;
+}
+
+} // namespace
+
+TEST(Policy, CenteredOutputsNoCorrection)
+{
+    PolicyConfig cfg;
+    cfg.forwardVelocity = 5.0;
+    auto cmd = computeCommand(
+        makeOutput(0.1f, 0.8f, 0.1f, 0.1f, 0.8f, 0.1f), cfg);
+    EXPECT_DOUBLE_EQ(cmd.forward, 5.0);
+    EXPECT_NEAR(cmd.lateral, 0.0, 1e-6);
+    EXPECT_NEAR(cmd.yawRate, 0.0, 1e-6);
+}
+
+TEST(Policy, YawedRightCommandsLeftYaw)
+{
+    // Angular head says "right" (drone yawed right of the axis):
+    // correction must be a positive (CCW/left) yaw rate.
+    PolicyConfig cfg;
+    auto cmd = computeCommand(
+        makeOutput(0.05f, 0.15f, 0.8f, 0.1f, 0.8f, 0.1f), cfg);
+    EXPECT_GT(cmd.yawRate, 0.5);
+}
+
+TEST(Policy, OffsetRightCommandsLeftMotion)
+{
+    // Lateral head says "right" (drone right of centerline):
+    // correction must be positive lateral (leftward) velocity.
+    PolicyConfig cfg;
+    auto cmd = computeCommand(
+        makeOutput(0.1f, 0.8f, 0.1f, 0.05f, 0.15f, 0.8f), cfg);
+    EXPECT_GT(cmd.lateral, 0.5);
+}
+
+TEST(Policy, MarginScalingIsProportional)
+{
+    // Equation 2: targets scale with the softmax margins.
+    PolicyConfig cfg;
+    auto strong = computeCommand(
+        makeOutput(0.0f, 0.1f, 0.9f, 0.33f, 0.34f, 0.33f), cfg);
+    auto weak = computeCommand(
+        makeOutput(0.2f, 0.3f, 0.5f, 0.33f, 0.34f, 0.33f), cfg);
+    EXPECT_GT(strong.yawRate, weak.yawRate);
+    EXPECT_NEAR(strong.yawRate / cfg.betaYaw, 0.9, 1e-5);
+    EXPECT_NEAR(weak.yawRate / cfg.betaYaw, 0.3, 1e-5);
+}
+
+TEST(Policy, ArgmaxPolicyFullAuthority)
+{
+    PolicyConfig cfg;
+    cfg.argmaxPolicy = true;
+    auto cmd = computeCommand(
+        makeOutput(0.2f, 0.3f, 0.5f, 0.5f, 0.3f, 0.2f), cfg);
+    // Weak 0.5-probability classes still map to +-1 decisions.
+    EXPECT_DOUBLE_EQ(cmd.yawRate, cfg.betaYaw);
+    EXPECT_DOUBLE_EQ(cmd.lateral, -cfg.betaLateral);
+}
+
+TEST(Policy, ArgmaxCenterIsZero)
+{
+    PolicyConfig cfg;
+    cfg.argmaxPolicy = true;
+    auto cmd = computeCommand(
+        makeOutput(0.2f, 0.6f, 0.2f, 0.1f, 0.8f, 0.1f), cfg);
+    EXPECT_DOUBLE_EQ(cmd.yawRate, 0.0);
+    EXPECT_DOUBLE_EQ(cmd.lateral, 0.0);
+}
+
+// -------------------------------------------------------------- deadline
+
+TEST(Deadline, Equation5)
+{
+    DeadlineModel m;
+    m.sensorLatency = 0.02;
+    m.actuationLatency = 0.08;
+    // t_collision = 6/3 = 2 s; budget = 2 - 0.1 = 1.9 s.
+    EXPECT_NEAR(m.processDeadline(6.0, 3.0), 1.9, 1e-9);
+    // Tight case clamps at zero.
+    EXPECT_DOUBLE_EQ(m.processDeadline(0.2, 12.0), 0.0);
+    // Hover: effectively unconstrained.
+    EXPECT_GT(m.processDeadline(5.0, 0.0), 1e6);
+}
+
+TEST(Deadline, TightensWithVelocity)
+{
+    DeadlineModel m;
+    double prev = 1e18;
+    for (double v : {3.0, 6.0, 9.0, 12.0}) {
+        double d = m.processDeadline(5.0, v);
+        EXPECT_LT(d, prev);
+        prev = d;
+    }
+}
+
+// ----------------------------------------------------------- ControlApp
+
+namespace {
+
+/** Full target-side harness: bridge + driver + app + engine, with the
+ *  host side scripted by the test. */
+struct AppHarness
+{
+    std::unique_ptr<bridge::Transport> hostEnd;
+    std::unique_ptr<bridge::Transport> bridgeEnd;
+    std::unique_ptr<bridge::RoseBridge> bridge;
+    std::unique_ptr<bridge::TargetDriver> driver;
+    std::unique_ptr<ControlApp> app;
+    std::unique_ptr<soc::SocSim> sim;
+
+    env::TunnelWorld world;
+    env::Camera cam{env::CameraConfig{}, Rng(61)};
+    env::Drone drone;
+
+    explicit AppHarness(AppConfig cfg = {},
+                        soc::SocConfig scfg = soc::configA())
+    {
+        auto [a, b] = bridge::makeInProcPair();
+        hostEnd = std::move(a);
+        bridgeEnd = std::move(b);
+        bridge = std::make_unique<bridge::RoseBridge>(*bridgeEnd);
+        driver = std::make_unique<bridge::TargetDriver>(*bridge);
+        app = std::make_unique<ControlApp>(*driver, scfg, cfg);
+        sim = std::make_unique<soc::SocSim>(*bridge, *app, scfg);
+        drone.setPose({10, 0.4, 1.5}, Quat::fromEuler(0, 0, 0.1));
+    }
+
+    /** Host side of one period: grant, run SoC, answer requests. */
+    std::vector<bridge::Packet>
+    period(Cycles grant = 10 * kMegaCycles, double depth = 20.0)
+    {
+        hostEnd->send(bridge::encodeSyncGrant(grant));
+        sim->runPeriod();
+        std::vector<bridge::Packet> from_soc;
+        bridge::Packet p;
+        while (hostEnd->recv(p)) {
+            switch (p.type) {
+              case bridge::PacketType::ImageReq:
+                hostEnd->send(bridge::encodeImageResp(
+                    cam.render(world, drone)));
+                break;
+              case bridge::PacketType::DepthReq:
+                hostEnd->send(bridge::encodeDepthResp(depth));
+                break;
+              case bridge::PacketType::SyncDone:
+                break;
+              default:
+                from_soc.push_back(p);
+                break;
+            }
+        }
+        return from_soc;
+    }
+};
+
+} // namespace
+
+TEST(ControlApp, CompletesControlIterations)
+{
+    AppConfig cfg;
+    cfg.modelDepth = 14;
+    AppHarness h(cfg);
+
+    std::vector<bridge::Packet> cmds;
+    for (int i = 0; i < 40 && cmds.size() < 2; ++i) {
+        for (bridge::Packet &p : h.period())
+            if (p.type == bridge::PacketType::VelocityCmd)
+                cmds.push_back(p);
+    }
+    ASSERT_GE(cmds.size(), 2u);
+    EXPECT_GE(h.app->inferenceCount(), 2u);
+
+    bridge::VelocityCmdPayload v = bridge::decodeVelocityCmd(cmds[0]);
+    EXPECT_DOUBLE_EQ(v.forward, cfg.policy.forwardVelocity);
+}
+
+TEST(ControlApp, LatencyNearModelLatency)
+{
+    AppConfig cfg;
+    cfg.modelDepth = 14;
+    AppHarness h(cfg);
+    for (int i = 0; i < 60 && h.app->inferenceCount() < 3; ++i)
+        h.period();
+    ASSERT_GE(h.app->inferenceCount(), 3u);
+    // Request->command latency ~ DNN latency + sync quantization:
+    // between 80 ms and 120 ms at 10M-cycle periods.
+    const auto &rec = h.app->records()[2];
+    double lat = double(rec.requestToCommand()) / 1e9;
+    EXPECT_GT(lat, 0.080);
+    EXPECT_LT(lat, 0.125);
+}
+
+TEST(ControlApp, StaticModeNeverRequestsDepth)
+{
+    AppConfig cfg;
+    cfg.mode = RuntimeMode::Static;
+    AppHarness h(cfg);
+    // Run several periods and check no depth request ever shows up
+    // (period() would answer them; count via sync stats instead).
+    bool saw_depth = false;
+    for (int i = 0; i < 40; ++i) {
+        h.hostEnd->send(bridge::encodeSyncGrant(10 * kMegaCycles));
+        h.sim->runPeriod();
+        bridge::Packet p;
+        while (h.hostEnd->recv(p)) {
+            if (p.type == bridge::PacketType::DepthReq)
+                saw_depth = true;
+            if (p.type == bridge::PacketType::ImageReq)
+                h.hostEnd->send(bridge::encodeImageResp(
+                    h.cam.render(h.world, h.drone)));
+        }
+    }
+    EXPECT_FALSE(saw_depth);
+}
+
+TEST(ControlApp, DynamicSwitchesOnTightDeadline)
+{
+    AppConfig cfg;
+    cfg.mode = RuntimeMode::Dynamic;
+    cfg.modelDepth = 14;
+    cfg.smallModelDepth = 6;
+    cfg.deadlineSafetyFactor = 10.0;
+    AppHarness h(cfg);
+
+    // Far obstacle: big model runs.
+    for (int i = 0; i < 60 && h.app->inferenceCount() < 2; ++i)
+        h.period(10 * kMegaCycles, /*depth=*/30.0);
+    ASSERT_GE(h.app->inferenceCount(), 2u);
+    EXPECT_EQ(h.app->records().back().modelDepth, 14);
+    EXPECT_FALSE(h.app->records().back().usedArgmax);
+
+    // Near obstacle: the deadline collapses; small model + argmax.
+    size_t before = h.app->inferenceCount();
+    for (int i = 0; i < 60 && h.app->inferenceCount() < before + 2; ++i)
+        h.period(10 * kMegaCycles, /*depth=*/2.0);
+    ASSERT_GE(h.app->inferenceCount(), before + 2);
+    EXPECT_EQ(h.app->records().back().modelDepth, 6);
+    EXPECT_TRUE(h.app->records().back().usedArgmax);
+}
+
+TEST(ControlApp, DynamicFasterIterationOnSmallModel)
+{
+    AppConfig cfg;
+    cfg.mode = RuntimeMode::Dynamic;
+    AppHarness h(cfg);
+    // Warm up and collect latencies at far and near depths.
+    for (int i = 0; i < 80 && h.app->inferenceCount() < 3; ++i)
+        h.period(10 * kMegaCycles, 30.0);
+    double lat_big =
+        double(h.app->records().back().requestToCommand()) / 1e9;
+    size_t before = h.app->inferenceCount();
+    for (int i = 0; i < 80 && h.app->inferenceCount() < before + 3; ++i)
+        h.period(10 * kMegaCycles, 2.0);
+    double lat_small =
+        double(h.app->records().back().requestToCommand()) / 1e9;
+    EXPECT_LT(lat_small, lat_big);
+}
+
+TEST(ControlApp, AccelBusyOnlyDuringInference)
+{
+    AppConfig cfg;
+    AppHarness h(cfg);
+    for (int i = 0; i < 40 && h.app->inferenceCount() < 2; ++i)
+        h.period();
+    const soc::SocStats &s = h.sim->stats();
+    EXPECT_GT(s.accelBusyCycles, 0u);
+    EXPECT_LT(s.accelBusyCycles, s.totalCycles);
+    // With waits dominating, activity factor is well under 50%.
+    EXPECT_LT(s.accelActivityFactor(), 0.5);
+}
+
+TEST(ControlApp, WorkloadNames)
+{
+    AppConfig cfg;
+    AppHarness a(cfg);
+    EXPECT_EQ(a.app->workloadName(), "trailnav-static-ResNet14");
+    cfg.mode = RuntimeMode::Dynamic;
+    AppHarness b(cfg);
+    EXPECT_EQ(b.app->workloadName(), "trailnav-dynamic-ResNet14/ResNet6");
+}

@@ -1,0 +1,623 @@
+/**
+ * @file
+ * Tests for the RV32IM substrate: decoder, functional core, assembler,
+ * and the Rocket/BOOM timing models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rv/assembler.hh"
+#include "rv/core.hh"
+#include "rv/insn.hh"
+#include "rv/timing.hh"
+
+using namespace rose;
+using namespace rose::rv;
+
+namespace {
+
+/** Assemble, run to ecall, return the core for inspection. */
+Core
+runProgram(const std::string &src, uint64_t max_insns = 1'000'000)
+{
+    Core core;
+    Program p = assemble(src);
+    core.loadProgram(p.words);
+    core.run(max_insns);
+    EXPECT_EQ(core.stopReason(), StopReason::Ecall);
+    return core;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------- decode
+
+TEST(Decode, AddiEncoding)
+{
+    // addi x1, x2, -3  -> imm=0xffd rs1=2 f3=0 rd=1 op=0x13
+    uint32_t raw = (0xffdu << 20) | (2u << 15) | (0u << 12) | (1u << 7) |
+                   0x13;
+    Insn i = decode(raw);
+    EXPECT_EQ(i.op, Op::Addi);
+    EXPECT_EQ(i.rd, 1);
+    EXPECT_EQ(i.rs1, 2);
+    EXPECT_EQ(i.imm, -3);
+    EXPECT_EQ(i.opClass(), OpClass::IntAlu);
+}
+
+TEST(Decode, IllegalOpcode)
+{
+    EXPECT_EQ(decode(0xffffffffu).op, Op::Illegal);
+    EXPECT_EQ(decode(0).op, Op::Illegal);
+}
+
+TEST(Decode, OpClasses)
+{
+    EXPECT_EQ(decode(0x00000063).opClass(), OpClass::Branch); // beq
+    EXPECT_EQ(decode(0x0000006f).opClass(), OpClass::Jump);   // jal
+    EXPECT_EQ(decode(0x00002003).opClass(), OpClass::Load);   // lw
+    EXPECT_EQ(decode(0x00002023).opClass(), OpClass::Store);  // sw
+    EXPECT_EQ(decode(0x02000033).opClass(), OpClass::Mul);    // mul
+    EXPECT_EQ(decode(0x02004033).opClass(), OpClass::Div);    // div
+}
+
+// ------------------------------------------------------------ functional
+
+TEST(Core, ArithmeticBasics)
+{
+    Core c = runProgram(R"(
+        li a0, 10
+        li a1, 32
+        add a2, a0, a1
+        sub a3, a1, a0
+        ecall
+    )");
+    EXPECT_EQ(c.reg(12), 42u);
+    EXPECT_EQ(c.reg(13), 22u);
+}
+
+TEST(Core, X0IsHardwiredZero)
+{
+    Core c = runProgram(R"(
+        li x0, 55
+        addi x0, x0, 1
+        mv a0, x0
+        ecall
+    )");
+    EXPECT_EQ(c.reg(10), 0u);
+}
+
+TEST(Core, LargeImmediateLi)
+{
+    Core c = runProgram(R"(
+        li a0, 0x12345678
+        li a1, -100000
+        ecall
+    )");
+    EXPECT_EQ(c.reg(10), 0x12345678u);
+    EXPECT_EQ(int32_t(c.reg(11)), -100000);
+}
+
+TEST(Core, LoadStoreRoundTrip)
+{
+    Core c = runProgram(R"(
+        li a0, 0x1000
+        li a1, 0xdeadbeef
+        sw a1, 0(a0)
+        lw a2, 0(a0)
+        lhu a3, 0(a0)
+        lbu a4, 3(a0)
+        lb a5, 3(a0)
+        ecall
+    )");
+    EXPECT_EQ(c.reg(12), 0xdeadbeefu);
+    EXPECT_EQ(c.reg(13), 0xbeefu);
+    EXPECT_EQ(c.reg(14), 0xdeu);
+    EXPECT_EQ(int32_t(c.reg(15)), int32_t(int8_t(0xde)));
+}
+
+TEST(Core, FibonacciLoop)
+{
+    Core c = runProgram(R"(
+        li a0, 10      # n
+        li a1, 0       # fib(0)
+        li a2, 1       # fib(1)
+    loop:
+        beqz a0, done
+        add a3, a1, a2
+        mv a1, a2
+        mv a2, a3
+        addi a0, a0, -1
+        j loop
+    done:
+        ecall
+    )");
+    EXPECT_EQ(c.reg(11), 55u); // fib(10)
+}
+
+TEST(Core, FunctionCallReturn)
+{
+    Core c = runProgram(R"(
+        li a0, 5
+        call double_it
+        ecall
+    double_it:
+        slli a0, a0, 1
+        ret
+    )");
+    EXPECT_EQ(c.reg(10), 10u);
+}
+
+TEST(Core, MulDivFamily)
+{
+    Core c = runProgram(R"(
+        li a0, -6
+        li a1, 7
+        mul a2, a0, a1
+        div a3, a0, a1
+        rem a4, a0, a1
+        li a5, 100000
+        mulhu a6, a5, a5
+        ecall
+    )");
+    EXPECT_EQ(int32_t(c.reg(12)), -42);
+    EXPECT_EQ(int32_t(c.reg(13)), 0);
+    EXPECT_EQ(int32_t(c.reg(14)), -6);
+    EXPECT_EQ(c.reg(16), uint32_t((100000ull * 100000ull) >> 32));
+}
+
+TEST(Core, DivisionByZeroPerSpec)
+{
+    Core c = runProgram(R"(
+        li a0, 17
+        li a1, 0
+        div a2, a0, a1
+        divu a3, a0, a1
+        rem a4, a0, a1
+        ecall
+    )");
+    EXPECT_EQ(c.reg(12), 0xffffffffu);
+    EXPECT_EQ(c.reg(13), 0xffffffffu);
+    EXPECT_EQ(c.reg(14), 17u);
+}
+
+TEST(Core, ShiftsAndComparisons)
+{
+    Core c = runProgram(R"(
+        li a0, -8
+        srai a1, a0, 1
+        srli a2, a0, 28
+        slti a3, a0, 0
+        sltiu a4, a0, 1
+        ecall
+    )");
+    EXPECT_EQ(int32_t(c.reg(11)), -4);
+    EXPECT_EQ(c.reg(12), 0xfu);
+    EXPECT_EQ(c.reg(13), 1u);
+    EXPECT_EQ(c.reg(14), 0u); // unsigned -8 is huge
+}
+
+TEST(Core, BadAddressStops)
+{
+    Core c;
+    Program p = assemble(R"(
+        li a0, 0x7fffffff
+        lw a1, 0(a0)
+        ecall
+    )");
+    c.loadProgram(p.words);
+    c.run();
+    EXPECT_EQ(c.stopReason(), StopReason::BadAddress);
+}
+
+TEST(Core, MmioWindowDispatch)
+{
+    Core c;
+    uint32_t last_write_off = 0, last_write_val = 0;
+    c.setMmioWindow(
+        0x40000000u, 0x100,
+        [](uint32_t off) { return off + 0x100u; },
+        [&](uint32_t off, uint32_t v) {
+            last_write_off = off;
+            last_write_val = v;
+        });
+    Program p = assemble(R"(
+        lui a0, 0x40000
+        lw a1, 8(a0)
+        li a2, 77
+        sw a2, 12(a0)
+        ecall
+    )");
+    c.loadProgram(p.words);
+    c.run();
+    EXPECT_EQ(c.stopReason(), StopReason::Ecall);
+    EXPECT_EQ(c.reg(11), 0x108u);
+    EXPECT_EQ(last_write_off, 12u);
+    EXPECT_EQ(last_write_val, 77u);
+}
+
+TEST(Core, InstretCounts)
+{
+    Core c = runProgram(R"(
+        nop
+        nop
+        nop
+        ecall
+    )");
+    EXPECT_EQ(c.instret(), 4u);
+}
+
+// ------------------------------------------------------------- assembler
+
+TEST(Assembler, SymbolsResolve)
+{
+    Program p = assemble(R"(
+    start:
+        nop
+    mid:
+        nop
+    end:
+        ecall
+    )");
+    EXPECT_EQ(p.symbols.at("start"), 0u);
+    EXPECT_EQ(p.symbols.at("mid"), 4u);
+    EXPECT_EQ(p.symbols.at("end"), 8u);
+    EXPECT_EQ(p.words.size(), 3u);
+}
+
+TEST(Assembler, BackwardAndForwardBranches)
+{
+    // Encoded branches must round-trip through the decoder with the
+    // right displacement.
+    Program p = assemble(R"(
+    top:
+        beq a0, a1, bottom
+        j top
+    bottom:
+        ecall
+    )");
+    Insn beq = decode(p.words[0]);
+    EXPECT_EQ(beq.op, Op::Beq);
+    EXPECT_EQ(beq.imm, 8);
+    Insn j = decode(p.words[1]);
+    EXPECT_EQ(j.op, Op::Jal);
+    EXPECT_EQ(j.imm, -4);
+}
+
+TEST(Assembler, WordDirective)
+{
+    Program p = assemble(R"(
+        .word 0x11223344, 42
+    )");
+    EXPECT_EQ(p.words[0], 0x11223344u);
+    EXPECT_EQ(p.words[1], 42u);
+}
+
+TEST(Assembler, BaseAddressAffectsSymbols)
+{
+    Program p = assemble("foo: nop\n", 0x1000);
+    EXPECT_EQ(p.symbols.at("foo"), 0x1000u);
+    EXPECT_EQ(p.base, 0x1000u);
+}
+
+TEST(Assembler, PseudoExpansions)
+{
+    Program p = assemble(R"(
+        nop
+        mv a0, a1
+        neg a2, a3
+        not a4, a5
+        seqz a6, a7
+        snez t0, t1
+    )");
+    EXPECT_EQ(decode(p.words[0]).op, Op::Addi);
+    EXPECT_EQ(decode(p.words[1]).op, Op::Addi);
+    EXPECT_EQ(decode(p.words[2]).op, Op::Sub);
+    EXPECT_EQ(decode(p.words[3]).op, Op::Xori);
+    EXPECT_EQ(decode(p.words[4]).op, Op::Sltiu);
+    EXPECT_EQ(decode(p.words[5]).op, Op::Sltu);
+}
+
+TEST(AssemblerDeathTest, ErrorsAreFatal)
+{
+    EXPECT_EXIT(assemble("bogus a0, a1\n"),
+                ::testing::ExitedWithCode(1), "unknown mnemonic");
+    EXPECT_EXIT(assemble("addi a0, a1\n"),
+                ::testing::ExitedWithCode(1), "missing");
+    EXPECT_EXIT(assemble("j nowhere\n"),
+                ::testing::ExitedWithCode(1), "label");
+}
+
+// ---------------------------------------------------------------- timing
+
+namespace {
+
+/** Run a program on the functional core, feeding a timing model. */
+Cycles
+timeProgram(const std::string &src, TimingModel &tm,
+            uint64_t max_insns = 2'000'000)
+{
+    Core core;
+    Program p = assemble(src);
+    core.loadProgram(p.words);
+    uint64_t n = 0;
+    while (core.stopReason() == StopReason::Running && n < max_insns) {
+        tm.retire(core.step());
+        ++n;
+    }
+    EXPECT_EQ(core.stopReason(), StopReason::Ecall);
+    return tm.cycles();
+}
+
+const char *kAluLoop = R"(
+        li a0, 10000
+        li a1, 0
+    loop:
+        addi a1, a1, 3
+        xori a2, a1, 5
+        and a3, a2, a1
+        or a4, a3, a2
+        addi a0, a0, -1
+        bnez a0, loop
+        ecall
+)";
+
+} // namespace
+
+TEST(Timing, BoomBeatsRocketOnAlu)
+{
+    RocketTiming rocket;
+    BoomTiming boom;
+    Cycles cr = timeProgram(kAluLoop, rocket);
+    Cycles cb = timeProgram(kAluLoop, boom);
+    EXPECT_LT(cb, cr);
+    // Rocket is scalar: IPC can approach but not exceed 1.
+    EXPECT_LE(rocket.ipc(), 1.0);
+    // BOOM is 3-wide: this loop should sustain IPC well above 1.
+    EXPECT_GT(boom.ipc(), 1.3);
+}
+
+TEST(Timing, DivIsExpensive)
+{
+    const char *div_loop = R"(
+        li a0, 1000
+        li a1, 7
+    loop:
+        div a2, a0, a1
+        addi a0, a0, -1
+        bnez a0, loop
+        ecall
+    )";
+    RocketTiming slow;
+    RocketTiming fast;
+    Cycles with_div = timeProgram(div_loop, slow);
+    Cycles without = timeProgram(kAluLoop, fast);
+    // 1000 divides at ~32 cycles each dominate a 10k ALU-op loop run.
+    double div_cpi = double(with_div) / double(slow.stats().insns);
+    double alu_cpi = double(without) / double(fast.stats().insns);
+    EXPECT_GT(div_cpi, 5.0 * alu_cpi);
+}
+
+TEST(Timing, MispredictsCost)
+{
+    // A data-dependent alternating branch defeats the BTFN predictor
+    // roughly half the time in the forward direction.
+    const char *branchy = R"(
+        li a0, 20000
+        li a1, 0
+    loop:
+        andi a2, a0, 1
+        beqz a2, skip
+        addi a1, a1, 1
+    skip:
+        addi a0, a0, -1
+        bnez a0, loop
+        ecall
+    )";
+    RocketTiming tm;
+    timeProgram(branchy, tm);
+    EXPECT_GT(tm.stats().mispredicts, 5000u);
+    EXPECT_LT(tm.stats().mispredicts, tm.stats().branches);
+}
+
+TEST(Timing, CacheMissesChargeDram)
+{
+    // Stride through 1 MiB with 64 B lines: every access misses.
+    const char *strider = R"(
+        li a0, 0x4000     # base
+        li a1, 4096       # accesses
+    loop:
+        lw a2, 0(a0)
+        addi a0, a0, 64
+        addi a1, a1, -1
+        bnez a1, loop
+        ecall
+    )";
+    RocketTiming tm;
+    Cycles c = timeProgram(strider, tm);
+    EXPECT_GE(tm.stats().cacheMisses, 4000u);
+    // Each miss pays ~80 cycles.
+    EXPECT_GT(c, 4000u * 80u);
+}
+
+TEST(Timing, MmioPenaltyApplied)
+{
+    Core core;
+    core.setMmioWindow(
+        0x40000000u, 0x100, [](uint32_t) { return 0u; },
+        [](uint32_t, uint32_t) {});
+    Program p = assemble(R"(
+        lui a0, 0x40000
+        lw a1, 0(a0)
+        lw a2, 0(a0)
+        ecall
+    )");
+    core.loadProgram(p.words);
+    RocketTiming tm;
+    while (core.stopReason() == StopReason::Running)
+        tm.retire(core.step());
+    EXPECT_EQ(tm.stats().mmioAccesses, 2u);
+    EXPECT_GT(tm.cycles(), 2u * TimingParams{}.mmioLatency);
+}
+
+TEST(Timing, ResetClearsState)
+{
+    RocketTiming tm;
+    timeProgram(kAluLoop, tm);
+    EXPECT_GT(tm.cycles(), 0u);
+    tm.reset();
+    EXPECT_EQ(tm.cycles(), 0u);
+    EXPECT_EQ(tm.stats().insns, 0u);
+}
+
+TEST(Timing, FactoryNames)
+{
+    EXPECT_EQ(makeTimingModel("rocket")->modelName(), "rocket");
+    EXPECT_EQ(makeTimingModel("boom")->modelName(), "boom");
+}
+
+TEST(Timing, SameWorkSameFunctionalResult)
+{
+    // Timing models must not perturb architectural state: run the same
+    // program under both and compare a register.
+    auto run = [&](TimingModel &tm) {
+        Core core;
+        Program p = assemble(kAluLoop);
+        core.loadProgram(p.words);
+        while (core.stopReason() == StopReason::Running)
+            tm.retire(core.step());
+        return core.reg(14);
+    };
+    RocketTiming r;
+    BoomTiming b;
+    EXPECT_EQ(run(r), run(b));
+}
+
+// --------------------------------------------- asm/decode round trips
+
+namespace {
+
+struct RoundTrip
+{
+    const char *source;
+    Op op;
+    int rd, rs1, rs2;
+    int32_t imm;
+};
+
+} // namespace
+
+class AsmDecodeRoundTrip : public ::testing::TestWithParam<RoundTrip>
+{
+};
+
+TEST_P(AsmDecodeRoundTrip, EncodesAndDecodes)
+{
+    const RoundTrip &rt = GetParam();
+    Program p = assemble(rt.source);
+    ASSERT_EQ(p.words.size(), 1u) << rt.source;
+    Insn i = decode(p.words[0]);
+    EXPECT_EQ(i.op, rt.op) << rt.source;
+    if (rt.rd >= 0) {
+        EXPECT_EQ(int(i.rd), rt.rd) << rt.source;
+    }
+    if (rt.rs1 >= 0) {
+        EXPECT_EQ(int(i.rs1), rt.rs1) << rt.source;
+    }
+    if (rt.rs2 >= 0) {
+        EXPECT_EQ(int(i.rs2), rt.rs2) << rt.source;
+    }
+    if (rt.imm != INT32_MIN) {
+        EXPECT_EQ(i.imm, rt.imm) << rt.source;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllForms, AsmDecodeRoundTrip,
+    ::testing::Values(
+        RoundTrip{"addi a0, a1, -42\n", Op::Addi, 10, 11, -1, -42},
+        RoundTrip{"slti t0, t1, 100\n", Op::Slti, 5, 6, -1, 100},
+        RoundTrip{"sltiu s0, s1, 2047\n", Op::Sltiu, 8, 9, -1, 2047},
+        RoundTrip{"xori a2, a3, 255\n", Op::Xori, 12, 13, -1, 255},
+        RoundTrip{"ori a4, a5, 15\n", Op::Ori, 14, 15, -1, 15},
+        RoundTrip{"andi a6, a7, 7\n", Op::Andi, 16, 17, -1, 7},
+        RoundTrip{"slli t2, t3, 5\n", Op::Slli, 7, 28, -1, 5},
+        RoundTrip{"srli t4, t5, 31\n", Op::Srli, 29, 30, -1, 31},
+        RoundTrip{"srai t6, zero, 1\n", Op::Srai, 31, 0, -1, 1},
+        RoundTrip{"add a0, a1, a2\n", Op::Add, 10, 11, 12, INT32_MIN},
+        RoundTrip{"sub s2, s3, s4\n", Op::Sub, 18, 19, 20, INT32_MIN},
+        RoundTrip{"sll s5, s6, s7\n", Op::Sll, 21, 22, 23, INT32_MIN},
+        RoundTrip{"slt s8, s9, s10\n", Op::Slt, 24, 25, 26, INT32_MIN},
+        RoundTrip{"sltu s11, ra, sp\n", Op::Sltu, 27, 1, 2, INT32_MIN},
+        RoundTrip{"xor gp, tp, t0\n", Op::Xor, 3, 4, 5, INT32_MIN},
+        RoundTrip{"srl a0, a1, a2\n", Op::Srl, 10, 11, 12, INT32_MIN},
+        RoundTrip{"sra a0, a1, a2\n", Op::Sra, 10, 11, 12, INT32_MIN},
+        RoundTrip{"or a0, a1, a2\n", Op::Or, 10, 11, 12, INT32_MIN},
+        RoundTrip{"and a0, a1, a2\n", Op::And, 10, 11, 12, INT32_MIN},
+        RoundTrip{"mul a0, a1, a2\n", Op::Mul, 10, 11, 12, INT32_MIN},
+        RoundTrip{"mulh a0, a1, a2\n", Op::Mulh, 10, 11, 12, INT32_MIN},
+        RoundTrip{"mulhsu a0, a1, a2\n", Op::Mulhsu, 10, 11, 12,
+                  INT32_MIN},
+        RoundTrip{"mulhu a0, a1, a2\n", Op::Mulhu, 10, 11, 12,
+                  INT32_MIN},
+        RoundTrip{"div a0, a1, a2\n", Op::Div, 10, 11, 12, INT32_MIN},
+        RoundTrip{"divu a0, a1, a2\n", Op::Divu, 10, 11, 12, INT32_MIN},
+        RoundTrip{"rem a0, a1, a2\n", Op::Rem, 10, 11, 12, INT32_MIN},
+        RoundTrip{"remu a0, a1, a2\n", Op::Remu, 10, 11, 12, INT32_MIN},
+        RoundTrip{"lb a0, -8(sp)\n", Op::Lb, 10, 2, -1, -8},
+        RoundTrip{"lh a0, 2(sp)\n", Op::Lh, 10, 2, -1, 2},
+        RoundTrip{"lw a0, 2047(sp)\n", Op::Lw, 10, 2, -1, 2047},
+        RoundTrip{"lbu a0, 0(sp)\n", Op::Lbu, 10, 2, -1, 0},
+        RoundTrip{"lhu a0, 16(sp)\n", Op::Lhu, 10, 2, -1, 16},
+        RoundTrip{"sb a0, -2048(sp)\n", Op::Sb, -1, 2, 10, -2048},
+        RoundTrip{"sh a0, 4(sp)\n", Op::Sh, -1, 2, 10, 4},
+        RoundTrip{"sw a0, 124(sp)\n", Op::Sw, -1, 2, 10, 124},
+        RoundTrip{"lui a0, 0x12345\n", Op::Lui, 10, -1, -1,
+                  int32_t(0x12345000)},
+        RoundTrip{"auipc a0, 1\n", Op::Auipc, 10, -1, -1, 0x1000},
+        RoundTrip{"jalr a0, 8(a1)\n", Op::Jalr, 10, 11, -1, 8},
+        RoundTrip{"fence\n", Op::Fence, -1, -1, -1, INT32_MIN},
+        RoundTrip{"ecall\n", Op::Ecall, -1, -1, -1, INT32_MIN},
+        RoundTrip{"ebreak\n", Op::Ebreak, -1, -1, -1, INT32_MIN}));
+
+TEST(AsmDecode, BranchDisplacementsAllOps)
+{
+    // All branch mnemonics encode/decode with the same displacement.
+    for (const char *b : {"beq", "bne", "blt", "bge", "bltu", "bgeu"}) {
+        std::string src = std::string("top: nop\n") + b +
+                          " a0, a1, top\n";
+        Program p = assemble(src);
+        Insn i = decode(p.words[1]);
+        EXPECT_EQ(i.imm, -4) << b;
+        EXPECT_EQ(i.rs1, 10) << b;
+        EXPECT_EQ(i.rs2, 11) << b;
+    }
+}
+
+TEST(AsmDecode, FunctionalSmokeAllAluOps)
+{
+    // Run a program exercising every ALU/M op and check a checksum.
+    Core c = runProgram(R"(
+        li a0, 12
+        li a1, 5
+        add t0, a0, a1      # 17
+        sub t1, a0, a1      # 7
+        sll t2, a1, a0      # 5 << 12 = 20480
+        xor t3, a0, a1      # 9
+        or  t4, a0, a1      # 13
+        and t5, a0, a1      # 4
+        mul t6, a0, a1      # 60
+        div s2, a0, a1      # 2
+        rem s3, a0, a1      # 2
+        add s4, t0, t1
+        add s4, s4, t2
+        add s4, s4, t3
+        add s4, s4, t4
+        add s4, s4, t5
+        add s4, s4, t6
+        add s4, s4, s2
+        add s4, s4, s3
+        ecall
+    )");
+    EXPECT_EQ(c.reg(20), 17u + 7 + 20480 + 9 + 13 + 4 + 60 + 2 + 2);
+}

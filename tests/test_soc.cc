@@ -1,0 +1,395 @@
+/**
+ * @file
+ * Tests for the SoC engine layer: Table 2 configurations, the action
+ * engine (budget accounting, stalls, activity factors), and RV32IM
+ * programs as bridge-driving workloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bridge/rose_bridge.hh"
+#include "bridge/transport.hh"
+#include "rv/assembler.hh"
+#include "soc/config.hh"
+#include "soc/rv_workload.hh"
+#include "soc/socsim.hh"
+
+using namespace rose;
+using namespace rose::soc;
+
+// ---------------------------------------------------------------- config
+
+TEST(SocConfig, Table2Matrix)
+{
+    SocConfig a = configA(), b = configB(), c = configC();
+    EXPECT_EQ(a.cpu, CpuModel::Boom);
+    EXPECT_TRUE(a.hasGemmini);
+    EXPECT_EQ(b.cpu, CpuModel::Rocket);
+    EXPECT_TRUE(b.hasGemmini);
+    EXPECT_EQ(c.cpu, CpuModel::Boom);
+    EXPECT_FALSE(c.hasGemmini);
+    EXPECT_EQ(a.cpuName(), "3-wide BOOM");
+    EXPECT_EQ(b.cpuName(), "Rocket");
+    EXPECT_EQ(c.acceleratorName(), "None");
+}
+
+TEST(SocConfig, RocketSlowerHost)
+{
+    CpuParams r = rocketParams(), b = boomParams();
+    EXPECT_GT(r.mmioAccessCycles, b.mmioAccessCycles);
+    EXPECT_LT(r.hostBytesPerCycle, b.hostBytesPerCycle);
+    EXPECT_LT(r.flopsPerCycle, b.flopsPerCycle);
+    EXPECT_GT(r.perLayerFixedCycles, b.perLayerFixedCycles);
+}
+
+TEST(SocConfigDeathTest, UnknownNameFatal)
+{
+    EXPECT_EXIT(configByName("Z"), ::testing::ExitedWithCode(1),
+                "unknown SoC config");
+}
+
+// ---------------------------------------------------------------- engine
+
+namespace {
+
+/** Scripted workload: replays a fixed list of actions, then halts. */
+class ScriptWorkload : public Workload
+{
+  public:
+    explicit ScriptWorkload(std::vector<Action> script)
+        : script_(std::move(script)) {}
+
+    std::string workloadName() const override { return "script"; }
+
+    Action
+    next(const SocContext &ctx) override
+    {
+        lastCtx_ = ctx;
+        if (idx_ >= script_.size())
+            return Action::halt();
+        return script_[idx_++];
+    }
+
+    SocContext lastCtx_;
+
+  private:
+    std::vector<Action> script_;
+    size_t idx_ = 0;
+};
+
+struct EngineHarness
+{
+    std::unique_ptr<bridge::Transport> hostEnd;
+    std::unique_ptr<bridge::Transport> bridgeEnd;
+    std::unique_ptr<bridge::RoseBridge> bridge;
+
+    EngineHarness()
+    {
+        auto [a, b] = bridge::makeInProcPair();
+        hostEnd = std::move(a);
+        bridgeEnd = std::move(b);
+        bridge = std::make_unique<bridge::RoseBridge>(*bridgeEnd);
+    }
+
+    void
+    grant(Cycles c)
+    {
+        hostEnd->send(bridge::encodeSyncGrant(c));
+    }
+};
+
+} // namespace
+
+TEST(SocSim, BudgetExactlyConsumed)
+{
+    EngineHarness h;
+    ScriptWorkload wl({Action::compute(300, Unit::Cpu),
+                       Action::compute(500, Unit::Accel)});
+    SocSim sim(*h.bridge, wl, configA());
+
+    h.grant(1000);
+    sim.runPeriod();
+    EXPECT_EQ(sim.now(), 1000u);
+    EXPECT_EQ(sim.stats().cpuBusyCycles, 300u);
+    EXPECT_EQ(sim.stats().accelBusyCycles, 500u);
+    EXPECT_EQ(sim.stats().haltIdleCycles, 200u);
+    EXPECT_TRUE(sim.halted());
+    EXPECT_TRUE(h.bridge->stalled());
+}
+
+TEST(SocSim, ActionSpansPeriods)
+{
+    EngineHarness h;
+    ScriptWorkload wl({Action::compute(2500, Unit::Accel)});
+    SocSim sim(*h.bridge, wl, configA());
+
+    for (int i = 0; i < 3; ++i) {
+        h.grant(1000);
+        sim.runPeriod();
+    }
+    EXPECT_EQ(sim.now(), 3000u);
+    EXPECT_EQ(sim.stats().accelBusyCycles, 2500u);
+    EXPECT_EQ(sim.stats().haltIdleCycles, 500u);
+}
+
+TEST(SocSim, WaitRxStallsToBoundary)
+{
+    EngineHarness h;
+    ScriptWorkload wl({Action::compute(100, Unit::Cpu),
+                       Action::waitRx(),
+                       Action::compute(50, Unit::Cpu)});
+    SocSim sim(*h.bridge, wl, configA());
+
+    // Period 1: compute 100 then stall 900 (RX empty).
+    h.grant(1000);
+    sim.runPeriod();
+    EXPECT_EQ(sim.stats().rxStallCycles, 900u);
+    EXPECT_FALSE(sim.halted());
+
+    // Deliver a data packet; period 2 completes the wait.
+    h.hostEnd->send(bridge::encodeDepthResp(1.0));
+    h.grant(1000);
+    sim.runPeriod();
+    EXPECT_EQ(sim.stats().cpuBusyCycles, 150u);
+    EXPECT_TRUE(sim.halted());
+}
+
+TEST(SocSim, ActivityFactorComputed)
+{
+    EngineHarness h;
+    ScriptWorkload wl({Action::compute(250, Unit::Accel)});
+    SocSim sim(*h.bridge, wl, configA());
+    h.grant(1000);
+    sim.runPeriod();
+    EXPECT_DOUBLE_EQ(sim.stats().accelActivityFactor(), 0.25);
+}
+
+TEST(SocSim, SyncDoneSentEachPeriod)
+{
+    EngineHarness h;
+    ScriptWorkload wl({});
+    SocSim sim(*h.bridge, wl, configA());
+    h.grant(500);
+    sim.runPeriod();
+    bridge::Packet p;
+    bool done_seen = false;
+    while (h.hostEnd->recv(p))
+        done_seen |= p.type == bridge::PacketType::SyncDone &&
+                     bridge::decodeSyncDone(p) == 500;
+    EXPECT_TRUE(done_seen);
+}
+
+TEST(SocSim, ContextExposesTimeAndRx)
+{
+    EngineHarness h;
+    ScriptWorkload wl({Action::compute(100, Unit::Cpu)});
+    SocSim sim(*h.bridge, wl, configA());
+    h.hostEnd->send(bridge::encodeDepthResp(2.0));
+    h.grant(1000);
+    sim.runPeriod();
+    // The last next() call (the halt) saw the RX packet and a
+    // mid-period timestamp.
+    EXPECT_EQ(wl.lastCtx_.rxPackets, 1u);
+    EXPECT_EQ(wl.lastCtx_.now, 100u);
+}
+
+TEST(SocSimDeathTest, RunWithoutGrantPanics)
+{
+    EngineHarness h;
+    ScriptWorkload wl({});
+    SocSim sim(*h.bridge, wl, configA());
+    EXPECT_DEATH(sim.runPeriod(), "grant");
+}
+
+// ----------------------------------------------------------- RvWorkload
+
+TEST(RvWorkload, ComputeChunksCarryTimingCycles)
+{
+    EngineHarness h;
+    rv::Core core;
+    rv::Program p = rv::assemble(R"(
+        li a0, 1000
+    loop:
+        addi a0, a0, -1
+        bnez a0, loop
+        ecall
+    )");
+    core.loadProgram(p.words);
+    rv::RocketTiming tm;
+    RvWorkload wl(core, tm, "countdown");
+    SocSim sim(*h.bridge, wl, configA());
+
+    h.grant(100'000);
+    sim.runPeriod();
+    EXPECT_TRUE(sim.halted());
+    // ~2000 retired instructions at CPI ~1 -> ~2000+ busy cycles.
+    EXPECT_GT(sim.stats().cpuBusyCycles, 2000u);
+    EXPECT_LT(sim.stats().cpuBusyCycles, 10'000u);
+    EXPECT_EQ(core.stopReason(), rv::StopReason::Ecall);
+}
+
+TEST(RvWorkload, FenceWaitsForBridgeRx)
+{
+    // A target program that parks on fence until the host sends a
+    // packet, then reads RX_COUNT via MMIO and stores it to memory.
+    EngineHarness h;
+    rv::Core core;
+    attachMmioDevice(core, *h.bridge);
+    rv::Program p = rv::assemble(R"(
+        fence              # wait for IO
+        lui a0, 0x40000
+        lw a1, 0(a0)       # RX_COUNT
+        li a2, 0x100
+        sw a1, 0(a2)
+        ecall
+    )");
+    core.loadProgram(p.words);
+    rv::RocketTiming tm;
+    RvWorkload wl(core, tm, "fence-wait");
+    SocSim sim(*h.bridge, wl, configA());
+
+    // Period 1: the program fences and stalls (no RX data).
+    h.grant(10'000);
+    sim.runPeriod();
+    EXPECT_FALSE(sim.halted());
+    EXPECT_GT(sim.stats().rxStallCycles, 0u);
+
+    // Period 2: host data arrives; program resumes and reads it.
+    h.hostEnd->send(bridge::encodeDepthResp(3.0));
+    h.grant(10'000);
+    sim.runPeriod();
+    EXPECT_TRUE(sim.halted());
+    EXPECT_EQ(core.loadWord(0x100), 1u);
+}
+
+TEST(RvWorkload, MmioCostsShowInTiming)
+{
+    EngineHarness h;
+    rv::Core core;
+    attachMmioDevice(core, *h.bridge);
+    rv::Program p = rv::assemble(R"(
+        lui a0, 0x40000
+        li a1, 100
+    loop:
+        lw a2, 0(a0)       # uncached MMIO read
+        addi a1, a1, -1
+        bnez a1, loop
+        ecall
+    )");
+    core.loadProgram(p.words);
+    rv::RocketTiming tm;
+    RvWorkload wl(core, tm, "mmio-loop");
+    SocSim sim(*h.bridge, wl, configA());
+    h.grant(1'000'000);
+    sim.runPeriod();
+    EXPECT_TRUE(sim.halted());
+    // 100 MMIO reads at ~40 cycles each dominate the loop.
+    EXPECT_GT(sim.stats().cpuBusyCycles, 100u * 40u);
+    EXPECT_EQ(tm.stats().mmioAccesses, 100u);
+}
+
+// ---------------------------------------------------------------- energy
+
+#include "soc/energy.hh"
+
+TEST(Energy, ComponentsAddUp)
+{
+    SocStats s;
+    s.totalCycles = 1'000'000;
+    s.cpuBusyCycles = 400'000;
+    s.accelBusyCycles = 100'000;
+    s.ioBusyCycles = 50'000;
+    s.rxStallCycles = 450'000;
+
+    EnergyModel m;
+    double expected_pj = 400'000.0 * m.boomActivePj +
+                         100'000.0 * m.accelActivePj +
+                         50'000.0 * m.ioPj + 450'000.0 * m.cpuIdlePj +
+                         1'000'000.0 * m.staticPj;
+    EXPECT_NEAR(m.energyJoules(s, CpuModel::Boom), expected_pj * 1e-12,
+                1e-18);
+}
+
+TEST(Energy, RocketActiveCheaperThanBoom)
+{
+    SocStats s;
+    s.totalCycles = 1'000'000;
+    s.cpuBusyCycles = 1'000'000;
+    EnergyModel m;
+    EXPECT_LT(m.energyJoules(s, CpuModel::Rocket),
+              m.energyJoules(s, CpuModel::Boom));
+}
+
+TEST(Energy, AveragePowerSane)
+{
+    // A mostly-idle 1 GHz SoC should land in the tens of milliwatts.
+    SocStats s;
+    s.totalCycles = 1'000'000'000; // 1 s
+    s.rxStallCycles = 900'000'000;
+    s.cpuBusyCycles = 100'000'000;
+    EnergyModel m;
+    double watts = m.averagePowerWatts(s, CpuModel::Boom, 1e9);
+    EXPECT_GT(watts, 0.02);
+    EXPECT_LT(watts, 0.2);
+}
+
+// ----------------------------------------------------------------- trace
+
+#include <cstdio>
+#include <fstream>
+
+#include "soc/trace.hh"
+
+TEST(Trace, RecordsComputeStallAndIdle)
+{
+    EngineHarness h;
+    ScriptWorkload wl({Action::compute(300, Unit::Cpu, "work"),
+                       Action::waitRx("wait")});
+    SocSim sim(*h.bridge, wl, configA());
+    ActionTrace trace;
+    sim.setTrace(&trace);
+
+    h.grant(1000);
+    sim.runPeriod();
+    // Expect: compute(300) + stall(700).
+    ASSERT_GE(trace.events().size(), 2u);
+    EXPECT_EQ(trace.events()[0].kind, TraceEvent::Kind::Compute);
+    EXPECT_EQ(trace.events()[0].duration, 300u);
+    EXPECT_STREQ(trace.events()[0].label, "work");
+    EXPECT_EQ(trace.events()[1].kind, TraceEvent::Kind::Stall);
+    EXPECT_EQ(trace.events()[1].duration, 700u);
+    // Events tile the timeline without overlap.
+    EXPECT_EQ(trace.events()[1].start,
+              trace.events()[0].start + trace.events()[0].duration);
+}
+
+TEST(Trace, ChromeJsonWellFormed)
+{
+    EngineHarness h;
+    ScriptWorkload wl({Action::compute(100, Unit::Accel, "gemm")});
+    SocSim sim(*h.bridge, wl, configA());
+    ActionTrace trace;
+    sim.setTrace(&trace);
+    h.grant(500);
+    sim.runPeriod();
+
+    std::string path = "/tmp/rose_test_trace.json";
+    trace.writeChromeTrace(path);
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string all((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+    EXPECT_EQ(all.front(), '[');
+    EXPECT_NE(all.find("\"gemmini\""), std::string::npos);
+    EXPECT_NE(all.find("\"gemm\""), std::string::npos);
+    EXPECT_NE(all.find("\"ph\": \"X\""), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(Trace, BoundedCapacity)
+{
+    ActionTrace trace(/*max_events=*/3);
+    for (Cycles i = 0; i < 10; ++i)
+        trace.record({i, 1, Unit::Cpu, "", TraceEvent::Kind::Compute});
+    EXPECT_EQ(trace.events().size(), 3u);
+}
