@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_accelerator.dir/bench_ablation_accelerator.cpp.o"
+  "CMakeFiles/bench_ablation_accelerator.dir/bench_ablation_accelerator.cpp.o.d"
+  "bench_ablation_accelerator"
+  "bench_ablation_accelerator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_accelerator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

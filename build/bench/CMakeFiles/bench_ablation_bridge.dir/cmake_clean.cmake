@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bridge.dir/bench_ablation_bridge.cpp.o"
+  "CMakeFiles/bench_ablation_bridge.dir/bench_ablation_bridge.cpp.o.d"
+  "bench_ablation_bridge"
+  "bench_ablation_bridge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

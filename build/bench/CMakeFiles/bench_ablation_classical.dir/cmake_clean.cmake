@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_classical.dir/bench_ablation_classical.cpp.o"
+  "CMakeFiles/bench_ablation_classical.dir/bench_ablation_classical.cpp.o.d"
+  "bench_ablation_classical"
+  "bench_ablation_classical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_classical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_energy.dir/bench_ablation_energy.cpp.o"
+  "CMakeFiles/bench_ablation_energy.dir/bench_ablation_energy.cpp.o.d"
+  "bench_ablation_energy"
+  "bench_ablation_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

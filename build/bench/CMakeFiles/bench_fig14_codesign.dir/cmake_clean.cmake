@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_codesign.dir/bench_fig14_codesign.cpp.o"
+  "CMakeFiles/bench_fig14_codesign.dir/bench_fig14_codesign.cpp.o.d"
+  "bench_fig14_codesign"
+  "bench_fig14_codesign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_codesign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

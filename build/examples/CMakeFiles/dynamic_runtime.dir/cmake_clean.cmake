@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_runtime.dir/dynamic_runtime.cpp.o"
+  "CMakeFiles/dynamic_runtime.dir/dynamic_runtime.cpp.o.d"
+  "dynamic_runtime"
+  "dynamic_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

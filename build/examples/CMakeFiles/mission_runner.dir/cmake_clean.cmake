@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mission_runner.dir/mission_runner.cpp.o"
+  "CMakeFiles/mission_runner.dir/mission_runner.cpp.o.d"
+  "mission_runner"
+  "mission_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mission_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

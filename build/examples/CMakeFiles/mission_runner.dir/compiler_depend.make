@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mission_runner.
+# This may be replaced when dependencies are built.

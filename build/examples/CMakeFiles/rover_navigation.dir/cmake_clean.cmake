@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rover_navigation.dir/rover_navigation.cpp.o"
+  "CMakeFiles/rover_navigation.dir/rover_navigation.cpp.o.d"
+  "rover_navigation"
+  "rover_navigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rover_navigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

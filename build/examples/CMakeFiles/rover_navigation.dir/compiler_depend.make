@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rover_navigation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rv_baremetal_control.dir/rv_baremetal_control.cpp.o"
+  "CMakeFiles/rv_baremetal_control.dir/rv_baremetal_control.cpp.o.d"
+  "rv_baremetal_control"
+  "rv_baremetal_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rv_baremetal_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bridge/packet.cc" "src/bridge/CMakeFiles/rose_bridge.dir/packet.cc.o" "gcc" "src/bridge/CMakeFiles/rose_bridge.dir/packet.cc.o.d"
+  "/root/repo/src/bridge/rose_bridge.cc" "src/bridge/CMakeFiles/rose_bridge.dir/rose_bridge.cc.o" "gcc" "src/bridge/CMakeFiles/rose_bridge.dir/rose_bridge.cc.o.d"
+  "/root/repo/src/bridge/target_driver.cc" "src/bridge/CMakeFiles/rose_bridge.dir/target_driver.cc.o" "gcc" "src/bridge/CMakeFiles/rose_bridge.dir/target_driver.cc.o.d"
+  "/root/repo/src/bridge/transport.cc" "src/bridge/CMakeFiles/rose_bridge.dir/transport.cc.o" "gcc" "src/bridge/CMakeFiles/rose_bridge.dir/transport.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rose_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/rose_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/flight/CMakeFiles/rose_flight.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rose_bridge.dir/packet.cc.o"
+  "CMakeFiles/rose_bridge.dir/packet.cc.o.d"
+  "CMakeFiles/rose_bridge.dir/rose_bridge.cc.o"
+  "CMakeFiles/rose_bridge.dir/rose_bridge.cc.o.d"
+  "CMakeFiles/rose_bridge.dir/target_driver.cc.o"
+  "CMakeFiles/rose_bridge.dir/target_driver.cc.o.d"
+  "CMakeFiles/rose_bridge.dir/transport.cc.o"
+  "CMakeFiles/rose_bridge.dir/transport.cc.o.d"
+  "librose_bridge.a"
+  "librose_bridge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rose_bridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

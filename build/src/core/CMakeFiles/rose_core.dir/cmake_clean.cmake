@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rose_core.dir/cosim.cc.o"
+  "CMakeFiles/rose_core.dir/cosim.cc.o.d"
+  "CMakeFiles/rose_core.dir/experiment.cc.o"
+  "CMakeFiles/rose_core.dir/experiment.cc.o.d"
+  "CMakeFiles/rose_core.dir/hostmodel.cc.o"
+  "CMakeFiles/rose_core.dir/hostmodel.cc.o.d"
+  "librose_core.a"
+  "librose_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rose_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

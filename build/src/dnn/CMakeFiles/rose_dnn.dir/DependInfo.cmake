@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dnn/classifier.cc" "src/dnn/CMakeFiles/rose_dnn.dir/classifier.cc.o" "gcc" "src/dnn/CMakeFiles/rose_dnn.dir/classifier.cc.o.d"
+  "/root/repo/src/dnn/engine.cc" "src/dnn/CMakeFiles/rose_dnn.dir/engine.cc.o" "gcc" "src/dnn/CMakeFiles/rose_dnn.dir/engine.cc.o.d"
+  "/root/repo/src/dnn/forward.cc" "src/dnn/CMakeFiles/rose_dnn.dir/forward.cc.o" "gcc" "src/dnn/CMakeFiles/rose_dnn.dir/forward.cc.o.d"
+  "/root/repo/src/dnn/layers.cc" "src/dnn/CMakeFiles/rose_dnn.dir/layers.cc.o" "gcc" "src/dnn/CMakeFiles/rose_dnn.dir/layers.cc.o.d"
+  "/root/repo/src/dnn/resnet.cc" "src/dnn/CMakeFiles/rose_dnn.dir/resnet.cc.o" "gcc" "src/dnn/CMakeFiles/rose_dnn.dir/resnet.cc.o.d"
+  "/root/repo/src/dnn/tensor.cc" "src/dnn/CMakeFiles/rose_dnn.dir/tensor.cc.o" "gcc" "src/dnn/CMakeFiles/rose_dnn.dir/tensor.cc.o.d"
+  "/root/repo/src/dnn/train.cc" "src/dnn/CMakeFiles/rose_dnn.dir/train.cc.o" "gcc" "src/dnn/CMakeFiles/rose_dnn.dir/train.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rose_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/rose_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/rose_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/gemmini/CMakeFiles/rose_gemmini.dir/DependInfo.cmake"
+  "/root/repo/build/src/bridge/CMakeFiles/rose_bridge.dir/DependInfo.cmake"
+  "/root/repo/build/src/flight/CMakeFiles/rose_flight.dir/DependInfo.cmake"
+  "/root/repo/build/src/rv/CMakeFiles/rose_rv.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rose_dnn.dir/classifier.cc.o"
+  "CMakeFiles/rose_dnn.dir/classifier.cc.o.d"
+  "CMakeFiles/rose_dnn.dir/engine.cc.o"
+  "CMakeFiles/rose_dnn.dir/engine.cc.o.d"
+  "CMakeFiles/rose_dnn.dir/forward.cc.o"
+  "CMakeFiles/rose_dnn.dir/forward.cc.o.d"
+  "CMakeFiles/rose_dnn.dir/layers.cc.o"
+  "CMakeFiles/rose_dnn.dir/layers.cc.o.d"
+  "CMakeFiles/rose_dnn.dir/resnet.cc.o"
+  "CMakeFiles/rose_dnn.dir/resnet.cc.o.d"
+  "CMakeFiles/rose_dnn.dir/tensor.cc.o"
+  "CMakeFiles/rose_dnn.dir/tensor.cc.o.d"
+  "CMakeFiles/rose_dnn.dir/train.cc.o"
+  "CMakeFiles/rose_dnn.dir/train.cc.o.d"
+  "librose_dnn.a"
+  "librose_dnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rose_dnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

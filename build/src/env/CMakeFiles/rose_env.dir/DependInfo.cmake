@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/env/drone.cc" "src/env/CMakeFiles/rose_env.dir/drone.cc.o" "gcc" "src/env/CMakeFiles/rose_env.dir/drone.cc.o.d"
+  "/root/repo/src/env/envsim.cc" "src/env/CMakeFiles/rose_env.dir/envsim.cc.o" "gcc" "src/env/CMakeFiles/rose_env.dir/envsim.cc.o.d"
+  "/root/repo/src/env/sensors.cc" "src/env/CMakeFiles/rose_env.dir/sensors.cc.o" "gcc" "src/env/CMakeFiles/rose_env.dir/sensors.cc.o.d"
+  "/root/repo/src/env/vehicle.cc" "src/env/CMakeFiles/rose_env.dir/vehicle.cc.o" "gcc" "src/env/CMakeFiles/rose_env.dir/vehicle.cc.o.d"
+  "/root/repo/src/env/world.cc" "src/env/CMakeFiles/rose_env.dir/world.cc.o" "gcc" "src/env/CMakeFiles/rose_env.dir/world.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rose_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/flight/CMakeFiles/rose_flight.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rose_env.dir/drone.cc.o"
+  "CMakeFiles/rose_env.dir/drone.cc.o.d"
+  "CMakeFiles/rose_env.dir/envsim.cc.o"
+  "CMakeFiles/rose_env.dir/envsim.cc.o.d"
+  "CMakeFiles/rose_env.dir/sensors.cc.o"
+  "CMakeFiles/rose_env.dir/sensors.cc.o.d"
+  "CMakeFiles/rose_env.dir/vehicle.cc.o"
+  "CMakeFiles/rose_env.dir/vehicle.cc.o.d"
+  "CMakeFiles/rose_env.dir/world.cc.o"
+  "CMakeFiles/rose_env.dir/world.cc.o.d"
+  "librose_env.a"
+  "librose_env.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rose_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

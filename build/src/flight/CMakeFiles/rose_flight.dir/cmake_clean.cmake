@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rose_flight.dir/controller.cc.o"
+  "CMakeFiles/rose_flight.dir/controller.cc.o.d"
+  "CMakeFiles/rose_flight.dir/pid.cc.o"
+  "CMakeFiles/rose_flight.dir/pid.cc.o.d"
+  "librose_flight.a"
+  "librose_flight.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rose_flight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rose_gemmini.dir/gemmini.cc.o"
+  "CMakeFiles/rose_gemmini.dir/gemmini.cc.o.d"
+  "librose_gemmini.a"
+  "librose_gemmini.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rose_gemmini.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rose_runtime.dir/control_app.cc.o"
+  "CMakeFiles/rose_runtime.dir/control_app.cc.o.d"
+  "CMakeFiles/rose_runtime.dir/control_policy.cc.o"
+  "CMakeFiles/rose_runtime.dir/control_policy.cc.o.d"
+  "CMakeFiles/rose_runtime.dir/mpc_app.cc.o"
+  "CMakeFiles/rose_runtime.dir/mpc_app.cc.o.d"
+  "librose_runtime.a"
+  "librose_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rose_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rose_rv.dir/assembler.cc.o"
+  "CMakeFiles/rose_rv.dir/assembler.cc.o.d"
+  "CMakeFiles/rose_rv.dir/core.cc.o"
+  "CMakeFiles/rose_rv.dir/core.cc.o.d"
+  "CMakeFiles/rose_rv.dir/insn.cc.o"
+  "CMakeFiles/rose_rv.dir/insn.cc.o.d"
+  "CMakeFiles/rose_rv.dir/timing.cc.o"
+  "CMakeFiles/rose_rv.dir/timing.cc.o.d"
+  "librose_rv.a"
+  "librose_rv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rose_rv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

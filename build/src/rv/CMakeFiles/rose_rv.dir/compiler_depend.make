@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rose_rv.
+# This may be replaced when dependencies are built.

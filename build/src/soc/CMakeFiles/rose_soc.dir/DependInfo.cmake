@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/soc/config.cc" "src/soc/CMakeFiles/rose_soc.dir/config.cc.o" "gcc" "src/soc/CMakeFiles/rose_soc.dir/config.cc.o.d"
+  "/root/repo/src/soc/mem.cc" "src/soc/CMakeFiles/rose_soc.dir/mem.cc.o" "gcc" "src/soc/CMakeFiles/rose_soc.dir/mem.cc.o.d"
+  "/root/repo/src/soc/multitenant.cc" "src/soc/CMakeFiles/rose_soc.dir/multitenant.cc.o" "gcc" "src/soc/CMakeFiles/rose_soc.dir/multitenant.cc.o.d"
+  "/root/repo/src/soc/rv_workload.cc" "src/soc/CMakeFiles/rose_soc.dir/rv_workload.cc.o" "gcc" "src/soc/CMakeFiles/rose_soc.dir/rv_workload.cc.o.d"
+  "/root/repo/src/soc/socsim.cc" "src/soc/CMakeFiles/rose_soc.dir/socsim.cc.o" "gcc" "src/soc/CMakeFiles/rose_soc.dir/socsim.cc.o.d"
+  "/root/repo/src/soc/trace.cc" "src/soc/CMakeFiles/rose_soc.dir/trace.cc.o" "gcc" "src/soc/CMakeFiles/rose_soc.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rose_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/bridge/CMakeFiles/rose_bridge.dir/DependInfo.cmake"
+  "/root/repo/build/src/rv/CMakeFiles/rose_rv.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/rose_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/flight/CMakeFiles/rose_flight.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

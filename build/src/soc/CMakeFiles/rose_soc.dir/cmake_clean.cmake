@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rose_soc.dir/config.cc.o"
+  "CMakeFiles/rose_soc.dir/config.cc.o.d"
+  "CMakeFiles/rose_soc.dir/mem.cc.o"
+  "CMakeFiles/rose_soc.dir/mem.cc.o.d"
+  "CMakeFiles/rose_soc.dir/multitenant.cc.o"
+  "CMakeFiles/rose_soc.dir/multitenant.cc.o.d"
+  "CMakeFiles/rose_soc.dir/rv_workload.cc.o"
+  "CMakeFiles/rose_soc.dir/rv_workload.cc.o.d"
+  "CMakeFiles/rose_soc.dir/socsim.cc.o"
+  "CMakeFiles/rose_soc.dir/socsim.cc.o.d"
+  "CMakeFiles/rose_soc.dir/trace.cc.o"
+  "CMakeFiles/rose_soc.dir/trace.cc.o.d"
+  "librose_soc.a"
+  "librose_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rose_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sync/synchronizer.cc" "src/sync/CMakeFiles/rose_sync.dir/synchronizer.cc.o" "gcc" "src/sync/CMakeFiles/rose_sync.dir/synchronizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rose_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/rose_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/bridge/CMakeFiles/rose_bridge.dir/DependInfo.cmake"
+  "/root/repo/build/src/flight/CMakeFiles/rose_flight.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rose_sync.dir/synchronizer.cc.o"
+  "CMakeFiles/rose_sync.dir/synchronizer.cc.o.d"
+  "librose_sync.a"
+  "librose_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rose_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

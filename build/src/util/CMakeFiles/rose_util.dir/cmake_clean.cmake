@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rose_util.dir/csv.cc.o"
+  "CMakeFiles/rose_util.dir/csv.cc.o.d"
+  "CMakeFiles/rose_util.dir/geometry.cc.o"
+  "CMakeFiles/rose_util.dir/geometry.cc.o.d"
+  "CMakeFiles/rose_util.dir/logging.cc.o"
+  "CMakeFiles/rose_util.dir/logging.cc.o.d"
+  "CMakeFiles/rose_util.dir/rng.cc.o"
+  "CMakeFiles/rose_util.dir/rng.cc.o.d"
+  "CMakeFiles/rose_util.dir/stats.cc.o"
+  "CMakeFiles/rose_util.dir/stats.cc.o.d"
+  "librose_util.a"
+  "librose_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rose_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bridge.dir/test_bridge.cc.o"
+  "CMakeFiles/test_bridge.dir/test_bridge.cc.o.d"
+  "test_bridge"
+  "test_bridge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flight.dir/test_flight.cc.o"
+  "CMakeFiles/test_flight.dir/test_flight.cc.o.d"
+  "test_flight"
+  "test_flight.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

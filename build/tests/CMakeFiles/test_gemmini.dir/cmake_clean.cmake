@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gemmini.dir/test_gemmini.cc.o"
+  "CMakeFiles/test_gemmini.dir/test_gemmini.cc.o.d"
+  "test_gemmini"
+  "test_gemmini.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gemmini.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

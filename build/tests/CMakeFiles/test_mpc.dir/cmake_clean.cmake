@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpc.dir/test_mpc.cc.o"
+  "CMakeFiles/test_mpc.dir/test_mpc.cc.o.d"
+  "test_mpc"
+  "test_mpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multitenant.dir/test_multitenant.cc.o"
+  "CMakeFiles/test_multitenant.dir/test_multitenant.cc.o.d"
+  "test_multitenant"
+  "test_multitenant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multitenant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_runtime.cc" "tests/CMakeFiles/test_runtime.dir/test_runtime.cc.o" "gcc" "tests/CMakeFiles/test_runtime.dir/test_runtime.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/rose_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/rose_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/bridge/CMakeFiles/rose_bridge.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/rose_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnn/CMakeFiles/rose_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/rv/CMakeFiles/rose_rv.dir/DependInfo.cmake"
+  "/root/repo/build/src/flight/CMakeFiles/rose_flight.dir/DependInfo.cmake"
+  "/root/repo/build/src/gemmini/CMakeFiles/rose_gemmini.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rose_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rv.dir/test_rv.cc.o"
+  "CMakeFiles/test_rv.dir/test_rv.cc.o.d"
+  "test_rv"
+  "test_rv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
