@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Ablation: closed-loop robustness under transport faults.
+ *
+ * The FaultInjectTransport decorator drops (and optionally delays) data
+ * packets on the synchronizer<->bridge link. This sweep raises the drop
+ * probability and reports mission outcome, sensor retries, and
+ * inference throughput: with the sensor-timeout/retry path the control
+ * loop degrades gracefully (extra latency per lost frame) instead of
+ * deadlocking — the failure mode this PR's hardening removes.
+ */
+
+#include <cstdio>
+
+#include "core/experiment.hh"
+
+int
+main()
+{
+    using namespace rose;
+
+    std::printf("Ablation: transport packet loss (tunnel @ 3 m/s, "
+                "ResNet14, seeded fault injection, sync packets "
+                "protected)\n\n");
+    std::printf("%-10s %-10s %-8s %-10s %-10s %-10s %-8s %-8s\n",
+                "drop-p", "mission", "coll", "pkts", "dropped",
+                "retries", "infer", "error");
+
+    for (double drop : {0.0, 0.02, 0.05, 0.1, 0.2}) {
+        core::MissionSpec spec;
+        spec.world = "tunnel";
+        spec.socName = "A";
+        spec.modelDepth = 14;
+        spec.velocity = 3.0;
+        spec.maxSimSeconds = 30.0;
+
+        core::CosimConfig cfg = spec.toConfig();
+        cfg.faults.enabled = true;
+        cfg.faults.dropProb = drop;
+        cfg.faults.seed = 0xab1a;
+
+        core::CoSimulation sim(cfg);
+        core::MissionResult r = sim.run();
+        const bridge::FaultStats *fs = sim.faultStats();
+        std::printf("%-10.2f %-10s %-8llu %-10llu %-10llu %-10llu "
+                    "%-8llu %-8s\n",
+                    drop, core::missionTimeString(r).c_str(),
+                    (unsigned long long)r.collisions,
+                    (unsigned long long)(fs ? fs->sent + fs->received
+                                            : 0),
+                    (unsigned long long)(fs ? fs->dropped : 0),
+                    (unsigned long long)sim.app().sensorRetries(),
+                    (unsigned long long)r.inferences,
+                    r.transportError ? "yes" : "-");
+    }
+
+    std::printf("\nExpected shape: at 0%% loss the baseline mission "
+                "completes with zero retries; as loss rises the app "
+                "re-issues sensor requests (retries grow, inference "
+                "rate falls) and the mission slows but still "
+                "terminates — never a hang. Sync packets are protected "
+                "so the lockstep itself stays live.\n");
+    return 0;
+}

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# CI entry point: build and test the default (RelWithDebInfo) tree and
+# the ASan+UBSan tree. The sanitizer pass is what keeps the wire-framing
+# and transport robustness tests honest — a buffer overread or UB in the
+# decode path fails the build here even when the plain run passes.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+run_preset() {
+    local preset="$1"
+    echo "==== [$preset] configure ===="
+    cmake --preset "$preset"
+    echo "==== [$preset] build ===="
+    cmake --build --preset "$preset" -j "$jobs"
+    echo "==== [$preset] test ===="
+    ctest --preset "$preset"
+}
+
+run_preset default
+run_preset asan
+
+echo "==== all presets passed ===="

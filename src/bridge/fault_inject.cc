@@ -1,0 +1,214 @@
+#include "fault_inject.hh"
+
+#include "util/logging.hh"
+
+namespace rose::bridge {
+
+namespace {
+
+void
+validate(const FaultConfig &cfg)
+{
+    auto in01 = [](double p) { return p >= 0.0 && p <= 1.0; };
+    rose_assert(in01(cfg.dropProb) && in01(cfg.corruptProb) &&
+                    in01(cfg.reorderProb) && in01(cfg.delayProb),
+                "fault probabilities must be in [0, 1]");
+    rose_assert(cfg.dropProb + cfg.corruptProb + cfg.reorderProb +
+                        cfg.delayProb <=
+                    1.0 + 1e-12,
+                "fault probabilities must sum to at most 1");
+    rose_assert(cfg.delayOpsMin <= cfg.delayOpsMax,
+                "delayOpsMin must not exceed delayOpsMax");
+}
+
+} // namespace
+
+FaultInjectTransport::FaultInjectTransport(
+    std::unique_ptr<Transport> inner, const FaultConfig &cfg)
+    : owned_(std::move(inner)), inner_(owned_.get()), cfg_(cfg),
+      rng_(cfg.seed)
+{
+    rose_assert(inner_ != nullptr, "null inner transport");
+    validate(cfg_);
+}
+
+FaultInjectTransport::FaultInjectTransport(Transport &inner,
+                                           const FaultConfig &cfg)
+    : inner_(&inner), cfg_(cfg), rng_(cfg.seed)
+{
+    validate(cfg_);
+}
+
+FaultInjectTransport::~FaultInjectTransport()
+{
+    // Best-effort flush of held packets so teardown does not silently
+    // swallow traffic the fault model only meant to postpone.
+    try {
+        for (Held &h : delayedTx_)
+            inner_->send(h.pkt);
+        if (reorderTx_)
+            inner_->send(*reorderTx_);
+    } catch (const TransportError &) {
+        // Peer already gone; nothing left to preserve.
+    }
+}
+
+FaultInjectTransport::Verdict
+FaultInjectTransport::classify(const Packet &p)
+{
+    if (cfg_.protectSyncPackets && !isDataPacket(p.type))
+        return Verdict::Deliver;
+    double u = rng_.uniform();
+    if (u < cfg_.dropProb)
+        return Verdict::Drop;
+    u -= cfg_.dropProb;
+    if (u < cfg_.corruptProb)
+        return Verdict::Corrupt;
+    u -= cfg_.corruptProb;
+    if (u < cfg_.reorderProb)
+        return Verdict::Reorder;
+    u -= cfg_.reorderProb;
+    if (u < cfg_.delayProb)
+        return Verdict::Delay;
+    return Verdict::Deliver;
+}
+
+void
+FaultInjectTransport::corrupt(Packet &p)
+{
+    if (p.payload.empty())
+        return;
+    size_t byte = size_t(rng_.uniformInt(p.payload.size()));
+    p.payload[byte] ^= uint8_t(1u << rng_.uniformInt(8));
+}
+
+uint64_t
+FaultInjectTransport::delayDraw()
+{
+    uint64_t span = cfg_.delayOpsMax - cfg_.delayOpsMin + 1;
+    return cfg_.delayOpsMin + rng_.uniformInt(span);
+}
+
+void
+FaultInjectTransport::flushDelayedTx()
+{
+    while (!delayedTx_.empty() && delayedTx_.front().dueOp <= op_) {
+        inner_->send(delayedTx_.front().pkt);
+        ++stats_.sent;
+        delayedTx_.pop_front();
+    }
+}
+
+void
+FaultInjectTransport::send(const Packet &p)
+{
+    ++op_;
+    flushDelayedTx();
+
+    bool forwarded = false;
+    switch (classify(p)) {
+      case Verdict::Drop:
+        ++stats_.dropped;
+        break;
+      case Verdict::Corrupt: {
+        Packet c = p;
+        corrupt(c);
+        ++stats_.corrupted;
+        inner_->send(c);
+        ++stats_.sent;
+        forwarded = true;
+        break;
+      }
+      case Verdict::Delay:
+        ++stats_.delayed;
+        delayedTx_.push_back({p, op_ + delayDraw()});
+        break;
+      case Verdict::Reorder:
+        if (!reorderTx_) {
+            ++stats_.reordered;
+            reorderTx_ = p;
+            return; // held until the next packet passes it
+        }
+        [[fallthrough]]; // slot busy: deliver normally
+      case Verdict::Deliver:
+        inner_->send(p);
+        ++stats_.sent;
+        forwarded = true;
+        break;
+    }
+
+    // A held reorder packet goes out right after the packet that
+    // overtook it: an adjacent swap on the wire.
+    if (forwarded && reorderTx_) {
+        inner_->send(*reorderTx_);
+        ++stats_.sent;
+        reorderTx_.reset();
+    }
+}
+
+bool
+FaultInjectTransport::recv(Packet &out)
+{
+    ++op_;
+    flushDelayedTx();
+
+    if (!delayedRx_.empty() && delayedRx_.front().dueOp <= op_) {
+        out = std::move(delayedRx_.front().pkt);
+        delayedRx_.pop_front();
+        ++stats_.received;
+        return true;
+    }
+
+    Packet p;
+    while (inner_->recv(p)) {
+        switch (classify(p)) {
+          case Verdict::Drop:
+            ++stats_.dropped;
+            continue;
+          case Verdict::Corrupt:
+            corrupt(p);
+            ++stats_.corrupted;
+            break;
+          case Verdict::Delay:
+            ++stats_.delayed;
+            delayedRx_.push_back({std::move(p), op_ + delayDraw()});
+            continue;
+          case Verdict::Reorder:
+            if (!reorderRx_) {
+                ++stats_.reordered;
+                reorderRx_ = std::move(p);
+                continue; // released after the next delivered packet
+            }
+            break; // slot busy: deliver normally
+          case Verdict::Deliver:
+            break;
+        }
+        out = std::move(p);
+        if (reorderRx_) {
+            // Park the overtaken packet at the front of the delay queue
+            // so the very next recv() returns it (adjacent swap).
+            delayedRx_.push_front({std::move(*reorderRx_), op_});
+            reorderRx_.reset();
+        }
+        ++stats_.received;
+        return true;
+    }
+
+    // Inner stream exhausted: release anything still held so a drained
+    // lockstep boundary observes every surviving packet.
+    if (reorderRx_) {
+        out = std::move(*reorderRx_);
+        reorderRx_.reset();
+        ++stats_.received;
+        return true;
+    }
+    if (!delayedRx_.empty() && delayedRx_.front().dueOp <= op_) {
+        out = std::move(delayedRx_.front().pkt);
+        delayedRx_.pop_front();
+        ++stats_.received;
+        return true;
+    }
+    return false;
+}
+
+} // namespace rose::bridge

@@ -12,6 +12,25 @@ isDataPacket(PacketType t)
     return static_cast<uint8_t>(t) >= 0x10;
 }
 
+bool
+isValidPacketType(uint8_t raw)
+{
+    switch (static_cast<PacketType>(raw)) {
+      case PacketType::SyncGrant:
+      case PacketType::SyncDone:
+      case PacketType::CfgStepSize:
+      case PacketType::ImuReq:
+      case PacketType::ImuResp:
+      case PacketType::ImageReq:
+      case PacketType::ImageResp:
+      case PacketType::DepthReq:
+      case PacketType::DepthResp:
+      case PacketType::VelocityCmd:
+        return true;
+    }
+    return false;
+}
+
 std::string
 packetTypeName(PacketType t)
 {
@@ -309,20 +328,113 @@ serializePacket(const Packet &p, std::vector<uint8_t> &out)
         w.bytes(p.payload.data(), p.payload.size());
 }
 
+FrameStatus
+tryDecodeFrame(const uint8_t *data, size_t size, size_t &consumed,
+               Packet &out, std::string *error)
+{
+    consumed = 0;
+    if (size < Packet::kHeaderBytes)
+        return FrameStatus::NeedMore;
+
+    // Validate the full header before touching the payload: a corrupt
+    // type or length must never drive an allocation or a wait.
+    if (!isValidPacketType(data[0])) {
+        if (error) {
+            *error = detail::concat("unknown packet type byte 0x",
+                                    std::hex, unsigned(data[0]));
+        }
+        return FrameStatus::Malformed;
+    }
+    uint32_t len = uint32_t(data[1]) | (uint32_t(data[2]) << 8) |
+                   (uint32_t(data[3]) << 16) | (uint32_t(data[4]) << 24);
+    if (len > kMaxPayloadBytes) {
+        if (error) {
+            *error = detail::concat(
+                "frame length ", len, " exceeds kMaxPayloadBytes (",
+                kMaxPayloadBytes, ") for ",
+                packetTypeName(static_cast<PacketType>(data[0])));
+        }
+        return FrameStatus::Malformed;
+    }
+    if (size < Packet::kHeaderBytes + len)
+        return FrameStatus::NeedMore;
+
+    out.type = static_cast<PacketType>(data[0]);
+    out.payload.assign(data + Packet::kHeaderBytes,
+                       data + Packet::kHeaderBytes + len);
+    consumed = Packet::kHeaderBytes + len;
+    return FrameStatus::Ok;
+}
+
+// ------------------------------------------------------------ FrameBuffer
+
+void
+FrameBuffer::append(const uint8_t *data, size_t n)
+{
+    buf_.insert(buf_.end(), data, data + n);
+}
+
+FrameStatus
+FrameBuffer::next(Packet &out, std::string *error)
+{
+    if (poisoned_) {
+        if (error)
+            *error = poisonError_;
+        return FrameStatus::Malformed;
+    }
+    size_t consumed = 0;
+    std::string err;
+    FrameStatus s =
+        tryDecodeFrame(buf_.data() + pos_, buf_.size() - pos_, consumed,
+                       out, &err);
+    switch (s) {
+      case FrameStatus::Ok:
+        pos_ += consumed;
+        // Amortized compaction: drop the consumed prefix only once it
+        // dominates the buffer, keeping the drain linear overall.
+        if (pos_ >= 4096 && pos_ * 2 >= buf_.size()) {
+            buf_.erase(buf_.begin(), buf_.begin() + pos_);
+            pos_ = 0;
+        }
+        break;
+      case FrameStatus::NeedMore:
+        break;
+      case FrameStatus::Malformed:
+        poisoned_ = true;
+        poisonError_ = err;
+        if (error)
+            *error = err;
+        break;
+    }
+    return s;
+}
+
+void
+FrameBuffer::clear()
+{
+    buf_.clear();
+    pos_ = 0;
+    poisoned_ = false;
+    poisonError_.clear();
+}
+
 bool
 deserializePacket(std::vector<uint8_t> &buf, Packet &out)
 {
-    if (buf.size() < Packet::kHeaderBytes)
+    size_t consumed = 0;
+    std::string err;
+    switch (tryDecodeFrame(buf.data(), buf.size(), consumed, out, &err)) {
+      case FrameStatus::Ok:
+        buf.erase(buf.begin(), buf.begin() + consumed);
+        return true;
+      case FrameStatus::NeedMore:
         return false;
-    uint32_t len = uint32_t(buf[1]) | (uint32_t(buf[2]) << 8) |
-                   (uint32_t(buf[3]) << 16) | (uint32_t(buf[4]) << 24);
-    if (buf.size() < Packet::kHeaderBytes + len)
+      case FrameStatus::Malformed:
+        rose_warn("dropping unframeable byte stream: ", err);
+        buf.clear();
         return false;
-    out.type = static_cast<PacketType>(buf[0]);
-    out.payload.assign(buf.begin() + Packet::kHeaderBytes,
-                       buf.begin() + Packet::kHeaderBytes + len);
-    buf.erase(buf.begin(), buf.begin() + Packet::kHeaderBytes + len);
-    return true;
+    }
+    return false;
 }
 
 } // namespace rose::bridge

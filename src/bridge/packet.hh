@@ -49,8 +49,21 @@ enum class PacketType : uint8_t
 /** True for the packet kinds the modeled SoC may observe. */
 bool isDataPacket(PacketType t);
 
+/** True when the raw wire byte names a known PacketType. */
+bool isValidPacketType(uint8_t raw);
+
 /** Human-readable packet-type name for logs. */
 std::string packetTypeName(PacketType t);
+
+/**
+ * Upper bound on a frame's payload length. The largest legitimate
+ * payload is a quantized camera frame (w*h bytes + 4 bytes of
+ * dimensions); 256 KiB covers any camera the environment can configure
+ * with a wide margin. Frames claiming more are malformed — the bound is
+ * what keeps a corrupt length field from triggering an unbounded
+ * allocation or an endless NeedMore wait.
+ */
+constexpr size_t kMaxPayloadBytes = 256 * 1024;
 
 /** Serialized packet: fixed header plus raw payload bytes. */
 struct Packet
@@ -144,12 +157,63 @@ VelocityCmdPayload decodeVelocityCmd(const Packet &p);
 /** Serialize a packet (header + payload) onto a byte stream. */
 void serializePacket(const Packet &p, std::vector<uint8_t> &out);
 
+/** Outcome of attempting to decode one frame from a byte stream. */
+enum class FrameStatus : uint8_t
+{
+    Ok,        ///< a complete, valid frame was decoded
+    NeedMore,  ///< the buffer holds only a prefix of a valid frame
+    Malformed, ///< the header is invalid; the stream cannot be trusted
+};
+
+/**
+ * Validated frame decoder: parse one packet from the front of a byte
+ * range. The header is checked before any payload allocation: an
+ * unknown type byte or a length above kMaxPayloadBytes yields
+ * Malformed (with a diagnostic in @p error), never an allocation or a
+ * wait for bytes that can never legitimately arrive.
+ *
+ * @param consumed set to the bytes consumed (only nonzero on Ok).
+ */
+FrameStatus tryDecodeFrame(const uint8_t *data, size_t size,
+                           size_t &consumed, Packet &out,
+                           std::string *error = nullptr);
+
+/**
+ * Receive-side frame accumulator: append raw stream bytes, drain
+ * complete packets. Consumption uses a read cursor with amortized
+ * compaction, so draining N packets costs O(bytes), not the O(n²) a
+ * per-packet vector erase would.
+ */
+class FrameBuffer
+{
+  public:
+    void append(const uint8_t *data, size_t n);
+
+    /** Decode the next frame; on Malformed the buffer is poisoned and
+     *  every later call returns Malformed (a byte stream cannot be
+     *  resynchronized once framing is lost). */
+    FrameStatus next(Packet &out, std::string *error = nullptr);
+
+    /** Bytes buffered but not yet decoded. */
+    size_t pendingBytes() const { return buf_.size() - pos_; }
+
+    void clear();
+
+  private:
+    std::vector<uint8_t> buf_;
+    size_t pos_ = 0;
+    bool poisoned_ = false;
+    std::string poisonError_;
+};
+
 /**
  * Try to deserialize one packet from the front of a byte buffer.
  *
- * @param buf input buffer; consumed bytes are erased on success.
- * @param out parsed packet.
- * @return true when a complete packet was available.
+ * Compatibility wrapper over tryDecodeFrame: consumed bytes are erased
+ * on success; a malformed header drops the whole buffer with a warning
+ * (an untyped byte stream cannot be resynchronized) and returns false.
+ *
+ * @return true when a complete, valid packet was available.
  */
 bool deserializePacket(std::vector<uint8_t> &buf, Packet &out);
 

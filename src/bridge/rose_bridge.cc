@@ -76,6 +76,13 @@ RoseBridge::write(uint64_t offset, uint32_t value)
         txExpectedLen_ = 0;
         break;
       case reg::kTxLen:
+        // Bound the claimed length before reserving: a buggy target
+        // writing garbage here must not drive a multi-GiB allocation.
+        if (value > kMaxPayloadBytes) {
+            rose_warn("bridge: TX_LEN ", value,
+                      " exceeds kMaxPayloadBytes; clamping");
+            value = kMaxPayloadBytes;
+        }
         txExpectedLen_ = value;
         txStaging_.payload.reserve(value);
         break;

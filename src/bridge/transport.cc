@@ -4,11 +4,13 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
+#include <string>
 
 #include "util/logging.hh"
 
@@ -23,6 +25,8 @@ struct InProcState
 {
     std::deque<Packet> aToB;
     std::deque<Packet> bToA;
+    bool aAlive = true;
+    bool bAlive = true;
 };
 
 class InProcEndpoint : public Transport
@@ -31,9 +35,17 @@ class InProcEndpoint : public Transport
     InProcEndpoint(std::shared_ptr<InProcState> state, bool is_a)
         : state_(std::move(state)), isA_(is_a) {}
 
+    ~InProcEndpoint() override
+    {
+        (isA_ ? state_->aAlive : state_->bAlive) = false;
+    }
+
     void
     send(const Packet &p) override
     {
+        if (state() != TransportState::Open)
+            throw TransportError("in-process send: peer endpoint "
+                                 "destroyed");
         (isA_ ? state_->aToB : state_->bToA).push_back(p);
         sent_ += p.wireSize();
     }
@@ -48,6 +60,14 @@ class InProcEndpoint : public Transport
         q.pop_front();
         received_ += out.wireSize();
         return true;
+    }
+
+    TransportState
+    state() const override
+    {
+        return (isA_ ? state_->bAlive : state_->aAlive)
+                   ? TransportState::Open
+                   : TransportState::Closed;
     }
 
     uint64_t bytesSent() const override { return sent_; }
@@ -107,18 +127,47 @@ TcpTransport::~TcpTransport()
 void
 TcpTransport::send(const Packet &p)
 {
+    if (state_ != TransportState::Open)
+        throw TransportError("TCP send on " +
+                             std::string(state_ == TransportState::Closed
+                                             ? "closed"
+                                             : "errored") +
+                             " transport");
     std::vector<uint8_t> wire;
     serializePacket(p, wire);
     size_t off = 0;
     while (off < wire.size()) {
-        ssize_t n = ::send(fd_, wire.data() + off, wire.size() - off, 0);
+        ssize_t n = ::send(fd_, wire.data() + off, wire.size() - off,
+                           MSG_NOSIGNAL);
         if (n < 0) {
-            if (errno == EAGAIN || errno == EWOULDBLOCK) {
-                // Loopback buffers are far larger than any packet burst
-                // a sync period produces; spin briefly if we ever fill.
-                continue;
+            if (errno == EPIPE || errno == ECONNRESET) {
+                state_ = TransportState::Closed;
+                throw TransportError(
+                    "TCP send failed: peer closed the connection");
             }
-            rose_fatal("TCP send failed: ", std::strerror(errno));
+            if (errno != EAGAIN && errno != EWOULDBLOCK) {
+                state_ = TransportState::Error;
+                throw TransportError(std::string("TCP send failed: ") +
+                                     std::strerror(errno));
+            }
+            // Socket buffer full: bounded wait for POLLOUT instead of
+            // busy-spinning on EAGAIN.
+            pollfd pfd{fd_, POLLOUT, 0};
+            int rc = ::poll(&pfd, 1,
+                            sendTimeoutMs_ > 0 ? sendTimeoutMs_ : -1);
+            if (rc < 0 && errno != EINTR) {
+                state_ = TransportState::Error;
+                throw TransportError(std::string("TCP send poll: ") +
+                                     std::strerror(errno));
+            }
+            if (rc == 0) {
+                state_ = TransportState::Error;
+                throw TransportError(detail::concat(
+                    "TCP send stalled: no socket-buffer space within ",
+                    sendTimeoutMs_, " ms (peer not draining; ", off,
+                    " of ", wire.size(), " bytes written)"));
+            }
+            continue;
         }
         off += size_t(n);
     }
@@ -129,17 +178,28 @@ void
 TcpTransport::pump()
 {
     uint8_t tmp[16384];
-    while (true) {
+    while (state_ == TransportState::Open) {
         ssize_t n = ::recv(fd_, tmp, sizeof(tmp), 0);
         if (n > 0) {
-            rxBuf_.insert(rxBuf_.end(), tmp, tmp + n);
+            rx_.append(tmp, size_t(n));
             received_ += uint64_t(n);
         } else if (n == 0) {
-            return; // peer closed
+            // Orderly shutdown by the peer: surface it instead of
+            // pretending "no data yet" forever.
+            state_ = TransportState::Closed;
+            return;
         } else {
             if (errno == EAGAIN || errno == EWOULDBLOCK)
                 return;
-            rose_fatal("TCP recv failed: ", std::strerror(errno));
+            if (errno == EINTR)
+                continue;
+            if (errno == ECONNRESET) {
+                state_ = TransportState::Closed;
+                return;
+            }
+            state_ = TransportState::Error;
+            throw TransportError(std::string("TCP recv failed: ") +
+                                 std::strerror(errno));
         }
     }
 }
@@ -148,7 +208,32 @@ bool
 TcpTransport::recv(Packet &out)
 {
     pump();
-    return deserializePacket(rxBuf_, out);
+    std::string err;
+    switch (rx_.next(out, &err)) {
+      case FrameStatus::Ok:
+        return true;
+      case FrameStatus::NeedMore:
+        return false;
+      case FrameStatus::Malformed:
+        state_ = TransportState::Error;
+        throw TransportError("TCP stream framing corrupt: " + err);
+    }
+    return false;
+}
+
+bool
+TcpTransport::waitReadable(int timeout_ms)
+{
+    if (state_ != TransportState::Open)
+        return rx_.pendingBytes() > 0;
+    pollfd pfd{fd_, POLLIN, 0};
+    int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc < 0 && errno != EINTR) {
+        state_ = TransportState::Error;
+        throw TransportError(std::string("TCP recv poll: ") +
+                             std::strerror(errno));
+    }
+    return rc > 0;
 }
 
 std::pair<std::unique_ptr<TcpTransport>, std::unique_ptr<TcpTransport>>

@@ -14,6 +14,8 @@
 
 #include <deque>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -21,21 +23,66 @@
 
 namespace rose::bridge {
 
+/**
+ * Transport failure surfaced to the co-simulation: a dead peer, a
+ * corrupt wire stream, a send that cannot make progress, or a sync
+ * deadline that expired. Thrown instead of silently spinning so the
+ * lockstep loop fails loudly with a diagnostic rather than deadlocking.
+ */
+class TransportError : public std::runtime_error
+{
+  public:
+    explicit TransportError(const std::string &what)
+        : std::runtime_error(what) {}
+};
+
+/** Liveness of a transport endpoint. */
+enum class TransportState : uint8_t
+{
+    Open,   ///< peer reachable (as far as we know)
+    Closed, ///< peer performed an orderly close
+    Error,  ///< wire-level failure (reset, corrupt framing)
+};
+
 /** Bidirectional, non-blocking packet endpoint. */
 class Transport
 {
   public:
     virtual ~Transport() = default;
 
-    /** Queue one packet for the peer. */
+    /**
+     * Queue one packet for the peer.
+     *
+     * @throws TransportError when the peer is gone or the endpoint
+     *         cannot make progress within its send deadline.
+     */
     virtual void send(const Packet &p) = 0;
 
     /**
      * Poll for one received packet.
      *
      * @return true when a packet was delivered into @p out.
+     * @throws TransportError on a corrupt wire stream.
      */
     virtual bool recv(Packet &out) = 0;
+
+    /** Current liveness; Closed/Error after the peer goes away. */
+    virtual TransportState state() const { return TransportState::Open; }
+
+    /** True when waitReadable() can actually block (real sockets). */
+    virtual bool supportsWait() const { return false; }
+
+    /**
+     * Block up to @p timeout_ms for inbound bytes. Returns true when
+     * data may be available, false on timeout. Transports with no
+     * notion of blocking (the in-process channel, where both sides run
+     * on one thread) return false immediately.
+     */
+    virtual bool waitReadable(int timeout_ms)
+    {
+        (void)timeout_ms;
+        return false;
+    }
 
     /** Bytes sent so far (wire accounting for throughput models). */
     virtual uint64_t bytesSent() const = 0;
@@ -68,8 +115,18 @@ class TcpTransport : public Transport
 
     void send(const Packet &p) override;
     bool recv(Packet &out) override;
+    TransportState state() const override { return state_; }
+    bool supportsWait() const override { return true; }
+    bool waitReadable(int timeout_ms) override;
     uint64_t bytesSent() const override { return sent_; }
     uint64_t bytesReceived() const override { return received_; }
+
+    /**
+     * Bound on how long send() may block waiting for socket-buffer
+     * space before concluding the peer stopped draining (default 5 s;
+     * 0 waits forever).
+     */
+    void setSendTimeout(int ms) { sendTimeoutMs_ = ms; }
 
     /**
      * Create a connected loopback pair: binds an ephemeral port on
@@ -83,7 +140,9 @@ class TcpTransport : public Transport
     void pump();
 
     int fd_;
-    std::vector<uint8_t> rxBuf_;
+    FrameBuffer rx_;
+    TransportState state_ = TransportState::Open;
+    int sendTimeoutMs_ = 5000;
     uint64_t sent_ = 0;
     uint64_t received_ = 0;
 };

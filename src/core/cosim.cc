@@ -25,6 +25,18 @@ CoSimulation::CoSimulation(const CosimConfig &cfg) : cfg_(cfg)
         bridgeEnd_ = std::move(b);
     }
 
+    if (cfg_.faults.enabled) {
+        auto wrapped = std::make_unique<bridge::FaultInjectTransport>(
+            std::move(syncEnd_), cfg_.faults);
+        faults_ = wrapped.get();
+        syncEnd_ = std::move(wrapped);
+        // On a lossy link the target software must be able to recover
+        // from lost sensor traffic: default its timeout to three sync
+        // periods unless the caller chose one.
+        if (cfg_.app.sensorTimeoutCycles == 0)
+            cfg_.app.sensorTimeoutCycles = 3 * cfg_.sync.cyclesPerSync;
+    }
+
     bridge_ = std::make_unique<bridge::RoseBridge>(*bridgeEnd_,
                                                    cfg_.bridgeCfg);
     driver_ = std::make_unique<bridge::TargetDriver>(*bridge_);
@@ -107,6 +119,18 @@ CoSimulation::printSummary(std::ostream &os) const
     line("sync.imuRequests", ss.imuRequests);
     line("sync.depthRequests", ss.depthRequests);
     line("sync.velocityCommands", ss.velocityCommands);
+    line("sync.deadlineWaits", ss.deadlineWaits);
+
+    if (faults_) {
+        const bridge::FaultStats &fs = faults_->stats();
+        line("fault.sent", fs.sent);
+        line("fault.received", fs.received);
+        line("fault.dropped", fs.dropped);
+        line("fault.corrupted", fs.corrupted);
+        line("fault.reordered", fs.reordered);
+        line("fault.delayed", fs.delayed);
+        line("app.sensorRetries", app_->sensorRetries());
+    }
 
     const bridge::BridgeStats &bs = bridge_->stats();
     line("bridge.mmioReads", bs.mmioReads);
@@ -146,27 +170,40 @@ CoSimulation::run()
     double distance = 0.0;
 
     bool completed = false;
-    while (env_->simTime() < cfg_.maxSimSeconds) {
-        stepPeriod();
+    bool transport_error = false;
+    std::string transport_error_msg;
+    try {
+        while (env_->simTime() < cfg_.maxSimSeconds) {
+            stepPeriod();
 
-        flight::VehicleState k = env_->kinematics();
-        double sp = std::hypot(k.velocity.x, k.velocity.y);
-        speed_sum += sp;
-        max_speed = std::max(max_speed, sp);
-        ++speed_n;
-        distance += (k.position - prev_pos).norm();
-        prev_pos = k.position;
+            flight::VehicleState k = env_->kinematics();
+            double sp = std::hypot(k.velocity.x, k.velocity.y);
+            speed_sum += sp;
+            max_speed = std::max(max_speed, sp);
+            ++speed_n;
+            distance += (k.position - prev_pos).norm();
+            prev_pos = k.position;
 
-        if (env_->missionComplete()) {
-            completed = true;
-            break;
+            if (env_->missionComplete()) {
+                completed = true;
+                break;
+            }
         }
+    } catch (const bridge::TransportError &e) {
+        // Graceful degradation: a dead/corrupt/stalled transport ends
+        // the mission with a diagnosis, never a silent deadlock. The
+        // metrics accumulated so far are still reported.
+        transport_error = true;
+        transport_error_msg = e.what();
+        rose_warn("mission aborted on transport error: ", e.what());
     }
 
     auto t1 = std::chrono::steady_clock::now();
 
     MissionResult r;
     r.completed = completed;
+    r.transportError = transport_error;
+    r.transportErrorMessage = transport_error_msg;
     r.missionTime = env_->simTime();
     r.collisions = env_->collisionInfo().count;
     r.avgSpeed = speed_n ? speed_sum / double(speed_n) : 0.0;

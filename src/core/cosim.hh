@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "bridge/fault_inject.hh"
 #include "bridge/rose_bridge.hh"
 #include "bridge/target_driver.hh"
 #include "bridge/transport.hh"
@@ -62,6 +63,13 @@ struct CosimConfig
     BackgroundConfig background;
     bridge::BridgeConfig bridgeCfg;
     TransportKind transport = TransportKind::InProcess;
+    /**
+     * Transport fault injection (drop/corrupt/reorder/delay) applied to
+     * the synchronizer↔bridge link. When enabled, the control app's
+     * sensor timeout defaults to three sync periods (if not set
+     * explicitly) so the target software recovers from lost packets.
+     */
+    bridge::FaultConfig faults;
 
     /** Stop after this much environment time [s]. */
     double maxSimSeconds = 60.0;
@@ -88,6 +96,11 @@ struct TrajectorySample
 struct MissionResult
 {
     bool completed = false;
+    /** The run aborted on a bridge::TransportError (dead peer, corrupt
+     *  wire, sync deadline) rather than finishing or timing out. */
+    bool transportError = false;
+    /** Diagnostic from the transport failure (empty otherwise). */
+    std::string transportErrorMessage;
     /** Environment time at completion (or at timeout) [s]. */
     double missionTime = 0.0;
     uint64_t collisions = 0;
@@ -151,6 +164,12 @@ class CoSimulation
     runtime::ControlApp &app() { return *app_; }
     const CosimConfig &config() const { return cfg_; }
 
+    /** Fault-injection stats, or nullptr when faults are disabled. */
+    const bridge::FaultStats *faultStats() const
+    {
+        return faults_ ? &faults_->stats() : nullptr;
+    }
+
     /** Periods executed so far. */
     uint64_t periods() const { return periods_; }
 
@@ -165,6 +184,7 @@ class CoSimulation
 
     CosimConfig cfg_;
     std::unique_ptr<env::EnvSim> env_;
+    bridge::FaultInjectTransport *faults_ = nullptr; ///< owned via syncEnd_
     std::unique_ptr<bridge::Transport> syncEnd_;
     std::unique_ptr<bridge::Transport> bridgeEnd_;
     std::unique_ptr<bridge::RoseBridge> bridge_;

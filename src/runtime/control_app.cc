@@ -62,11 +62,14 @@ ControlApp::next(const soc::SocContext &ctx)
 
       case State::AwaitResponses: {
         state_ = State::ReadResponses;
-        return soc::Action::waitRx("sensor-wait");
+        return soc::Action::waitRx("sensor-wait",
+                                   cfg_.sensorTimeoutCycles);
       }
 
       case State::ReadResponses: {
+        bool got_any = false;
         while (auto p = driver_.rxPop()) {
+            got_any = true;
             switch (p->type) {
               case bridge::PacketType::ImageResp:
                 image_ = bridge::decodeImageResp(*p);
@@ -84,6 +87,14 @@ ControlApp::next(const soc::SocContext &ctx)
         bool need_depth =
             cfg_.mode == RuntimeMode::Dynamic && !sawDepth_;
         if (!image_ || need_depth) {
+            if (!got_any && cfg_.sensorTimeoutCycles > 0) {
+                // The wait timed out with nothing delivered: the
+                // request or its response was lost in transit.
+                // Re-issue the requests instead of waiting forever.
+                ++sensorRetries_;
+                state_ = State::SendRequests;
+                return ioAction("sensor-retry");
+            }
             // Response split across boundaries; keep waiting.
             state_ = State::AwaitResponses;
             return ioAction("sensor-poll");

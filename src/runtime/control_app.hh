@@ -60,6 +60,16 @@ struct AppConfig
     Cycles dualSessionOverhead = 12 * kMegaCycles;
     /** One-time application startup cost [cycles]. */
     Cycles bootCycles = 50 * kMegaCycles;
+    /**
+     * Sensor-response timeout [cycles]: how long the app waits on the
+     * bridge RX queue before re-issuing its sensor requests. 0 (the
+     * default) waits forever — correct on a reliable transport, where
+     * responses always arrive one sync period later. Set to a few sync
+     * periods when the transport can lose packets (fault injection),
+     * so a dropped request/response stalls one timeout, not the
+     * mission.
+     */
+    Cycles sensorTimeoutCycles = 0;
 
     PolicyConfig policy;
     DeadlineModel deadline;
@@ -109,6 +119,9 @@ class ControlApp : public soc::Workload
     /** Inferences completed so far. */
     uint64_t inferenceCount() const { return records_.size(); }
 
+    /** Sensor requests re-issued after a response timeout. */
+    uint64_t sensorRetries() const { return sensorRetries_; }
+
     const AppConfig &config() const { return cfg_; }
 
   private:
@@ -146,6 +159,7 @@ class ControlApp : public soc::Workload
     dnn::ClassifierOutput lastOutput_;
     int activeDepth_ = 0;
     std::vector<InferenceRecord> records_;
+    uint64_t sensorRetries_ = 0;
 };
 
 } // namespace rose::runtime

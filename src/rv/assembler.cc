@@ -351,8 +351,10 @@ class Assembler
             if (small) {
                 emit(encodeI(v, 0, 0, rd, 0x13));
             } else {
-                int32_t hi = (v + 0x800) & ~0xfff;
-                int32_t lo = v - hi;
+                // Unsigned arithmetic: v near INT32_MAX must wrap, not
+                // overflow (lui/addi sign-interplay is modular anyway).
+                int32_t hi = int32_t((uint32_t(v) + 0x800u) & ~0xfffu);
+                int32_t lo = int32_t(uint32_t(v) - uint32_t(hi));
                 emit(encodeU(hi, rd, 0x37));
                 emit(encodeI(lo, rd, 0, rd, 0x13));
             }

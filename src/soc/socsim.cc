@@ -49,15 +49,25 @@ SocSim::runPeriod()
                 havePending_ = false;
             } else {
                 // RX can only change at a sync boundary; the polling
-                // loop spins for the rest of the grant.
+                // loop spins for the rest of the grant — or until the
+                // wait's timeout budget (pendingLeft_) runs dry, at
+                // which point the workload regains control and can
+                // re-request a lost packet.
                 Cycles rest = budget - consumed;
+                if (pendingLeft_ > 0)
+                    rest = std::min(rest, pendingLeft_);
                 if (trace_ && rest > 0) {
                     trace_->record({stats_.totalCycles + consumed,
                                     rest, Unit::Cpu, pending_.what,
                                     TraceEvent::Kind::Stall});
                 }
                 stats_.rxStallCycles += rest;
-                consumed = budget;
+                consumed += rest;
+                if (pendingLeft_ > 0) {
+                    pendingLeft_ -= rest;
+                    if (pendingLeft_ == 0)
+                        havePending_ = false; // wait timed out
+                }
             }
             break;
           }
@@ -85,9 +95,13 @@ SocSim::runPeriod()
     stats_.totalCycles += budget;
     ++stats_.periods;
     bridge_.consumeCycles(budget);
-    bridge_.completeSync(budget);
-    // Flush TX data packets and the SyncDone to the host.
+    // Flush TX data packets first, then SyncDone, so the period's
+    // completion marker is the last packet on the wire: once the
+    // synchronizer sees it, every data packet of the period has
+    // arrived (ordered transports), making the host-side SyncDone
+    // wait a sound barrier.
     bridge_.hostService();
+    bridge_.completeSync(budget);
 }
 
 } // namespace rose::soc

@@ -40,6 +40,10 @@ struct Action
     };
 
     Kind kind = Kind::Halt;
+    /** Compute: busy cycles. WaitRx: max cycles to stall before the
+     *  wait gives up and control returns to the workload (0 = wait
+     *  forever) — the target-side timeout that lets software recover
+     *  from a lost packet instead of hanging. */
     Cycles cycles = 0;
     Unit unit = Unit::Cpu;
     /** Optional label for tracing/debug. */
@@ -52,9 +56,9 @@ struct Action
     }
 
     static Action
-    waitRx(const char *label = "")
+    waitRx(const char *label = "", Cycles timeout = 0)
     {
-        return {Kind::WaitRx, 0, Unit::Cpu, label};
+        return {Kind::WaitRx, timeout, Unit::Cpu, label};
     }
 
     static Action halt() { return {Kind::Halt, 0, Unit::Cpu, ""}; }

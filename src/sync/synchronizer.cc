@@ -1,5 +1,7 @@
 #include "synchronizer.hh"
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "util/logging.hh"
@@ -20,12 +22,20 @@ Synchronizer::configure()
     configured_ = true;
 }
 
+double
+Synchronizer::exactFramesPerPeriod() const
+{
+    return static_cast<double>(cfg_.cyclesPerSync) /
+           (cfg_.clocks.socClockHz / cfg_.clocks.envFrameHz);
+}
+
 Frames
 Synchronizer::framesPerPeriod() const
 {
-    double frames = static_cast<double>(cfg_.cyclesPerSync) /
-                    (cfg_.clocks.socClockHz / cfg_.clocks.envFrameHz);
-    return static_cast<Frames>(frames);
+    // Include the fractional-frame carry so the reported count is the
+    // count endPeriod() will actually step (1.5 frames/period reports
+    // 1, 2, 1, 2, ... in lockstep with the environment).
+    return static_cast<Frames>(exactFramesPerPeriod() + frameCarry_);
 }
 
 double
@@ -55,28 +65,68 @@ Synchronizer::endPeriod()
     // queued on the transport and reach the SoC's RX queue at the next
     // bridge host-service, i.e. the next period boundary — this is the
     // artificial synchronization latency Figure 16 measures.
+    //
+    // The SoC side sends SyncDone as the last packet of its period, so
+    // once it is seen every data packet of the period has been drained.
+    // Until then: on a blocking transport (TCP) the bytes may simply be
+    // in flight, so wait — but never past the sync deadline, and never
+    // on a peer that is known dead.
+    using clock = std::chrono::steady_clock;
+    const auto t0 = clock::now();
     bool done_seen = false;
     bridge::Packet p;
-    while (transport_.recv(p)) {
-        if (p.type == bridge::PacketType::SyncDone) {
-            done_seen = true;
-            ++stats_.donesReceived;
-        } else {
-            servicePacket(p);
+    while (true) {
+        while (transport_.recv(p)) {
+            if (p.type == bridge::PacketType::SyncDone) {
+                done_seen = true;
+                ++stats_.donesReceived;
+            } else {
+                servicePacket(p);
+            }
         }
-    }
-    if (!done_seen) {
-        // With the in-process lockstep the SoC must have finished its
-        // grant before the boundary; a missing SyncDone means the
-        // caller drove the loop out of order.
-        rose_warn("sync period ended without SyncDone");
+        if (done_seen)
+            break;
+
+        if (transport_.state() != bridge::TransportState::Open) {
+            throw bridge::TransportError(detail::concat(
+                "sync period ", stats_.periods + 1,
+                ": bridge transport closed before SyncDone (SoC "
+                "simulator died mid-period)"));
+        }
+        if (!transport_.supportsWait()) {
+            // In-process lockstep cannot block: the SoC must have
+            // finished its grant before this boundary, so a missing
+            // SyncDone means the caller drove the loop out of order.
+            throw bridge::TransportError(detail::concat(
+                "sync period ", stats_.periods + 1,
+                " ended without SyncDone on a non-blocking transport "
+                "(lockstep driven out of order?)"));
+        }
+        auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          clock::now() - t0)
+                          .count();
+        if (cfg_.syncDeadlineMs > 0 &&
+            waited >= long(cfg_.syncDeadlineMs)) {
+            throw bridge::TransportError(detail::concat(
+                "sync period ", stats_.periods + 1, ": no SyncDone "
+                "within the ", cfg_.syncDeadlineMs, " ms deadline — "
+                "the SoC side is stalled (grant lost, peer wedged, or "
+                "deadline too tight for this sync granularity)"));
+        }
+        // Bounded wait; short slices keep the deadline check live even
+        // if the peer trickles unrelated bytes.
+        int slice = 50;
+        if (cfg_.syncDeadlineMs > 0) {
+            slice = std::min<long>(slice,
+                                   long(cfg_.syncDeadlineMs) - waited);
+        }
+        ++stats_.deadlineWaits;
+        transport_.waitReadable(slice);
     }
 
     // Advance the environment by the matching frames (Equation 1),
     // carrying fractional frames so long runs do not drift.
-    double exact = static_cast<double>(cfg_.cyclesPerSync) /
-                   (cfg_.clocks.socClockHz / cfg_.clocks.envFrameHz) +
-                   frameCarry_;
+    double exact = exactFramesPerPeriod() + frameCarry_;
     Frames whole = static_cast<Frames>(exact);
     frameCarry_ = exact - static_cast<double>(whole);
     env_.stepFrames(whole);

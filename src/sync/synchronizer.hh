@@ -39,6 +39,14 @@ struct SyncConfig
     Cycles cyclesPerSync = 10 * kMegaCycles;
     /** Clock relationship between the two simulators. */
     ClockRatio clocks{1.0e9, 100.0};
+    /**
+     * Wall-clock deadline for the SoC side to report SyncDone after a
+     * period's packets are drained [ms]. Only meaningful on transports
+     * that can block (TCP); endPeriod() throws bridge::TransportError
+     * with a diagnostic when it expires, instead of looping forever on
+     * a stalled or dead SoC simulator. 0 disables the deadline.
+     */
+    uint32_t syncDeadlineMs = 5000;
 };
 
 /** Counters for evaluating synchronizer behavior. */
@@ -53,6 +61,8 @@ struct SyncStats
     uint64_t velocityCommands = 0;
     uint64_t framesStepped = 0;
     uint64_t unknownPackets = 0;
+    /** Bounded waits taken for a late SyncDone (TCP in-flight data). */
+    uint64_t deadlineWaits = 0;
 };
 
 /** Most recent actuation command observed (for trajectory logging). */
@@ -95,10 +105,22 @@ class Synchronizer
      * sent back through the transport and become visible to the SoC at
      * the next period), verify SyncDone arrived, and advance the
      * environment by the matching number of frames.
+     *
+     * On a blocking-capable transport (TCP) this waits up to
+     * SyncConfig::syncDeadlineMs for the SoC side's SyncDone.
+     *
+     * @throws bridge::TransportError when the peer closed, the wire
+     *         corrupted, or no SyncDone arrived within the deadline —
+     *         a loud diagnostic instead of an infinite lockstep spin.
      */
     void endPeriod();
 
-    /** Environment frames corresponding to one sync period. */
+    /**
+     * Environment frames the next endPeriod() will step: the Equation 1
+     * ratio plus the fractional-frame carry accumulated so far, so this
+     * always agrees with the frames actually stepped — including on
+     * non-integer cycle/frame ratios.
+     */
     Frames framesPerPeriod() const;
 
     const SyncConfig &config() const { return cfg_; }
@@ -110,6 +132,9 @@ class Synchronizer
 
   private:
     void servicePacket(const bridge::Packet &p);
+
+    /** Equation 1 frames per period before integer truncation. */
+    double exactFramesPerPeriod() const;
 
     env::EnvSim &env_;
     bridge::Transport &transport_;

@@ -220,6 +220,83 @@ TEST(Synchronizer, SimulationAbstractionHolds)
     });
 }
 
+TEST(Synchronizer, FramesPerPeriodAgreesWithSteppedFrames)
+{
+    // 15M cycles at 1 GHz / 100 Hz = 1.5 frames per period. The value
+    // framesPerPeriod() reports must equal what the next endPeriod()
+    // actually steps, including the fractional carry (1, 2, 1, 2, ...).
+    SyncConfig cfg;
+    cfg.cyclesPerSync = 15 * kMegaCycles;
+    cfg.clocks = {1.0e9, 100.0};
+    Harness h(cfg);
+    for (int i = 0; i < 8; ++i) {
+        Frames predicted = h.sync->framesPerPeriod();
+        Frames before = h.env->frameCount();
+        h.idlePeriod();
+        EXPECT_EQ(h.env->frameCount() - before, predicted)
+            << "period " << i;
+    }
+}
+
+// -------------------------------------------- deadlines and dead peers
+
+TEST(Synchronizer, MissingSyncDoneAbortsWithDiagnostic)
+{
+    // Driving the lockstep out of order (endPeriod with no SoC
+    // execution) must abort loudly, not warn and plough on.
+    Harness h;
+    h.sync->beginPeriod();
+    EXPECT_THROW(h.sync->endPeriod(), bridge::TransportError);
+}
+
+TEST(Synchronizer, TcpPeerCloseAbortsEndPeriod)
+{
+    env::EnvConfig ecfg;
+    ecfg.turbulenceForceStd = 0.0;
+    SyncConfig scfg;
+    ecfg.frameHz = scfg.clocks.envFrameHz;
+    env::EnvSim env(ecfg);
+
+    auto [server, client] = TcpTransport::makeLoopbackPair();
+    Synchronizer sync(env, *server, scfg);
+    sync.configure();
+    sync.beginPeriod();
+    client.reset(); // SoC simulator dies mid-period
+
+    try {
+        sync.endPeriod();
+        FAIL() << "endPeriod() must throw on a dead peer";
+    } catch (const bridge::TransportError &e) {
+        EXPECT_NE(std::string(e.what()).find("closed before SyncDone"),
+                  std::string::npos);
+    }
+}
+
+TEST(Synchronizer, TcpStalledPeerHitsSyncDeadline)
+{
+    env::EnvConfig ecfg;
+    ecfg.turbulenceForceStd = 0.0;
+    SyncConfig scfg;
+    scfg.syncDeadlineMs = 100; // keep the test fast
+    ecfg.frameHz = scfg.clocks.envFrameHz;
+    env::EnvSim env(ecfg);
+
+    auto [server, client] = TcpTransport::makeLoopbackPair();
+    Synchronizer sync(env, *server, scfg);
+    sync.configure();
+    sync.beginPeriod();
+    // The peer stays connected but never answers: the deadline, not an
+    // infinite no-SyncDone loop, ends the period.
+    try {
+        sync.endPeriod();
+        FAIL() << "endPeriod() must throw on a stalled peer";
+    } catch (const bridge::TransportError &e) {
+        EXPECT_NE(std::string(e.what()).find("deadline"),
+                  std::string::npos);
+    }
+    EXPECT_GE(sync.stats().deadlineWaits, 1u);
+}
+
 // ------------------------------------------------ Equation 1 property
 
 /** Equation 1 conservation across granularities: frames stepped per
