@@ -7,18 +7,37 @@
  * the per-loop compute-time distribution (the classical loop's
  * variance comes entirely from data-dependent solver iterations) and
  * the mission-level outcomes, per SoC.
+ *
+ * Each SoC's DNN/MPC mission pair is an independent work item run
+ * through the deterministic parallel map (--jobs N; output identical
+ * for any N).
  */
 
 #include <algorithm>
 #include <cstdio>
+#include <vector>
 
+#include "core/batch.hh"
 #include "core/experiment.hh"
 #include "util/stats.hh"
 
+namespace {
+
+/** Both companion-software variants on one SoC. */
+struct SocRow
+{
+    rose::core::MissionResult dnn;
+    rose::core::MpcMissionResult mpc;
+};
+
+} // namespace
+
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rose;
+
+    core::BatchCli cli = core::parseBatchCli(argc, argv);
 
     std::printf("Ablation: DNN vs classical MPC companion software "
                 "(tunnel @ 3 m/s)\n\n");
@@ -26,16 +45,27 @@ main()
                 "app", "mission", "coll", "loops", "rate[Hz]",
                 "lat[ms]", "iters min/avg/max");
 
-    for (const char *soc_name : {"A", "B"}) {
-        core::MissionSpec spec;
-        spec.world = "tunnel";
-        spec.socName = soc_name;
-        spec.modelDepth = 14;
-        spec.velocity = 3.0;
-        spec.maxSimSeconds = 40.0;
+    const std::vector<const char *> socs = {"A", "B"};
+    std::vector<SocRow> rows = core::parallelIndexed<SocRow>(
+        socs.size(), cli.jobs, [&socs](size_t i) {
+            core::MissionSpec spec;
+            spec.world = "tunnel";
+            spec.socName = socs[i];
+            spec.modelDepth = 14;
+            spec.velocity = 3.0;
+            spec.maxSimSeconds = 40.0;
 
-        // --- DNN pipeline -------------------------------------------
-        core::MissionResult dnn = core::runMission(spec);
+            SocRow row;
+            row.dnn = core::runMission(spec);
+            row.mpc = core::runMpcMission(spec);
+            return row;
+        });
+
+    for (size_t i = 0; i < socs.size(); ++i) {
+        const char *soc_name = socs[i];
+        const core::MissionResult &dnn = rows[i].dnn;
+        const core::MpcMissionResult &mpc = rows[i].mpc;
+
         std::printf("%-4s %-10s %-8s %-7llu %-7llu %-9.1f %-12.0f %-14s\n",
                     soc_name, "trail-dnn",
                     core::missionTimeString(dnn).c_str(),
@@ -46,10 +76,7 @@ main()
                         : 0.0,
                     dnn.avgInferenceLatency * 1e3, "-");
 
-        // --- classical MPC -------------------------------------------
-        core::MpcMissionResult mpc = core::runMpcMission(spec);
         ScalarStat iters;
-        ScalarStat solve_ms;
         for (const runtime::MpcRecord &rec : mpc.log)
             iters.sample(double(rec.solverIterations));
         std::printf("%-4s %-10s %7.2fs %-7llu %-7zu %-9.1f %-12.1f "

@@ -7,17 +7,36 @@
  * probability and reports mission outcome, sensor retries, and
  * inference throughput: with the sensor-timeout/retry path the control
  * loop degrades gracefully (extra latency per lost frame) instead of
- * deadlocking — the failure mode this PR's hardening removes.
+ * deadlocking — the failure mode the transport hardening removed.
+ *
+ * Each drop rate is an independent seeded simulation run through the
+ * deterministic parallel map (--jobs N; output identical for any N).
  */
 
 #include <cstdio>
+#include <vector>
 
+#include "core/batch.hh"
 #include "core/experiment.hh"
 
+namespace {
+
+/** One drop-rate point with the stats read off the live simulation. */
+struct FaultRow
+{
+    rose::core::MissionResult result;
+    rose::bridge::FaultStats faults;
+    uint64_t sensorRetries = 0;
+};
+
+} // namespace
+
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rose;
+
+    core::BatchCli cli = core::parseBatchCli(argc, argv);
 
     std::printf("Ablation: transport packet loss (tunnel @ 3 m/s, "
                 "ResNet14, seeded fault injection, sync packets "
@@ -26,32 +45,43 @@ main()
                 "drop-p", "mission", "coll", "pkts", "dropped",
                 "retries", "infer", "error");
 
-    for (double drop : {0.0, 0.02, 0.05, 0.1, 0.2}) {
-        core::MissionSpec spec;
-        spec.world = "tunnel";
-        spec.socName = "A";
-        spec.modelDepth = 14;
-        spec.velocity = 3.0;
-        spec.maxSimSeconds = 30.0;
+    const std::vector<double> drops = {0.0, 0.02, 0.05, 0.1, 0.2};
+    std::vector<FaultRow> rows = core::parallelIndexed<FaultRow>(
+        drops.size(), cli.jobs, [&drops](size_t i) {
+            core::MissionSpec spec;
+            spec.world = "tunnel";
+            spec.socName = "A";
+            spec.modelDepth = 14;
+            spec.velocity = 3.0;
+            spec.maxSimSeconds = 30.0;
 
-        core::CosimConfig cfg = spec.toConfig();
-        cfg.faults.enabled = true;
-        cfg.faults.dropProb = drop;
-        cfg.faults.seed = 0xab1a;
+            core::CosimConfig cfg = spec.toConfig();
+            cfg.faults.enabled = true;
+            cfg.faults.dropProb = drops[i];
+            cfg.faults.seed = 0xab1a;
 
-        core::CoSimulation sim(cfg);
-        core::MissionResult r = sim.run();
-        const bridge::FaultStats *fs = sim.faultStats();
+            core::CoSimulation sim(cfg);
+            FaultRow row;
+            row.result = sim.run();
+            if (const bridge::FaultStats *fs = sim.faultStats())
+                row.faults = *fs;
+            row.sensorRetries = sim.app().sensorRetries();
+            return row;
+        });
+
+    for (size_t i = 0; i < drops.size(); ++i) {
+        const FaultRow &row = rows[i];
         std::printf("%-10.2f %-10s %-8llu %-10llu %-10llu %-10llu "
                     "%-8llu %-8s\n",
-                    drop, core::missionTimeString(r).c_str(),
-                    (unsigned long long)r.collisions,
-                    (unsigned long long)(fs ? fs->sent + fs->received
-                                            : 0),
-                    (unsigned long long)(fs ? fs->dropped : 0),
-                    (unsigned long long)sim.app().sensorRetries(),
-                    (unsigned long long)r.inferences,
-                    r.transportError ? "yes" : "-");
+                    drops[i],
+                    core::missionTimeString(row.result).c_str(),
+                    (unsigned long long)row.result.collisions,
+                    (unsigned long long)(row.faults.sent +
+                                         row.faults.received),
+                    (unsigned long long)row.faults.dropped,
+                    (unsigned long long)row.sensorRetries,
+                    (unsigned long long)row.result.inferences,
+                    row.result.transportError ? "yes" : "-");
     }
 
     std::printf("\nExpected shape: at 0%% loss the baseline mission "

@@ -13,25 +13,33 @@
  *  - mission times: paper reports ResNet6 16.1 s, ResNet11 12.94 s,
  *    ResNet14 12.32 s, ResNet18 35.68 s.
  *
- * Emits lateral-position-over-time series (fig11_resnet<N>.csv).
+ * The zoo sweep runs through the deterministic mission batch runner
+ * (--jobs N; output identical for any N). Emits
+ * lateral-position-over-time series (fig11_resnet<N>.csv) and batch
+ * timing in BENCH_batch.json.
  */
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
+#include "core/batch.hh"
 #include "core/experiment.hh"
 #include "dnn/resnet.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rose;
+
+    core::BatchCli cli = core::parseBatchCli(argc, argv);
 
     std::printf("Figure 11: s-shape DNN sweep @ 9 m/s on config A "
                 "(BOOM+Gemmini)\n\n");
     std::printf("%-10s %-10s %-6s %-10s %-12s\n", "model", "mission",
                 "coll", "avgv[m/s]", "infer[ms]");
 
+    std::vector<core::MissionSpec> specs;
     for (int depth : dnn::resnetZoo()) {
         core::MissionSpec spec;
         spec.world = "s-shape";
@@ -39,8 +47,15 @@ main()
         spec.modelDepth = depth;
         spec.velocity = 9.0;
         spec.maxSimSeconds = 60.0;
+        specs.push_back(spec);
+    }
 
-        core::MissionResult r = core::runMission(spec);
+    core::BatchRunner runner(cli.options());
+    std::vector<core::MissionResult> results = runner.run(specs);
+
+    for (size_t i = 0; i < specs.size(); ++i) {
+        const core::MissionResult &r = results[i];
+        int depth = specs[i].modelDepth;
         std::printf("%-10s %-10s %-6llu %-10.2f %-12.0f\n",
                     ("ResNet" + std::to_string(depth)).c_str(),
                     core::missionTimeString(r).c_str(),
@@ -49,6 +64,10 @@ main()
         core::writeTrajectoryCsv(
             "fig11_resnet" + std::to_string(depth) + ".csv", r);
     }
+
+    core::BatchReport report("fig11_dnn_sweep");
+    report.add("resnet_zoo", runner.stats());
+    report.write(cli.jsonPath);
 
     std::printf("\nExpected shape: small/mid nets complete cleanly with "
                 "the mid-size net near-optimal; ResNet6 collides (weak, "

@@ -11,22 +11,27 @@
  *
  * Also prints the per-velocity deadline budget (Equations 3-5) at a
  * representative obstacle depth to show where the violation begins.
+ * Runs through the deterministic mission batch runner (--jobs N).
  */
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
+#include "core/batch.hh"
 #include "core/experiment.hh"
 #include "dnn/engine.hh"
 #include "runtime/deadline.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rose;
 
+    core::BatchCli cli = core::parseBatchCli(argc, argv);
+
     dnn::ExecutionEngine engine(soc::configA());
-    double infer_lat = engine.latencySeconds(dnn::makeResNet(14));
+    double infer_lat = engine.latencySeconds(*dnn::sharedResNet(14));
     runtime::DeadlineModel dl;
 
     std::printf("Figure 12: velocity sweep, ResNet14 on config A "
@@ -34,6 +39,7 @@ main()
     std::printf("%-8s %-10s %-6s %-10s %-16s\n", "v[m/s]", "mission",
                 "coll", "avgv[m/s]", "critical-depth[m]");
 
+    std::vector<core::MissionSpec> specs;
     for (double v : {6.0, 9.0, 12.0}) {
         core::MissionSpec spec;
         spec.world = "s-shape";
@@ -41,8 +47,15 @@ main()
         spec.modelDepth = 14;
         spec.velocity = v;
         spec.maxSimSeconds = 60.0;
+        specs.push_back(spec);
+    }
 
-        core::MissionResult r = core::runMission(spec);
+    core::BatchRunner runner(cli.options());
+    std::vector<core::MissionResult> results = runner.run(specs);
+
+    for (size_t i = 0; i < specs.size(); ++i) {
+        double v = specs[i].velocity;
+        const core::MissionResult &r = results[i];
 
         // Equations 3-5 inverted: the forward depth below which the
         // deadline is violated (collision unavoidable at this speed).
@@ -58,6 +71,10 @@ main()
         core::writeTrajectoryCsv(
             "fig12_v" + std::to_string(int(v)) + ".csv", r);
     }
+
+    core::BatchReport report("fig12_velocity_sweep");
+    report.add("velocity_sweep", runner.stats());
+    report.write(cli.jsonPath);
 
     std::printf("\nResNet14 inference latency on config A: %.0f ms; "
                 "s-shape corridor half-width: 2.0 m\n",

@@ -14,17 +14,25 @@
  * mission time than static ResNet14 while also reducing the
  * accelerator activity factor, despite the dual-ONNX-session overhead
  * (~15% fewer inferences than static ResNet14).
+ *
+ * The 3-application x 3-seed matrix runs through the deterministic
+ * mission batch runner (--jobs N; output identical for any N).
  */
 
 #include <cstdio>
+#include <iterator>
 #include <string>
+#include <vector>
 
+#include "core/batch.hh"
 #include "core/experiment.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rose;
+
+    core::BatchCli cli = core::parseBatchCli(argc, argv);
 
     const double kVelocity = 10.25;
     std::printf("Figure 13: static vs dynamic DNN selection "
@@ -49,11 +57,8 @@ main()
     // about exactly this); average each application over seeds.
     const uint64_t kSeeds[] = {1, 2, 3};
 
-    double static14_time = 0.0, static14_act = 0.0, static14_inf = 0.0;
+    std::vector<core::MissionSpec> specs;
     for (const Case &c : cases) {
-        double time_sum = 0.0, act_sum = 0.0, inf_sum = 0.0;
-        double small_sum = 0.0;
-        uint64_t coll_sum = 0;
         for (uint64_t seed : kSeeds) {
             core::MissionSpec spec;
             spec.world = "s-shape";
@@ -63,8 +68,21 @@ main()
             spec.velocity = kVelocity;
             spec.seed = seed;
             spec.maxSimSeconds = 60.0;
+            specs.push_back(spec);
+        }
+    }
 
-            core::MissionResult r = core::runMission(spec);
+    core::BatchRunner runner(cli.options());
+    std::vector<core::MissionResult> results = runner.run(specs);
+
+    size_t idx = 0;
+    double static14_time = 0.0, static14_act = 0.0, static14_inf = 0.0;
+    for (const Case &c : cases) {
+        double time_sum = 0.0, act_sum = 0.0, inf_sum = 0.0;
+        double small_sum = 0.0;
+        uint64_t coll_sum = 0;
+        for (size_t s = 0; s < std::size(kSeeds); ++s) {
+            const core::MissionResult &r = results[idx++];
             time_sum += r.missionTime;
             act_sum += r.accelActivityFactor;
             inf_sum += double(r.inferences);
@@ -98,6 +116,10 @@ main()
                             : 0.0);
         }
     }
+
+    core::BatchReport report("fig13_dynamic_runtime");
+    report.add("apps_x_seeds", runner.stats());
+    report.write(cli.jsonPath);
 
     std::printf("\nExpected shape: dynamic completes at least as fast "
                 "as static ResNet14 with a lower activity factor and "

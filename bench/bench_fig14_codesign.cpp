@@ -11,39 +11,37 @@
  *    mission times) — the optimal design point *changes* with the SoC
  *    microarchitecture, which post-silicon core-count/frequency tuning
  *    alone cannot reveal.
+ *
+ * The full 2-SoC x 5-model x 3-seed design matrix (30 missions) runs
+ * through the deterministic mission batch runner (--jobs N; output
+ * identical for any N). Batch timing lands in BENCH_batch.json.
  */
 
 #include <cstdio>
+#include <iterator>
 #include <string>
+#include <vector>
 
+#include "core/batch.hh"
 #include "core/experiment.hh"
 #include "dnn/resnet.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rose;
 
-    std::printf("Figure 14: HW/SW co-design sweep (s-shape @ 9 m/s)\n");
-    for (const char *cfg : {"A", "B"}) {
-        soc::SocConfig sc = soc::configByName(cfg);
-        std::printf("\nconfig %s (%s + %s):\n", cfg,
-                    sc.cpuName().c_str(), sc.acceleratorName().c_str());
-        std::printf("  %-10s %-7s %-4s %-6s %-10s %-10s %-12s\n",
-                    "model", "mission", "done", "coll", "avgv[m/s]",
-                    "activity", "infer[ms]");
+    core::BatchCli cli = core::parseBatchCli(argc, argv);
 
-        // Average each design point over seeds: configurations near
-        // the stability boundary are bimodal run-to-run (the artifact
-        // appendix's variance warning), and the mean surfaces that.
-        const uint64_t kSeeds[] = {1, 2, 3};
-        double best_time = 1e9;
-        std::string best;
+    // Average each design point over seeds: configurations near the
+    // stability boundary are bimodal run-to-run (the artifact
+    // appendix's variance warning), and the mean surfaces that.
+    const uint64_t kSeeds[] = {1, 2, 3};
+    const char *kConfigs[] = {"A", "B"};
+
+    std::vector<core::MissionSpec> specs;
+    for (const char *cfg : kConfigs) {
         for (int depth : dnn::resnetZoo()) {
-            double time_sum = 0.0, v_sum = 0.0, act_sum = 0.0,
-                   lat_sum = 0.0;
-            uint64_t coll_sum = 0;
-            int completed = 0;
             for (uint64_t seed : kSeeds) {
                 core::MissionSpec spec;
                 spec.world = "s-shape";
@@ -52,8 +50,33 @@ main()
                 spec.velocity = 9.0;
                 spec.seed = seed;
                 spec.maxSimSeconds = 60.0;
+                specs.push_back(spec);
+            }
+        }
+    }
 
-                core::MissionResult r = core::runMission(spec);
+    core::BatchRunner runner(cli.options());
+    std::vector<core::MissionResult> results = runner.run(specs);
+
+    std::printf("Figure 14: HW/SW co-design sweep (s-shape @ 9 m/s)\n");
+    size_t idx = 0;
+    for (const char *cfg : kConfigs) {
+        soc::SocConfig sc = soc::configByName(cfg);
+        std::printf("\nconfig %s (%s + %s):\n", cfg,
+                    sc.cpuName().c_str(), sc.acceleratorName().c_str());
+        std::printf("  %-10s %-7s %-4s %-6s %-10s %-10s %-12s\n",
+                    "model", "mission", "done", "coll", "avgv[m/s]",
+                    "activity", "infer[ms]");
+
+        double best_time = 1e9;
+        std::string best;
+        for (int depth : dnn::resnetZoo()) {
+            double time_sum = 0.0, v_sum = 0.0, act_sum = 0.0,
+                   lat_sum = 0.0;
+            uint64_t coll_sum = 0;
+            int completed = 0;
+            for (size_t s = 0; s < std::size(kSeeds); ++s) {
+                const core::MissionResult &r = results[idx++];
                 time_sum += r.missionTime;
                 v_sum += r.avgSpeed;
                 act_sum += r.accelActivityFactor;
@@ -82,6 +105,10 @@ main()
                         "%s (%.2f s)\n", cfg, best.c_str(), best_time);
         }
     }
+
+    core::BatchReport report("fig14_codesign");
+    report.add("soc_x_zoo_x_seeds", runner.stats());
+    report.write(cli.jsonPath);
 
     std::printf("\nExpected shape: Rocket mission times are uniformly "
                 "worse; models that are optimal on BOOM collapse on "

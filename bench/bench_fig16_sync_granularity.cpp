@@ -13,23 +13,30 @@
  *    boundaries, reaching ~3x+ the ideal latency at 400M;
  *  - trajectories diverge at coarse granularity (the UAV becomes less
  *    responsive due to the artificial latency).
+ *
+ * The sweep runs through the deterministic mission batch runner
+ * (--jobs N; output identical for any N).
  */
 
 #include <cmath>
 #include <cstdio>
 #include <string>
+#include <vector>
 
+#include "core/batch.hh"
 #include "core/experiment.hh"
 #include "core/hostmodel.hh"
 #include "dnn/engine.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace rose;
 
+    core::BatchCli cli = core::parseBatchCli(argc, argv);
+
     dnn::ExecutionEngine engine(soc::configA());
-    double ideal = engine.latencySeconds(dnn::makeResNet(14));
+    double ideal = engine.latencySeconds(*dnn::sharedResNet(14));
 
     std::printf("Figure 16: synchronization granularity sweep "
                 "(tunnel, yaw0=+20deg, ResNet14 @ 3 m/s)\n\n");
@@ -38,6 +45,7 @@ main()
                 "latency[ms]", "vs-ideal", "coll", "mission",
                 "max|off|[m]");
 
+    std::vector<core::MissionSpec> specs;
     for (Cycles g : core::granularitySweep()) {
         core::MissionSpec spec;
         spec.world = "tunnel";
@@ -47,8 +55,15 @@ main()
         spec.initialYawDeg = 20.0;
         spec.syncGranularity = g;
         spec.maxSimSeconds = 60.0;
+        specs.push_back(spec);
+    }
 
-        core::MissionResult r = core::runMission(spec);
+    core::BatchRunner runner(cli.options());
+    std::vector<core::MissionResult> results = runner.run(specs);
+
+    for (size_t i = 0; i < specs.size(); ++i) {
+        Cycles g = specs[i].syncGranularity;
+        const core::MissionResult &r = results[i];
         double max_off = 0.0;
         for (const core::TrajectorySample &s : r.trajectory)
             max_off = std::max(max_off, std::abs(s.lateralOffset));
@@ -62,6 +77,10 @@ main()
         core::writeTrajectoryCsv(
             "fig16_g" + std::to_string(g / kMegaCycles) + "M.csv", r);
     }
+
+    core::BatchReport report("fig16_sync_granularity");
+    report.add("granularity_sweep", runner.stats());
+    report.write(cli.jsonPath);
 
     std::printf("\nExpected shape: latency starts slightly above the "
                 "ideal compute latency and grows toward ~3x+ at 400M; "

@@ -11,15 +11,24 @@ jobs="$(nproc 2>/dev/null || echo 4)"
 
 run_preset() {
     local preset="$1"
+    local builddir="$2"
     echo "==== [$preset] configure ===="
     cmake --preset "$preset"
     echo "==== [$preset] build ===="
     cmake --build --preset "$preset" -j "$jobs"
     echo "==== [$preset] test ===="
     ctest --preset "$preset"
+
+    # Batch determinism parity at explicit thread counts beyond the
+    # default {1,2,8} matrix: ROSE_BATCH_JOBS adds counts so the
+    # serial-vs-parallel bit-equality contract is exercised at both an
+    # odd count and one well past this host's core count.
+    echo "==== [$preset] batch parity (extra thread counts) ===="
+    ROSE_BATCH_JOBS=3,16 "$builddir/tests/test_batch" \
+        --gtest_filter='BatchParity.*'
 }
 
-run_preset default
-run_preset asan
+run_preset default build
+run_preset asan build-asan
 
 echo "==== all presets passed ===="

@@ -6,13 +6,20 @@
  * latencies, showing why isolated benchmarking is not enough
  * (Sections 5.1/5.4).
  *
- * Run: ./build/examples/design_space_exploration [world] [velocity]
+ * The full SoC x DNN matrix runs through the deterministic mission
+ * batch runner: --jobs N fans the missions out over N worker threads
+ * and the table is identical for any N.
+ *
+ * Run: ./build/examples/design_space_exploration [--jobs N]
+ *          [world] [velocity]
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
+#include "core/batch.hh"
 #include "core/experiment.hh"
 #include "dnn/engine.hh"
 
@@ -21,6 +28,7 @@ main(int argc, char **argv)
 {
     using namespace rose;
 
+    core::BatchCli cli = core::parseBatchCli(argc, argv);
     std::string world = argc > 1 ? argv[1] : "s-shape";
     double velocity = argc > 2 ? std::atof(argv[2]) : 9.0;
 
@@ -30,30 +38,53 @@ main(int argc, char **argv)
                 "DNN", "infer[ms]", "mission", "coll", "avgv[m/s]",
                 "activity");
 
+    std::vector<core::MissionSpec> specs;
     for (const char *soc_name : {"A", "B"}) {
-        dnn::ExecutionEngine engine(soc::configByName(soc_name));
         for (int depth : dnn::resnetZoo()) {
-            double lat =
-                engine.latencySeconds(dnn::makeResNet(depth));
-
             core::MissionSpec spec;
             spec.world = world;
             spec.socName = soc_name;
             spec.modelDepth = depth;
             spec.velocity = velocity;
             spec.maxSimSeconds = 60.0;
-
-            core::MissionResult r = core::runMission(spec);
-            std::printf("%-4s %-10s %-12.0f %-10s %-6llu %-10.2f "
-                        "%-10.3f\n",
-                        soc_name,
-                        ("ResNet" + std::to_string(depth)).c_str(),
-                        lat * 1e3,
-                        core::missionTimeString(r).c_str(),
-                        (unsigned long long)r.collisions, r.avgSpeed,
-                        r.accelActivityFactor);
+            specs.push_back(spec);
         }
     }
+
+    core::BatchRunner runner(cli.options());
+    std::vector<core::MissionResult> results = runner.run(specs);
+
+    for (size_t i = 0; i < specs.size(); ++i) {
+        const core::MissionSpec &spec = specs[i];
+        const core::MissionResult &r = results[i];
+
+        dnn::ExecutionEngine engine(soc::configByName(spec.socName));
+        double lat =
+            engine.latencySeconds(*dnn::sharedResNet(spec.modelDepth));
+
+        std::printf("%-4s %-10s %-12.0f %-10s %-6llu %-10.2f "
+                    "%-10.3f\n",
+                    spec.socName.c_str(),
+                    ("ResNet" + std::to_string(spec.modelDepth)).c_str(),
+                    lat * 1e3,
+                    core::missionTimeString(r).c_str(),
+                    (unsigned long long)r.collisions, r.avgSpeed,
+                    r.accelActivityFactor);
+    }
+
+    // Timing goes to stderr + JSON so stdout stays byte-identical
+    // across --jobs values (the determinism contract is checkable by
+    // diffing the table).
+    const core::BatchStats &bs = runner.stats();
+    std::fprintf(stderr,
+                 "[batch] %zu missions in %.2f s wall (%.2f s serial "
+                 "equivalent, %.2fx speedup at %d jobs)\n",
+                 bs.missions, bs.wallSeconds, bs.serialSeconds,
+                 bs.speedup(), cli.jobs);
+
+    core::BatchReport report("design_space_exploration");
+    report.add(world + "_soc_x_zoo", bs);
+    report.write(cli.jsonPath);
 
     std::printf("\nNote how designs with similar isolated latency can "
                 "have very different mission outcomes — the\n"

@@ -211,6 +211,7 @@ CoSimulation::run()
     r.distanceTravelled = distance;
     r.inferences = app_->inferenceCount();
     r.accelActivityFactor = soc_->stats().accelActivityFactor();
+    r.socStats = soc_->stats();
     r.trajectory = trajectory_;
     r.inferenceLog = app_->records();
     r.simulatedCycles = soc_->stats().totalCycles;

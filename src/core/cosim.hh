@@ -113,6 +113,9 @@ struct MissionResult
     double avgInferenceLatency = 0.0;
     /** Accelerator activity factor (Figure 13). */
     double accelActivityFactor = 0.0;
+    /** Full SoC engine counters (cycle-exact; parity-tested across
+     *  serial and batched execution). */
+    soc::SocStats socStats;
 
     std::vector<TrajectorySample> trajectory;
     std::vector<runtime::InferenceRecord> inferenceLog;

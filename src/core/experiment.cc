@@ -50,16 +50,43 @@ runMission(const MissionSpec &spec)
     return sim.run();
 }
 
+namespace {
+
 void
-writeTrajectoryCsv(const std::string &path, const MissionResult &r)
+emitTrajectoryCsv(CsvWriter &csv, const MissionResult &r)
 {
-    CsvWriter csv(path, {"t", "x", "y", "z", "yaw", "speed", "offset",
-                         "collisions", "cmd_fwd", "cmd_lat", "cmd_yaw"});
     for (const TrajectorySample &s : r.trajectory) {
         csv.row(s.time, s.position.x, s.position.y, s.position.z, s.yaw,
                 s.speed, s.lateralOffset, s.collisions, s.cmdForward,
                 s.cmdLateral, s.cmdYawRate);
     }
+}
+
+const std::vector<std::string> &
+trajectoryHeader()
+{
+    static const std::vector<std::string> header{
+        "t", "x", "y", "z", "yaw", "speed", "offset",
+        "collisions", "cmd_fwd", "cmd_lat", "cmd_yaw"};
+    return header;
+}
+
+} // namespace
+
+void
+writeTrajectoryCsv(const std::string &path, const MissionResult &r)
+{
+    CsvWriter csv(path, trajectoryHeader());
+    emitTrajectoryCsv(csv, r);
+}
+
+std::string
+trajectoryCsvString(const MissionResult &r)
+{
+    std::ostringstream os;
+    CsvWriter csv(os, trajectoryHeader());
+    emitTrajectoryCsv(csv, r);
+    return os.str();
 }
 
 double

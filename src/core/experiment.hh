@@ -47,6 +47,14 @@ MissionResult runMission(const MissionSpec &spec);
  */
 void writeTrajectoryCsv(const std::string &path, const MissionResult &r);
 
+/**
+ * The same CSV as a string. This is the golden-trace canonical form:
+ * tests/test_golden.cc hashes it (util/hash.hh FNV-1a), so its column
+ * set and formatting are part of the regression surface — format
+ * changes require regenerating the checked-in golden hashes.
+ */
+std::string trajectoryCsvString(const MissionResult &r);
+
 /** Format seconds as "12.34s" or "DNF" for incomplete missions. */
 std::string missionTimeString(const MissionResult &r);
 

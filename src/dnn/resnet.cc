@@ -165,4 +165,13 @@ resnetZoo()
     return zoo;
 }
 
+std::shared_ptr<const Model>
+sharedResNet(int depth)
+{
+    static MemoCache<int, Model> cache;
+    return cache.getOrBuild(depth, [depth] {
+        return std::make_shared<Model>(makeResNet(depth));
+    });
+}
+
 } // namespace rose::dnn

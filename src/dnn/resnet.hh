@@ -19,10 +19,12 @@
 #define ROSE_DNN_RESNET_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "dnn/layers.hh"
+#include "util/memo.hh"
 
 namespace rose::dnn {
 
@@ -71,6 +73,14 @@ Model makeResNet(int depth);
 
 /** All evaluated depths, ascending. */
 const std::vector<int> &resnetZoo();
+
+/**
+ * Process-wide shared zoo model: the trained-artifact equivalent of the
+ * paper's per-depth checkpoint, built once and shared read-only across
+ * all missions (and all BatchRunner workers) so sweeps don't rebuild
+ * the model description per design point. Thread-safe.
+ */
+std::shared_ptr<const Model> sharedResNet(int depth);
 
 } // namespace rose::dnn
 

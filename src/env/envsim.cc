@@ -8,7 +8,6 @@ namespace rose::env {
 
 EnvSim::EnvSim(const EnvConfig &cfg)
     : cfg_(cfg),
-      world_(makeWorld(cfg.worldName)),
       vehicle_(makeVehicle(cfg.vehicleName, cfg.drone, cfg.controller,
                            cfg.cruiseAltitude, cfg.rover)),
       rng_(cfg.seed)
@@ -16,8 +15,16 @@ EnvSim::EnvSim(const EnvConfig &cfg)
     rose_assert(cfg.frameHz > 0.0, "frame rate must be positive");
     rose_assert(cfg.physicsSubsteps > 0, "need at least one substep");
 
-    for (const Obstacle &o : cfg_.obstacles)
-        world_->addObstacle(o);
+    if (cfg_.obstacles.empty()) {
+        // No per-mission mutation: share the immutable geometry with
+        // every other mission running in this process.
+        world_ = sharedWorld(cfg.worldName);
+    } else {
+        std::shared_ptr<World> own = makeWorld(cfg.worldName);
+        for (const Obstacle &o : cfg_.obstacles)
+            own->addObstacle(o);
+        world_ = std::move(own);
+    }
 
     imu_ = std::make_unique<Imu>(cfg.imu, rng_.split());
     camera_ = std::make_unique<Camera>(cfg.camera, rng_.split());

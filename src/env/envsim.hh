@@ -119,7 +119,10 @@ class EnvSim
     void substep(double dt);
 
     EnvConfig cfg_;
-    std::unique_ptr<World> world_;
+    /** Immutable world geometry; shared across concurrent missions
+     *  (env::sharedWorld) unless this mission placed obstacles, in
+     *  which case it is a private copy. */
+    std::shared_ptr<const World> world_;
     std::unique_ptr<VehicleModel> vehicle_;
     Rng rng_;
     std::unique_ptr<Imu> imu_;

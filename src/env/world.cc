@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/logging.hh"
+#include "util/memo.hh"
 
 namespace rose::env {
 
@@ -207,6 +208,16 @@ makeWorld(const std::string &name)
     if (name == "zigzag")
         return std::make_unique<ZigzagWorld>();
     rose_fatal("unknown world: ", name);
+}
+
+std::shared_ptr<const World>
+sharedWorld(const std::string &name)
+{
+    static MemoCache<std::string, World> cache;
+    return cache.getOrBuild(
+        name, [&name]() -> std::shared_ptr<World> {
+            return makeWorld(name);
+        });
 }
 
 } // namespace rose::env

@@ -175,6 +175,14 @@ class ZigzagWorld : public World
 /** Construct a world by map name; fatal on unknown names. */
 std::unique_ptr<World> makeWorld(const std::string &name);
 
+/**
+ * Process-wide shared immutable world geometry, built once per map name
+ * and handed out read-only to every mission (thread-safe; used by
+ * parallel mission batches). Missions that place obstacles get a
+ * private mutable copy from makeWorld() instead.
+ */
+std::shared_ptr<const World> sharedWorld(const std::string &name);
+
 } // namespace rose::env
 
 #endif // ROSE_ENV_WORLD_HH

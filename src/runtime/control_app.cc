@@ -7,14 +7,14 @@ namespace rose::runtime {
 ControlApp::ControlApp(bridge::TargetDriver &driver,
                        const soc::SocConfig &soc, const AppConfig &cfg)
     : driver_(driver), soc_(soc), cfg_(cfg),
-      bigModel_(dnn::makeResNet(cfg.modelDepth)),
-      smallModel_(dnn::makeResNet(cfg.smallModelDepth)),
-      bigClassifier_(bigModel_, Rng(cfg.seed), cfg.estimator),
-      smallClassifier_(smallModel_, Rng(cfg.seed ^ 0x5a11ULL),
+      bigModel_(dnn::sharedResNet(cfg.modelDepth)),
+      smallModel_(dnn::sharedResNet(cfg.smallModelDepth)),
+      bigClassifier_(*bigModel_, Rng(cfg.seed), cfg.estimator),
+      smallClassifier_(*smallModel_, Rng(cfg.seed ^ 0x5a11ULL),
                        cfg.estimator),
       engine_(soc, cfg.gemmini, cfg.engine),
-      bigSchedule_(engine_.schedule(bigModel_)),
-      smallSchedule_(engine_.schedule(smallModel_))
+      bigSchedule_(engine_.schedule(*bigModel_)),
+      smallSchedule_(engine_.schedule(*smallModel_))
 {
 }
 
@@ -22,9 +22,9 @@ std::string
 ControlApp::workloadName() const
 {
     if (cfg_.mode == RuntimeMode::Static)
-        return "trailnav-static-" + bigModel_.name;
-    return "trailnav-dynamic-" + bigModel_.name + "/" +
-           smallModel_.name;
+        return "trailnav-static-" + bigModel_->name;
+    return "trailnav-dynamic-" + bigModel_->name + "/" +
+           smallModel_->name;
 }
 
 soc::Action

@@ -25,6 +25,7 @@
 #define ROSE_RUNTIME_CONTROL_APP_HH
 
 #include <deque>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -141,8 +142,9 @@ class ControlApp : public soc::Workload
     soc::SocConfig soc_;
     AppConfig cfg_;
 
-    dnn::Model bigModel_;
-    dnn::Model smallModel_;
+    /** Zoo checkpoints, shared read-only across concurrent missions. */
+    std::shared_ptr<const dnn::Model> bigModel_;
+    std::shared_ptr<const dnn::Model> smallModel_;
     dnn::Classifier bigClassifier_;
     dnn::Classifier smallClassifier_;
     dnn::ExecutionEngine engine_;

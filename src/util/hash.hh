@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Small non-cryptographic hashing for golden-trace regression tests:
+ * FNV-1a over byte strings. The goldens checked into tests/ are these
+ * hashes of canonical-mission trajectory CSVs; the algorithm must
+ * therefore never change silently (that would invalidate every golden
+ * at once without catching any real drift).
+ */
+
+#ifndef ROSE_UTIL_HASH_HH
+#define ROSE_UTIL_HASH_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace rose {
+
+constexpr uint64_t kFnv1aOffsetBasis = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnv1aPrime = 0x100000001b3ULL;
+
+/** 64-bit FNV-1a over a byte string. */
+constexpr uint64_t
+fnv1a(std::string_view bytes, uint64_t seed = kFnv1aOffsetBasis)
+{
+    uint64_t h = seed;
+    for (char c : bytes) {
+        h ^= uint64_t(uint8_t(c));
+        h *= kFnv1aPrime;
+    }
+    return h;
+}
+
+static_assert(fnv1a("") == kFnv1aOffsetBasis);
+static_assert(fnv1a("a") == 0xaf63dc4c8601ec8cULL);
+
+} // namespace rose
+
+#endif // ROSE_UTIL_HASH_HH

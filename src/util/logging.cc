@@ -1,12 +1,16 @@
 #include "logging.hh"
 
+#include <atomic>
 #include <cstdio>
 
 namespace rose {
 
 namespace {
 
-LogLevel gThreshold = LogLevel::Inform;
+// Atomic so concurrent mission workers (core::BatchRunner) can log
+// while another thread adjusts verbosity without a data race; each log
+// line is emitted with a single fprintf so lines never interleave.
+std::atomic<LogLevel> gThreshold{LogLevel::Inform};
 
 const char *
 levelName(LogLevel level)
@@ -26,13 +30,13 @@ levelName(LogLevel level)
 LogLevel
 logThreshold()
 {
-    return gThreshold;
+    return gThreshold.load(std::memory_order_relaxed);
 }
 
 void
 setLogThreshold(LogLevel level)
 {
-    gThreshold = level;
+    gThreshold.store(level, std::memory_order_relaxed);
 }
 
 namespace detail {
@@ -40,7 +44,8 @@ namespace detail {
 void
 emitLog(LogLevel level, const std::string &msg, const char *file, int line)
 {
-    if (static_cast<int>(level) > static_cast<int>(gThreshold))
+    if (static_cast<int>(level) >
+        static_cast<int>(gThreshold.load(std::memory_order_relaxed)))
         return;
     if (level == LogLevel::Panic || level == LogLevel::Fatal) {
         std::fprintf(stderr, "[%s] %s (%s:%d)\n", levelName(level),

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Thread-safe memoization of shared read-only artifacts.
+ *
+ * Parallel mission batches (core::BatchRunner) re-request the same
+ * expensive immutable objects — world geometry, zoo models — from many
+ * worker threads at once. MemoCache builds each artifact exactly once
+ * and hands out shared_ptr<const V>, so a 15-point sweep constructs the
+ * ResNet description once instead of 15 times and every worker reads
+ * the same bytes.
+ *
+ * The contract that makes sharing deterministic: cached values are
+ * immutable after construction (the cache only ever exposes const
+ * access), and the builder function must itself be deterministic.
+ */
+
+#ifndef ROSE_UTIL_MEMO_HH
+#define ROSE_UTIL_MEMO_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace rose {
+
+/** Keyed build-once cache of immutable artifacts. */
+template <typename Key, typename Value>
+class MemoCache
+{
+  public:
+    /**
+     * Return the cached value for @p key, building it with @p build on
+     * first request. The build runs under the cache lock: concurrent
+     * first requests for one key never build twice, at the cost of
+     * serializing builds (fine for construction-time artifacts).
+     */
+    std::shared_ptr<const Value>
+    getOrBuild(const Key &key,
+               const std::function<std::shared_ptr<Value>()> &build)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = cache_.find(key);
+        if (it != cache_.end())
+            return it->second;
+        std::shared_ptr<const Value> v = build();
+        cache_.emplace(key, v);
+        return v;
+    }
+
+    /** Entries currently cached. */
+    size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return cache_.size();
+    }
+
+    /** Drop all entries (outstanding shared_ptrs stay valid). */
+    void
+    clear()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        cache_.clear();
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<Key, std::shared_ptr<const Value>> cache_;
+};
+
+} // namespace rose
+
+#endif // ROSE_UTIL_MEMO_HH

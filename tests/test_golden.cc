@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Golden-trace regression tests: three canonical tunnel missions (SoC
+ * configs A, B, C from Table 2) with checked-in FNV-1a hashes of their
+ * trajectory CSVs. Silent physics/timing drift — a changed integrator
+ * constant, a reordered RNG draw, an off-by-one sync period — fails
+ * here instead of quietly corrupting every number in EXPERIMENTS.md.
+ *
+ * When a change *intentionally* alters simulation behavior, regenerate
+ * the goldens: run this binary with ROSE_REGEN_GOLDEN=1 and paste the
+ * printed table over kGolden below (the test fails in regen mode so CI
+ * can never pass on unpinned values). The trajectory CSV format itself
+ * is part of the hashed surface (see core::trajectoryCsvString).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "util/hash.hh"
+
+using namespace rose;
+
+namespace {
+
+/** The canonical mission: tunnel, ResNet14 @ 3 m/s, +20 degree initial
+ *  heading (exercises the correction transient), seed 1, 10 simulated
+ *  seconds. Only the SoC config varies. */
+core::MissionSpec
+canonicalSpec(const std::string &socName)
+{
+    core::MissionSpec spec;
+    spec.world = "tunnel";
+    spec.socName = socName;
+    spec.modelDepth = 14;
+    spec.velocity = 3.0;
+    spec.initialYawDeg = 20.0;
+    spec.seed = 1;
+    spec.maxSimSeconds = 10.0;
+    return spec;
+}
+
+struct Golden
+{
+    const char *socName;
+    uint64_t trajectoryHash; ///< fnv1a(trajectoryCsvString(result))
+    size_t trajectorySamples;
+    uint64_t collisions;
+};
+
+// Regenerate with ROSE_REGEN_GOLDEN=1 (see file header).
+constexpr Golden kGolden[] = {
+    {"A", 0x2b24ad514f06c3cbULL, 1000, 0},
+    {"B", 0x02771540364e358fULL, 1000, 0},
+    {"C", 0x0e337585f9a29f6aULL, 1000, 27},
+};
+
+} // namespace
+
+TEST(GoldenTrace, CanonicalTunnelMissions)
+{
+    const bool regen = std::getenv("ROSE_REGEN_GOLDEN") != nullptr;
+    if (regen)
+        std::printf("// Regenerated goldens — paste over kGolden:\n");
+
+    for (const Golden &g : kGolden) {
+        SCOPED_TRACE(std::string("config ") + g.socName);
+        core::MissionResult r =
+            core::runMission(canonicalSpec(g.socName));
+        std::string csv = core::trajectoryCsvString(r);
+        uint64_t hash = fnv1a(csv);
+
+        if (regen) {
+            std::printf("    {\"%s\", 0x%016llxULL, %zu, %llu},\n",
+                        g.socName, (unsigned long long)hash,
+                        r.trajectory.size(),
+                        (unsigned long long)r.collisions);
+            continue;
+        }
+
+        // Coarse goldens first: when these differ the drift is
+        // behavioral (physics/control), not just numeric formatting.
+        EXPECT_EQ(r.trajectory.size(), g.trajectorySamples);
+        EXPECT_EQ(r.collisions, g.collisions);
+
+        char actual[32];
+        std::snprintf(actual, sizeof(actual), "0x%016llx",
+                      (unsigned long long)hash);
+        EXPECT_EQ(hash, g.trajectoryHash)
+            << "trajectory CSV hash drifted (actual " << actual
+            << "); if the change is intentional, regenerate with "
+               "ROSE_REGEN_GOLDEN=1";
+    }
+
+    if (regen)
+        FAIL() << "ROSE_REGEN_GOLDEN set: goldens printed, not checked";
+}
+
+TEST(GoldenTrace, HashPrimitivesAreStable)
+{
+    // The golden hashes are only as durable as the hash itself: pin
+    // FNV-1a against its published test vectors.
+    EXPECT_EQ(fnv1a(""), 0xcbf29ce484222325ULL);
+    EXPECT_EQ(fnv1a("a"), 0xaf63dc4c8601ec8cULL);
+    EXPECT_EQ(fnv1a("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(GoldenTrace, CsvStringMatchesFileOutput)
+{
+    // The hashed string form and the file writer must never diverge —
+    // the goldens guard the same bytes the bench CSVs contain.
+    core::MissionSpec spec = canonicalSpec("A");
+    spec.maxSimSeconds = 2.0;
+    core::MissionResult r = core::runMission(spec);
+
+    std::string path = ::testing::TempDir() + "golden_traj.csv";
+    core::writeTrajectoryCsv(path, r);
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::string fromFile;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        fromFile.append(buf, n);
+    std::fclose(f);
+    std::remove(path.c_str());
+
+    EXPECT_EQ(fromFile, core::trajectoryCsvString(r));
+}
