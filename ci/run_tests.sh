@@ -26,6 +26,15 @@ run_preset() {
     echo "==== [$preset] batch parity (extra thread counts) ===="
     ROSE_BATCH_JOBS=3,16 "$builddir/tests/test_batch" \
         --gtest_filter='BatchParity.*'
+
+    # Resilience layer, re-run explicitly: checkpoint/resume must stay
+    # bit-identical to the goldens, and a multi-threaded batch with a
+    # crashing slot must still return results for every other slot.
+    echo "==== [$preset] resilience (checkpoint resume + batch isolation) ===="
+    "$builddir/tests/test_checkpoint" \
+        --gtest_filter='Checkpoint.ResumeMatchesGoldenTraces'
+    "$builddir/tests/test_supervisor" \
+        --gtest_filter='BatchIsolation.*:Supervisor.RecoversMissionThatAbortsUnsupervised'
 }
 
 run_preset default build

@@ -1,6 +1,7 @@
 #include "fault_inject.hh"
 
 #include "util/logging.hh"
+#include "util/serde.hh"
 
 namespace rose::bridge {
 
@@ -209,6 +210,67 @@ FaultInjectTransport::recv(Packet &out)
         return true;
     }
     return false;
+}
+
+void
+FaultInjectTransport::saveState(StateWriter &w) const
+{
+    w.u64(stats_.sent);
+    w.u64(stats_.received);
+    w.u64(stats_.dropped);
+    w.u64(stats_.corrupted);
+    w.u64(stats_.reordered);
+    w.u64(stats_.delayed);
+    rng_.saveState(w);
+    w.u64(op_);
+    auto saveHeld = [&w](const std::deque<Held> &q) {
+        w.u32(uint32_t(q.size()));
+        for (const Held &h : q) {
+            savePacket(w, h.pkt);
+            w.u64(h.dueOp);
+        }
+    };
+    saveHeld(delayedTx_);
+    saveHeld(delayedRx_);
+    auto saveOpt = [&w](const std::optional<Packet> &o) {
+        w.boolean(o.has_value());
+        if (o)
+            savePacket(w, *o);
+    };
+    saveOpt(reorderTx_);
+    saveOpt(reorderRx_);
+}
+
+void
+FaultInjectTransport::restoreState(StateReader &r)
+{
+    stats_.sent = r.u64();
+    stats_.received = r.u64();
+    stats_.dropped = r.u64();
+    stats_.corrupted = r.u64();
+    stats_.reordered = r.u64();
+    stats_.delayed = r.u64();
+    rng_.restoreState(r);
+    op_ = r.u64();
+    auto loadHeld = [&r](std::deque<Held> &q) {
+        q.clear();
+        uint32_t n = r.u32();
+        for (uint32_t i = 0; i < n; ++i) {
+            Held h;
+            h.pkt = loadPacket(r);
+            h.dueOp = r.u64();
+            q.push_back(std::move(h));
+        }
+    };
+    loadHeld(delayedTx_);
+    loadHeld(delayedRx_);
+    auto loadOpt = [&r](std::optional<Packet> &o) {
+        o.reset();
+        if (r.boolean())
+            o = loadPacket(r);
+    };
+    loadOpt(reorderTx_);
+    loadOpt(reorderRx_);
 }
 
 } // namespace rose::bridge

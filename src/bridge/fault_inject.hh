@@ -103,6 +103,31 @@ class FaultInjectTransport : public Transport
     const FaultStats &stats() const { return stats_; }
     Transport &inner() { return *inner_; }
 
+    /** Checkpointable iff the wrapped transport is. */
+    bool checkpointable() const override
+    {
+        return inner_->checkpointable();
+    }
+
+    /**
+     * Serialize decorator state only (stats, fault RNG, operation
+     * clock, held/reordered packets). The inner transport saves its
+     * own state separately — the co-simulation serializes inner and
+     * decorator as distinct checkpoint sections so the fault layer
+     * can be disabled on a retry without invalidating the snapshot.
+     */
+    void saveState(StateWriter &w) const override;
+    void restoreState(StateReader &r) override;
+
+    /**
+     * Re-seed the fault RNG. A restored checkpoint replays the exact
+     * RNG stream that produced the fatal fault; the supervisor's
+     * RerollSeed retry policy calls this after restore so the retry
+     * explores a different fault schedule instead of re-dying
+     * deterministically.
+     */
+    void reseed(uint64_t seed) { rng_.reseed(seed); }
+
   private:
     enum class Verdict
     {

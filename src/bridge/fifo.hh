@@ -65,6 +65,17 @@ class PacketFifo
     size_t capacityBytes() const { return capacity_; }
     size_t freeBytes() const { return capacity_ - used_; }
 
+    /** Staged packets, oldest first (checkpoint serialization). */
+    const std::deque<Packet> &packets() const { return q_; }
+
+    /** Drop all staged packets (checkpoint restore repopulates). */
+    void
+    clear()
+    {
+        q_.clear();
+        used_ = 0;
+    }
+
   private:
     size_t capacity_;
     size_t used_ = 0;

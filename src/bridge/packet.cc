@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "util/logging.hh"
+#include "util/serde.hh"
 
 namespace rose::bridge {
 
@@ -92,7 +93,7 @@ uint8_t
 ByteReader::u8()
 {
     if (pos_ >= in_.size())
-        rose_panic("packet payload underrun");
+        throw PayloadError("packet payload underrun");
     return in_[pos_++];
 }
 
@@ -130,7 +131,7 @@ void
 ByteReader::bytes(uint8_t *data, size_t n)
 {
     if (pos_ + n > in_.size())
-        rose_panic("packet payload underrun");
+        throw PayloadError("packet payload underrun");
     std::memcpy(data, in_.data() + pos_, n);
     pos_ += n;
 }
@@ -262,6 +263,14 @@ decodeImageResp(const Packet &p)
     ByteReader r(p.payload);
     int w = r.u16();
     int h = r.u16();
+    // Dimensions must agree with the payload exactly: corrupted
+    // dimension bytes would otherwise request an allocation of up to
+    // 64K x 64K pixels or walk off the end of the payload.
+    if (size_t(w) * size_t(h) != r.remaining())
+        throw PayloadError(
+            "image dimensions disagree with payload size (" +
+            std::to_string(w) + "x" + std::to_string(h) + " vs " +
+            std::to_string(r.remaining()) + " pixel bytes)");
     env::Image img(w, h);
     for (float &v : img.pixels)
         v = r.u8() / 255.0f;
@@ -326,6 +335,27 @@ serializePacket(const Packet &p, std::vector<uint8_t> &out)
     w.u32(static_cast<uint32_t>(p.payload.size()));
     if (!p.payload.empty())
         w.bytes(p.payload.data(), p.payload.size());
+}
+
+void
+savePacket(StateWriter &w, const Packet &p)
+{
+    w.u8(uint8_t(p.type));
+    w.u32(uint32_t(p.payload.size()));
+    if (!p.payload.empty())
+        w.bytes(p.payload.data(), p.payload.size());
+}
+
+Packet
+loadPacket(StateReader &r)
+{
+    Packet p;
+    p.type = PacketType(r.u8());
+    uint32_t n = r.u32();
+    p.payload.resize(n);
+    if (n > 0)
+        r.bytes(p.payload.data(), n);
+    return p;
 }
 
 FrameStatus

@@ -20,13 +20,35 @@
 #define ROSE_BRIDGE_PACKET_HH
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "env/sensors.hh"
 #include "util/geometry.hh"
 
+namespace rose {
+class StateWriter;
+class StateReader;
+} // namespace rose
+
 namespace rose::bridge {
+
+/**
+ * Thrown when a structurally valid frame carries a semantically
+ * malformed payload (truncated fields, inconsistent image dimensions).
+ * Such packets can reach the decoders through injected payload
+ * corruption even when the wire framing survives; throwing — instead
+ * of aborting — lets the mission supervisor treat a poisoned payload
+ * like any other recoverable transport fault.
+ */
+class PayloadError : public std::runtime_error
+{
+  public:
+    explicit PayloadError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
 
 /** Wire identifiers for every packet kind. */
 enum class PacketType : uint8_t
@@ -97,7 +119,7 @@ class ByteWriter
     std::vector<uint8_t> &out_;
 };
 
-/** Little-endian byte consumer; panics on underrun (malformed packet). */
+/** Little-endian byte consumer; throws PayloadError on underrun. */
 class ByteReader
 {
   public:
@@ -156,6 +178,14 @@ VelocityCmdPayload decodeVelocityCmd(const Packet &p);
 
 /** Serialize a packet (header + payload) onto a byte stream. */
 void serializePacket(const Packet &p, std::vector<uint8_t> &out);
+
+/**
+ * Checkpoint-state (de)serialization of a whole packet. Unlike the
+ * wire form this is trusted input — it only ever round-trips through
+ * StateWriter — but loadPacket still bounds-checks via StateReader.
+ */
+void savePacket(StateWriter &w, const Packet &p);
+Packet loadPacket(StateReader &r);
 
 /** Outcome of attempting to decode one frame from a byte stream. */
 enum class FrameStatus : uint8_t

@@ -1,6 +1,7 @@
 #include "rose_bridge.hh"
 
 #include "util/logging.hh"
+#include "util/serde.hh"
 
 namespace rose::bridge {
 
@@ -167,6 +168,72 @@ RoseBridge::hostService()
         ++moved;
     }
     return moved;
+}
+
+namespace {
+
+void
+saveFifo(StateWriter &w, const PacketFifo &f)
+{
+    w.u32(uint32_t(f.packetCount()));
+    for (const Packet &p : f.packets())
+        savePacket(w, p);
+}
+
+void
+loadFifo(StateReader &r, PacketFifo &f)
+{
+    f.clear();
+    uint32_t n = r.u32();
+    for (uint32_t i = 0; i < n; ++i) {
+        // A checkpointed FIFO's contents always fit: capacity is
+        // config, and the snapshot was taken under the same config.
+        if (!f.push(loadPacket(r)))
+            throw SerdeError("checkpointed FIFO contents exceed "
+                             "configured capacity");
+    }
+}
+
+} // namespace
+
+void
+RoseBridge::saveState(StateWriter &w) const
+{
+    saveFifo(w, rx_);
+    saveFifo(w, tx_);
+    w.u64(rxReadPos_);
+    savePacket(w, txStaging_);
+    w.u32(txExpectedLen_);
+    w.u64(budget_);
+    w.u64(cyclesPerSync_);
+    w.u64(stats_.mmioReads);
+    w.u64(stats_.mmioWrites);
+    w.u64(stats_.rxPackets);
+    w.u64(stats_.txPackets);
+    w.u64(stats_.rxDropped);
+    w.u64(stats_.txBackpressure);
+    w.u64(stats_.syncGrants);
+    w.u64(stats_.syncDones);
+}
+
+void
+RoseBridge::restoreState(StateReader &r)
+{
+    loadFifo(r, rx_);
+    loadFifo(r, tx_);
+    rxReadPos_ = r.u64();
+    txStaging_ = loadPacket(r);
+    txExpectedLen_ = r.u32();
+    budget_ = r.u64();
+    cyclesPerSync_ = r.u64();
+    stats_.mmioReads = r.u64();
+    stats_.mmioWrites = r.u64();
+    stats_.rxPackets = r.u64();
+    stats_.txPackets = r.u64();
+    stats_.rxDropped = r.u64();
+    stats_.txBackpressure = r.u64();
+    stats_.syncGrants = r.u64();
+    stats_.syncDones = r.u64();
 }
 
 } // namespace rose::bridge

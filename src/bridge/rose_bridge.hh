@@ -116,6 +116,10 @@ class RoseBridge : public soc::MmioDevice
     const PacketFifo &rxFifo() const { return rx_; }
     const PacketFifo &txFifo() const { return tx_; }
 
+    /** Serialize queues, assembly registers, control unit, stats. */
+    void saveState(StateWriter &w) const;
+    void restoreState(StateReader &r);
+
   private:
     uint32_t readRxDataWord();
 

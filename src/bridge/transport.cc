@@ -13,8 +13,24 @@
 #include <string>
 
 #include "util/logging.hh"
+#include "util/serde.hh"
 
 namespace rose::bridge {
+
+// Non-checkpointable transports (the base default) reject state
+// capture loudly: the supervisor checks checkpointable() first and
+// falls back to a cold restart when snapshots are impossible.
+void
+Transport::saveState(StateWriter &) const
+{
+    throw TransportError("transport does not support checkpointing");
+}
+
+void
+Transport::restoreState(StateReader &)
+{
+    throw TransportError("transport does not support checkpointing");
+}
 
 // ----------------------------------------------------------- in-process
 
@@ -72,6 +88,34 @@ class InProcEndpoint : public Transport
 
     uint64_t bytesSent() const override { return sent_; }
     uint64_t bytesReceived() const override { return received_; }
+
+    bool checkpointable() const override { return true; }
+
+    // Each endpoint serializes its *inbound* queue plus its own byte
+    // counters; saving both endpoints of a pair therefore captures
+    // both wire directions exactly once.
+    void
+    saveState(StateWriter &w) const override
+    {
+        const auto &q = isA_ ? state_->bToA : state_->aToB;
+        w.u32(uint32_t(q.size()));
+        for (const Packet &p : q)
+            savePacket(w, p);
+        w.u64(sent_);
+        w.u64(received_);
+    }
+
+    void
+    restoreState(StateReader &r) override
+    {
+        auto &q = isA_ ? state_->bToA : state_->aToB;
+        q.clear();
+        uint32_t n = r.u32();
+        for (uint32_t i = 0; i < n; ++i)
+            q.push_back(loadPacket(r));
+        sent_ = r.u64();
+        received_ = r.u64();
+    }
 
   private:
     std::shared_ptr<InProcState> state_;

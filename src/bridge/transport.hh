@@ -21,6 +21,11 @@
 
 #include "bridge/packet.hh"
 
+namespace rose {
+class StateWriter;
+class StateReader;
+} // namespace rose
+
 namespace rose::bridge {
 
 /**
@@ -87,6 +92,24 @@ class Transport
     /** Bytes sent so far (wire accounting for throughput models). */
     virtual uint64_t bytesSent() const = 0;
     virtual uint64_t bytesReceived() const = 0;
+
+    /**
+     * True when this endpoint's in-flight state can be captured by
+     * saveState()/restoreState(). The in-process channel can (its
+     * queues are plain memory); TCP cannot — bytes sitting in kernel
+     * socket buffers are invisible to user space, so a sound snapshot
+     * is impossible and the supervisor instead falls back to a cold
+     * restart (optionally on an in-process transport).
+     */
+    virtual bool checkpointable() const { return false; }
+
+    /**
+     * Serialize this endpoint's inbound queue and byte counters.
+     * Saving both endpoints of a pair covers both wire directions.
+     * Only valid when checkpointable(); the default throws.
+     */
+    virtual void saveState(StateWriter &w) const;
+    virtual void restoreState(StateReader &r);
 };
 
 /**

@@ -23,8 +23,22 @@ BatchRunner::run(const std::vector<MissionSpec> &specs)
     std::vector<MissionResult> results =
         parallelIndexed<MissionResult>(
             specs.size(), opts_.jobs, [&](size_t i) {
-                // runMission already stamps r.wallSeconds.
-                return runMission(specs[i]);
+                // Slot isolation: a crashing mission (bad spec, lost
+                // transport, diverged physics) must not take down the
+                // batch — its slot reports Crashed with the reason and
+                // every other mission still returns a full result.
+                try {
+                    // runMission already stamps r.wallSeconds.
+                    return runMission(specs[i]);
+                } catch (const std::exception &e) {
+                    rose_warn("batch slot ", i, " (", specs[i].label(),
+                              ") failed: ", e.what());
+                    MissionResult r;
+                    r.completed = false;
+                    r.status = MissionStatus::Crashed;
+                    r.failureReason = e.what();
+                    return r;
+                }
             });
     auto t1 = std::chrono::steady_clock::now();
 

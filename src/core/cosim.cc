@@ -6,8 +6,25 @@
 #include <ostream>
 
 #include "util/logging.hh"
+#include "util/serde.hh"
 
 namespace rose::core {
+
+const char *
+missionStatusName(MissionStatus s)
+{
+    switch (s) {
+      case MissionStatus::Completed:
+        return "completed";
+      case MissionStatus::TimedOut:
+        return "timed-out";
+      case MissionStatus::Crashed:
+        return "crashed";
+      case MissionStatus::Degraded:
+        return "degraded";
+    }
+    return "unknown";
+}
 
 CoSimulation::CoSimulation(const CosimConfig &cfg) : cfg_(cfg)
 {
@@ -59,6 +76,8 @@ CoSimulation::CoSimulation(const CosimConfig &cfg) : cfg_(cfg)
     // Deliver the step-size configuration to the bridge before the
     // first period.
     bridge_->hostService();
+
+    prevPos_ = env_->kinematics().position;
 }
 
 CoSimulation::~CoSimulation() = default;
@@ -74,6 +93,14 @@ CoSimulation::stepPeriod()
     soc_->runPeriod();
     sync_->endPeriod();
     ++periods_;
+
+    flight::VehicleState k = env_->kinematics();
+    double sp = std::hypot(k.velocity.x, k.velocity.y);
+    speedSum_ += sp;
+    maxSpeed_ = std::max(maxSpeed_, sp);
+    ++speedN_;
+    distance_ += (k.position - prevPos_).norm();
+    prevPos_ = k.position;
 
     if (periods_ % cfg_.samplePeriods == 0)
         sample();
@@ -159,64 +186,30 @@ CoSimulation::printSummary(std::ostream &os) const
 }
 
 MissionResult
-CoSimulation::run()
+CoSimulation::collectResult() const
 {
-    auto t0 = std::chrono::steady_clock::now();
-
-    double speed_sum = 0.0;
-    double max_speed = 0.0;
-    uint64_t speed_n = 0;
-    Vec3 prev_pos = env_->kinematics().position;
-    double distance = 0.0;
-
-    bool completed = false;
-    bool transport_error = false;
-    std::string transport_error_msg;
-    try {
-        while (env_->simTime() < cfg_.maxSimSeconds) {
-            stepPeriod();
-
-            flight::VehicleState k = env_->kinematics();
-            double sp = std::hypot(k.velocity.x, k.velocity.y);
-            speed_sum += sp;
-            max_speed = std::max(max_speed, sp);
-            ++speed_n;
-            distance += (k.position - prev_pos).norm();
-            prev_pos = k.position;
-
-            if (env_->missionComplete()) {
-                completed = true;
-                break;
-            }
-        }
-    } catch (const bridge::TransportError &e) {
-        // Graceful degradation: a dead/corrupt/stalled transport ends
-        // the mission with a diagnosis, never a silent deadlock. The
-        // metrics accumulated so far are still reported.
-        transport_error = true;
-        transport_error_msg = e.what();
-        rose_warn("mission aborted on transport error: ", e.what());
-    }
-
-    auto t1 = std::chrono::steady_clock::now();
-
     MissionResult r;
-    r.completed = completed;
-    r.transportError = transport_error;
-    r.transportErrorMessage = transport_error_msg;
+    r.completed = env_->missionComplete();
+    if (r.completed) {
+        r.status = app_->degradedIntervals().empty()
+                       ? MissionStatus::Completed
+                       : MissionStatus::Degraded;
+    } else {
+        r.status = MissionStatus::TimedOut;
+        r.failureReason = "simulated-time limit reached";
+    }
     r.missionTime = env_->simTime();
     r.collisions = env_->collisionInfo().count;
-    r.avgSpeed = speed_n ? speed_sum / double(speed_n) : 0.0;
-    r.maxSpeed = max_speed;
-    r.distanceTravelled = distance;
+    r.avgSpeed = speedN_ ? speedSum_ / double(speedN_) : 0.0;
+    r.maxSpeed = maxSpeed_;
+    r.distanceTravelled = distance_;
     r.inferences = app_->inferenceCount();
     r.accelActivityFactor = soc_->stats().accelActivityFactor();
     r.socStats = soc_->stats();
     r.trajectory = trajectory_;
     r.inferenceLog = app_->records();
+    r.degradedIntervals = app_->degradedIntervals();
     r.simulatedCycles = soc_->stats().totalCycles;
-    r.wallSeconds =
-        std::chrono::duration<double>(t1 - t0).count();
 
     soc::EnergyModel energy;
     r.energyJoules =
@@ -232,6 +225,256 @@ CoSimulation::run()
             sum / double(r.inferenceLog.size()) / cfg_.soc.clockHz;
     }
     return r;
+}
+
+MissionResult
+CoSimulation::run()
+{
+    auto t0 = std::chrono::steady_clock::now();
+
+    bool crashed = false;
+    bool transport_error = false;
+    std::string failure;
+    try {
+        while (env_->simTime() < cfg_.maxSimSeconds) {
+            stepPeriod();
+            if (env_->missionComplete())
+                break;
+        }
+    } catch (const bridge::TransportError &e) {
+        // Graceful degradation: a dead/corrupt/stalled transport ends
+        // the mission with a diagnosis, never a silent deadlock. The
+        // metrics accumulated so far are still reported.
+        crashed = true;
+        transport_error = true;
+        failure = e.what();
+        rose_warn("mission aborted on transport error: ", e.what());
+    } catch (const bridge::PayloadError &e) {
+        // A corrupted packet that survived framing but failed payload
+        // validation (fault injection without the supervisor).
+        crashed = true;
+        failure = e.what();
+        rose_warn("mission aborted on payload error: ", e.what());
+    } catch (const env::DivergenceError &e) {
+        // Non-finite physics state: abort with the diagnostic dump
+        // rather than propagating NaNs into the metrics.
+        crashed = true;
+        failure = e.what();
+        rose_warn("mission aborted on divergence: ", e.what());
+    }
+
+    auto t1 = std::chrono::steady_clock::now();
+
+    MissionResult r = collectResult();
+    if (crashed) {
+        r.completed = false;
+        r.status = MissionStatus::Crashed;
+        r.failureReason = failure;
+        r.transportError = transport_error;
+        r.transportErrorMessage = transport_error ? failure : "";
+    }
+    r.wallSeconds =
+        std::chrono::duration<double>(t1 - t0).count();
+    return r;
+}
+
+bool
+CoSimulation::checkpointable() const
+{
+    return syncEnd_->checkpointable() && bridgeEnd_->checkpointable();
+}
+
+namespace {
+
+/** Append one tagged section (u8 tag + u32 length + payload). */
+template <typename Fill>
+void
+putSection(StateWriter &w, CkptSection tag, Fill &&fill)
+{
+    StateWriter body;
+    fill(body);
+    w.u8(uint8_t(tag));
+    w.u32(uint32_t(body.size()));
+    w.bytes(body.data().data(), body.size());
+}
+
+void
+saveSample(StateWriter &w, const TrajectorySample &s)
+{
+    w.f64(s.time);
+    w.f64(s.position.x);
+    w.f64(s.position.y);
+    w.f64(s.position.z);
+    w.f64(s.yaw);
+    w.f64(s.speed);
+    w.f64(s.lateralOffset);
+    w.u64(s.collisions);
+    w.f64(s.cmdForward);
+    w.f64(s.cmdLateral);
+    w.f64(s.cmdYawRate);
+}
+
+TrajectorySample
+loadSample(StateReader &r)
+{
+    TrajectorySample s;
+    s.time = r.f64();
+    s.position.x = r.f64();
+    s.position.y = r.f64();
+    s.position.z = r.f64();
+    s.yaw = r.f64();
+    s.speed = r.f64();
+    s.lateralOffset = r.f64();
+    s.collisions = r.u64();
+    s.cmdForward = r.f64();
+    s.cmdLateral = r.f64();
+    s.cmdYawRate = r.f64();
+    return s;
+}
+
+} // namespace
+
+Checkpoint
+CoSimulation::checkpoint() const
+{
+    if (!checkpointable())
+        throw CheckpointError(
+            "transport does not support checkpointing (TCP sockets "
+            "cannot be snapshotted; use the in-process transport or "
+            "cold-restart recovery)");
+
+    StateWriter w;
+    putSection(w, CkptSection::Cosim, [this](StateWriter &b) {
+        b.u64(periods_);
+        b.f64(speedSum_);
+        b.f64(maxSpeed_);
+        b.u64(speedN_);
+        b.f64(prevPos_.x);
+        b.f64(prevPos_.y);
+        b.f64(prevPos_.z);
+        b.f64(distance_);
+        b.u32(uint32_t(trajectory_.size()));
+        for (const TrajectorySample &s : trajectory_)
+            saveSample(b, s);
+    });
+    putSection(w, CkptSection::Env,
+               [this](StateWriter &b) { env_->saveState(b); });
+    putSection(w, CkptSection::Sync,
+               [this](StateWriter &b) { sync_->saveState(b); });
+    putSection(w, CkptSection::Soc,
+               [this](StateWriter &b) { soc_->saveState(b); });
+    putSection(w, CkptSection::Bridge,
+               [this](StateWriter &b) { bridge_->saveState(b); });
+    putSection(w, CkptSection::App,
+               [this](StateWriter &b) { app_->saveState(b); });
+    // The fault injector is a decorator: its own state goes into the
+    // (optional) Faults section while the wrapped in-process endpoint
+    // saves the actual wire queues. A faults-disabled retry can then
+    // restore everything except the Faults section.
+    const bridge::Transport &syncWire =
+        faults_ ? faults_->inner() : *syncEnd_;
+    putSection(w, CkptSection::TransportSync,
+               [&syncWire](StateWriter &b) { syncWire.saveState(b); });
+    putSection(w, CkptSection::TransportBridge,
+               [this](StateWriter &b) { bridgeEnd_->saveState(b); });
+    if (faults_)
+        putSection(w, CkptSection::Faults,
+                   [this](StateWriter &b) { faults_->saveState(b); });
+    if (timeShared_)
+        putSection(w, CkptSection::Background, [this](StateWriter &b) {
+            backgroundLoad_->saveState(b);
+            timeShared_->saveState(b);
+        });
+
+    Checkpoint ck;
+    ck.period = periods_;
+    ck.simTime = env_->simTime();
+    ck.configFingerprint = configFingerprint(cfg_);
+    ck.state = w.take();
+    ck.stateHash = stateHashOf(ck.state);
+    return ck;
+}
+
+void
+CoSimulation::restore(const Checkpoint &ck)
+{
+    if (ck.version != Checkpoint::kVersion)
+        throw CheckpointError("unsupported checkpoint version " +
+                              std::to_string(ck.version));
+    if (ck.configFingerprint != configFingerprint(cfg_))
+        throw CheckpointError(
+            "checkpoint was taken under a different mission "
+            "configuration (fingerprint mismatch)");
+    if (!checkpointable())
+        throw CheckpointError(
+            "transport does not support checkpoint restore (TCP)");
+
+    StateReader r(ck.state);
+    while (r.remaining() > 0) {
+        auto tag = CkptSection(r.u8());
+        uint32_t len = r.u32();
+        if (len > r.remaining())
+            throw SerdeError("checkpoint section overruns the blob");
+        // Give each section its own bounded reader so a short section
+        // cannot silently consume its successor's bytes.
+        StateReader body(ck.state.data() + r.pos(), len);
+        switch (tag) {
+          case CkptSection::Cosim: {
+            periods_ = body.u64();
+            speedSum_ = body.f64();
+            maxSpeed_ = body.f64();
+            speedN_ = body.u64();
+            prevPos_.x = body.f64();
+            prevPos_.y = body.f64();
+            prevPos_.z = body.f64();
+            distance_ = body.f64();
+            uint32_t n = body.u32();
+            trajectory_.clear();
+            trajectory_.reserve(n);
+            for (uint32_t i = 0; i < n; ++i)
+                trajectory_.push_back(loadSample(body));
+            break;
+          }
+          case CkptSection::Env:
+            env_->restoreState(body);
+            break;
+          case CkptSection::Sync:
+            sync_->restoreState(body);
+            break;
+          case CkptSection::Soc:
+            soc_->restoreState(body);
+            break;
+          case CkptSection::Bridge:
+            bridge_->restoreState(body);
+            break;
+          case CkptSection::App:
+            app_->restoreState(body);
+            break;
+          case CkptSection::TransportSync:
+            (faults_ ? faults_->inner() : *syncEnd_).restoreState(body);
+            break;
+          case CkptSection::TransportBridge:
+            bridgeEnd_->restoreState(body);
+            break;
+          case CkptSection::Faults:
+            // Skipped (not an error) when this instance runs without
+            // fault injection: the supervisor's Disable retry policy
+            // restores a faulty run's snapshot into a clean config.
+            if (faults_)
+                faults_->restoreState(body);
+            break;
+          case CkptSection::Background:
+            if (timeShared_) {
+                backgroundLoad_->restoreState(body);
+                timeShared_->restoreState(body);
+            }
+            break;
+          default:
+            // Unknown forward-compatible section: skip.
+            break;
+        }
+        r.skip(len);
+    }
 }
 
 } // namespace rose::core

@@ -23,6 +23,7 @@
 #include "bridge/rose_bridge.hh"
 #include "bridge/target_driver.hh"
 #include "bridge/transport.hh"
+#include "core/checkpoint.hh"
 #include "env/envsim.hh"
 #include "runtime/control_app.hh"
 #include "soc/config.hh"
@@ -92,10 +93,30 @@ struct TrajectorySample
     double cmdYawRate = 0.0;
 };
 
+/**
+ * How a mission ended. `Degraded` still reached the goal, but spent
+ * part of the flight under the classical fallback controller.
+ */
+enum class MissionStatus
+{
+    Completed, ///< reached the corridor end inside the time limit
+    TimedOut,  ///< hit maxSimSeconds without finishing
+    Crashed,   ///< aborted on an exception (transport, divergence, ...)
+    Degraded,  ///< completed, but with degraded-control intervals
+};
+
+/** Human-readable status name ("completed", "crashed", ...). */
+const char *missionStatusName(MissionStatus s);
+
 /** Mission outcome and metrics. */
 struct MissionResult
 {
     bool completed = false;
+    /** Structured outcome; `completed` above is kept for callers that
+     *  predate it (Degraded also counts as completed). */
+    MissionStatus status = MissionStatus::TimedOut;
+    /** Diagnostic for Crashed/TimedOut outcomes (empty otherwise). */
+    std::string failureReason;
     /** The run aborted on a bridge::TransportError (dead peer, corrupt
      *  wire, sync deadline) rather than finishing or timing out. */
     bool transportError = false;
@@ -119,6 +140,8 @@ struct MissionResult
 
     std::vector<TrajectorySample> trajectory;
     std::vector<runtime::InferenceRecord> inferenceLog;
+    /** Intervals flown under the classical fallback controller. */
+    std::vector<runtime::DegradedInterval> degradedIntervals;
 
     /** Mission energy of the companion SoC [J] and its average power
      *  [W] under the default soc::EnergyModel. */
@@ -159,6 +182,33 @@ class CoSimulation
      */
     MissionResult run();
 
+    /**
+     * Build a MissionResult from the state accumulated so far without
+     * running anything — what run() returns, minus wall-clock time.
+     * The supervisor uses this to report partial metrics after an
+     * unrecoverable failure.
+     */
+    MissionResult collectResult() const;
+
+    /** True when the transports support in-memory checkpointing
+     *  (in-process channel yes, TCP no). */
+    bool checkpointable() const;
+
+    /**
+     * Snapshot the full co-simulation state. Throws CheckpointError
+     * when the transport cannot be checkpointed (TCP).
+     */
+    Checkpoint checkpoint() const;
+
+    /**
+     * Restore a snapshot previously taken from an identically
+     * configured co-simulation (configFingerprint must match; fault /
+     * transport / time-limit knobs may differ). Resuming afterwards is
+     * bit-identical to never having stopped. Throws CheckpointError on
+     * version/config mismatch and SerdeError on corrupt state.
+     */
+    void restore(const Checkpoint &ck);
+
     // --- component access (read-mostly; for tests and custom loops) --
     env::EnvSim &environment() { return *env_; }
     soc::SocSim &socSim() { return *soc_; }
@@ -172,6 +222,10 @@ class CoSimulation
     {
         return faults_ ? &faults_->stats() : nullptr;
     }
+
+    /** Fault injector, or nullptr when faults are disabled. The
+     *  supervisor reseeds it between retries. */
+    bridge::FaultInjectTransport *faultInjector() { return faults_; }
 
     /** Periods executed so far. */
     uint64_t periods() const { return periods_; }
@@ -200,6 +254,14 @@ class CoSimulation
 
     uint64_t periods_ = 0;
     std::vector<TrajectorySample> trajectory_;
+
+    // Mission-metric accumulators, updated per period so they survive
+    // checkpoint/restore (they live in the Cosim checkpoint section).
+    double speedSum_ = 0.0;
+    double maxSpeed_ = 0.0;
+    uint64_t speedN_ = 0;
+    Vec3 prevPos_;
+    double distance_ = 0.0;
 };
 
 } // namespace rose::core

@@ -27,6 +27,8 @@ MissionSpec::toConfig() const
     cfg.app.seed = seed * 7919 + 13;
     cfg.sync.cyclesPerSync = syncGranularity;
     cfg.maxSimSeconds = maxSimSeconds;
+    cfg.faults = faults;
+    cfg.app.degraded.enabled = degradedMode;
     return cfg;
 }
 

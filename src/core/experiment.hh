@@ -30,6 +30,11 @@ struct MissionSpec
     runtime::RuntimeMode mode = runtime::RuntimeMode::Static;
     uint64_t seed = 1;
     double maxSimSeconds = 60.0;
+    /** Transport fault injection for resilience sweeps (off by
+     *  default; copied verbatim into CosimConfig::faults). */
+    bridge::FaultConfig faults;
+    /** Enable the classical-fallback (degraded-mode) controller. */
+    bool degradedMode = false;
 
     /** Construct the full co-simulation configuration. */
     CosimConfig toConfig() const;

@@ -108,6 +108,10 @@ class Classifier
     const Model &model() const { return model_; }
     const EstimatorConfig &estimatorConfig() const { return cfg_; }
 
+    /** Serialize the estimator noise stream (model is immutable). */
+    void saveState(StateWriter &w) const { rng_.saveState(w); }
+    void restoreState(StateReader &r) { rng_.restoreState(r); }
+
   private:
     HeadOutput scoreHead(double value, double class_threshold,
                          double temperature);

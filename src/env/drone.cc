@@ -3,8 +3,31 @@
 #include <cmath>
 
 #include "util/logging.hh"
+#include "util/serde.hh"
 
 namespace rose::env {
+
+namespace {
+
+void
+putVec3(StateWriter &w, const Vec3 &v)
+{
+    w.f64(v.x);
+    w.f64(v.y);
+    w.f64(v.z);
+}
+
+Vec3
+getVec3(StateReader &r)
+{
+    Vec3 v;
+    v.x = r.f64();
+    v.y = r.f64();
+    v.z = r.f64();
+    return v;
+}
+
+} // namespace
 
 Drone::Drone(const DroneParams &params) : params_(params)
 {
@@ -118,6 +141,42 @@ Drone::resolveWallCollision(const Vec3 &clamped_pos, const Vec3 &wall_normal,
                     (1.5 + 0.5 * v_into);
     }
     return v_into > 0.0 ? v_into : 0.0;
+}
+
+void
+Drone::saveState(StateWriter &w) const
+{
+    putVec3(w, pos_);
+    putVec3(w, vel_);
+    w.f64(att_.w);
+    w.f64(att_.x);
+    w.f64(att_.y);
+    w.f64(att_.z);
+    putVec3(w, omega_);
+    for (double t : cmd_)
+        w.f64(t);
+    for (double t : thrust_)
+        w.f64(t);
+    putVec3(w, lastAccel_);
+    putVec3(w, extForce_);
+}
+
+void
+Drone::restoreState(StateReader &r)
+{
+    pos_ = getVec3(r);
+    vel_ = getVec3(r);
+    att_.w = r.f64();
+    att_.x = r.f64();
+    att_.y = r.f64();
+    att_.z = r.f64();
+    omega_ = getVec3(r);
+    for (double &t : cmd_)
+        t = r.f64();
+    for (double &t : thrust_)
+        t = r.f64();
+    lastAccel_ = getVec3(r);
+    extForce_ = getVec3(r);
 }
 
 } // namespace rose::env

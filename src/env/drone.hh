@@ -14,6 +14,11 @@
 #include "flight/types.hh"
 #include "util/geometry.hh"
 
+namespace rose {
+class StateWriter;
+class StateReader;
+} // namespace rose
+
 namespace rose::env {
 
 /** Physical parameters of the simulated quadrotor. */
@@ -90,6 +95,10 @@ class Drone
     double resolveWallCollision(const Vec3 &clamped_pos,
                                 const Vec3 &wall_normal,
                                 double restitution = 0.3);
+
+    /** Serialize the full rigid-body + motor-lag state. */
+    void saveState(StateWriter &w) const;
+    void restoreState(StateReader &r);
 
   private:
     DroneParams params_;

@@ -1,10 +1,22 @@
 #include "envsim.hh"
 
 #include <cmath>
+#include <sstream>
 
 #include "util/logging.hh"
+#include "util/serde.hh"
 
 namespace rose::env {
+
+namespace {
+
+bool
+finiteVec(const Vec3 &v)
+{
+    return std::isfinite(v.x) && std::isfinite(v.y) && std::isfinite(v.z);
+}
+
+} // namespace
 
 EnvSim::EnvSim(const EnvConfig &cfg)
     : cfg_(cfg),
@@ -58,6 +70,7 @@ EnvSim::substep(double dt)
     }
 
     vehicle_->step(dt, disturbance);
+    checkDivergence();
 
     // Wall/obstacle collision: clamp back outside and log the impact.
     Vec3 pos = vehicle_->state().position;
@@ -153,6 +166,66 @@ bool
 EnvSim::missionComplete() const
 {
     return world_->missionComplete(vehicle_->state().position);
+}
+
+void
+EnvSim::checkDivergence() const
+{
+    flight::VehicleState s = vehicle_->state();
+    if (finiteVec(s.position) && finiteVec(s.velocity) &&
+        finiteVec(s.bodyRates) && std::isfinite(s.attitude.w) &&
+        std::isfinite(s.attitude.x) && std::isfinite(s.attitude.y) &&
+        std::isfinite(s.attitude.z))
+        return;
+
+    std::ostringstream os;
+    os << "physics divergence: non-finite vehicle state at frame "
+       << frames_ << " (t=" << time_ << "s): pos=(" << s.position.x
+       << "," << s.position.y << "," << s.position.z << ") vel=("
+       << s.velocity.x << "," << s.velocity.y << "," << s.velocity.z
+       << ") att=(" << s.attitude.w << "," << s.attitude.x << ","
+       << s.attitude.y << "," << s.attitude.z << ") omega=("
+       << s.bodyRates.x << "," << s.bodyRates.y << ","
+       << s.bodyRates.z << ")";
+    throw DivergenceError(os.str());
+}
+
+void
+EnvSim::saveState(StateWriter &w) const
+{
+    w.f64(time_);
+    w.u64(frames_);
+    w.boolean(collision_.hasCollided);
+    w.u64(collision_.count);
+    w.f64(collision_.lastTime);
+    w.f64(collision_.lastImpactSpeed);
+    w.f64(collision_.lastPosition.x);
+    w.f64(collision_.lastPosition.y);
+    w.f64(collision_.lastPosition.z);
+    rng_.saveState(w);
+    vehicle_->saveState(w);
+    imu_->saveState(w);
+    camera_->saveState(w);
+    depth_->saveState(w);
+}
+
+void
+EnvSim::restoreState(StateReader &r)
+{
+    time_ = r.f64();
+    frames_ = r.u64();
+    collision_.hasCollided = r.boolean();
+    collision_.count = r.u64();
+    collision_.lastTime = r.f64();
+    collision_.lastImpactSpeed = r.f64();
+    collision_.lastPosition.x = r.f64();
+    collision_.lastPosition.y = r.f64();
+    collision_.lastPosition.z = r.f64();
+    rng_.restoreState(r);
+    vehicle_->restoreState(r);
+    imu_->restoreState(r);
+    camera_->restoreState(r);
+    depth_->restoreState(r);
 }
 
 } // namespace rose::env

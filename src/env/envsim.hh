@@ -16,6 +16,7 @@
 #define ROSE_ENV_ENVSIM_HH
 
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,21 @@
 #include "util/units.hh"
 
 namespace rose::env {
+
+/**
+ * Thrown when the physics integrator produces a non-finite vehicle
+ * state. The message carries a diagnostic dump (full state vector,
+ * frame index, sim time) so divergence is attributable — and the
+ * mission supervisor can catch it and restore a checkpoint instead of
+ * the process dying silently on NaN-poisoned trajectories.
+ */
+class DivergenceError : public std::runtime_error
+{
+  public:
+    explicit DivergenceError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
 
 /** Collision bookkeeping exposed through the API. */
 struct CollisionInfo
@@ -108,6 +124,10 @@ class EnvSim
     { return vehicle_->state(); }
     const World &world() const { return *world_; }
     const VehicleModel &vehicle() const { return *vehicle_; }
+    /** Mutable vehicle access, for fault-injection experiments and
+     *  tests (e.g. teleporting or corrupting state via restoreState
+     *  to exercise the divergence guards). */
+    VehicleModel &mutableVehicle() { return *vehicle_; }
 
     /** Signed lateral offset from the corridor centerline [m]. */
     double lateralOffset() const;
@@ -115,8 +135,19 @@ class EnvSim
     double headingError() const;
     bool missionComplete() const;
 
+    // --- Checkpointing -------------------------------------------------
+    /**
+     * Serialize all mutable simulation state: clock, collision log,
+     * turbulence RNG, vehicle dynamics, sensor noise streams. The
+     * world and config are immutable and are reconstructed from the
+     * same EnvConfig on restore.
+     */
+    void saveState(StateWriter &w) const;
+    void restoreState(StateReader &r);
+
   private:
     void substep(double dt);
+    void checkDivergence() const;
 
     EnvConfig cfg_;
     /** Immutable world geometry; shared across concurrent missions

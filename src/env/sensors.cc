@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/serde.hh"
+
 namespace rose::env {
 
 Imu::Imu(const ImuConfig &cfg, Rng rng) : cfg_(cfg), rng_(rng)
@@ -137,6 +139,30 @@ double
 DepthSensor::sample(const World &world, const Drone &drone)
 {
     return sample(world, drone.position(), drone.attitude().yaw());
+}
+
+void
+Imu::saveState(StateWriter &w) const
+{
+    rng_.saveState(w);
+    w.f64(accelBias_.x);
+    w.f64(accelBias_.y);
+    w.f64(accelBias_.z);
+    w.f64(gyroBias_.x);
+    w.f64(gyroBias_.y);
+    w.f64(gyroBias_.z);
+}
+
+void
+Imu::restoreState(StateReader &r)
+{
+    rng_.restoreState(r);
+    accelBias_.x = r.f64();
+    accelBias_.y = r.f64();
+    accelBias_.z = r.f64();
+    gyroBias_.x = r.f64();
+    gyroBias_.y = r.f64();
+    gyroBias_.z = r.f64();
 }
 
 } // namespace rose::env

@@ -79,6 +79,10 @@ class Imu
     /** Convenience overload for bare Drone tests. */
     ImuSample sample(const Drone &drone, double time_s);
 
+    /** Serialize noise stream + per-run bias draws. */
+    void saveState(StateWriter &w) const;
+    void restoreState(StateReader &r);
+
   private:
     ImuConfig cfg_;
     Rng rng_;
@@ -118,6 +122,10 @@ class Camera
 
     const CameraConfig &config() const { return cfg_; }
 
+    /** Serialize the pixel-noise stream. */
+    void saveState(StateWriter &w) const { rng_.saveState(w); }
+    void restoreState(StateReader &r) { rng_.restoreState(r); }
+
   private:
     CameraConfig cfg_;
     Rng rng_;
@@ -140,6 +148,10 @@ class DepthSensor
 
     /** Convenience overload for bare Drone tests. */
     double sample(const World &world, const Drone &drone);
+
+    /** Serialize the range-noise stream. */
+    void saveState(StateWriter &w) const { rng_.saveState(w); }
+    void restoreState(StateReader &r) { rng_.restoreState(r); }
 
   private:
     double maxRange_;

@@ -1,8 +1,10 @@
 #include "vehicle.hh"
 
 #include <cmath>
+#include <stdexcept>
 
 #include "util/logging.hh"
+#include "util/serde.hh"
 
 namespace rose::env {
 
@@ -190,6 +192,56 @@ AckermannRover::resolveWallCollision(const Vec3 &clamped_pos,
     return v_into > 0.0 ? v_into : 0.0;
 }
 
+void
+QuadrotorVehicle::saveState(StateWriter &w) const
+{
+    drone_.saveState(w);
+    controller_.saveState(w);
+}
+
+void
+QuadrotorVehicle::restoreState(StateReader &r)
+{
+    drone_.restoreState(r);
+    controller_.restoreState(r);
+}
+
+void
+AckermannRover::saveState(StateWriter &w) const
+{
+    w.f64(pos_.x);
+    w.f64(pos_.y);
+    w.f64(pos_.z);
+    w.f64(yaw_);
+    w.f64(speed_);
+    w.f64(steer_);
+    w.f64(cmd_.forward);
+    w.f64(cmd_.lateral);
+    w.f64(cmd_.yawRate);
+    w.f64(cmd_.altitude);
+    w.f64(lastAccel_.x);
+    w.f64(lastAccel_.y);
+    w.f64(lastAccel_.z);
+}
+
+void
+AckermannRover::restoreState(StateReader &r)
+{
+    pos_.x = r.f64();
+    pos_.y = r.f64();
+    pos_.z = r.f64();
+    yaw_ = r.f64();
+    speed_ = r.f64();
+    steer_ = r.f64();
+    cmd_.forward = r.f64();
+    cmd_.lateral = r.f64();
+    cmd_.yawRate = r.f64();
+    cmd_.altitude = r.f64();
+    lastAccel_.x = r.f64();
+    lastAccel_.y = r.f64();
+    lastAccel_.z = r.f64();
+}
+
 // ---------------------------------------------------------------- factory
 
 std::unique_ptr<VehicleModel>
@@ -203,7 +255,9 @@ makeVehicle(const std::string &name, const DroneParams &drone_params,
     }
     if (name == "rover" || name == "car")
         return std::make_unique<AckermannRover>(rover_params);
-    rose_fatal("unknown vehicle: ", name);
+    // Throw instead of aborting: a bad vehicle name in one batch spec
+    // must fail that mission slot, not take down the whole pool.
+    throw std::invalid_argument("unknown vehicle: " + name);
 }
 
 } // namespace rose::env

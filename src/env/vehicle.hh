@@ -71,6 +71,10 @@ class VehicleModel
      */
     virtual double resolveWallCollision(const Vec3 &clamped_pos,
                                         const Vec3 &wall_normal) = 0;
+
+    /** Serialize dynamic state (not parameters) for checkpointing. */
+    virtual void saveState(StateWriter &w) const = 0;
+    virtual void restoreState(StateReader &r) = 0;
 };
 
 /** The paper's UAV: Drone dynamics + cascaded flight controller. */
@@ -90,6 +94,8 @@ class QuadrotorVehicle : public VehicleModel
     double bodyRadius() const override;
     double resolveWallCollision(const Vec3 &clamped_pos,
                                 const Vec3 &wall_normal) override;
+    void saveState(StateWriter &w) const override;
+    void restoreState(StateReader &r) override;
 
     const Drone &drone() const { return drone_; }
 
@@ -140,6 +146,8 @@ class AckermannRover : public VehicleModel
     double bodyRadius() const override;
     double resolveWallCollision(const Vec3 &clamped_pos,
                                 const Vec3 &wall_normal) override;
+    void saveState(StateWriter &w) const override;
+    void restoreState(StateReader &r) override;
 
     double speed() const { return speed_; }
     double steerAngle() const { return steer_; }

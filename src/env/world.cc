@@ -1,6 +1,7 @@
 #include "world.hh"
 
 #include <cmath>
+#include <stdexcept>
 
 #include "util/logging.hh"
 #include "util/memo.hh"
@@ -207,7 +208,9 @@ makeWorld(const std::string &name)
         return std::make_unique<SShapeWorld>();
     if (name == "zigzag")
         return std::make_unique<ZigzagWorld>();
-    rose_fatal("unknown world: ", name);
+    // Throw instead of aborting so one bad world name in a batch spec
+    // fails its mission slot, not the whole process.
+    throw std::invalid_argument("unknown world: " + name);
 }
 
 std::shared_ptr<const World>

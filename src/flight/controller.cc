@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/logging.hh"
+#include "util/serde.hh"
 
 namespace rose::flight {
 
@@ -94,6 +95,40 @@ CascadedController::reset()
     rateRollPid_.reset();
     ratePitchPid_.reset();
     rateYawPid_.reset();
+}
+
+void
+CascadedController::saveState(StateWriter &w) const
+{
+    w.f64(command_.forward);
+    w.f64(command_.lateral);
+    w.f64(command_.yawRate);
+    w.f64(command_.altitude);
+    altPid_.saveState(w);
+    velFwdPid_.saveState(w);
+    velLatPid_.saveState(w);
+    rollPid_.saveState(w);
+    pitchPid_.saveState(w);
+    rateRollPid_.saveState(w);
+    ratePitchPid_.saveState(w);
+    rateYawPid_.saveState(w);
+}
+
+void
+CascadedController::restoreState(StateReader &r)
+{
+    command_.forward = r.f64();
+    command_.lateral = r.f64();
+    command_.yawRate = r.f64();
+    command_.altitude = r.f64();
+    altPid_.restoreState(r);
+    velFwdPid_.restoreState(r);
+    velLatPid_.restoreState(r);
+    rollPid_.restoreState(r);
+    pitchPid_.restoreState(r);
+    rateRollPid_.restoreState(r);
+    ratePitchPid_.restoreState(r);
+    rateYawPid_.restoreState(r);
 }
 
 } // namespace rose::flight

@@ -76,6 +76,10 @@ class CascadedController
     /** Reset all loop state (integral terms, derivative history). */
     void reset();
 
+    /** Serialize tracked command + all eight PID loop states. */
+    void saveState(StateWriter &w) const;
+    void restoreState(StateReader &r);
+
   private:
     VehicleParams params_;
     ControllerConfig cfg_;

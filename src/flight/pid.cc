@@ -2,6 +2,7 @@
 
 #include "util/geometry.hh"
 #include "util/logging.hh"
+#include "util/serde.hh"
 
 namespace rose::flight {
 
@@ -33,6 +34,22 @@ Pid::reset()
     integral_ = 0.0;
     prevError_ = 0.0;
     havePrev_ = false;
+}
+
+void
+Pid::saveState(StateWriter &w) const
+{
+    w.f64(integral_);
+    w.f64(prevError_);
+    w.boolean(havePrev_);
+}
+
+void
+Pid::restoreState(StateReader &r)
+{
+    integral_ = r.f64();
+    prevError_ = r.f64();
+    havePrev_ = r.boolean();
 }
 
 } // namespace rose::flight

@@ -9,6 +9,11 @@
 #ifndef ROSE_FLIGHT_PID_HH
 #define ROSE_FLIGHT_PID_HH
 
+namespace rose {
+class StateWriter;
+class StateReader;
+} // namespace rose
+
 namespace rose::flight {
 
 /** Gains and limits for one PID loop. */
@@ -43,6 +48,10 @@ class Pid
 
     double integral() const { return integral_; }
     const PidConfig &config() const { return cfg_; }
+
+    /** Serialize loop state (not gains — those come from config). */
+    void saveState(StateWriter &w) const;
+    void restoreState(StateReader &r);
 
   private:
     PidConfig cfg_;

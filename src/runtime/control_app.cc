@@ -1,6 +1,7 @@
 #include "control_app.hh"
 
 #include "util/logging.hh"
+#include "util/serde.hh"
 
 namespace rose::runtime {
 
@@ -92,6 +93,15 @@ ControlApp::next(const soc::SocContext &ctx)
                 // request or its response was lost in transit.
                 // Re-issue the requests instead of waiting forever.
                 ++sensorRetries_;
+                ++consecutiveSensorRetries_;
+                if (cfg_.degraded.enabled &&
+                    consecutiveSensorRetries_ >=
+                        cfg_.degraded.maxConsecutiveSensorRetries) {
+                    // The sensor path is dead for now: hold the
+                    // classical fallback instead of stalling.
+                    enterDegraded("sensor-timeout", ctx.now);
+                    return ioAction("degraded-enter");
+                }
                 state_ = State::SendRequests;
                 return ioAction("sensor-retry");
             }
@@ -99,6 +109,7 @@ ControlApp::next(const soc::SocContext &ctx)
             state_ = State::AwaitResponses;
             return ioAction("sensor-poll");
         }
+        consecutiveSensorRetries_ = 0;
         current_.responseCycle = ctx.now;
         current_.depthMeters =
             cfg_.mode == RuntimeMode::Dynamic ? depth_ : 0.0;
@@ -109,12 +120,28 @@ ControlApp::next(const soc::SocContext &ctx)
         if (cfg_.mode == RuntimeMode::Dynamic) {
             double big_lat =
                 double(bigSchedule_.totalCycles) / soc_.clockHz;
+            double small_lat =
+                double(smallSchedule_.totalCycles) / soc_.clockHz;
             double budget = cfg_.deadline.processDeadline(
                 depth_, cfg_.policy.forwardVelocity);
             current_.deadlineSeconds = budget;
             if (budget < cfg_.deadlineSafetyFactor * big_lat) {
                 activeDepth_ = cfg_.smallModelDepth;
                 current_.usedArgmax = true;
+            }
+            // Even the small model cannot meet the budget: that is a
+            // deadline miss. Enough of them in a row and the DNN path
+            // is declared unhealthy — classical fallback.
+            if (budget < small_lat) {
+                ++consecutiveDeadlineMisses_;
+                if (cfg_.degraded.enabled &&
+                    consecutiveDeadlineMisses_ >=
+                        cfg_.degraded.maxDeadlineMisses) {
+                    enterDegraded("deadline-miss", ctx.now);
+                    return ioAction("degraded-enter");
+                }
+            } else {
+                consecutiveDeadlineMisses_ = 0;
             }
         }
         current_.modelDepth = activeDepth_;
@@ -157,8 +184,205 @@ ControlApp::next(const soc::SocContext &ctx)
         state_ = State::SendRequests;
         return ioAction("command-send");
       }
+
+      case State::Degraded: {
+        // One classical-control iteration: steer on the last valid
+        // pose estimate at derated speed. Cheap on the CPU, no
+        // sensors, no DNN — the vehicle keeps moving while the
+        // vision path is unhealthy.
+        bridge::VelocityCmdPayload cmd = computeClassicalCommand(
+            lastOutput_, cfg_.policy, cfg_.degraded);
+        if (!driver_.txSend(bridge::encodeVelocityCmd(cmd)))
+            rose_warn("control app: degraded command backpressured");
+        ++degraded_.back().commands;
+        if (degradedIterLeft_ > 0)
+            --degradedIterLeft_;
+        if (degradedIterLeft_ == 0) {
+            // Hold expired: close the interval and re-probe sensors.
+            degraded_.back().endCycle = ctx.now;
+            state_ = State::SendRequests;
+        }
+        return soc::Action::compute(cfg_.degraded.holdCycles,
+                                    soc::Unit::Cpu, "degraded-hold");
+      }
     }
     rose_panic("unreachable control-app state");
+}
+
+namespace {
+
+void
+saveAction(StateWriter &w, const soc::Action &a)
+{
+    w.u8(uint8_t(a.kind));
+    w.u64(a.cycles);
+    w.u8(uint8_t(a.unit));
+}
+
+soc::Action
+loadAction(StateReader &r)
+{
+    soc::Action a;
+    a.kind = soc::Action::Kind(r.u8());
+    a.cycles = r.u64();
+    a.unit = soc::Unit(r.u8());
+    a.what = "";
+    return a;
+}
+
+void
+saveRecord(StateWriter &w, const InferenceRecord &rec)
+{
+    w.u64(rec.requestCycle);
+    w.u64(rec.responseCycle);
+    w.u64(rec.commandCycle);
+    w.u32(uint32_t(rec.modelDepth));
+    w.boolean(rec.usedArgmax);
+    w.f64(rec.deadlineSeconds);
+    w.f64(rec.depthMeters);
+    w.f64(rec.command.forward);
+    w.f64(rec.command.lateral);
+    w.f64(rec.command.yawRate);
+}
+
+InferenceRecord
+loadRecord(StateReader &r)
+{
+    InferenceRecord rec;
+    rec.requestCycle = r.u64();
+    rec.responseCycle = r.u64();
+    rec.commandCycle = r.u64();
+    rec.modelDepth = int(r.u32());
+    rec.usedArgmax = r.boolean();
+    rec.deadlineSeconds = r.f64();
+    rec.depthMeters = r.f64();
+    rec.command.forward = r.f64();
+    rec.command.lateral = r.f64();
+    rec.command.yawRate = r.f64();
+    return rec;
+}
+
+void
+saveOutput(StateWriter &w, const dnn::ClassifierOutput &o)
+{
+    for (float p : o.angular.probs)
+        w.f32(p);
+    for (float p : o.lateral.probs)
+        w.f32(p);
+    w.f64(o.rawHeadingRad);
+    w.f64(o.rawOffsetM);
+    w.boolean(o.valid);
+}
+
+dnn::ClassifierOutput
+loadOutput(StateReader &r)
+{
+    dnn::ClassifierOutput o;
+    for (float &p : o.angular.probs)
+        p = r.f32();
+    for (float &p : o.lateral.probs)
+        p = r.f32();
+    o.rawHeadingRad = r.f64();
+    o.rawOffsetM = r.f64();
+    o.valid = r.boolean();
+    return o;
+}
+
+} // namespace
+
+void
+ControlApp::saveState(StateWriter &w) const
+{
+    w.u8(uint8_t(state_));
+    w.u32(uint32_t(queue_.size()));
+    for (const soc::Action &a : queue_)
+        saveAction(w, a);
+    w.boolean(image_.has_value());
+    if (image_) {
+        w.u32(uint32_t(image_->width));
+        w.u32(uint32_t(image_->height));
+        for (float v : image_->pixels)
+            w.f32(v);
+    }
+    w.f64(depth_);
+    w.boolean(sawDepth_);
+    saveRecord(w, current_);
+    saveOutput(w, lastOutput_);
+    w.u32(uint32_t(activeDepth_));
+    w.u32(uint32_t(records_.size()));
+    for (const InferenceRecord &rec : records_)
+        saveRecord(w, rec);
+    w.u64(sensorRetries_);
+    w.u64(consecutiveSensorRetries_);
+    w.u64(consecutiveDeadlineMisses_);
+    w.u64(degradedIterLeft_);
+    w.u32(uint32_t(degraded_.size()));
+    for (const DegradedInterval &di : degraded_) {
+        w.u64(di.startCycle);
+        w.u64(di.endCycle);
+        w.u64(di.commands);
+        w.str(di.reason);
+    }
+    bigClassifier_.saveState(w);
+    smallClassifier_.saveState(w);
+}
+
+void
+ControlApp::restoreState(StateReader &r)
+{
+    state_ = State(r.u8());
+    queue_.clear();
+    uint32_t nq = r.u32();
+    for (uint32_t i = 0; i < nq; ++i)
+        queue_.push_back(loadAction(r));
+    image_.reset();
+    if (r.boolean()) {
+        int iw = int(r.u32());
+        int ih = int(r.u32());
+        env::Image img(iw, ih);
+        for (float &v : img.pixels)
+            v = r.f32();
+        image_ = std::move(img);
+    }
+    depth_ = r.f64();
+    sawDepth_ = r.boolean();
+    current_ = loadRecord(r);
+    lastOutput_ = loadOutput(r);
+    activeDepth_ = int(r.u32());
+    records_.clear();
+    uint32_t nr = r.u32();
+    records_.reserve(nr);
+    for (uint32_t i = 0; i < nr; ++i)
+        records_.push_back(loadRecord(r));
+    sensorRetries_ = r.u64();
+    consecutiveSensorRetries_ = r.u64();
+    consecutiveDeadlineMisses_ = r.u64();
+    degradedIterLeft_ = r.u64();
+    degraded_.clear();
+    uint32_t nd = r.u32();
+    for (uint32_t i = 0; i < nd; ++i) {
+        DegradedInterval di;
+        di.startCycle = r.u64();
+        di.endCycle = r.u64();
+        di.commands = r.u64();
+        di.reason = r.str();
+        degraded_.push_back(std::move(di));
+    }
+    bigClassifier_.restoreState(r);
+    smallClassifier_.restoreState(r);
+}
+
+void
+ControlApp::enterDegraded(const char *reason, Cycles now)
+{
+    DegradedInterval di;
+    di.startCycle = now;
+    di.reason = reason;
+    degraded_.push_back(di);
+    degradedIterLeft_ = cfg_.degraded.holdIterations;
+    consecutiveSensorRetries_ = 0;
+    consecutiveDeadlineMisses_ = 0;
+    state_ = State::Degraded;
 }
 
 } // namespace rose::runtime

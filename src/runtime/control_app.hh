@@ -27,6 +27,7 @@
 #include <deque>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "bridge/target_driver.hh"
@@ -73,6 +74,8 @@ struct AppConfig
     Cycles sensorTimeoutCycles = 0;
 
     PolicyConfig policy;
+    /** Classical-fallback configuration (disabled by default). */
+    DegradedModeConfig degraded;
     DeadlineModel deadline;
     dnn::EstimatorConfig estimator;
     dnn::EngineParams engine;
@@ -99,6 +102,18 @@ struct InferenceRecord
     Cycles requestToCommand() const { return commandCycle - requestCycle; }
 };
 
+/** One interval spent in degraded (classical-fallback) control. */
+struct DegradedInterval
+{
+    Cycles startCycle = 0;
+    /** 0 while the interval is still open (mission ended degraded). */
+    Cycles endCycle = 0;
+    /** Fallback commands issued during the interval. */
+    uint64_t commands = 0;
+    /** What tripped the fallback: "sensor-timeout" or "deadline-miss". */
+    std::string reason;
+};
+
 /** The application workload. */
 class ControlApp : public soc::Workload
 {
@@ -123,7 +138,23 @@ class ControlApp : public soc::Workload
     /** Sensor requests re-issued after a response timeout. */
     uint64_t sensorRetries() const { return sensorRetries_; }
 
+    /** Completed and open degraded-control intervals, in order. */
+    const std::vector<DegradedInterval> &degradedIntervals() const
+    { return degraded_; }
+
+    /** True while the app is holding the classical fallback. */
+    bool inDegradedMode() const { return state_ == State::Degraded; }
+
     const AppConfig &config() const { return cfg_; }
+
+    /**
+     * Serialize the full application state: control FSM, staged
+     * inference actions, buffered sensor data, telemetry, classifier
+     * noise streams, degraded-mode bookkeeping. Immutable artifacts
+     * (models, schedules) are rebuilt from config on restore.
+     */
+    void saveState(StateWriter &w) const;
+    void restoreState(StateReader &r);
 
   private:
     enum class State
@@ -134,9 +165,11 @@ class ControlApp : public soc::Workload
         ReadResponses,
         Inference,
         SendCommand,
+        Degraded,
     };
 
     soc::Action ioAction(const char *label);
+    void enterDegraded(const char *reason, Cycles now);
 
     bridge::TargetDriver &driver_;
     soc::SocConfig soc_;
@@ -162,6 +195,12 @@ class ControlApp : public soc::Workload
     int activeDepth_ = 0;
     std::vector<InferenceRecord> records_;
     uint64_t sensorRetries_ = 0;
+
+    // Degraded-mode bookkeeping.
+    uint64_t consecutiveSensorRetries_ = 0;
+    uint64_t consecutiveDeadlineMisses_ = 0;
+    uint64_t degradedIterLeft_ = 0;
+    std::vector<DegradedInterval> degraded_;
 };
 
 } // namespace rose::runtime

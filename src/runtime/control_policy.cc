@@ -39,4 +39,26 @@ computeCommand(const dnn::ClassifierOutput &y, const PolicyConfig &cfg)
     return cmd;
 }
 
+bridge::VelocityCmdPayload
+computeClassicalCommand(const dnn::ClassifierOutput &last_valid,
+                        const PolicyConfig &policy,
+                        const DegradedModeConfig &cfg)
+{
+    bridge::VelocityCmdPayload cmd;
+    cmd.forward = policy.forwardVelocity * cfg.speedFactor;
+    if (!last_valid.valid) {
+        // Nothing to steer on: creep straight ahead and let the
+        // flight controller hold altitude until vision recovers.
+        return cmd;
+    }
+    // Proportional corrections on the last pose estimate. Signs match
+    // computeCommand: positive heading error (yawed left of the
+    // corridor axis per the estimator convention) commands a
+    // counter-correction back toward the tangent, positive offset
+    // commands motion back toward the centerline.
+    cmd.yawRate = -cfg.headingGain * last_valid.rawHeadingRad;
+    cmd.lateral = -cfg.offsetGain * last_valid.rawOffsetM;
+    return cmd;
+}
+
 } // namespace rose::runtime

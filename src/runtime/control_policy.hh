@@ -17,6 +17,7 @@
 
 #include "bridge/packet.hh"
 #include "dnn/classifier.hh"
+#include "util/units.hh"
 
 namespace rose::runtime {
 
@@ -39,6 +40,50 @@ struct PolicyConfig
  */
 bridge::VelocityCmdPayload computeCommand(const dnn::ClassifierOutput &y,
                                           const PolicyConfig &cfg);
+
+/**
+ * Degraded-mode (classical fallback) control configuration.
+ *
+ * When the DNN path is unhealthy — sensor retries exhaust without a
+ * response, or the dynamic runtime's deadline budget falls below even
+ * the small model's latency — the app holds a classical
+ * proportional-law controller on its last pose estimate for a few
+ * iterations instead of stalling the vehicle mid-corridor. This is
+ * the software analogue of a flight stack dropping from vision-based
+ * navigation to attitude hold.
+ */
+struct DegradedModeConfig
+{
+    bool enabled = false;
+
+    /** Consecutive sensor-retry timeouts that trip degraded mode. */
+    uint64_t maxConsecutiveSensorRetries = 3;
+    /** Consecutive deadline misses (process budget below the small
+     *  model's latency, dynamic mode only) that trip degraded mode. */
+    uint64_t maxDeadlineMisses = 3;
+
+    /** Fallback iterations to hold before re-probing the sensors. */
+    uint64_t holdIterations = 8;
+    /** Modeled CPU cost of one classical iteration [cycles]; tiny
+     *  next to a DNN inference — that is the point. */
+    Cycles holdCycles = 2 * kMegaCycles;
+
+    /** Forward-speed derating while degraded (0.5 = half speed). */
+    double speedFactor = 0.5;
+    /** P gains on the last valid pose estimate. */
+    double headingGain = 1.2;
+    double offsetGain = 0.8;
+};
+
+/**
+ * Classical fallback command: proportional steering on the last valid
+ * pose estimate at derated speed, or straight-and-slow when no valid
+ * estimate exists.
+ */
+bridge::VelocityCmdPayload
+computeClassicalCommand(const dnn::ClassifierOutput &last_valid,
+                        const PolicyConfig &policy,
+                        const DegradedModeConfig &cfg);
 
 } // namespace rose::runtime
 

@@ -1,5 +1,7 @@
 #include "config.hh"
 
+#include <stdexcept>
+
 #include "util/logging.hh"
 
 namespace rose::soc {
@@ -68,7 +70,10 @@ configByName(const std::string &name)
         return configB();
     if (name == "C")
         return configC();
-    rose_fatal("unknown SoC config: ", name, " (expected A, B, or C)");
+    // Throw instead of aborting so one bad SoC name in a batch spec
+    // fails its mission slot, not the whole process.
+    throw std::invalid_argument("unknown SoC config: " + name +
+                                " (expected A, B, or C)");
 }
 
 } // namespace rose::soc

@@ -1,6 +1,7 @@
 #include "multitenant.hh"
 
 #include "util/logging.hh"
+#include "util/serde.hh"
 
 namespace rose::soc {
 
@@ -141,6 +142,73 @@ TimeSharedWorkload::next(const SocContext &ctx)
     // Both sides refusing to produce runnable work: genuine stall.
     return fgHalted_ && bgHalted_ ? Action::halt()
                                   : Action::waitRx("tenant-stall");
+}
+
+void
+BackgroundLoad::saveState(StateWriter &w) const
+{
+    w.boolean(inBusy_);
+    w.u64(batches_);
+}
+
+void
+BackgroundLoad::restoreState(StateReader &r)
+{
+    inBusy_ = r.boolean();
+    batches_ = r.u64();
+}
+
+namespace {
+
+void
+putAction(StateWriter &w, const Action &a)
+{
+    w.u8(uint8_t(a.kind));
+    w.u64(a.cycles);
+    w.u8(uint8_t(a.unit));
+}
+
+void
+getAction(StateReader &r, Action &a)
+{
+    a.kind = Action::Kind(r.u8());
+    a.cycles = r.u64();
+    a.unit = Unit(r.u8());
+    a.what = "";
+}
+
+} // namespace
+
+void
+TimeSharedWorkload::saveState(StateWriter &w) const
+{
+    w.boolean(fgHave_);
+    w.boolean(bgHave_);
+    putAction(w, fgAction_);
+    putAction(w, bgAction_);
+    w.u64(fgLeft_);
+    w.u64(bgLeft_);
+    w.boolean(fgHalted_);
+    w.boolean(bgHalted_);
+    w.boolean(runFg_);
+    w.u64(fgCpu_);
+    w.u64(bgCpu_);
+}
+
+void
+TimeSharedWorkload::restoreState(StateReader &r)
+{
+    fgHave_ = r.boolean();
+    bgHave_ = r.boolean();
+    getAction(r, fgAction_);
+    getAction(r, bgAction_);
+    fgLeft_ = r.u64();
+    bgLeft_ = r.u64();
+    fgHalted_ = r.boolean();
+    bgHalted_ = r.boolean();
+    runFg_ = r.boolean();
+    fgCpu_ = r.u64();
+    bgCpu_ = r.u64();
 }
 
 } // namespace rose::soc

@@ -27,6 +27,11 @@
 #include "soc/workload.hh"
 #include "util/units.hh"
 
+namespace rose {
+class StateWriter;
+class StateReader;
+} // namespace rose
+
 namespace rose::soc {
 
 /** A periodic batch CPU task. */
@@ -44,6 +49,10 @@ class BackgroundLoad : public Workload
     Action next(const SocContext &ctx) override;
 
     uint64_t batchesRun() const { return batches_; }
+
+    /** Serialize batch phase (labels are static, not serialized). */
+    void saveState(StateWriter &w) const;
+    void restoreState(StateReader &r);
 
   private:
     Cycles busy_;
@@ -81,6 +90,10 @@ class TimeSharedWorkload : public Workload
     /** CPU cycles consumed by each side so far. */
     Cycles foregroundCpuCycles() const { return fgCpu_; }
     Cycles backgroundCpuCycles() const { return bgCpu_; }
+
+    /** Serialize scheduler state; fg/bg workloads serialize separately. */
+    void saveState(StateWriter &w) const;
+    void restoreState(StateReader &r);
 
   private:
     Action nextFromSide(bool fg_side, const SocContext &ctx);

@@ -1,6 +1,7 @@
 #include "socsim.hh"
 
 #include "util/logging.hh"
+#include "util/serde.hh"
 
 namespace rose::soc {
 
@@ -17,7 +18,14 @@ SocSim::runPeriod()
     // this boundary (responses to last period's requests).
     bridge_.hostService();
     Cycles budget = bridge_.cycleBudget();
-    rose_assert(budget > 0, "runPeriod without a cycle grant");
+    // A missing grant is a recoverable lockstep fault (e.g. the
+    // SyncGrant was dropped by an injected transport fault), not a
+    // programming error: throw so a supervisor can restore a
+    // checkpoint rather than aborting the process.
+    if (budget == 0)
+        throw bridge::TransportError(
+            "runPeriod without a cycle grant (SyncGrant lost or "
+            "lockstep driven out of order)");
 
     Cycles consumed = 0;
     while (consumed < budget) {
@@ -102,6 +110,45 @@ SocSim::runPeriod()
     // wait a sound barrier.
     bridge_.hostService();
     bridge_.completeSync(budget);
+}
+
+void
+SocSim::saveState(StateWriter &w) const
+{
+    w.u64(stats_.totalCycles);
+    w.u64(stats_.cpuBusyCycles);
+    w.u64(stats_.accelBusyCycles);
+    w.u64(stats_.ioBusyCycles);
+    w.u64(stats_.rxStallCycles);
+    w.u64(stats_.haltIdleCycles);
+    w.u64(stats_.actionsIssued);
+    w.u64(stats_.periods);
+    w.boolean(havePending_);
+    w.u8(uint8_t(pending_.kind));
+    w.u64(pending_.cycles);
+    w.u8(uint8_t(pending_.unit));
+    w.u64(pendingLeft_);
+    w.boolean(halted_);
+}
+
+void
+SocSim::restoreState(StateReader &r)
+{
+    stats_.totalCycles = r.u64();
+    stats_.cpuBusyCycles = r.u64();
+    stats_.accelBusyCycles = r.u64();
+    stats_.ioBusyCycles = r.u64();
+    stats_.rxStallCycles = r.u64();
+    stats_.haltIdleCycles = r.u64();
+    stats_.actionsIssued = r.u64();
+    stats_.periods = r.u64();
+    havePending_ = r.boolean();
+    pending_.kind = Action::Kind(r.u8());
+    pending_.cycles = r.u64();
+    pending_.unit = Unit(r.u8());
+    pending_.what = "";
+    pendingLeft_ = r.u64();
+    halted_ = r.boolean();
 }
 
 } // namespace rose::soc

@@ -24,6 +24,11 @@
 #include "soc/workload.hh"
 #include "util/units.hh"
 
+namespace rose {
+class StateWriter;
+class StateReader;
+} // namespace rose
+
 namespace rose::soc {
 
 /** Cycle accounting for the evaluation metrics. */
@@ -73,6 +78,15 @@ class SocSim
 
     /** Attach an action trace recorder (nullptr disables). */
     void setTrace(ActionTrace *trace) { trace_ = trace; }
+
+    /**
+     * Serialize cycle counters and the in-flight action. The pending
+     * action's trace label (a static string) is not serialized; a
+     * restored action carries an empty label — trace-only, no effect
+     * on timing or behavior.
+     */
+    void saveState(StateWriter &w) const;
+    void restoreState(StateReader &r);
 
   private:
     bridge::RoseBridge &bridge_;

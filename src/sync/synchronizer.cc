@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "util/logging.hh"
+#include "util/serde.hh"
 
 namespace rose::sync {
 
@@ -100,7 +101,8 @@ Synchronizer::endPeriod()
             throw bridge::TransportError(detail::concat(
                 "sync period ", stats_.periods + 1,
                 " ended without SyncDone on a non-blocking transport "
-                "(lockstep driven out of order?)"));
+                "(SyncDone lost to fault injection, or lockstep driven "
+                "out of order)"));
         }
         auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
                           clock::now() - t0)
@@ -167,6 +169,52 @@ Synchronizer::servicePacket(const bridge::Packet &p)
                   bridge::packetTypeName(p.type));
         break;
     }
+}
+
+void
+Synchronizer::saveState(StateWriter &w) const
+{
+    w.u64(stats_.periods);
+    w.u64(stats_.grantsSent);
+    w.u64(stats_.donesReceived);
+    w.u64(stats_.imuRequests);
+    w.u64(stats_.imageRequests);
+    w.u64(stats_.depthRequests);
+    w.u64(stats_.velocityCommands);
+    w.u64(stats_.framesStepped);
+    w.u64(stats_.unknownPackets);
+    w.u64(stats_.deadlineWaits);
+    w.boolean(lastCmd_.valid);
+    w.f64(lastCmd_.forward);
+    w.f64(lastCmd_.lateral);
+    w.f64(lastCmd_.yawRate);
+    w.f64(lastCmd_.envTime);
+    w.boolean(configured_);
+    w.boolean(periodOpen_);
+    w.f64(frameCarry_);
+}
+
+void
+Synchronizer::restoreState(StateReader &r)
+{
+    stats_.periods = r.u64();
+    stats_.grantsSent = r.u64();
+    stats_.donesReceived = r.u64();
+    stats_.imuRequests = r.u64();
+    stats_.imageRequests = r.u64();
+    stats_.depthRequests = r.u64();
+    stats_.velocityCommands = r.u64();
+    stats_.framesStepped = r.u64();
+    stats_.unknownPackets = r.u64();
+    stats_.deadlineWaits = r.u64();
+    lastCmd_.valid = r.boolean();
+    lastCmd_.forward = r.f64();
+    lastCmd_.lateral = r.f64();
+    lastCmd_.yawRate = r.f64();
+    lastCmd_.envTime = r.f64();
+    configured_ = r.boolean();
+    periodOpen_ = r.boolean();
+    frameCarry_ = r.f64();
 }
 
 } // namespace rose::sync

@@ -130,6 +130,10 @@ class Synchronizer
     /** Total simulated SoC time granted so far [s]. */
     double grantedSimTime() const;
 
+    /** Serialize period bookkeeping (stats, last command, carry). */
+    void saveState(StateWriter &w) const;
+    void restoreState(StateReader &r);
+
   private:
     void servicePacket(const bridge::Packet &p);
 

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "serde.hh"
+
 namespace rose {
 
 namespace {
@@ -102,6 +104,24 @@ Rng
 Rng::split()
 {
     return Rng(next() ^ 0xa02e1c5d87f3b911ULL);
+}
+
+void
+Rng::saveState(StateWriter &w) const
+{
+    for (uint64_t s : s_)
+        w.u64(s);
+    w.boolean(haveSpare_);
+    w.f64(spare_);
+}
+
+void
+Rng::restoreState(StateReader &r)
+{
+    for (uint64_t &s : s_)
+        s = r.u64();
+    haveSpare_ = r.boolean();
+    spare_ = r.f64();
 }
 
 } // namespace rose

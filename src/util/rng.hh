@@ -16,6 +16,9 @@
 
 namespace rose {
 
+class StateWriter;
+class StateReader;
+
 /**
  * xoshiro256** generator seeded via SplitMix64. Small, fast, and good
  * enough statistically for simulation noise.
@@ -51,6 +54,11 @@ class Rng
 
     /** Derive an independent child generator (for per-sensor streams). */
     Rng split();
+
+    /** Serialize the full generator state (xoshiro words + Box-Muller
+     *  spare) so a restored stream replays bit-identically. */
+    void saveState(StateWriter &w) const;
+    void restoreState(StateReader &r);
 
   private:
     uint64_t s_[4] = {};

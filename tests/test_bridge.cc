@@ -621,14 +621,16 @@ TEST(Framing, FuzzedBuffersNeverOverreadOrHang)
     }
 }
 
-TEST(Packet, TruncatedPayloadIsFailStop)
+TEST(Packet, TruncatedPayloadThrows)
 {
     // A data packet whose payload is shorter than its decoder expects
-    // must panic (fail-stop), not read out of bounds.
+    // must fail loudly (never read out of bounds) — but as a catchable
+    // PayloadError, since fault injection can corrupt length fields
+    // and the resilience layer recovers from it.
     Packet p;
     p.type = PacketType::DepthResp;
     p.payload = {1, 2, 3}; // needs 8 bytes
-    EXPECT_DEATH(decodeDepthResp(p), "underrun");
+    EXPECT_THROW(decodeDepthResp(p), PayloadError);
 }
 
 TEST(RoseBridge, UnmappedRegistersAreBenign)

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "bridge/rose_bridge.hh"
 #include "bridge/transport.hh"
 #include "rv/assembler.hh"
@@ -42,10 +44,11 @@ TEST(SocConfig, RocketSlowerHost)
     EXPECT_GT(r.perLayerFixedCycles, b.perLayerFixedCycles);
 }
 
-TEST(SocConfigDeathTest, UnknownNameFatal)
+TEST(SocConfig, UnknownNameThrows)
 {
-    EXPECT_EXIT(configByName("Z"), ::testing::ExitedWithCode(1),
-                "unknown SoC config");
+    // Throws (not a fatal abort) so batch slots and the mission
+    // supervisor can isolate a bad spec.
+    EXPECT_THROW(configByName("Z"), std::invalid_argument);
 }
 
 // ---------------------------------------------------------------- engine
@@ -193,12 +196,15 @@ TEST(SocSim, ContextExposesTimeAndRx)
     EXPECT_EQ(wl.lastCtx_.now, 100u);
 }
 
-TEST(SocSimDeathTest, RunWithoutGrantPanics)
+TEST(SocSim, RunWithoutGrantThrows)
 {
+    // A lost SyncGrant (fault injection) or out-of-order lockstep
+    // drive surfaces as a catchable TransportError, so a supervised
+    // mission can restore a checkpoint instead of dying.
     EngineHarness h;
     ScriptWorkload wl({});
     SocSim sim(*h.bridge, wl, configA());
-    EXPECT_DEATH(sim.runPeriod(), "grant");
+    EXPECT_THROW(sim.runPeriod(), bridge::TransportError);
 }
 
 // ----------------------------------------------------------- RvWorkload

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 #include "env/envsim.hh"
 #include "env/vehicle.hh"
@@ -41,12 +42,12 @@ TEST(Vehicle, FactoryNames)
     EXPECT_EQ(makeVehicle("car", dp, cc, 1.5)->vehicleName(), "rover");
 }
 
-TEST(VehicleDeathTest, UnknownVehicleFatal)
+TEST(Vehicle, UnknownVehicleThrows)
 {
     DroneParams dp;
     flight::ControllerConfig cc;
-    EXPECT_EXIT(makeVehicle("submarine", dp, cc, 1.5),
-                ::testing::ExitedWithCode(1), "unknown vehicle");
+    EXPECT_THROW(makeVehicle("submarine", dp, cc, 1.5),
+                 std::invalid_argument);
 }
 
 // ------------------------------------------------------------ quadrotor
