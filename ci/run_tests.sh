@@ -35,9 +35,23 @@ run_preset() {
         --gtest_filter='Checkpoint.ResumeMatchesGoldenTraces'
     "$builddir/tests/test_supervisor" \
         --gtest_filter='BatchIsolation.*:Supervisor.RecoversMissionThatAbortsUnsupervised'
+
+    # Hot-path engine: blocked-GEMM bit-identity, zero-steady-state
+    # allocation, cached sensor/pose paths. The allocation-counting
+    # assertions skip themselves under the sanitizer preset.
+    echo "==== [$preset] hot-path bit-identity + zero-alloc ===="
+    "$builddir/tests/test_hotpath"
 }
 
 run_preset default build
 run_preset asan build-asan
+
+# Perf smoke (default preset only): re-measure the hot-path kernels and
+# fail on a >2x latency regression against the recorded baseline.
+# Refresh the baseline with:
+#   build/bench/bench_microbench --hotpath --write-baseline=ci/perf_baseline.txt
+echo "==== [default] perf-smoke (hot-path regression gate) ===="
+build/bench/bench_microbench --hotpath=BENCH_hotpath.json \
+    --baseline=ci/perf_baseline.txt
 
 echo "==== all presets passed ===="

@@ -256,8 +256,8 @@ encodeImageResp(const env::Image &img)
     return p;
 }
 
-env::Image
-decodeImageResp(const Packet &p)
+void
+decodeImageRespInto(const Packet &p, env::Image &img)
 {
     rose_assert(p.type == PacketType::ImageResp, "expected ImageResp");
     ByteReader r(p.payload);
@@ -271,9 +271,18 @@ decodeImageResp(const Packet &p)
             "image dimensions disagree with payload size (" +
             std::to_string(w) + "x" + std::to_string(h) + " vs " +
             std::to_string(r.remaining()) + " pixel bytes)");
-    env::Image img(w, h);
+    img.width = w;
+    img.height = h;
+    img.pixels.resize(size_t(w) * size_t(h));
     for (float &v : img.pixels)
         v = r.u8() / 255.0f;
+}
+
+env::Image
+decodeImageResp(const Packet &p)
+{
+    env::Image img;
+    decodeImageRespInto(p, img);
     return img;
 }
 

@@ -168,6 +168,8 @@ Packet encodeImageReq();
 /** Image payload is quantized to 8 bits per pixel for transport. */
 Packet encodeImageResp(const env::Image &img);
 env::Image decodeImageResp(const Packet &p);
+/** Decode into a caller-reused image (no steady-state allocation). */
+void decodeImageRespInto(const Packet &p, env::Image &img);
 
 Packet encodeDepthReq();
 Packet encodeDepthResp(double depth_m);

@@ -23,12 +23,12 @@ namespace {
  * Expected column profile for a wall at perpendicular distance d_perp
  * seen through a column at camera-relative azimuth alpha, mirroring
  * the renderer's shading model (learned by the trained network).
+ * Writes @p height values to @p out.
  */
 void
 expectedColumn(double d_perp, double alpha, int height, double focal,
-               const EstimatorConfig &cfg, std::vector<float> &out)
+               const EstimatorConfig &cfg, float *out)
 {
-    out.resize(size_t(height));
     double mid = height / 2.0 - 0.5;
     double d_shade = d_perp / std::max(0.2, std::cos(alpha));
     double top = mid - focal * (cfg.wallHeight - cfg.camAltitude) / d_perp;
@@ -50,32 +50,68 @@ expectedColumn(double d_perp, double alpha, int height, double focal,
 
 /** Open-corridor profile (no wall within range). */
 void
-openColumn(int height, std::vector<float> &out)
+openColumn(int height, float *out)
 {
-    out.resize(size_t(height));
     double mid = height / 2.0 - 0.5;
     for (int r = 0; r < height; ++r)
         out[size_t(r)] = r < mid ? 0.85f : 0.15f;
 }
 
 double
-ssd(const std::vector<float> &a, const float *col, int height, int width,
-    const env::Image &img, int c)
+ssd(const float *profile, int height, const env::Image &img, int c)
 {
-    (void)width;
-    (void)col;
     double sum = 0.0;
     for (int r = 0; r < height; ++r) {
-        double d = double(a[size_t(r)]) - double(img.at(r, c));
+        double d = double(profile[size_t(r)]) - double(img.at(r, c));
         sum += d * d;
     }
     return sum;
 }
 
+/**
+ * (Re)build the cached geometry in @p s for the given key: per-column
+ * azimuths, candidate distances, and the whole template bank. The
+ * templates depend only on geometry, so fitting a frame reduces to
+ * SSD sweeps over precomputed profiles.
+ */
+void
+rebuildScratch(PoseScratch &s, int width, int height,
+               const EstimatorConfig &cfg, double focal)
+{
+    s.width = width;
+    s.height = height;
+    s.cfg = cfg;
+
+    s.alpha.resize(size_t(width));
+    for (int c = 0; c < width; ++c) {
+        double u = width / 2.0 - 0.5 - c;
+        s.alpha[size_t(c)] = std::atan2(u, focal);
+    }
+
+    // Candidate perpendicular distances, log-spaced.
+    s.candidates.clear();
+    for (double d = 0.6; d < cfg.maxDepth; d *= 1.22)
+        s.candidates.push_back(d);
+
+    s.profiles.resize(s.candidates.size() * size_t(width) * height);
+    for (size_t ci = 0; ci < s.candidates.size(); ++ci) {
+        for (int c = 0; c < width; ++c) {
+            float *dst = &s.profiles[(ci * size_t(width) + size_t(c)) *
+                                     size_t(height)];
+            expectedColumn(s.candidates[ci], s.alpha[size_t(c)], height,
+                           focal, cfg, dst);
+        }
+    }
+
+    s.openProfile.resize(size_t(height));
+    openColumn(height, s.openProfile.data());
+}
+
 } // namespace
 
 PoseEstimate
-estimatePose(const env::Image &img, const EstimatorConfig &cfg)
+estimatePose(const env::Image &img, const EstimatorConfig &cfg,
+             PoseScratch &s)
 {
     PoseEstimate est;
     if (img.width < 8 || img.height < 8)
@@ -84,42 +120,39 @@ estimatePose(const env::Image &img, const EstimatorConfig &cfg)
     double hfov = deg2rad(cfg.horizontalFovDeg);
     double focal = (img.width / 2.0) / std::tan(hfov / 2.0);
 
-    // Candidate perpendicular distances, log-spaced.
-    std::vector<double> candidates;
-    for (double d = 0.6; d < cfg.maxDepth; d *= 1.22)
-        candidates.push_back(d);
+    if (s.width != img.width || s.height != img.height ||
+        !(s.cfg == cfg)) {
+        rebuildScratch(s, img.width, img.height, cfg, focal);
+    }
 
-    std::vector<double> rayDist(size_t(img.width), 0.0);
-    std::vector<bool> open(size_t(img.width), false);
-    std::vector<float> profile;
+    s.rayDist.resize(size_t(img.width));
+    s.open.resize(size_t(img.width));
 
     for (int c = 0; c < img.width; ++c) {
-        double u = img.width / 2.0 - 0.5 - c;
-        double alpha = std::atan2(u, focal);
+        double alpha = s.alpha[size_t(c)];
 
         double best = 1e30;
         double best_d = cfg.maxDepth;
         bool best_open = false;
-        for (double d : candidates) {
-            expectedColumn(d, alpha, img.height, focal, cfg, profile);
-            double e = ssd(profile, nullptr, img.height, img.width,
-                           img, c);
+        for (size_t ci = 0; ci < s.candidates.size(); ++ci) {
+            const float *profile =
+                &s.profiles[(ci * size_t(img.width) + size_t(c)) *
+                            size_t(img.height)];
+            double e = ssd(profile, img.height, img, c);
             if (e < best) {
                 best = e;
-                best_d = d;
+                best_d = s.candidates[ci];
                 best_open = false;
             }
         }
-        openColumn(img.height, profile);
-        double e_open =
-            ssd(profile, nullptr, img.height, img.width, img, c);
+        double e_open = ssd(s.openProfile.data(), img.height, img, c);
         if (e_open < best) {
             best_open = true;
             best_d = cfg.maxDepth;
         }
-        open[size_t(c)] = best_open;
+        s.open[size_t(c)] = best_open;
         // Convert the fitted perpendicular distance to ray distance.
-        rayDist[size_t(c)] =
+        s.rayDist[size_t(c)] =
             best_open ? cfg.maxDepth
                       : best_d / std::max(0.2, std::cos(alpha));
     }
@@ -129,13 +162,11 @@ estimatePose(const env::Image &img, const EstimatorConfig &cfg)
     // stability.
     double best_d = 0.0;
     for (int c = 0; c < img.width; ++c)
-        best_d = std::max(best_d, rayDist[size_t(c)]);
+        best_d = std::max(best_d, s.rayDist[size_t(c)]);
     double az_sum = 0.0, az_w = 0.0;
     for (int c = 0; c < img.width; ++c) {
-        if (rayDist[size_t(c)] >= 0.85 * best_d) {
-            double u = img.width / 2.0 - 0.5 - c;
-            double alpha = std::atan2(u, focal);
-            az_sum += alpha;
+        if (s.rayDist[size_t(c)] >= 0.85 * best_d) {
+            az_sum += s.alpha[size_t(c)];
             az_w += 1.0;
         }
     }
@@ -153,15 +184,14 @@ estimatePose(const env::Image &img, const EstimatorConfig &cfg)
     double left_sum = 0.0, right_sum = 0.0;
     int left_n = 0, right_n = 0;
     for (int c = 0; c < img.width; ++c) {
-        if (open[size_t(c)])
+        if (s.open[size_t(c)])
             continue;
-        double u = img.width / 2.0 - 0.5 - c;
-        double alpha = std::atan2(u, focal);
-        double theta = alpha - alpha_axis; // corridor-relative azimuth
+        double theta =
+            s.alpha[size_t(c)] - alpha_axis; // corridor-relative azimuth
         double a = std::abs(theta);
         if (a < deg2rad(18.0) || a > deg2rad(60.0))
             continue;
-        double lateral = rayDist[size_t(c)] * std::sin(theta);
+        double lateral = s.rayDist[size_t(c)] * std::sin(theta);
         if (theta > 0) {
             left_sum += cfg.trainedHalfWidth - lateral;
             ++left_n;
@@ -184,6 +214,13 @@ estimatePose(const env::Image &img, const EstimatorConfig &cfg)
     return est;
 }
 
+PoseEstimate
+estimatePose(const env::Image &img, const EstimatorConfig &cfg)
+{
+    PoseScratch scratch;
+    return estimatePose(img, cfg, scratch);
+}
+
 // ------------------------------------------------------------ Classifier
 
 Classifier::Classifier(const Model &model, Rng rng,
@@ -198,16 +235,25 @@ Classifier::scoreHead(double value, double class_threshold,
 {
     // Class prototypes at -2t, 0, +2t; logits fall off linearly with
     // distance, sharpened by the model's confidence temperature.
-    std::vector<float> logits(3);
+    float logits[3];
     const double centers[3] = {2.0 * class_threshold, 0.0,
                                -2.0 * class_threshold};
     for (int i = 0; i < 3; ++i) {
-        logits[size_t(i)] = float(-std::abs(value - centers[i]) /
-                                  (class_threshold * temperature));
+        logits[i] = float(-std::abs(value - centers[i]) /
+                          (class_threshold * temperature));
     }
-    std::vector<float> p = softmax(logits);
+    // Inline softmax on the stack, the exact arithmetic of
+    // dnn::softmax (float exp terms, double sum, float(v / sum)) so
+    // outputs stay bit-identical to the allocating version.
+    float mx = std::max(logits[0], std::max(logits[1], logits[2]));
     HeadOutput out;
-    out.probs = {p[0], p[1], p[2]};
+    double sum = 0.0;
+    for (int i = 0; i < 3; ++i) {
+        out.probs[size_t(i)] = std::exp(logits[i] - mx);
+        sum += out.probs[size_t(i)];
+    }
+    for (int i = 0; i < 3; ++i)
+        out.probs[size_t(i)] = float(out.probs[size_t(i)] / sum);
     return out;
 }
 
@@ -215,7 +261,7 @@ ClassifierOutput
 Classifier::infer(const env::Image &img)
 {
     ClassifierOutput out;
-    PoseEstimate pose = estimatePose(img, cfg_);
+    PoseEstimate pose = estimatePose(img, cfg_, scratch_);
     if (!pose.valid) {
         // Degenerate view: maximum-entropy outputs.
         out.angular.probs = {1.f / 3, 1.f / 3, 1.f / 3};

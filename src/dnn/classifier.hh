@@ -31,6 +31,8 @@
 #define ROSE_DNN_CLASSIFIER_HH
 
 #include <array>
+#include <cstdint>
+#include <vector>
 
 #include "dnn/resnet.hh"
 #include "env/sensors.hh"
@@ -74,6 +76,8 @@ struct EstimatorConfig
     // Training-label thresholds (Figure 8's three classes per head).
     double headingClassRad = 0.14;  ///< ~8 degrees
     double offsetClassM = 0.4;
+
+    bool operator==(const EstimatorConfig &) const = default;
 };
 
 /** Geometric pose estimate recovered from an image. */
@@ -85,11 +89,51 @@ struct PoseEstimate
 };
 
 /**
+ * Reusable state of the pose estimator's per-frame hot path. Two kinds
+ * of content live here:
+ *
+ *  - *cached geometry*, keyed on (image size, config): the per-column
+ *    view azimuths and the full template bank — one expected column
+ *    profile per (candidate distance, column). These depend only on
+ *    geometry, not pixels, so they are computed once and invalidated
+ *    when the key changes;
+ *  - *per-call scratch* (fitted ray distances, open flags), reused
+ *    across frames.
+ *
+ * After the first frame at a given image size, estimatePose performs
+ * zero heap allocations. Single-owner, not thread-safe; each
+ * Classifier carries its own. Pure cache: never checkpointed, and
+ * results are bit-identical to the scratch-free overload.
+ */
+struct PoseScratch
+{
+    // Cache key.
+    int width = -1;
+    int height = -1;
+    EstimatorConfig cfg;
+
+    // Cached geometry (valid while the key matches).
+    std::vector<double> alpha;       ///< per-column azimuth [rad]
+    std::vector<double> candidates;  ///< log-spaced wall distances
+    std::vector<float> profiles;     ///< [cand][col][row] templates
+    std::vector<float> openProfile;  ///< [row] open-corridor template
+
+    // Per-call scratch.
+    std::vector<double> rayDist;
+    std::vector<uint8_t> open;
+};
+
+/**
  * Recover corridor-relative pose from a rendered camera image. Pure
  * vision: uses only pixel data plus the learned geometry constants.
  */
 PoseEstimate estimatePose(const env::Image &img,
                           const EstimatorConfig &cfg = {});
+
+/** Steady-state overload: reuses @p scratch, bit-identical results. */
+PoseEstimate estimatePose(const env::Image &img,
+                          const EstimatorConfig &cfg,
+                          PoseScratch &scratch);
 
 /** The runnable classifier for one model of the zoo. */
 class Classifier
@@ -119,6 +163,8 @@ class Classifier
     Model model_;
     Rng rng_;
     EstimatorConfig cfg_;
+    /** Template bank + per-frame buffers (pure cache, never saved). */
+    PoseScratch scratch_;
 };
 
 } // namespace rose::dnn

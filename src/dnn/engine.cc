@@ -1,6 +1,10 @@
 #include "engine.hh"
 
+#include <memory>
+#include <sstream>
+
 #include "util/logging.hh"
+#include "util/memo.hh"
 
 namespace rose::dnn {
 
@@ -77,6 +81,39 @@ ExecutionEngine::schedule(const Model &model) const
         sched.layers.push_back(std::move(t));
     }
     return sched;
+}
+
+namespace {
+
+MemoCache<std::string, InferenceSchedule> g_schedule_cache;
+
+} // namespace
+
+std::shared_ptr<const InferenceSchedule>
+ExecutionEngine::scheduleShared(const Model &model) const
+{
+    // The key captures every input of schedule(): the model identity
+    // and all timing parameters. Exact decimal formatting keeps
+    // distinct configs distinct.
+    std::ostringstream key;
+    key.precision(17);
+    const soc::CpuParams &cpu = soc_.cpuParams;
+    key << model.name << '|' << int(soc_.cpu) << '|' << soc_.hasGemmini
+        << '|' << soc_.clockHz << '|' << cpu.mmioAccessCycles << '|'
+        << cpu.hostBytesPerCycle << '|' << cpu.flopsPerCycle << '|'
+        << cpu.perLayerFixedCycles << '|';
+    const gemmini::GemminiConfig &g = gem_.config();
+    key << g.meshRows << '|' << g.meshCols << '|' << g.elemBytes << '|'
+        << g.scratchpadBytes << '|' << g.accumulatorBytes << '|'
+        << g.busBytesPerCycle << '|' << g.weightLoadCycles << '|'
+        << g.tileIssueCycles << '|';
+    key << params_.hostPasses << '|' << params_.sessionOverheadBoom
+        << '|' << params_.sessionOverheadRocket << '|'
+        << params_.cpuCyclesPerElem;
+
+    return g_schedule_cache.getOrBuild(key.str(), [&] {
+        return std::make_shared<InferenceSchedule>(schedule(model));
+    });
 }
 
 double

@@ -75,6 +75,16 @@ class ExecutionEngine
     /** Build the timed schedule of one inference of the model. */
     InferenceSchedule schedule(const Model &model) const;
 
+    /**
+     * Memoized schedule, shared process-wide: keyed on the model name
+     * plus every timing parameter, so identical (SoC, accelerator,
+     * engine) configurations across missions — e.g. a 30-seed batch
+     * sweep — build each schedule once and share it read-only.
+     * Thread-safe (util/memo.hh); schedules are immutable after build.
+     */
+    std::shared_ptr<const InferenceSchedule>
+    scheduleShared(const Model &model) const;
+
     /** Convenience: end-to-end inference latency [s]. */
     double latencySeconds(const Model &model) const;
 

@@ -1,6 +1,7 @@
 #include "forward.hh"
 
 #include <cmath>
+#include <utility>
 
 #include "dnn/layers.hh"
 #include "util/logging.hh"
@@ -50,14 +51,13 @@ initWeights(const Model &model, uint64_t seed)
     return w;
 }
 
-std::vector<float>
-im2col(const LayerSpec &spec, const Tensor &input)
+void
+im2colInto(const LayerSpec &spec, const Tensor &input, float *out)
 {
     rose_assert(spec.kind == LayerKind::Conv, "im2col needs a conv");
     int m, k, n;
     spec.gemmDims(m, k, n);
     Shape os = spec.outShape();
-    std::vector<float> mat(size_t(m) * k, 0.0f);
 
     size_t row = 0;
     for (int oy = 0; oy < os.h; ++oy) {
@@ -68,13 +68,22 @@ im2col(const LayerSpec &spec, const Tensor &input)
             for (int ic = 0; ic < spec.in.c; ++ic) {
                 for (int ky = 0; ky < spec.kernel; ++ky) {
                     for (int kx = 0; kx < spec.kernel; ++kx, ++col) {
-                        mat[row * size_t(k) + col] =
+                        out[row * size_t(k) + col] =
                             input.atPadded(ic, iy0 + ky, ix0 + kx);
                     }
                 }
             }
         }
     }
+}
+
+std::vector<float>
+im2col(const LayerSpec &spec, const Tensor &input)
+{
+    int m, k, n;
+    spec.gemmDims(m, k, n);
+    std::vector<float> mat(size_t(m) * k);
+    im2colInto(spec, input, mat.data());
     return mat;
 }
 
@@ -184,6 +193,169 @@ runForward(const Model &model, const Weights &w, const Tensor &input,
                     result.lateralProbs.size() == 3,
                 "forward pass did not produce both heads");
     return result;
+}
+
+// ------------------------------------------------------ hot-path engine
+
+PackedWeights
+packWeights(const Model &model, const Weights &w)
+{
+    PackedWeights pw;
+    for (const LayerSpec &l : model.layers) {
+        if (!l.weighted())
+            continue;
+        int m, k, n;
+        l.gemmDims(m, k, n);
+        // Conv OIHW [outC][inC*k*k] and dense [outF][in] are both the
+        // transpose of the GEMM's B; one pack covers both.
+        gemmini::Gemmini::packWeightsTransposed(
+            k, n, w.weights.at(l.name).data(), pw.layers[l.name]);
+    }
+    return pw;
+}
+
+namespace {
+
+MemoCache<std::pair<int, uint64_t>, Weights> g_weights_cache;
+MemoCache<std::pair<int, uint64_t>, PackedWeights> g_packed_cache;
+
+} // namespace
+
+std::shared_ptr<const Weights>
+sharedWeights(int depth, uint64_t seed)
+{
+    return g_weights_cache.getOrBuild({depth, seed}, [&] {
+        std::shared_ptr<const Model> model = sharedResNet(depth);
+        return std::make_shared<Weights>(initWeights(*model, seed));
+    });
+}
+
+std::shared_ptr<const PackedWeights>
+sharedPackedWeights(int depth, uint64_t seed)
+{
+    return g_packed_cache.getOrBuild({depth, seed}, [&] {
+        std::shared_ptr<const Model> model = sharedResNet(depth);
+        std::shared_ptr<const Weights> w = sharedWeights(depth, seed);
+        return std::make_shared<PackedWeights>(packWeights(*model, *w));
+    });
+}
+
+namespace {
+
+/**
+ * Conv through the packed-weights path: im2col and GEMM output live in
+ * arena slots, the packed panels are read shared, and the result lands
+ * in a caller-reused tensor. Bit-identical to convViaGemm: the same
+ * panels feed the same kernel (packB of the transposed matrix equals
+ * packWeightsTransposed of the OIHW weights), and the bias+ReLU
+ * epilogue is the same arithmetic.
+ */
+void
+convPackedInto(const LayerSpec &spec, const Tensor &input,
+               const gemmini::PackedB &pb, const std::vector<float> &bias,
+               const gemmini::Gemmini &gem, bool relu,
+               ForwardWorkspace &ws, Tensor &out)
+{
+    int m, k, n;
+    spec.gemmDims(m, k, n);
+    rose_assert(pb.k == k && pb.n == n, "packed weight shape mismatch");
+
+    std::vector<float> &a =
+        ws.arena.floats(ForwardWorkspace::kSlotIm2col, size_t(m) * k);
+    im2colInto(spec, input, a.data());
+
+    std::vector<float> &c =
+        ws.arena.floats(ForwardWorkspace::kSlotGemmOut, size_t(m) * n);
+    gem.matmulPacked(m, a.data(), pb, c.data(), ws.gemmThreads);
+
+    Shape os = spec.outShape();
+    out.reshape(os.c, os.h, os.w);
+    for (int oc = 0; oc < os.c; ++oc) {
+        float bias_v = bias.empty() ? 0.0f : bias[size_t(oc)];
+        for (int oy = 0; oy < os.h; ++oy) {
+            for (int ox = 0; ox < os.w; ++ox) {
+                float v = c[size_t(oy * os.w + ox) * n + oc] + bias_v;
+                out.at(oc, oy, ox) = relu ? std::max(0.0f, v) : v;
+            }
+        }
+    }
+}
+
+} // namespace
+
+void
+runForward(const Model &model, const Weights &w, const PackedWeights &pw,
+           const Tensor &input, ForwardWorkspace &ws,
+           ForwardResult &result)
+{
+    rose_assert(input.height() == kDnnInputH &&
+                    input.width() == kDnnInputW && input.channels() == 1,
+                "input must be (1, ", kDnnInputH, ", ", kDnnInputW, ")");
+
+    gemmini::Gemmini gem;
+    ws.cur = input; // vector copy-assign: reuses capacity
+    bool have_proj = false;
+
+    auto conv = [&](const LayerSpec &l, const Tensor &x, bool relu,
+                    Tensor &out) {
+        convPackedInto(l, x, pw.layers.at(l.name), w.biases.at(l.name),
+                       gem, relu, ws, out);
+    };
+
+    for (const LayerSpec &l : model.layers) {
+        switch (l.kind) {
+          case LayerKind::Conv: {
+            if (endsWith(l.name, ".conv1")) {
+                ws.blockInput = ws.cur;
+                have_proj = false;
+                conv(l, ws.cur, /*relu=*/true, ws.tmp);
+                std::swap(ws.cur, ws.tmp);
+            } else if (endsWith(l.name, ".conv2")) {
+                // ReLU is applied after the residual add.
+                conv(l, ws.cur, /*relu=*/false, ws.tmp);
+                std::swap(ws.cur, ws.tmp);
+            } else if (endsWith(l.name, ".proj")) {
+                conv(l, ws.blockInput, /*relu=*/false, ws.projOutput);
+                have_proj = true;
+            } else {
+                // Stem.
+                conv(l, ws.cur, /*relu=*/true, ws.tmp);
+                std::swap(ws.cur, ws.tmp);
+            }
+            break;
+          }
+          case LayerKind::MaxPool:
+            maxPoolInto(l, ws.cur, ws.tmp);
+            std::swap(ws.cur, ws.tmp);
+            break;
+          case LayerKind::Residual:
+            residualAddInto(ws.cur,
+                            have_proj ? ws.projOutput : ws.blockInput,
+                            ws.tmp);
+            std::swap(ws.cur, ws.tmp);
+            break;
+          case LayerKind::AvgPool:
+            globalAvgPoolInto(ws.cur, ws.pooled);
+            break;
+          case LayerKind::Dense:
+            // The dense heads keep the direct dot-product loop: its
+            // accumulator seeds with the bias, a different FP order
+            // than GEMM-then-bias, and bit-identity with the reference
+            // pass wins over lowering a 1x256x3 GEMM.
+            denseInto(l, ws.pooled, w.weights.at(l.name),
+                      w.biases.at(l.name), ws.logits);
+            break;
+          case LayerKind::Softmax:
+            if (endsWith(l.name, "angular.softmax"))
+                softmaxInto(ws.logits, result.angularProbs);
+            else
+                softmaxInto(ws.logits, result.lateralProbs);
+            break;
+        }
+    }
+    rose_assert(result.angularProbs.size() == 3 &&
+                    result.lateralProbs.size() == 3,
+                "forward pass did not produce both heads");
 }
 
 } // namespace rose::dnn

@@ -210,11 +210,53 @@ std::vector<float>
 dense(const LayerSpec &spec, const Tensor &input,
       const std::vector<float> &weights, const std::vector<float> &bias)
 {
+    std::vector<float> out;
+    denseInto(spec, input, weights, bias, out);
+    return out;
+}
+
+Tensor
+maxPool(const LayerSpec &spec, const Tensor &input)
+{
+    Tensor out;
+    maxPoolInto(spec, input, out);
+    return out;
+}
+
+Tensor
+globalAvgPool(const Tensor &input)
+{
+    Tensor out;
+    globalAvgPoolInto(input, out);
+    return out;
+}
+
+Tensor
+residualAdd(const Tensor &a, const Tensor &b)
+{
+    Tensor out;
+    residualAddInto(a, b, out);
+    return out;
+}
+
+std::vector<float>
+softmax(const std::vector<float> &logits)
+{
+    std::vector<float> out;
+    softmaxInto(logits, out);
+    return out;
+}
+
+void
+denseInto(const LayerSpec &spec, const Tensor &input,
+          const std::vector<float> &weights, const std::vector<float> &bias,
+          std::vector<float> &out)
+{
     rose_assert(spec.kind == LayerKind::Dense, "not a dense spec");
     size_t in_n = input.size();
     rose_assert(weights.size() == size_t(spec.outFeatures) * in_n,
                 "dense weight count mismatch");
-    std::vector<float> out(spec.outFeatures, 0.0f);
+    out.resize(size_t(spec.outFeatures));
     for (int o = 0; o < spec.outFeatures; ++o) {
         float acc = bias.empty() ? 0.0f : bias[o];
         const float *wrow = &weights[size_t(o) * in_n];
@@ -222,15 +264,14 @@ dense(const LayerSpec &spec, const Tensor &input,
             acc += wrow[i] * input.data()[i];
         out[o] = acc;
     }
-    return out;
 }
 
-Tensor
-maxPool(const LayerSpec &spec, const Tensor &input)
+void
+maxPoolInto(const LayerSpec &spec, const Tensor &input, Tensor &out)
 {
     rose_assert(spec.kind == LayerKind::MaxPool, "not a pool spec");
     Shape os = spec.outShape();
-    Tensor out(os.c, os.h, os.w);
+    out.reshape(os.c, os.h, os.w);
     for (int c = 0; c < os.c; ++c) {
         for (int oy = 0; oy < os.h; ++oy) {
             for (int ox = 0; ox < os.w; ++ox) {
@@ -246,13 +287,12 @@ maxPool(const LayerSpec &spec, const Tensor &input)
             }
         }
     }
-    return out;
 }
 
-Tensor
-globalAvgPool(const Tensor &input)
+void
+globalAvgPoolInto(const Tensor &input, Tensor &out)
 {
-    Tensor out(input.channels(), 1, 1);
+    out.reshape(input.channels(), 1, 1);
     double denom = double(input.height()) * input.width();
     for (int c = 0; c < input.channels(); ++c) {
         double sum = 0.0;
@@ -261,27 +301,25 @@ globalAvgPool(const Tensor &input)
                 sum += input.at(c, y, x);
         out.at(c, 0, 0) = float(sum / denom);
     }
-    return out;
 }
 
-Tensor
-residualAdd(const Tensor &a, const Tensor &b)
+void
+residualAddInto(const Tensor &a, const Tensor &b, Tensor &out)
 {
     rose_assert(a.channels() == b.channels() &&
                     a.height() == b.height() && a.width() == b.width(),
                 "residual shape mismatch");
-    Tensor out(a.channels(), a.height(), a.width());
+    out.reshape(a.channels(), a.height(), a.width());
     for (size_t i = 0; i < a.size(); ++i)
         out.data()[i] = std::max(0.0f, a.data()[i] + b.data()[i]);
-    return out;
 }
 
-std::vector<float>
-softmax(const std::vector<float> &logits)
+void
+softmaxInto(const std::vector<float> &logits, std::vector<float> &out)
 {
     rose_assert(!logits.empty(), "softmax of empty vector");
     float mx = *std::max_element(logits.begin(), logits.end());
-    std::vector<float> out(logits.size());
+    out.resize(logits.size());
     double sum = 0.0;
     for (size_t i = 0; i < logits.size(); ++i) {
         out[i] = std::exp(logits[i] - mx);
@@ -289,7 +327,6 @@ softmax(const std::vector<float> &logits)
     }
     for (float &v : out)
         v = float(v / sum);
-    return out;
 }
 
 } // namespace rose::dnn

@@ -126,8 +126,16 @@ EnvSim::getImu()
 Image
 EnvSim::getImage()
 {
+    Image img;
+    getImageInto(img);
+    return img;
+}
+
+void
+EnvSim::getImageInto(Image &out)
+{
     SensorFrame f = vehicle_->sensorFrame();
-    return camera_->render(*world_, f.position, f.attitude);
+    camera_->renderInto(*world_, f.position, f.attitude, out);
 }
 
 double

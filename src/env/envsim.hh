@@ -109,6 +109,8 @@ class EnvSim
     // --- Sensor API --------------------------------------------------
     ImuSample getImu();
     Image getImage();
+    /** Render into a caller-reused buffer (no steady-state allocation). */
+    void getImageInto(Image &out);
     double getDepth();
     const CollisionInfo &collisionInfo() const { return collision_; }
 

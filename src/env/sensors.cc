@@ -63,22 +63,46 @@ Camera::Camera(const CameraConfig &cfg, Rng rng) : cfg_(cfg), rng_(rng)
 {
 }
 
+void
+Camera::ensureDirections(double focal)
+{
+    if (colAlpha_.size() == size_t(cfg_.width) && dirFocal_ == focal)
+        return;
+    colAlpha_.resize(size_t(cfg_.width));
+    for (int c = 0; c < cfg_.width; ++c) {
+        // Column azimuth: leftmost column looks left of the heading.
+        double u = (cfg_.width / 2.0 - 0.5 - c);
+        colAlpha_[size_t(c)] = std::atan2(u, focal);
+    }
+    dirFocal_ = focal;
+}
+
 Image
 Camera::render(const World &world, const Vec3 &position,
                const Quat &attitude)
 {
-    Image img(cfg_.width, cfg_.height);
+    Image img;
+    renderInto(world, position, attitude, img);
+    return img;
+}
+
+void
+Camera::renderInto(const World &world, const Vec3 &position,
+                   const Quat &attitude, Image &img)
+{
+    img.width = cfg_.width;
+    img.height = cfg_.height;
+    img.pixels.resize(size_t(cfg_.width) * cfg_.height);
     double yaw = attitude.yaw();
     double hfov = deg2rad(cfg_.horizontalFovDeg);
     // Pinhole focal length in pixels (same for both axes).
     double focal = (cfg_.width / 2.0) / std::tan(hfov / 2.0);
+    ensureDirections(focal);
     double cam_z = position.z;
     double wall_h = world.wallHeight();
 
     for (int c = 0; c < cfg_.width; ++c) {
-        // Column azimuth: leftmost column looks left of the heading.
-        double u = (cfg_.width / 2.0 - 0.5 - c);
-        double az = yaw + std::atan2(u, focal);
+        double az = yaw + colAlpha_[size_t(c)];
         RayHit hit = world.raycast(position, az);
 
         // Perpendicular distance for projection (avoids fisheye).
@@ -116,7 +140,6 @@ Camera::render(const World &world, const Vec3 &position,
             img.at(r, c) = float(clampd(v, 0.0, 1.0));
         }
     }
-    return img;
 }
 
 Image

@@ -117,6 +117,14 @@ class Camera
     Image render(const World &world, const Vec3 &position,
                  const Quat &attitude);
 
+    /**
+     * Render into a caller-reused image buffer: resized to the camera
+     * dimensions, every pixel overwritten, no steady-state allocation.
+     * Bit-identical to render() (which wraps this).
+     */
+    void renderInto(const World &world, const Vec3 &position,
+                    const Quat &attitude, Image &out);
+
     /** Convenience overload for bare Drone tests. */
     Image render(const World &world, const Drone &drone);
 
@@ -127,8 +135,21 @@ class Camera
     void restoreState(StateReader &r) { rng_.restoreState(r); }
 
   private:
+    /** Rebuild the per-column direction table when the key changes. */
+    void ensureDirections(double focal);
+
     CameraConfig cfg_;
     Rng rng_;
+    /**
+     * Cached per-column azimuth offsets atan2(u, focal): pure camera
+     * geometry, so they are hoisted out of the per-frame loop and
+     * invalidated only when width/FOV change. Only the atan2 value is
+     * cached — the render still forms az = yaw + alpha and cos(az -
+     * yaw) exactly as before, because (yaw + alpha) - yaw != alpha in
+     * floating point and bit-identical frames are the contract.
+     */
+    std::vector<double> colAlpha_;
+    double dirFocal_ = 0.0; ///< focal the table was built for
 };
 
 /**

@@ -1,6 +1,7 @@
 #include "gemmini.hh"
 
 #include <algorithm>
+#include <thread>
 
 #include "util/logging.hh"
 
@@ -79,13 +80,197 @@ Gemmini::gemmCycles(int m, int k, int n) const
     return cost;
 }
 
+// --------------------------------------------------- functional kernel
+//
+// Determinism / bit-identity argument (vs. the naive reference):
+//
+//  * Every output element accumulates a[i,kk] * b[kk,j] over kk in
+//    ascending order starting from +0.0f — the same per-element op
+//    sequence as matmulNaive. Blocking, packing, and row parallelism
+//    only change *which* element is worked on next, never the order of
+//    adds within an element.
+//
+//  * matmulNaive additionally skips terms whose a-value is exactly
+//    zero. The microkernel does not (branches inside a register tile
+//    defeat it), which is still bit-identical for any finite B: under
+//    round-to-nearest a sum that starts at +0.0 can never become -0.0
+//    (x + y is -0.0 only when both operands are -0.0; exact-zero sums
+//    round to +0.0), and adding the skipped term — av * b == +/-0.0 —
+//    to an accumulator that is not -0.0 is a bitwise no-op. Non-finite
+//    B would break this (0 * inf == NaN); weights in this codebase are
+//    finite by construction, and tests/test_hotpath.cc fuzzes the
+//    equality over signed zeros and denormals to pin the contract.
+//
+//  * Tail panels are stored zero-padded to the full panel width; the
+//    padded lanes accumulate garbage that is never stored back.
+
+namespace {
+
+constexpr int kPW = Gemmini::kPanelWidth;
+constexpr int kMR = Gemmini::kRowTile;
+
+/**
+ * Full register tile: kMR rows against one packed panel, complete k
+ * sweep with all kMR x kPW accumulators live in registers. The k loop
+ * is unrolled by two to give the scheduler independent mul/add chains.
+ * Stores only the first @p nr columns (tail panels are padded).
+ */
+inline void
+tileFull(int k, const float *a, size_t lda, const float *bp, float *c,
+         size_t ldc, int nr)
+{
+    float acc[kMR][kPW] = {};
+    int kk = 0;
+    for (; kk + 2 <= k; kk += 2) {
+        const float *br0 = bp + size_t(kk) * kPW;
+        const float *br1 = br0 + kPW;
+        for (int r = 0; r < kMR; ++r) {
+            float av0 = a[size_t(r) * lda + kk];
+            float av1 = a[size_t(r) * lda + kk + 1];
+            for (int j = 0; j < kPW; ++j)
+                acc[r][j] += av0 * br0[j];
+            for (int j = 0; j < kPW; ++j)
+                acc[r][j] += av1 * br1[j];
+        }
+    }
+    for (; kk < k; ++kk) {
+        const float *br = bp + size_t(kk) * kPW;
+        for (int r = 0; r < kMR; ++r) {
+            float av = a[size_t(r) * lda + kk];
+            for (int j = 0; j < kPW; ++j)
+                acc[r][j] += av * br[j];
+        }
+    }
+    for (int r = 0; r < kMR; ++r)
+        for (int j = 0; j < nr; ++j)
+            c[size_t(r) * ldc + j] = acc[r][j];
+}
+
+/** Row-tail tile: mr < kMR rows; identical per-element order. */
+inline void
+tileTail(int mr, int k, const float *a, size_t lda, const float *bp,
+         float *c, size_t ldc, int nr)
+{
+    float acc[kMR][kPW] = {};
+    for (int kk = 0; kk < k; ++kk) {
+        const float *br = bp + size_t(kk) * kPW;
+        for (int r = 0; r < mr; ++r) {
+            float av = a[size_t(r) * lda + kk];
+            for (int j = 0; j < kPW; ++j)
+                acc[r][j] += av * br[j];
+        }
+    }
+    for (int r = 0; r < mr; ++r)
+        for (int j = 0; j < nr; ++j)
+            c[size_t(r) * ldc + j] = acc[r][j];
+}
+
+/**
+ * The blocked schedule over C rows [m0, m1) against panel-major packed
+ * B: m is blocked so a slab of A rows stays cache-hot across all B
+ * panels; within a (block, panel) pair rows advance by the register
+ * tile height. Rows in [m0, m1) are written exactly once.
+ */
+void
+gemmRows(int m0, int m1, int k, int n, const float *a,
+         const float *packed, float *c)
+{
+    const int npanels = (n + kPW - 1) / kPW;
+    for (int ib = m0; ib < m1; ib += Gemmini::kRowBlock) {
+        int ie = std::min(ib + Gemmini::kRowBlock, m1);
+        for (int p = 0; p < npanels; ++p) {
+            const float *pan = packed + size_t(p) * k * kPW;
+            int j0 = p * kPW;
+            int nr = std::min(kPW, n - j0);
+            int i = ib;
+            for (; i + kMR <= ie; i += kMR)
+                tileFull(k, a + size_t(i) * k, size_t(k), pan,
+                         c + size_t(i) * n + j0, size_t(n), nr);
+            if (i < ie)
+                tileTail(ie - i, k, a + size_t(i) * k, size_t(k), pan,
+                         c + size_t(i) * n + j0, size_t(n), nr);
+        }
+    }
+}
+
+/**
+ * Optional deterministic row parallelism: rows are split into disjoint
+ * contiguous chunks aligned to the row block, one thread each. Every
+ * output element is still produced by the identical k-sequential
+ * accumulation, so results are bit-identical at any thread count.
+ */
+void
+gemmParallel(int m, int k, int n, const float *a, const float *packed,
+             float *c, int threads)
+{
+    // Too small to amortize thread startup: run inline.
+    if (threads < 2 || m < 2 * Gemmini::kRowBlock ||
+        uint64_t(m) * k * n < (1u << 20)) {
+        gemmRows(0, m, k, n, a, packed, c);
+        return;
+    }
+    int blocks = (m + Gemmini::kRowBlock - 1) / Gemmini::kRowBlock;
+    int t = std::min(threads, blocks);
+    std::vector<std::thread> pool;
+    pool.reserve(size_t(t));
+    int done = 0;
+    for (int i = 0; i < t; ++i) {
+        int nblk = (blocks - i * blocks / t) -
+                   (blocks - (i + 1) * blocks / t);
+        int r0 = done;
+        int r1 = std::min(m, done + nblk * Gemmini::kRowBlock);
+        done = r1;
+        if (r0 >= r1)
+            continue;
+        pool.emplace_back(
+            [=] { gemmRows(r0, r1, k, n, a, packed, c); });
+    }
+    for (std::thread &th : pool)
+        th.join();
+}
+
+} // namespace
+
+void
+Gemmini::matmul(int m, int k, int n, const float *a, const float *b,
+                float *c, int threads) const
+{
+    rose_assert(m > 0 && k > 0 && n > 0, "bad GEMM shape");
+    // One-shot path: pack B locally, then run the packed kernel. The
+    // pack is O(k*n) against O(m*k*n) compute and pays for itself in
+    // panel locality; steady-state callers memoize a PackedB instead
+    // (see matmulPacked / dnn::sharedPackedWeights).
+    PackedB packed;
+    packB(k, n, b, packed);
+    gemmParallel(m, k, n, a, packed.data.data(), c, threads);
+}
+
 void
 Gemmini::matmul(int m, int k, int n, const std::vector<float> &a,
-                const std::vector<float> &b, std::vector<float> &c) const
+                const std::vector<float> &b, std::vector<float> &c,
+                int threads) const
 {
     rose_assert(int(a.size()) == m * k, "A shape mismatch");
     rose_assert(int(b.size()) == k * n, "B shape mismatch");
-    c.assign(size_t(m) * n, 0.0f);
+    c.resize(size_t(m) * n);
+    matmul(m, k, n, a.data(), b.data(), c.data(), threads);
+}
+
+void
+Gemmini::matmulPacked(int m, const float *a, const PackedB &b, float *c,
+                      int threads) const
+{
+    rose_assert(m > 0 && b.k > 0 && b.n > 0, "bad GEMM shape");
+    rose_assert(!b.empty(), "B not packed");
+    gemmParallel(m, b.k, b.n, a, b.data.data(), c, threads);
+}
+
+void
+Gemmini::matmulNaive(int m, int k, int n, const float *a, const float *b,
+                     float *c) const
+{
+    rose_assert(m > 0 && k > 0 && n > 0, "bad GEMM shape");
+    std::fill(c, c + size_t(m) * n, 0.0f);
     // Same arithmetic the mesh performs; order chosen for locality.
     for (int i = 0; i < m; ++i) {
         for (int kk = 0; kk < k; ++kk) {
@@ -97,6 +282,43 @@ Gemmini::matmul(int m, int k, int n, const std::vector<float> &a,
             for (int j = 0; j < n; ++j)
                 crow[j] += av * brow[j];
         }
+    }
+}
+
+void
+Gemmini::packB(int k, int n, const float *b, PackedB &out)
+{
+    rose_assert(k > 0 && n > 0, "bad pack shape");
+    out.k = k;
+    out.n = n;
+    const int npanels = (n + kPW - 1) / kPW;
+    out.data.resize(size_t(npanels) * k * kPW);
+    float *dst = out.data.data();
+    for (int p = 0; p < npanels; ++p) {
+        int j0 = p * kPW;
+        int w = std::min(kPW, n - j0);
+        for (int kk = 0; kk < k; ++kk)
+            for (int j = 0; j < kPW; ++j)
+                *dst++ = j < w ? b[size_t(kk) * n + j0 + j] : 0.0f;
+    }
+}
+
+void
+Gemmini::packWeightsTransposed(int k, int n, const float *w, PackedB &out)
+{
+    rose_assert(k > 0 && n > 0, "bad pack shape");
+    out.k = k;
+    out.n = n;
+    // w is [n][k]; panel element (kk, j) of panel p is w[p*kPW+j][kk].
+    const int npanels = (n + kPW - 1) / kPW;
+    out.data.resize(size_t(npanels) * k * kPW);
+    float *dst = out.data.data();
+    for (int p = 0; p < npanels; ++p) {
+        int j0 = p * kPW;
+        int w_cols = std::min(kPW, n - j0);
+        for (int kk = 0; kk < k; ++kk)
+            for (int j = 0; j < kPW; ++j)
+                *dst++ = j < w_cols ? w[size_t(j0 + j) * k + kk] : 0.0f;
     }
 }
 

@@ -10,13 +10,25 @@
  *    over the memory bus, weight-load ramp, and accumulator writeback
  *    (compute and data movement overlap double-buffered, so a tile
  *    costs max(compute, memory)).
- *  - functional: matmul() computes the same GEMM numerically for tests
- *    and small end-to-end checks.
+ *  - functional: matmul() computes the same GEMM numerically for the
+ *    per-frame inference hot path, tests, and end-to-end checks.
+ *
+ * The functional path is a cache-blocked, register-tiled microkernel
+ * (see matmul()). Its determinism contract: for every output element
+ * the FP accumulation runs over k in ascending order, starting from
+ * +0.0f. For any finite B this is bit-identical to the naive reference
+ * triple-loop (matmulNaive()) — including its exact-zero skip, since
+ * adding a +/-0.0 term to an accumulator that started at +0.0 is a
+ * bitwise no-op under round-to-nearest (see gemmini.cc for the full
+ * argument) — so golden-trace hashes are preserved. Blocking reorders
+ * only *which element* is worked on next (m/n), never the k order
+ * within an element.
  */
 
 #ifndef ROSE_GEMMINI_GEMMINI_HH
 #define ROSE_GEMMINI_GEMMINI_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -65,10 +77,35 @@ struct GemmCost
     }
 };
 
+/**
+ * B matrix pre-packed into panel-major layout for the blocked kernel:
+ * column panels of width kPanelWidth, each stored as k contiguous rows
+ * of the panel's columns; a ragged last panel is zero-padded to the
+ * full width (padded lanes are computed but never stored). Weights are
+ * immutable per layer, so packing happens once and is shared read-only
+ * (see dnn::sharedPackedWeights).
+ */
+struct PackedB
+{
+    int k = 0;
+    int n = 0;
+    std::vector<float> data;
+
+    bool empty() const { return data.empty(); }
+    size_t bytes() const { return data.size() * sizeof(float); }
+};
+
 /** The accelerator model. */
 class Gemmini
 {
   public:
+    /** Column-panel width of the packed layout / microkernel. */
+    static constexpr int kPanelWidth = 8;
+    /** Row-block height of the register tile. */
+    static constexpr int kRowTile = 8;
+    /** m-blocking factor (rows of A kept hot per panel sweep). */
+    static constexpr int kRowBlock = 128;
+
     explicit Gemmini(const GemminiConfig &cfg = {});
 
     const GemminiConfig &config() const { return cfg_; }
@@ -80,14 +117,53 @@ class Gemmini
     GemmCost gemmCycles(int m, int k, int n) const;
 
     /**
-     * Functional GEMM: C = A * B with row-major dense matrices.
+     * Functional GEMM: C = A * B (row major, dense), blocked kernel.
+     * Packs B internally per call; steady-state callers should memoize
+     * a PackedB and use matmulPacked() instead.
      *
      * @param a M*K values, row major.
      * @param b K*N values, row major.
-     * @param c output, resized to M*N.
+     * @param c caller-provided output span of M*N values, overwritten.
+     * @param threads optional deterministic row parallelism: C rows are
+     *        split into disjoint contiguous chunks, one thread each, so
+     *        the per-element FP order is unchanged. Values < 2, or
+     *        GEMMs too small to amortize a thread, run inline.
      */
+    void matmul(int m, int k, int n, const float *a, const float *b,
+                float *c, int threads = 1) const;
+
+    /** Convenience overload for tests: resizes @p c to M*N. */
     void matmul(int m, int k, int n, const std::vector<float> &a,
-                const std::vector<float> &b, std::vector<float> &c) const;
+                const std::vector<float> &b, std::vector<float> &c,
+                int threads = 1) const;
+
+    /**
+     * Functional GEMM against a pre-packed B (see packB): the per-layer
+     * steady state of the inference hot path — no packing, no
+     * allocation, just the microkernel.
+     */
+    void matmulPacked(int m, const float *a, const PackedB &b, float *c,
+                      int threads = 1) const;
+
+    /**
+     * Reference naive triple-loop (the pre-blocking kernel), kept as
+     * the bit-exactness oracle for tests and the speedup baseline for
+     * the microbench. @p c must hold M*N values; overwritten.
+     */
+    void matmulNaive(int m, int k, int n, const float *a, const float *b,
+                     float *c) const;
+
+    /** Pack a row-major B[K,N] into panel-major layout. */
+    static void packB(int k, int n, const float *b, PackedB &out);
+
+    /**
+     * Pack conv/dense weights W[N,K] (OIHW outer-major, i.e. the
+     * *transpose* of the GEMM's B) directly into panel-major layout,
+     * folding the transpose into the pack so callers never materialize
+     * the K*N transposed matrix.
+     */
+    static void packWeightsTransposed(int k, int n, const float *w,
+                                      PackedB &out);
 
     /** Largest tile dimensions that fit the scratchpad/accumulator. */
     void tileShape(int m, int k, int n, int &tm, int &tk, int &tn) const;

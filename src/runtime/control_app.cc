@@ -14,8 +14,8 @@ ControlApp::ControlApp(bridge::TargetDriver &driver,
       smallClassifier_(*smallModel_, Rng(cfg.seed ^ 0x5a11ULL),
                        cfg.estimator),
       engine_(soc, cfg.gemmini, cfg.engine),
-      bigSchedule_(engine_.schedule(*bigModel_)),
-      smallSchedule_(engine_.schedule(*smallModel_))
+      bigSchedule_(engine_.scheduleShared(*bigModel_)),
+      smallSchedule_(engine_.scheduleShared(*smallModel_))
 {
 }
 
@@ -56,7 +56,7 @@ ControlApp::next(const soc::SocContext &ctx)
                 rose_warn("control app: depth request backpressured");
         }
         sawDepth_ = false;
-        image_.reset();
+        haveImage_ = false;
         state_ = State::AwaitResponses;
         return ioAction("sensor-request");
       }
@@ -73,7 +73,8 @@ ControlApp::next(const soc::SocContext &ctx)
             got_any = true;
             switch (p->type) {
               case bridge::PacketType::ImageResp:
-                image_ = bridge::decodeImageResp(*p);
+                bridge::decodeImageRespInto(*p, image_);
+                haveImage_ = true;
                 break;
               case bridge::PacketType::DepthResp:
                 depth_ = bridge::decodeDepthResp(*p);
@@ -87,7 +88,7 @@ ControlApp::next(const soc::SocContext &ctx)
         }
         bool need_depth =
             cfg_.mode == RuntimeMode::Dynamic && !sawDepth_;
-        if (!image_ || need_depth) {
+        if (!haveImage_ || need_depth) {
             if (!got_any && cfg_.sensorTimeoutCycles > 0) {
                 // The wait timed out with nothing delivered: the
                 // request or its response was lost in transit.
@@ -119,9 +120,9 @@ ControlApp::next(const soc::SocContext &ctx)
         current_.usedArgmax = false;
         if (cfg_.mode == RuntimeMode::Dynamic) {
             double big_lat =
-                double(bigSchedule_.totalCycles) / soc_.clockHz;
+                double(bigSchedule_->totalCycles) / soc_.clockHz;
             double small_lat =
-                double(smallSchedule_.totalCycles) / soc_.clockHz;
+                double(smallSchedule_->totalCycles) / soc_.clockHz;
             double budget = cfg_.deadline.processDeadline(
                 depth_, cfg_.policy.forwardVelocity);
             current_.deadlineSeconds = budget;
@@ -149,10 +150,10 @@ ControlApp::next(const soc::SocContext &ctx)
         // --- Functional inference + timed schedule -------------------
         bool use_small = activeDepth_ == cfg_.smallModelDepth &&
                          cfg_.mode == RuntimeMode::Dynamic;
-        lastOutput_ = use_small ? smallClassifier_.infer(*image_)
-                                : bigClassifier_.infer(*image_);
+        lastOutput_ = use_small ? smallClassifier_.infer(image_)
+                                : bigClassifier_.infer(image_);
         const dnn::InferenceSchedule &sched =
-            use_small ? smallSchedule_ : bigSchedule_;
+            use_small ? *smallSchedule_ : *bigSchedule_;
         queue_.assign(sched.actions.begin(), sched.actions.end());
         if (cfg_.mode == RuntimeMode::Dynamic) {
             queue_.push_front(soc::Action::compute(
@@ -297,11 +298,11 @@ ControlApp::saveState(StateWriter &w) const
     w.u32(uint32_t(queue_.size()));
     for (const soc::Action &a : queue_)
         saveAction(w, a);
-    w.boolean(image_.has_value());
-    if (image_) {
-        w.u32(uint32_t(image_->width));
-        w.u32(uint32_t(image_->height));
-        for (float v : image_->pixels)
+    w.boolean(haveImage_);
+    if (haveImage_) {
+        w.u32(uint32_t(image_.width));
+        w.u32(uint32_t(image_.height));
+        for (float v : image_.pixels)
             w.f32(v);
     }
     w.f64(depth_);
@@ -335,14 +336,13 @@ ControlApp::restoreState(StateReader &r)
     uint32_t nq = r.u32();
     for (uint32_t i = 0; i < nq; ++i)
         queue_.push_back(loadAction(r));
-    image_.reset();
-    if (r.boolean()) {
-        int iw = int(r.u32());
-        int ih = int(r.u32());
-        env::Image img(iw, ih);
-        for (float &v : img.pixels)
+    haveImage_ = r.boolean();
+    if (haveImage_) {
+        image_.width = int(r.u32());
+        image_.height = int(r.u32());
+        image_.pixels.resize(size_t(image_.width) * image_.height);
+        for (float &v : image_.pixels)
             v = r.f32();
-        image_ = std::move(img);
     }
     depth_ = r.f64();
     sawDepth_ = r.boolean();

@@ -26,7 +26,6 @@
 
 #include <deque>
 #include <memory>
-#include <optional>
 #include <string>
 #include <vector>
 
@@ -181,12 +180,19 @@ class ControlApp : public soc::Workload
     dnn::Classifier bigClassifier_;
     dnn::Classifier smallClassifier_;
     dnn::ExecutionEngine engine_;
-    dnn::InferenceSchedule bigSchedule_;
-    dnn::InferenceSchedule smallSchedule_;
+    std::shared_ptr<const dnn::InferenceSchedule> bigSchedule_;
+    std::shared_ptr<const dnn::InferenceSchedule> smallSchedule_;
 
     State state_ = State::Boot;
     std::deque<soc::Action> queue_; ///< staged inference actions
-    std::optional<env::Image> image_;
+    /**
+     * Reused image buffer + validity flag (replacing optional<Image>
+     * so the pixel storage survives the per-frame reset and decode
+     * lands in the same allocation every frame). The checkpoint byte
+     * format is unchanged: a presence flag, then dims + pixels.
+     */
+    env::Image image_;
+    bool haveImage_ = false;
     double depth_ = 1e9;
     bool sawDepth_ = false;
 

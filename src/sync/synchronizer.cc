@@ -149,7 +149,8 @@ Synchronizer::servicePacket(const bridge::Packet &p)
         break;
       case PacketType::ImageReq:
         ++stats_.imageRequests;
-        transport_.send(bridge::encodeImageResp(env_.getImage()));
+        env_.getImageInto(imageScratch_);
+        transport_.send(bridge::encodeImageResp(imageScratch_));
         break;
       case PacketType::DepthReq:
         ++stats_.depthRequests;

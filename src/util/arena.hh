@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Reusable scratch buffers for per-frame hot paths.
+ *
+ * The inference loop (im2col, GEMM outputs, layer tensors, pose
+ * estimation profiles) needs the same set of working buffers every
+ * frame. ScratchArena owns those buffers by stable integer slot: the
+ * first frame sizes them, every later frame reuses the same capacity,
+ * so the steady state performs zero heap allocations — a property the
+ * microbench allocation counter and tests/test_hotpath.cc verify.
+ *
+ * Slots are plain indices (callers derive them deterministically, e.g.
+ * layer-index * purposes + purpose), which keeps lookup allocation-free
+ * — no string keys, no hashing. An arena is single-owner state, not
+ * thread-safe; parallel workers each carry their own (the same contract
+ * as the per-mission RNGs).
+ */
+
+#ifndef ROSE_UTIL_ARENA_HH
+#define ROSE_UTIL_ARENA_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace rose {
+
+/** Slot-indexed pool of reusable float buffers. */
+class ScratchArena
+{
+  public:
+    /**
+     * The buffer for @p slot, resized to exactly @p n elements.
+     * Capacity is retained across calls: once a slot has seen its
+     * steady-state size, later frames neither allocate nor free.
+     * Contents of a freshly grown region are value-initialized by
+     * resize; previously used regions keep stale values — callers
+     * overwrite or explicitly clear.
+     */
+    std::vector<float> &
+    floats(size_t slot, size_t n)
+    {
+        while (bufs_.size() <= slot) {
+            bufs_.emplace_back();
+            ++growthEvents_;
+        }
+        std::vector<float> &v = bufs_[slot];
+        if (n > v.capacity())
+            ++growthEvents_;
+        v.resize(n);
+        return v;
+    }
+
+    /** Slots touched so far. */
+    size_t slots() const { return bufs_.size(); }
+
+    /**
+     * Number of times any slot had to grow (or be created). Stable
+     * growth count across frames == zero steady-state allocation.
+     */
+    uint64_t growthEvents() const { return growthEvents_; }
+
+    /** Total float capacity held, in bytes (diagnostic). */
+    size_t
+    bytesReserved() const
+    {
+        size_t total = 0;
+        for (const std::vector<float> &v : bufs_)
+            total += v.capacity() * sizeof(float);
+        return total;
+    }
+
+    /** Release all buffers (next frame re-grows from empty). */
+    void
+    clear()
+    {
+        bufs_.clear();
+    }
+
+  private:
+    // deque: growing never moves existing buffers, so references handed
+    // out earlier in a frame stay valid while later slots are touched.
+    std::deque<std::vector<float>> bufs_;
+    uint64_t growthEvents_ = 0;
+};
+
+} // namespace rose
+
+#endif // ROSE_UTIL_ARENA_HH

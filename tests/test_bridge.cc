@@ -57,6 +57,25 @@ TEST(Packet, ImageRoundTripQuantized)
         EXPECT_NEAR(r.pixels[i], img.pixels[i], 1.0 / 255.0);
 }
 
+TEST(Packet, ImageDecodeIntoMatchesAndReusesBuffer)
+{
+    env::Image img(8, 4);
+    for (size_t i = 0; i < img.pixels.size(); ++i)
+        img.pixels[i] = float(i) / float(img.pixels.size());
+    Packet p = encodeImageResp(img);
+    env::Image fresh = decodeImageResp(p);
+    env::Image reused;
+    decodeImageRespInto(p, reused);
+    EXPECT_EQ(fresh.width, reused.width);
+    EXPECT_EQ(fresh.height, reused.height);
+    EXPECT_EQ(fresh.pixels, reused.pixels);
+    // Same-size decodes land in the same allocation.
+    const float *buf = reused.pixels.data();
+    decodeImageRespInto(p, reused);
+    EXPECT_EQ(reused.pixels.data(), buf);
+    EXPECT_EQ(fresh.pixels, reused.pixels);
+}
+
 TEST(Packet, DepthAndVelocityRoundTrip)
 {
     EXPECT_DOUBLE_EQ(decodeDepthResp(encodeDepthResp(7.25)), 7.25);
