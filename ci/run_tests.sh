@@ -41,6 +41,30 @@ run_preset() {
     # assertions skip themselves under the sanitizer preset.
     echo "==== [$preset] hot-path bit-identity + zero-alloc ===="
     "$builddir/tests/test_hotpath"
+
+    # Serve smoke: boot rosed on an ephemeral port, submit the golden
+    # missions from 4 concurrent clients, and require every served
+    # trajectory to hash bit-identically to a local run (the client's
+    # `smoke` subcommand exits nonzero on any mismatch). Exercises the
+    # whole daemon — listener, framing, admission, worker pool, drain
+    # shutdown — under both presets, so ASan/UBSan covers the IO loop.
+    echo "==== [$preset] serve smoke (rosed + 4 concurrent clients) ===="
+    portfile="$(mktemp)"
+    "$builddir/src/serve/rosed" --port 0 --jobs 2 \
+        --port-file "$portfile" &
+    rosed_pid=$!
+    for _ in $(seq 1 100); do
+        [ -s "$portfile" ] && break
+        sleep 0.1
+    done
+    [ -s "$portfile" ] || { echo "rosed never published its port"; \
+        kill "$rosed_pid" 2>/dev/null; exit 1; }
+    "$builddir/src/serve/rose_client" --port "$(cat "$portfile")" \
+        smoke --clients 4 --missions 8
+    "$builddir/src/serve/rose_client" --port "$(cat "$portfile")" \
+        shutdown
+    wait "$rosed_pid"
+    rm -f "$portfile"
 }
 
 run_preset default build

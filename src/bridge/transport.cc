@@ -143,7 +143,8 @@ setNonBlocking(int fd)
 {
     int flags = fcntl(fd, F_GETFL, 0);
     if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
-        rose_fatal("fcntl O_NONBLOCK failed: ", std::strerror(errno));
+        throw TransportError(std::string("fcntl O_NONBLOCK failed: ") +
+                             std::strerror(errno));
 }
 
 void
@@ -158,7 +159,13 @@ setNoDelay(int fd)
 TcpTransport::TcpTransport(int fd) : fd_(fd)
 {
     rose_assert(fd_ >= 0, "invalid socket fd");
-    setNonBlocking(fd_);
+    try {
+        setNonBlocking(fd_);
+    } catch (...) {
+        ::close(fd_);
+        fd_ = -1;
+        throw;
+    }
     setNoDelay(fd_);
 }
 
@@ -280,44 +287,141 @@ TcpTransport::waitReadable(int timeout_ms)
     return rc > 0;
 }
 
-std::pair<std::unique_ptr<TcpTransport>, std::unique_ptr<TcpTransport>>
-TcpTransport::makeLoopbackPair()
+// --------------------------------------------------------------- listener
+
+TcpListener::TcpListener(uint16_t port, int backlog)
 {
-    int listener = socket(AF_INET, SOCK_STREAM, 0);
-    if (listener < 0)
-        rose_fatal("socket() failed: ", std::strerror(errno));
+    fd_ = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0)
+        throw TransportError(std::string("socket() failed: ") +
+                             std::strerror(errno));
+    // SO_REUSEADDR lets a restarted daemon rebind a port still in
+    // TIME_WAIT; ephemeral selection (port 0) plus port() keeps
+    // concurrent test processes from ever racing on a fixed port.
     int one = 1;
-    setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
 
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port = 0; // ephemeral
-    if (bind(listener, reinterpret_cast<sockaddr *>(&addr),
-             sizeof(addr)) < 0)
-        rose_fatal("bind() failed: ", std::strerror(errno));
-    if (listen(listener, 1) < 0)
-        rose_fatal("listen() failed: ", std::strerror(errno));
+    addr.sin_port = htons(port);
+    try {
+        if (bind(fd_, reinterpret_cast<sockaddr *>(&addr),
+                 sizeof(addr)) < 0)
+            throw TransportError(std::string("bind() failed: ") +
+                                 std::strerror(errno));
+        if (listen(fd_, backlog) < 0)
+            throw TransportError(std::string("listen() failed: ") +
+                                 std::strerror(errno));
+        socklen_t len = sizeof(addr);
+        if (getsockname(fd_, reinterpret_cast<sockaddr *>(&addr),
+                        &len) < 0)
+            throw TransportError(std::string("getsockname() failed: ") +
+                                 std::strerror(errno));
+    } catch (...) {
+        ::close(fd_);
+        fd_ = -1;
+        throw;
+    }
+    port_ = ntohs(addr.sin_port);
+}
 
-    socklen_t len = sizeof(addr);
-    if (getsockname(listener, reinterpret_cast<sockaddr *>(&addr),
-                    &len) < 0)
-        rose_fatal("getsockname() failed: ", std::strerror(errno));
+TcpListener::~TcpListener()
+{
+    close();
+}
+
+void
+TcpListener::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+int
+TcpListener::acceptFd(int timeout_ms)
+{
+    if (fd_ < 0)
+        throw TransportError("accept on closed listener");
+    for (;;) {
+        pollfd pfd{fd_, POLLIN, 0};
+        int rc = ::poll(&pfd, 1, timeout_ms);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            throw TransportError(std::string("listener poll: ") +
+                                 std::strerror(errno));
+        }
+        if (rc == 0)
+            return -1;
+        int conn = ::accept(fd_, nullptr, nullptr);
+        if (conn < 0) {
+            // A peer that connected and reset before we accepted is
+            // not a listener failure; wait for the next connection.
+            if (errno == EINTR || errno == ECONNABORTED ||
+                errno == EAGAIN || errno == EWOULDBLOCK)
+                continue;
+            throw TransportError(std::string("accept() failed: ") +
+                                 std::strerror(errno));
+        }
+        return conn;
+    }
+}
+
+std::unique_ptr<TcpTransport>
+TcpListener::accept(int timeout_ms)
+{
+    int conn = acceptFd(timeout_ms);
+    if (conn < 0)
+        return nullptr;
+    return std::make_unique<TcpTransport>(conn);
+}
+
+std::pair<std::unique_ptr<TcpTransport>, std::unique_ptr<TcpTransport>>
+TcpTransport::makeLoopbackPair()
+{
+    TcpListener listener(0, 1);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(listener.port());
 
     int client = socket(AF_INET, SOCK_STREAM, 0);
     if (client < 0)
-        rose_fatal("socket() failed: ", std::strerror(errno));
+        throw TransportError(std::string("socket() failed: ") +
+                             std::strerror(errno));
     if (connect(client, reinterpret_cast<sockaddr *>(&addr),
-                sizeof(addr)) < 0)
-        rose_fatal("connect() failed: ", std::strerror(errno));
+                sizeof(addr)) < 0) {
+        int err = errno;
+        close(client);
+        throw TransportError(std::string("connect() failed: ") +
+                             std::strerror(err));
+    }
 
-    int server = accept(listener, nullptr, nullptr);
-    if (server < 0)
-        rose_fatal("accept() failed: ", std::strerror(errno));
-    close(listener);
+    int server;
+    try {
+        server = listener.acceptFd(5000);
+    } catch (...) {
+        close(client);
+        throw;
+    }
+    if (server < 0) {
+        close(client);
+        throw TransportError("loopback accept timed out");
+    }
 
-    return {std::make_unique<TcpTransport>(server),
-            std::make_unique<TcpTransport>(client)};
+    std::unique_ptr<TcpTransport> serverEnd, clientEnd;
+    try {
+        serverEnd = std::make_unique<TcpTransport>(server);
+    } catch (...) {
+        close(client);
+        throw;
+    }
+    clientEnd = std::make_unique<TcpTransport>(client);
+    return {std::move(serverEnd), std::move(clientEnd)};
 }
 
 } // namespace rose::bridge

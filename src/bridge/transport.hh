@@ -154,6 +154,10 @@ class TcpTransport : public Transport
     /**
      * Create a connected loopback pair: binds an ephemeral port on
      * 127.0.0.1, connects, accepts. Returns {server_end, client_end}.
+     *
+     * @throws TransportError when any socket operation fails (a busy
+     *         port, exhausted descriptors, ...); never aborts, so a
+     *         long-lived process can survive a failed setup.
      */
     static std::pair<std::unique_ptr<TcpTransport>,
                      std::unique_ptr<TcpTransport>>
@@ -168,6 +172,55 @@ class TcpTransport : public Transport
     int sendTimeoutMs_ = 5000;
     uint64_t sent_ = 0;
     uint64_t received_ = 0;
+};
+
+/**
+ * Listening TCP socket on 127.0.0.1, generalizing the one-shot
+ * accept inside makeLoopbackPair() to a long-lived multi-client
+ * listener (the mission-service daemon's front door).
+ *
+ * Failures throw TransportError — a failed bind() must surface as an
+ * error a daemon can report, never a process abort. Binding port 0
+ * picks an ephemeral port; port() returns the actual bound port so
+ * concurrent processes (parallel tests, CI) never race on a fixed
+ * number.
+ */
+class TcpListener
+{
+  public:
+    /** Bind and listen; @p port 0 selects an ephemeral port.
+     *  @throws TransportError on socket/bind/listen/getsockname
+     *  failure. */
+    explicit TcpListener(uint16_t port = 0, int backlog = 16);
+    ~TcpListener();
+
+    TcpListener(const TcpListener &) = delete;
+    TcpListener &operator=(const TcpListener &) = delete;
+
+    /** The actually-bound port (resolves an ephemeral request). */
+    uint16_t port() const { return port_; }
+
+    /** Listening descriptor, for callers running their own poll(). */
+    int fd() const { return fd_; }
+
+    /**
+     * Wait up to @p timeout_ms for a pending connection and accept
+     * it. Returns the connected fd (owned by the caller), or -1 on
+     * timeout. timeout_ms < 0 blocks indefinitely.
+     * @throws TransportError on a hard accept()/poll() failure or
+     *         when the listener is closed.
+     */
+    int acceptFd(int timeout_ms);
+
+    /** acceptFd() wrapped in a TcpTransport; nullptr on timeout. */
+    std::unique_ptr<TcpTransport> accept(int timeout_ms);
+
+    /** Close the listening socket (idempotent). */
+    void close();
+
+  private:
+    int fd_ = -1;
+    uint16_t port_ = 0;
 };
 
 } // namespace rose::bridge

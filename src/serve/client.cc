@@ -1,0 +1,228 @@
+#include "client.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "bridge/transport.hh"
+#include "util/logging.hh"
+
+namespace rose::serve {
+
+using bridge::TransportError;
+
+ServeClient::ServeClient(uint16_t port, const std::string &host,
+                         int timeout_ms)
+    : timeoutMs_(timeout_ms)
+{
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+        throw TransportError("invalid IPv4 address: " + host);
+
+    fd_ = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0)
+        throw TransportError(std::string("socket() failed: ") +
+                             std::strerror(errno));
+    if (connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                sizeof(addr)) < 0) {
+        int err = errno;
+        ::close(fd_);
+        fd_ = -1;
+        throw TransportError(detail::concat("connect to ", host, ":",
+                                            port, " failed: ",
+                                            std::strerror(err)));
+    }
+    int one = 1;
+    setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+ServeClient::~ServeClient()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+void
+ServeClient::sendAll(const std::vector<uint8_t> &wire)
+{
+    size_t off = 0;
+    while (off < wire.size()) {
+        ssize_t n = ::send(fd_, wire.data() + off, wire.size() - off,
+                           MSG_NOSIGNAL);
+        if (n >= 0) {
+            off += size_t(n);
+            continue;
+        }
+        if (errno == EINTR)
+            continue;
+        if (errno != EAGAIN && errno != EWOULDBLOCK)
+            throw TransportError(std::string("serve send failed: ") +
+                                 std::strerror(errno));
+        pollfd pfd{fd_, POLLOUT, 0};
+        int rc = ::poll(&pfd, 1, timeoutMs_);
+        if (rc < 0 && errno == EINTR)
+            continue;
+        if (rc <= 0)
+            throw TransportError("serve send stalled (server not "
+                                 "draining)");
+    }
+}
+
+Message
+ServeClient::request(const Message &req)
+{
+    std::vector<uint8_t> wire;
+    serializeMessage(req, wire);
+    sendAll(wire);
+
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(timeoutMs_);
+    uint8_t tmp[65536];
+    for (;;) {
+        Message resp;
+        std::string err;
+        switch (rx_.next(resp, &err)) {
+          case FrameStatus::Ok:
+            if (isRequest(resp.type))
+                throw TransportError(
+                    "server sent a request-type message");
+            if (resp.type == MsgType::ErrorReply)
+                throw ProtocolError(decodeErrorReply(resp));
+            return resp;
+          case FrameStatus::Malformed:
+            throw TransportError("serve stream framing corrupt: " +
+                                 err);
+          case FrameStatus::NeedMore:
+            break;
+        }
+
+        auto now = std::chrono::steady_clock::now();
+        if (now >= deadline)
+            throw TransportError(detail::concat(
+                "no response from server within ", timeoutMs_, " ms"));
+        int wait_ms = int(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                deadline - now)
+                .count());
+        pollfd pfd{fd_, POLLIN, 0};
+        int rc = ::poll(&pfd, 1, std::max(1, wait_ms));
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            throw TransportError(std::string("serve recv poll: ") +
+                                 std::strerror(errno));
+        }
+        if (rc == 0)
+            continue; // deadline check above will fire
+        ssize_t n = ::recv(fd_, tmp, sizeof(tmp), 0);
+        if (n > 0) {
+            rx_.append(tmp, size_t(n));
+        } else if (n == 0) {
+            throw TransportError("server closed the connection");
+        } else if (errno != EAGAIN && errno != EWOULDBLOCK &&
+                   errno != EINTR) {
+            throw TransportError(std::string("serve recv failed: ") +
+                                 std::strerror(errno));
+        }
+    }
+}
+
+SubmitOutcome
+ServeClient::submit(const core::MissionSpec &spec)
+{
+    Message resp = request(encodeSubmitMission(spec));
+    SubmitOutcome out;
+    if (resp.type == MsgType::SubmitOk) {
+        SubmitOkReply ok = decodeSubmitOk(resp);
+        out.accepted = true;
+        out.jobId = ok.jobId;
+        out.queuePosition = ok.queuePosition;
+        return out;
+    }
+    RejectedReply rej = decodeRejected(resp);
+    out.accepted = false;
+    out.reason = rej.reason;
+    out.detail = rej.detail;
+    return out;
+}
+
+StatusInfo
+ServeClient::status(uint64_t job_id)
+{
+    return decodeStatusReply(request(encodeQueryStatus(job_id)));
+}
+
+bool
+ServeClient::tryFetchResult(uint64_t job_id, ServedResult &out,
+                            JobState *state_out)
+{
+    Message resp = request(encodeFetchResult(job_id));
+    if (resp.type == MsgType::ResultReply) {
+        ResultData d = decodeResultReply(resp);
+        out = std::move(d.result);
+        // Failed executions also travel as ResultReply (the
+        // failureReason says why); both are terminal.
+        if (state_out)
+            *state_out = JobState::Done;
+        return true;
+    }
+    StatusInfo s = decodeStatusReply(resp);
+    if (state_out)
+        *state_out = s.state;
+    if (s.state == JobState::Unknown)
+        throw ProtocolError(detail::concat("unknown job id ", job_id));
+    if (s.state == JobState::Cancelled)
+        throw ProtocolError(detail::concat("job ", job_id,
+                                           " was cancelled"));
+    return false;
+}
+
+ServedResult
+ServeClient::waitResult(uint64_t job_id, int timeout_ms, int poll_ms)
+{
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+        ServedResult result;
+        if (tryFetchResult(job_id, result))
+            return result;
+        if (std::chrono::steady_clock::now() >= deadline)
+            throw TransportError(detail::concat(
+                "job ", job_id, " did not finish within ", timeout_ms,
+                " ms"));
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(poll_ms));
+    }
+}
+
+CancelInfo
+ServeClient::cancel(uint64_t job_id)
+{
+    return decodeCancelReply(request(encodeCancelMission(job_id)));
+}
+
+ServerStatsData
+ServeClient::serverStats()
+{
+    return decodeStatsReply(request(encodeServerStats()));
+}
+
+void
+ServeClient::shutdownServer(bool drain)
+{
+    Message resp = request(encodeShutdown(drain));
+    if (resp.type != MsgType::ShutdownReply)
+        throw ProtocolError("unexpected reply to Shutdown");
+}
+
+} // namespace rose::serve

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Blocking client for the mission-service daemon (`rosed`).
+ *
+ * One ServeClient is one TCP connection and one session: requests are
+ * written synchronously and the matching response is awaited (the
+ * protocol pairs exactly one response per request, in order), so the
+ * client needs no reader thread. Use one ServeClient per thread;
+ * instances are not thread-safe (concurrent load is modeled with
+ * multiple clients, exactly like real traffic).
+ */
+
+#ifndef ROSE_SERVE_CLIENT_HH
+#define ROSE_SERVE_CLIENT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "serve/proto.hh"
+
+namespace rose::serve {
+
+/** Outcome of a submit: accepted with a job id, or shed. */
+struct SubmitOutcome
+{
+    bool accepted = false;
+    uint64_t jobId = 0;        ///< valid when accepted
+    uint32_t queuePosition = 0;
+    RejectReason reason = RejectReason::QueueFull; ///< when rejected
+    std::string detail;
+};
+
+class ServeClient
+{
+  public:
+    /**
+     * Connect to a daemon on @p host (numeric IPv4) : @p port.
+     * @throws bridge::TransportError when the connection fails.
+     */
+    explicit ServeClient(uint16_t port,
+                         const std::string &host = "127.0.0.1",
+                         int timeout_ms = 30000);
+    ~ServeClient();
+
+    ServeClient(const ServeClient &) = delete;
+    ServeClient &operator=(const ServeClient &) = delete;
+
+    /** Submit a mission; never throws on rejection (see outcome). */
+    SubmitOutcome submit(const core::MissionSpec &spec);
+
+    /** Lifecycle state of a job. */
+    StatusInfo status(uint64_t job_id);
+
+    /**
+     * One FetchResult round-trip. @return true when the job finished
+     * and @p out holds its result; false when it is still queued or
+     * running (state in @p state_out when non-null).
+     * @throws ProtocolError when the job is unknown.
+     */
+    bool tryFetchResult(uint64_t job_id, ServedResult &out,
+                        JobState *state_out = nullptr);
+
+    /**
+     * Poll FetchResult until the job finishes. @throws
+     * bridge::TransportError on connection loss or when @p timeout_ms
+     * elapses; ProtocolError when the job is unknown or cancelled.
+     */
+    ServedResult waitResult(uint64_t job_id, int timeout_ms = 120000,
+                            int poll_ms = 10);
+
+    CancelInfo cancel(uint64_t job_id);
+
+    ServerStatsData serverStats();
+
+    /** Ask the daemon to shut down (drain = finish queued jobs). */
+    void shutdownServer(bool drain = true);
+
+  private:
+    /** Send one request and block for its paired response. */
+    Message request(const Message &req);
+    void sendAll(const std::vector<uint8_t> &wire);
+
+    int fd_ = -1;
+    int timeoutMs_;
+    MessageBuffer rx_;
+};
+
+} // namespace rose::serve
+
+#endif // ROSE_SERVE_CLIENT_HH

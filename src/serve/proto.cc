@@ -1,0 +1,669 @@
+#include "proto.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace rose::serve {
+
+using bridge::ByteReader;
+using bridge::ByteWriter;
+
+bool
+isValidMsgType(uint8_t raw)
+{
+    switch (MsgType(raw)) {
+      case MsgType::SubmitMission:
+      case MsgType::QueryStatus:
+      case MsgType::FetchResult:
+      case MsgType::CancelMission:
+      case MsgType::ServerStats:
+      case MsgType::Shutdown:
+      case MsgType::SubmitOk:
+      case MsgType::SubmitRejected:
+      case MsgType::StatusReply:
+      case MsgType::ResultReply:
+      case MsgType::CancelReply:
+      case MsgType::StatsReply:
+      case MsgType::ShutdownReply:
+      case MsgType::ErrorReply:
+        return true;
+    }
+    return false;
+}
+
+bool
+isRequest(MsgType t)
+{
+    return (uint8_t(t) & 0x80) == 0;
+}
+
+const char *
+msgTypeName(MsgType t)
+{
+    switch (t) {
+      case MsgType::SubmitMission: return "SubmitMission";
+      case MsgType::QueryStatus: return "QueryStatus";
+      case MsgType::FetchResult: return "FetchResult";
+      case MsgType::CancelMission: return "CancelMission";
+      case MsgType::ServerStats: return "ServerStats";
+      case MsgType::Shutdown: return "Shutdown";
+      case MsgType::SubmitOk: return "SubmitOk";
+      case MsgType::SubmitRejected: return "SubmitRejected";
+      case MsgType::StatusReply: return "StatusReply";
+      case MsgType::ResultReply: return "ResultReply";
+      case MsgType::CancelReply: return "CancelReply";
+      case MsgType::StatsReply: return "StatsReply";
+      case MsgType::ShutdownReply: return "ShutdownReply";
+      case MsgType::ErrorReply: return "ErrorReply";
+    }
+    return "unknown";
+}
+
+const char *
+rejectReasonName(RejectReason r)
+{
+    switch (r) {
+      case RejectReason::QueueFull: return "queue_full";
+      case RejectReason::ClientCap: return "client_cap";
+      case RejectReason::ShuttingDown: return "shutting_down";
+      case RejectReason::BadRequest: return "bad_request";
+    }
+    return "unknown";
+}
+
+const char *
+jobStateName(JobState s)
+{
+    switch (s) {
+      case JobState::Queued: return "queued";
+      case JobState::Running: return "running";
+      case JobState::Done: return "done";
+      case JobState::Failed: return "failed";
+      case JobState::Cancelled: return "cancelled";
+      case JobState::Unknown: return "unknown";
+    }
+    return "unknown";
+}
+
+// ------------------------------------------------------------- framing
+
+void
+serializeMessage(const Message &m, std::vector<uint8_t> &out)
+{
+    rose_assert(m.payload.size() <= kMaxServePayloadBytes,
+                "serve message payload exceeds wire bound");
+    out.reserve(out.size() + m.wireSize());
+    out.push_back(uint8_t(m.type));
+    uint32_t len = uint32_t(m.payload.size());
+    out.push_back(uint8_t(len));
+    out.push_back(uint8_t(len >> 8));
+    out.push_back(uint8_t(len >> 16));
+    out.push_back(uint8_t(len >> 24));
+    out.insert(out.end(), m.payload.begin(), m.payload.end());
+}
+
+FrameStatus
+tryDecodeMessage(const uint8_t *data, size_t size, size_t &consumed,
+                 Message &out, std::string *error)
+{
+    consumed = 0;
+    if (size < Message::kHeaderBytes)
+        return FrameStatus::NeedMore;
+
+    // Validate the header before touching (or allocating for) the
+    // payload — same rule as the bridge framing.
+    uint8_t raw_type = data[0];
+    if (!isValidMsgType(raw_type)) {
+        if (error)
+            *error = detail::concat("unknown serve message type 0x",
+                                    std::hex, unsigned(raw_type));
+        return FrameStatus::Malformed;
+    }
+    uint32_t len = uint32_t(data[1]) | uint32_t(data[2]) << 8 |
+                   uint32_t(data[3]) << 16 | uint32_t(data[4]) << 24;
+    if (len > kMaxServePayloadBytes) {
+        if (error)
+            *error = detail::concat("serve payload length ", len,
+                                    " exceeds bound ",
+                                    kMaxServePayloadBytes);
+        return FrameStatus::Malformed;
+    }
+    if (size < Message::kHeaderBytes + size_t(len))
+        return FrameStatus::NeedMore;
+
+    out.type = MsgType(raw_type);
+    out.payload.assign(data + Message::kHeaderBytes,
+                       data + Message::kHeaderBytes + len);
+    consumed = Message::kHeaderBytes + len;
+    return FrameStatus::Ok;
+}
+
+void
+MessageBuffer::append(const uint8_t *data, size_t n)
+{
+    buf_.insert(buf_.end(), data, data + n);
+}
+
+FrameStatus
+MessageBuffer::next(Message &out, std::string *error)
+{
+    if (poisoned_) {
+        if (error)
+            *error = poisonError_;
+        return FrameStatus::Malformed;
+    }
+    size_t consumed = 0;
+    std::string err;
+    FrameStatus st =
+        tryDecodeMessage(buf_.data() + pos_, buf_.size() - pos_,
+                         consumed, out, &err);
+    switch (st) {
+      case FrameStatus::Ok:
+        pos_ += consumed;
+        // Amortized compaction: only shift remaining bytes down once
+        // the dead prefix dominates, keeping the drain loop O(bytes).
+        if (pos_ > 4096 && pos_ >= buf_.size() / 2) {
+            buf_.erase(buf_.begin(),
+                       buf_.begin() + std::ptrdiff_t(pos_));
+            pos_ = 0;
+        }
+        if (buf_.size() == pos_) {
+            buf_.clear();
+            pos_ = 0;
+        }
+        return FrameStatus::Ok;
+      case FrameStatus::NeedMore:
+        return FrameStatus::NeedMore;
+      case FrameStatus::Malformed:
+        poisoned_ = true;
+        poisonError_ = err;
+        if (error)
+            *error = err;
+        return FrameStatus::Malformed;
+    }
+    return FrameStatus::Malformed;
+}
+
+void
+MessageBuffer::clear()
+{
+    buf_.clear();
+    pos_ = 0;
+    poisoned_ = false;
+    poisonError_.clear();
+}
+
+// ------------------------------------------------------------- helpers
+
+namespace {
+
+/** Hard bound on identifier-like strings in specs/replies. */
+constexpr size_t kMaxStringBytes = 4096;
+
+void
+writeString(ByteWriter &w, const std::string &s, size_t bound)
+{
+    rose_assert(s.size() <= bound, "serve string exceeds wire bound");
+    w.u32(uint32_t(s.size()));
+    w.bytes(reinterpret_cast<const uint8_t *>(s.data()), s.size());
+}
+
+std::string
+readString(ByteReader &r, size_t bound)
+{
+    uint32_t n = r.u32();
+    if (n > bound)
+        throw ProtocolError(detail::concat(
+            "string field length ", n, " exceeds bound ", bound));
+    if (n > r.remaining())
+        throw ProtocolError("string field truncated");
+    std::string s(n, '\0');
+    r.bytes(reinterpret_cast<uint8_t *>(s.data()), n);
+    return s;
+}
+
+void
+requireType(const Message &m, MsgType want)
+{
+    if (m.type != want)
+        throw ProtocolError(detail::concat(
+            "expected ", msgTypeName(want), ", got ",
+            msgTypeName(m.type)));
+}
+
+Message
+makeJobIdMessage(MsgType t, uint64_t job_id)
+{
+    Message m;
+    m.type = t;
+    ByteWriter w(m.payload);
+    w.u64(job_id);
+    return m;
+}
+
+uint64_t
+readJobIdMessage(const Message &m, MsgType want)
+{
+    requireType(m, want);
+    ByteReader r(m.payload);
+    return r.u64();
+}
+
+} // namespace
+
+// ------------------------------------------------------------ requests
+
+// Spec codec version: bump when MissionSpec grows wire fields.
+static constexpr uint8_t kSpecCodecVersion = 1;
+
+Message
+encodeSubmitMission(const core::MissionSpec &spec)
+{
+    Message m;
+    m.type = MsgType::SubmitMission;
+    ByteWriter w(m.payload);
+    w.u8(kSpecCodecVersion);
+    writeString(w, spec.world, kMaxStringBytes);
+    writeString(w, spec.vehicle, kMaxStringBytes);
+    writeString(w, spec.socName, kMaxStringBytes);
+    w.u32(uint32_t(spec.modelDepth));
+    w.f64(spec.velocity);
+    w.f64(spec.initialYawDeg);
+    w.u64(spec.syncGranularity);
+    w.u8(uint8_t(spec.mode));
+    w.u64(spec.seed);
+    w.f64(spec.maxSimSeconds);
+    w.u8(spec.degradedMode ? 1 : 0);
+    const bridge::FaultConfig &f = spec.faults;
+    w.u8(f.enabled ? 1 : 0);
+    w.f64(f.dropProb);
+    w.f64(f.corruptProb);
+    w.f64(f.reorderProb);
+    w.f64(f.delayProb);
+    w.u64(f.delayOpsMin);
+    w.u64(f.delayOpsMax);
+    w.u8(f.protectSyncPackets ? 1 : 0);
+    w.u64(f.seed);
+    return m;
+}
+
+core::MissionSpec
+decodeSubmitMission(const Message &m)
+{
+    requireType(m, MsgType::SubmitMission);
+    ByteReader r(m.payload);
+    uint8_t version = r.u8();
+    if (version != kSpecCodecVersion)
+        throw ProtocolError(detail::concat(
+            "unsupported mission-spec codec version ",
+            unsigned(version)));
+    core::MissionSpec spec;
+    spec.world = readString(r, kMaxStringBytes);
+    spec.vehicle = readString(r, kMaxStringBytes);
+    spec.socName = readString(r, kMaxStringBytes);
+    spec.modelDepth = int(r.u32());
+    spec.velocity = r.f64();
+    spec.initialYawDeg = r.f64();
+    spec.syncGranularity = r.u64();
+    uint8_t mode = r.u8();
+    if (mode > uint8_t(runtime::RuntimeMode::Dynamic))
+        throw ProtocolError(detail::concat(
+            "invalid runtime mode byte ", unsigned(mode)));
+    spec.mode = runtime::RuntimeMode(mode);
+    spec.seed = r.u64();
+    spec.maxSimSeconds = r.f64();
+    spec.degradedMode = r.u8() != 0;
+    bridge::FaultConfig &f = spec.faults;
+    f.enabled = r.u8() != 0;
+    f.dropProb = r.f64();
+    f.corruptProb = r.f64();
+    f.reorderProb = r.f64();
+    f.delayProb = r.f64();
+    f.delayOpsMin = r.u64();
+    f.delayOpsMax = r.u64();
+    f.protectSyncPackets = r.u8() != 0;
+    f.seed = r.u64();
+    return spec;
+}
+
+Message
+encodeQueryStatus(uint64_t job_id)
+{
+    return makeJobIdMessage(MsgType::QueryStatus, job_id);
+}
+
+uint64_t
+decodeQueryStatus(const Message &m)
+{
+    return readJobIdMessage(m, MsgType::QueryStatus);
+}
+
+Message
+encodeFetchResult(uint64_t job_id)
+{
+    return makeJobIdMessage(MsgType::FetchResult, job_id);
+}
+
+uint64_t
+decodeFetchResult(const Message &m)
+{
+    return readJobIdMessage(m, MsgType::FetchResult);
+}
+
+Message
+encodeCancelMission(uint64_t job_id)
+{
+    return makeJobIdMessage(MsgType::CancelMission, job_id);
+}
+
+uint64_t
+decodeCancelMission(const Message &m)
+{
+    return readJobIdMessage(m, MsgType::CancelMission);
+}
+
+Message
+encodeServerStats()
+{
+    Message m;
+    m.type = MsgType::ServerStats;
+    return m;
+}
+
+Message
+encodeShutdown(bool drain)
+{
+    Message m;
+    m.type = MsgType::Shutdown;
+    ByteWriter w(m.payload);
+    w.u8(drain ? 1 : 0);
+    return m;
+}
+
+bool
+decodeShutdown(const Message &m)
+{
+    requireType(m, MsgType::Shutdown);
+    ByteReader r(m.payload);
+    return r.u8() != 0;
+}
+
+// ----------------------------------------------------------- responses
+
+Message
+encodeSubmitOk(const SubmitOkReply &reply)
+{
+    Message m;
+    m.type = MsgType::SubmitOk;
+    ByteWriter w(m.payload);
+    w.u64(reply.jobId);
+    w.u32(reply.queuePosition);
+    return m;
+}
+
+SubmitOkReply
+decodeSubmitOk(const Message &m)
+{
+    requireType(m, MsgType::SubmitOk);
+    ByteReader r(m.payload);
+    SubmitOkReply reply;
+    reply.jobId = r.u64();
+    reply.queuePosition = r.u32();
+    return reply;
+}
+
+Message
+encodeRejected(const RejectedReply &reply)
+{
+    Message m;
+    m.type = MsgType::SubmitRejected;
+    ByteWriter w(m.payload);
+    w.u8(uint8_t(reply.reason));
+    writeString(w, reply.detail, kMaxStringBytes);
+    return m;
+}
+
+RejectedReply
+decodeRejected(const Message &m)
+{
+    requireType(m, MsgType::SubmitRejected);
+    ByteReader r(m.payload);
+    RejectedReply reply;
+    uint8_t reason = r.u8();
+    if (reason < uint8_t(RejectReason::QueueFull) ||
+        reason > uint8_t(RejectReason::BadRequest))
+        throw ProtocolError(detail::concat(
+            "invalid reject reason byte ", unsigned(reason)));
+    reply.reason = RejectReason(reason);
+    reply.detail = readString(r, kMaxStringBytes);
+    return reply;
+}
+
+Message
+encodeStatusReply(const StatusInfo &s)
+{
+    Message m;
+    m.type = MsgType::StatusReply;
+    ByteWriter w(m.payload);
+    w.u64(s.jobId);
+    w.u8(uint8_t(s.state));
+    w.u32(s.queuePosition);
+    w.f64(s.queueWaitMs);
+    w.f64(s.serviceMs);
+    return m;
+}
+
+StatusInfo
+decodeStatusReply(const Message &m)
+{
+    requireType(m, MsgType::StatusReply);
+    ByteReader r(m.payload);
+    StatusInfo s;
+    s.jobId = r.u64();
+    uint8_t state = r.u8();
+    if (state < uint8_t(JobState::Queued) ||
+        state > uint8_t(JobState::Unknown))
+        throw ProtocolError(detail::concat(
+            "invalid job state byte ", unsigned(state)));
+    s.state = JobState(state);
+    s.queuePosition = r.u32();
+    s.queueWaitMs = r.f64();
+    s.serviceMs = r.f64();
+    return s;
+}
+
+ServedResult
+marshalResult(const core::MissionResult &r)
+{
+    ServedResult s;
+    s.completed = r.completed;
+    s.status = uint8_t(r.status);
+    s.failureReason = r.failureReason;
+    s.missionTime = r.missionTime;
+    s.collisions = r.collisions;
+    s.avgSpeed = r.avgSpeed;
+    s.maxSpeed = r.maxSpeed;
+    s.distanceTravelled = r.distanceTravelled;
+    s.inferences = r.inferences;
+    s.avgInferenceLatency = r.avgInferenceLatency;
+    s.energyJoules = r.energyJoules;
+    s.avgPowerWatts = r.avgPowerWatts;
+    s.simulatedCycles = r.simulatedCycles;
+    s.trajectorySamples = uint32_t(r.trajectory.size());
+    s.degradedIntervals = uint32_t(r.degradedIntervals.size());
+    s.trajectoryCsv = core::trajectoryCsvString(r);
+    return s;
+}
+
+Message
+encodeResultReply(const ResultData &d)
+{
+    Message m;
+    m.type = MsgType::ResultReply;
+    ByteWriter w(m.payload);
+    w.u64(d.jobId);
+    const ServedResult &s = d.result;
+    w.u8(s.completed ? 1 : 0);
+    w.u8(s.status);
+    writeString(w, s.failureReason, kMaxStringBytes);
+    w.f64(s.missionTime);
+    w.u64(s.collisions);
+    w.f64(s.avgSpeed);
+    w.f64(s.maxSpeed);
+    w.f64(s.distanceTravelled);
+    w.u64(s.inferences);
+    w.f64(s.avgInferenceLatency);
+    w.f64(s.energyJoules);
+    w.f64(s.avgPowerWatts);
+    w.u64(s.simulatedCycles);
+    w.u32(s.trajectorySamples);
+    w.u32(s.degradedIntervals);
+    writeString(w, s.trajectoryCsv, kMaxServePayloadBytes);
+    w.f64(s.queueWaitMs);
+    w.f64(s.serviceMs);
+    return m;
+}
+
+ResultData
+decodeResultReply(const Message &m)
+{
+    requireType(m, MsgType::ResultReply);
+    ByteReader r(m.payload);
+    ResultData d;
+    d.jobId = r.u64();
+    ServedResult &s = d.result;
+    s.completed = r.u8() != 0;
+    s.status = r.u8();
+    s.failureReason = readString(r, kMaxStringBytes);
+    s.missionTime = r.f64();
+    s.collisions = r.u64();
+    s.avgSpeed = r.f64();
+    s.maxSpeed = r.f64();
+    s.distanceTravelled = r.f64();
+    s.inferences = r.u64();
+    s.avgInferenceLatency = r.f64();
+    s.energyJoules = r.f64();
+    s.avgPowerWatts = r.f64();
+    s.simulatedCycles = r.u64();
+    s.trajectorySamples = r.u32();
+    s.degradedIntervals = r.u32();
+    s.trajectoryCsv = readString(r, kMaxServePayloadBytes);
+    s.queueWaitMs = r.f64();
+    s.serviceMs = r.f64();
+    return d;
+}
+
+Message
+encodeCancelReply(const CancelInfo &c)
+{
+    Message m;
+    m.type = MsgType::CancelReply;
+    ByteWriter w(m.payload);
+    w.u64(c.jobId);
+    w.u8(uint8_t(c.outcome));
+    return m;
+}
+
+CancelInfo
+decodeCancelReply(const Message &m)
+{
+    requireType(m, MsgType::CancelReply);
+    ByteReader r(m.payload);
+    CancelInfo c;
+    c.jobId = r.u64();
+    uint8_t outcome = r.u8();
+    if (outcome < uint8_t(CancelOutcome::Dequeued) ||
+        outcome > uint8_t(CancelOutcome::UnknownJob))
+        throw ProtocolError(detail::concat(
+            "invalid cancel outcome byte ", unsigned(outcome)));
+    c.outcome = CancelOutcome(outcome);
+    return c;
+}
+
+Message
+encodeStatsReply(const ServerStatsData &s)
+{
+    Message m;
+    m.type = MsgType::StatsReply;
+    ByteWriter w(m.payload);
+    w.u64(s.submitted);
+    w.u64(s.accepted);
+    w.u64(s.completed);
+    w.u64(s.failed);
+    w.u64(s.cancelled);
+    w.u64(s.rejectedQueueFull);
+    w.u64(s.rejectedClientCap);
+    w.u64(s.rejectedShutdown);
+    w.u64(s.malformed);
+    w.u32(s.queued);
+    w.u32(s.running);
+    w.u32(s.workers);
+    w.u32(s.queueCapacity);
+    w.u64(s.connectionsAccepted);
+    w.u32(s.connectionsOpen);
+    w.f64(s.totalQueueWaitMs);
+    w.f64(s.maxQueueWaitMs);
+    w.f64(s.totalServiceMs);
+    w.f64(s.maxServiceMs);
+    return m;
+}
+
+ServerStatsData
+decodeStatsReply(const Message &m)
+{
+    requireType(m, MsgType::StatsReply);
+    ByteReader r(m.payload);
+    ServerStatsData s;
+    s.submitted = r.u64();
+    s.accepted = r.u64();
+    s.completed = r.u64();
+    s.failed = r.u64();
+    s.cancelled = r.u64();
+    s.rejectedQueueFull = r.u64();
+    s.rejectedClientCap = r.u64();
+    s.rejectedShutdown = r.u64();
+    s.malformed = r.u64();
+    s.queued = r.u32();
+    s.running = r.u32();
+    s.workers = r.u32();
+    s.queueCapacity = r.u32();
+    s.connectionsAccepted = r.u64();
+    s.connectionsOpen = r.u32();
+    s.totalQueueWaitMs = r.f64();
+    s.maxQueueWaitMs = r.f64();
+    s.totalServiceMs = r.f64();
+    s.maxServiceMs = r.f64();
+    return s;
+}
+
+Message
+encodeShutdownReply()
+{
+    Message m;
+    m.type = MsgType::ShutdownReply;
+    return m;
+}
+
+Message
+encodeErrorReply(const std::string &what)
+{
+    Message m;
+    m.type = MsgType::ErrorReply;
+    ByteWriter w(m.payload);
+    writeString(w, what.size() > kMaxStringBytes
+                       ? what.substr(0, kMaxStringBytes)
+                       : what,
+                kMaxStringBytes);
+    return m;
+}
+
+std::string
+decodeErrorReply(const Message &m)
+{
+    requireType(m, MsgType::ErrorReply);
+    ByteReader r(m.payload);
+    return readString(r, kMaxStringBytes);
+}
+
+} // namespace rose::serve

@@ -1,0 +1,316 @@
+/**
+ * @file
+ * Wire protocol of the mission-service daemon (`rosed`).
+ *
+ * RoSÉ's evaluations are thousands of independent co-simulated
+ * missions; the serve layer turns the in-process library into a
+ * long-lived service multiple clients can submit missions to. This
+ * header defines the request/response message set and its framing.
+ *
+ * Framing deliberately mirrors the hardened bridge packet format
+ * (bridge/packet.hh): a 1-byte type + 4-byte little-endian length
+ * header, with the type byte and length bound validated *before* any
+ * payload allocation, and a poisoned-buffer rule — once framing is
+ * lost the stream can never be trusted again. The payload bound is
+ * larger than the bridge's (results carry whole trajectory CSVs), but
+ * still hard: a corrupt length can neither trigger an unbounded
+ * allocation nor an endless NeedMore wait.
+ *
+ * Request/response pairing is strict: every request produces exactly
+ * one response on the same connection, in request order. Responses
+ * have the high bit of the type byte set.
+ */
+
+#ifndef ROSE_SERVE_PROTO_HH
+#define ROSE_SERVE_PROTO_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bridge/packet.hh"
+#include "core/cosim.hh"
+#include "core/experiment.hh"
+
+namespace rose::serve {
+
+/** Framing classification, shared with the bridge decoder. */
+using bridge::FrameStatus;
+
+/**
+ * Semantically malformed payload inside a structurally valid frame
+ * (truncated fields, out-of-range enum bytes, oversized strings).
+ * The server answers such requests with an Error reply and keeps the
+ * connection — the framing layer is still intact.
+ */
+class ProtocolError : public std::runtime_error
+{
+  public:
+    explicit ProtocolError(const std::string &what)
+        : std::runtime_error(what) {}
+};
+
+/** Wire identifiers. Requests 0x01..0x7f, responses 0x81..0xff. */
+enum class MsgType : uint8_t
+{
+    // --- requests (client -> server) ---
+    SubmitMission = 0x01, ///< enqueue a MissionSpec
+    QueryStatus = 0x02,   ///< job lifecycle state
+    FetchResult = 0x03,   ///< retrieve a finished job's result
+    CancelMission = 0x04, ///< dequeue a not-yet-running job
+    ServerStats = 0x05,   ///< admission / load-shedding counters
+    Shutdown = 0x06,      ///< stop the daemon (drain or immediate)
+
+    // --- responses (server -> client) ---
+    SubmitOk = 0x81,     ///< job accepted: id + queue position
+    SubmitRejected = 0x82, ///< admission control shed the request
+    StatusReply = 0x83,
+    ResultReply = 0x84,
+    CancelReply = 0x85,
+    StatsReply = 0x86,
+    ShutdownReply = 0x87,
+    ErrorReply = 0x8f, ///< malformed-but-framed request, unknown job
+};
+
+/** True when the raw wire byte names a known MsgType. */
+bool isValidMsgType(uint8_t raw);
+
+/** True for the request (client -> server) half of the message set. */
+bool isRequest(MsgType t);
+
+/** Human-readable message-type name for logs. */
+const char *msgTypeName(MsgType t);
+
+/**
+ * Upper bound on a serve frame's payload. The largest legitimate
+ * payload is a ResultReply carrying a full trajectory CSV (a
+ * 60-second mission at the default sample rate is ~500 KiB); 8 MiB
+ * covers any configurable mission with a wide margin.
+ */
+constexpr size_t kMaxServePayloadBytes = 8 * 1024 * 1024;
+
+/** One serve-protocol message: type + raw payload bytes. */
+struct Message
+{
+    MsgType type = MsgType::ServerStats;
+    std::vector<uint8_t> payload;
+
+    /** Header bytes on the wire: 1 type byte + 4 length bytes. */
+    static constexpr size_t kHeaderBytes = 5;
+
+    size_t wireSize() const { return kHeaderBytes + payload.size(); }
+};
+
+/** Serialize header + payload onto a byte stream. */
+void serializeMessage(const Message &m, std::vector<uint8_t> &out);
+
+/**
+ * Validated frame decoder (mirrors bridge::tryDecodeFrame): parse one
+ * message from the front of a byte range. Header checked before any
+ * payload allocation; unknown type or oversized length is Malformed.
+ */
+FrameStatus tryDecodeMessage(const uint8_t *data, size_t size,
+                             size_t &consumed, Message &out,
+                             std::string *error = nullptr);
+
+/**
+ * Receive-side accumulator with a read cursor and amortized
+ * compaction (O(bytes) to drain N messages). Once Malformed, the
+ * buffer is poisoned and stays Malformed: a length-prefixed stream
+ * cannot be resynchronized after framing is lost.
+ */
+class MessageBuffer
+{
+  public:
+    void append(const uint8_t *data, size_t n);
+    FrameStatus next(Message &out, std::string *error = nullptr);
+    size_t pendingBytes() const { return buf_.size() - pos_; }
+    void clear();
+
+  private:
+    std::vector<uint8_t> buf_;
+    size_t pos_ = 0;
+    bool poisoned_ = false;
+    std::string poisonError_;
+};
+
+// --------------------------------------------------------------------
+// Typed payload codecs. Decoders throw ProtocolError (or the
+// underlying bridge::PayloadError on byte underrun) on bad payloads.
+
+/** Why admission control refused a submission. */
+enum class RejectReason : uint8_t
+{
+    QueueFull = 1,    ///< bounded queue at capacity (load shed)
+    ClientCap = 2,    ///< per-client in-flight cap reached
+    ShuttingDown = 3, ///< daemon is draining
+    BadRequest = 4,   ///< spec failed validation
+};
+
+const char *rejectReasonName(RejectReason r);
+
+/** Job lifecycle as observable by clients. */
+enum class JobState : uint8_t
+{
+    Queued = 1,
+    Running = 2,
+    Done = 3,      ///< mission ran; result available (any outcome)
+    Failed = 4,    ///< execution threw; failure reason available
+    Cancelled = 5, ///< dequeued before running
+    Unknown = 6,   ///< no such job id
+};
+
+const char *jobStateName(JobState s);
+
+/** SubmitOk payload. */
+struct SubmitOkReply
+{
+    uint64_t jobId = 0;
+    /** Jobs ahead of this one in the queue at admission. */
+    uint32_t queuePosition = 0;
+};
+
+/** SubmitRejected payload. */
+struct RejectedReply
+{
+    RejectReason reason = RejectReason::QueueFull;
+    std::string detail;
+};
+
+/** StatusReply payload. */
+struct StatusInfo
+{
+    uint64_t jobId = 0;
+    JobState state = JobState::Unknown;
+    uint32_t queuePosition = 0; ///< only meaningful when Queued
+    double queueWaitMs = 0.0;   ///< admission -> start (so far if Queued)
+    double serviceMs = 0.0;     ///< start -> finish (0 until finished)
+};
+
+/**
+ * A mission result marshalled for the wire. The trajectory travels as
+ * the canonical CSV string (core::trajectoryCsvString) — the same
+ * bytes the golden-trace tests hash — so a client can verify
+ * bit-identity with a local run without any float re-encoding.
+ */
+struct ServedResult
+{
+    bool completed = false;
+    uint8_t status = 0; ///< core::MissionStatus
+    std::string failureReason;
+    double missionTime = 0.0;
+    uint64_t collisions = 0;
+    double avgSpeed = 0.0;
+    double maxSpeed = 0.0;
+    double distanceTravelled = 0.0;
+    uint64_t inferences = 0;
+    double avgInferenceLatency = 0.0;
+    double energyJoules = 0.0;
+    double avgPowerWatts = 0.0;
+    uint64_t simulatedCycles = 0;
+    uint32_t trajectorySamples = 0;
+    uint32_t degradedIntervals = 0;
+    /** Canonical trajectory CSV (hash target of test_golden.cc). */
+    std::string trajectoryCsv;
+    /** Server-side queueing telemetry for this job. */
+    double queueWaitMs = 0.0;
+    double serviceMs = 0.0;
+};
+
+/** Marshal a core result (trajectory rendered to canonical CSV). */
+ServedResult marshalResult(const core::MissionResult &r);
+
+/** ResultReply payload. */
+struct ResultData
+{
+    uint64_t jobId = 0;
+    ServedResult result;
+};
+
+/** What a CancelMission achieved. */
+enum class CancelOutcome : uint8_t
+{
+    Dequeued = 1,    ///< removed from the queue before running
+    TooLate = 2,     ///< already running (missions are not preempted)
+    AlreadyDone = 3, ///< already finished
+    UnknownJob = 4,
+};
+
+/** CancelReply payload. */
+struct CancelInfo
+{
+    uint64_t jobId = 0;
+    CancelOutcome outcome = CancelOutcome::UnknownJob;
+};
+
+/** StatsReply payload: admission + load-shedding counters. */
+struct ServerStatsData
+{
+    uint64_t submitted = 0; ///< SubmitMission requests seen
+    uint64_t accepted = 0;
+    uint64_t completed = 0;
+    uint64_t failed = 0;
+    uint64_t cancelled = 0;
+    uint64_t rejectedQueueFull = 0;
+    uint64_t rejectedClientCap = 0;
+    uint64_t rejectedShutdown = 0;
+    uint64_t malformed = 0; ///< poisoned connections dropped
+    uint32_t queued = 0;    ///< jobs waiting right now
+    uint32_t running = 0;   ///< jobs executing right now
+    uint32_t workers = 0;
+    uint32_t queueCapacity = 0;
+    uint64_t connectionsAccepted = 0;
+    uint32_t connectionsOpen = 0;
+    /** Queue-wait / service-time aggregates over finished jobs [ms]. */
+    double totalQueueWaitMs = 0.0;
+    double maxQueueWaitMs = 0.0;
+    double totalServiceMs = 0.0;
+    double maxServiceMs = 0.0;
+};
+
+// Requests.
+Message encodeSubmitMission(const core::MissionSpec &spec);
+core::MissionSpec decodeSubmitMission(const Message &m);
+
+Message encodeQueryStatus(uint64_t job_id);
+uint64_t decodeQueryStatus(const Message &m);
+
+Message encodeFetchResult(uint64_t job_id);
+uint64_t decodeFetchResult(const Message &m);
+
+Message encodeCancelMission(uint64_t job_id);
+uint64_t decodeCancelMission(const Message &m);
+
+Message encodeServerStats();
+
+Message encodeShutdown(bool drain);
+bool decodeShutdown(const Message &m);
+
+// Responses.
+Message encodeSubmitOk(const SubmitOkReply &r);
+SubmitOkReply decodeSubmitOk(const Message &m);
+
+Message encodeRejected(const RejectedReply &r);
+RejectedReply decodeRejected(const Message &m);
+
+Message encodeStatusReply(const StatusInfo &s);
+StatusInfo decodeStatusReply(const Message &m);
+
+Message encodeResultReply(const ResultData &r);
+ResultData decodeResultReply(const Message &m);
+
+Message encodeCancelReply(const CancelInfo &c);
+CancelInfo decodeCancelReply(const Message &m);
+
+Message encodeStatsReply(const ServerStatsData &s);
+ServerStatsData decodeStatsReply(const Message &m);
+
+Message encodeShutdownReply();
+
+Message encodeErrorReply(const std::string &what);
+std::string decodeErrorReply(const Message &m);
+
+} // namespace rose::serve
+
+#endif // ROSE_SERVE_PROTO_HH

@@ -1,0 +1,373 @@
+/**
+ * @file
+ * `rose_client` — CLI for the mission-service daemon.
+ *
+ *   rose_client --port N submit [spec flags] [--wait]
+ *   rose_client --port N status JOB
+ *   rose_client --port N fetch JOB [--csv PATH]
+ *   rose_client --port N cancel JOB
+ *   rose_client --port N stats
+ *   rose_client --port N shutdown [--no-drain]
+ *   rose_client --port N smoke [--clients 4] [--missions 8]
+ *
+ * `smoke` is the end-to-end acceptance check used by CI: it fans out
+ * concurrent clients (core::parallelIndexed), submits the canonical
+ * golden missions, and verifies that every served trajectory hashes
+ * bit-identically (FNV-1a) to the same spec run locally through
+ * runMission(). Exit 0 only when every mission matches.
+ */
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/batch.hh"
+#include "core/experiment.hh"
+#include "serve/client.hh"
+#include "util/hash.hh"
+
+using namespace rose;
+
+namespace {
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s --port N [--host H] [--timeout MS] COMMAND ...\n"
+        "commands:\n"
+        "  submit [--world W --vehicle V --soc S --depth D --velocity"
+        " X\n"
+        "          --yaw DEG --seed N --sim-seconds T --dynamic\n"
+        "          --degraded] [--wait]\n"
+        "  status JOB | fetch JOB [--csv PATH] | cancel JOB\n"
+        "  stats | shutdown [--no-drain]\n"
+        "  smoke [--clients N] [--missions N] [--sim-seconds T]\n",
+        argv0);
+}
+
+void
+printResult(uint64_t job_id, const serve::ServedResult &r)
+{
+    std::printf("job %" PRIu64 ": %s%s%s\n", job_id,
+                r.completed ? "completed" : "did not complete",
+                r.failureReason.empty() ? "" : " — ",
+                r.failureReason.c_str());
+    std::printf("  mission_time=%.3fs collisions=%" PRIu64
+                " avg_speed=%.3f m/s distance=%.2f m\n",
+                r.missionTime, r.collisions, r.avgSpeed,
+                r.distanceTravelled);
+    std::printf("  inferences=%" PRIu64 " energy=%.3f J cycles=%" PRIu64
+                "\n",
+                r.inferences, r.energyJoules, r.simulatedCycles);
+    std::printf("  queue_wait=%.1f ms service=%.1f ms samples=%u "
+                "trajectory_fnv1a=0x%016" PRIx64 "\n",
+                r.queueWaitMs, r.serviceMs, r.trajectorySamples,
+                fnv1a(r.trajectoryCsv));
+}
+
+/** The golden-trace canonical mission, SoC config varying. */
+core::MissionSpec
+canonicalSpec(const std::string &soc, double sim_seconds)
+{
+    core::MissionSpec spec;
+    spec.world = "tunnel";
+    spec.socName = soc;
+    spec.modelDepth = 14;
+    spec.velocity = 3.0;
+    spec.initialYawDeg = 20.0;
+    spec.seed = 1;
+    spec.maxSimSeconds = sim_seconds;
+    return spec;
+}
+
+int
+runSmoke(const std::string &host, uint16_t port, int timeout_ms,
+         int clients, int missions, double sim_seconds)
+{
+    static const char *kSocs[] = {"A", "B", "C"};
+
+    // Local reference hashes, one runMission per distinct spec.
+    std::printf("smoke: computing local reference hashes...\n");
+    std::map<std::string, uint64_t> localHash;
+    for (int m = 0; m < missions && m < 3; ++m) {
+        const char *soc = kSocs[m % 3];
+        if (localHash.count(soc))
+            continue;
+        core::MissionResult r =
+            core::runMission(canonicalSpec(soc, sim_seconds));
+        localHash[soc] = fnv1a(core::trajectoryCsvString(r));
+    }
+
+    std::mutex mu;
+    int failures = 0;
+
+    // One client per concurrent slot; each submits its share of the
+    // mission list and verifies every served hash.
+    auto clientBody = [&](size_t ci) -> int {
+        int bad = 0;
+        try {
+            serve::ServeClient client(port, host, timeout_ms);
+            std::vector<std::pair<uint64_t, const char *>> jobs;
+            for (int m = int(ci); m < missions; m += clients) {
+                const char *soc = kSocs[m % 3];
+                serve::SubmitOutcome out = client.submit(
+                    canonicalSpec(soc, sim_seconds));
+                if (!out.accepted) {
+                    // Backpressure is legitimate: retry after a beat.
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(50));
+                    out = client.submit(
+                        canonicalSpec(soc, sim_seconds));
+                }
+                if (!out.accepted) {
+                    std::lock_guard<std::mutex> lk(mu);
+                    std::fprintf(stderr,
+                                 "smoke: client %zu submit shed "
+                                 "twice (%s)\n",
+                                 ci, out.detail.c_str());
+                    bad++;
+                    continue;
+                }
+                jobs.emplace_back(out.jobId, soc);
+            }
+            for (auto [id, soc] : jobs) {
+                serve::ServedResult r =
+                    client.waitResult(id, timeout_ms);
+                uint64_t served = fnv1a(r.trajectoryCsv);
+                uint64_t expect = localHash.at(soc);
+                std::lock_guard<std::mutex> lk(mu);
+                if (served != expect) {
+                    std::fprintf(stderr,
+                                 "smoke: HASH MISMATCH job %" PRIu64
+                                 " soc %s served 0x%016" PRIx64
+                                 " local 0x%016" PRIx64 "\n",
+                                 id, soc, served, expect);
+                    bad++;
+                } else {
+                    std::printf("smoke: job %" PRIu64 " soc %s ok "
+                                "(0x%016" PRIx64 ")\n",
+                                id, soc, served);
+                }
+            }
+        } catch (const std::exception &e) {
+            std::lock_guard<std::mutex> lk(mu);
+            std::fprintf(stderr, "smoke: client %zu failed: %s\n", ci,
+                         e.what());
+            bad++;
+        }
+        return bad;
+    };
+
+    std::vector<int> bad = core::parallelIndexed<int>(
+        size_t(clients), clients, clientBody);
+    for (int b : bad)
+        failures += b;
+
+    if (failures == 0) {
+        std::printf("smoke: %d missions from %d clients all "
+                    "bit-identical to local runs\n",
+                    missions, clients);
+        return 0;
+    }
+    std::fprintf(stderr, "smoke: %d failure(s)\n", failures);
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;
+    int timeout_ms = 120000;
+
+    int i = 1;
+    for (; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--port" && i + 1 < argc)
+            port = uint16_t(std::atoi(argv[++i]));
+        else if (arg == "--host" && i + 1 < argc)
+            host = argv[++i];
+        else if (arg == "--timeout" && i + 1 < argc)
+            timeout_ms = std::atoi(argv[++i]);
+        else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else
+            break;
+    }
+    if (i >= argc || port == 0) {
+        usage(argv[0]);
+        return 2;
+    }
+    std::string cmd = argv[i++];
+
+    try {
+        if (cmd == "smoke") {
+            int clients = 4, missions = 8;
+            double sim_seconds = 10.0;
+            for (; i < argc; ++i) {
+                std::string arg = argv[i];
+                if (arg == "--clients" && i + 1 < argc)
+                    clients = std::atoi(argv[++i]);
+                else if (arg == "--missions" && i + 1 < argc)
+                    missions = std::atoi(argv[++i]);
+                else if (arg == "--sim-seconds" && i + 1 < argc)
+                    sim_seconds = std::atof(argv[++i]);
+            }
+            return runSmoke(host, port, timeout_ms, clients, missions,
+                            sim_seconds);
+        }
+
+        serve::ServeClient client(port, host, timeout_ms);
+
+        if (cmd == "submit") {
+            core::MissionSpec spec;
+            bool wait = false;
+            for (; i < argc; ++i) {
+                std::string arg = argv[i];
+                if (arg == "--world" && i + 1 < argc)
+                    spec.world = argv[++i];
+                else if (arg == "--vehicle" && i + 1 < argc)
+                    spec.vehicle = argv[++i];
+                else if (arg == "--soc" && i + 1 < argc)
+                    spec.socName = argv[++i];
+                else if (arg == "--depth" && i + 1 < argc)
+                    spec.modelDepth = std::atoi(argv[++i]);
+                else if (arg == "--velocity" && i + 1 < argc)
+                    spec.velocity = std::atof(argv[++i]);
+                else if (arg == "--yaw" && i + 1 < argc)
+                    spec.initialYawDeg = std::atof(argv[++i]);
+                else if (arg == "--seed" && i + 1 < argc)
+                    spec.seed = uint64_t(std::atoll(argv[++i]));
+                else if (arg == "--sim-seconds" && i + 1 < argc)
+                    spec.maxSimSeconds = std::atof(argv[++i]);
+                else if (arg == "--dynamic")
+                    spec.mode = runtime::RuntimeMode::Dynamic;
+                else if (arg == "--degraded")
+                    spec.degradedMode = true;
+                else if (arg == "--wait")
+                    wait = true;
+            }
+            serve::SubmitOutcome out = client.submit(spec);
+            if (!out.accepted) {
+                std::fprintf(stderr, "rejected (%s): %s\n",
+                             serve::rejectReasonName(out.reason),
+                             out.detail.c_str());
+                return 1;
+            }
+            std::printf("accepted: job %" PRIu64
+                        " (queue position %u)\n",
+                        out.jobId, out.queuePosition);
+            if (wait)
+                printResult(out.jobId,
+                            client.waitResult(out.jobId, timeout_ms));
+            return 0;
+        }
+
+        if (cmd == "status" || cmd == "fetch" || cmd == "cancel") {
+            if (i >= argc) {
+                std::fprintf(stderr, "%s requires a job id\n",
+                             cmd.c_str());
+                return 2;
+            }
+            uint64_t job = uint64_t(std::atoll(argv[i++]));
+            if (cmd == "status") {
+                serve::StatusInfo s = client.status(job);
+                std::printf("job %" PRIu64 ": %s (queue_pos=%u "
+                            "queue_wait=%.1fms service=%.1fms)\n",
+                            s.jobId, serve::jobStateName(s.state),
+                            s.queuePosition, s.queueWaitMs,
+                            s.serviceMs);
+                return 0;
+            }
+            if (cmd == "cancel") {
+                serve::CancelInfo c = client.cancel(job);
+                static const char *kOutcomes[] = {
+                    "?", "dequeued", "too_late", "already_done",
+                    "unknown_job"};
+                std::printf("job %" PRIu64 ": %s\n", c.jobId,
+                            kOutcomes[uint8_t(c.outcome)]);
+                return c.outcome ==
+                               serve::CancelOutcome::UnknownJob
+                           ? 1
+                           : 0;
+            }
+            std::string csvPath;
+            for (; i < argc; ++i) {
+                std::string arg = argv[i];
+                if (arg == "--csv" && i + 1 < argc)
+                    csvPath = argv[++i];
+            }
+            serve::ServedResult r = client.waitResult(job, timeout_ms);
+            printResult(job, r);
+            if (!csvPath.empty()) {
+                std::FILE *f = std::fopen(csvPath.c_str(), "wb");
+                if (!f) {
+                    std::fprintf(stderr, "cannot write %s\n",
+                                 csvPath.c_str());
+                    return 1;
+                }
+                std::fwrite(r.trajectoryCsv.data(), 1,
+                            r.trajectoryCsv.size(), f);
+                std::fclose(f);
+            }
+            return 0;
+        }
+
+        if (cmd == "stats") {
+            serve::ServerStatsData s = client.serverStats();
+            std::printf(
+                "submitted=%" PRIu64 " accepted=%" PRIu64
+                " completed=%" PRIu64 " failed=%" PRIu64
+                " cancelled=%" PRIu64 "\n"
+                "shed: queue_full=%" PRIu64 " client_cap=%" PRIu64
+                " shutting_down=%" PRIu64 " malformed=%" PRIu64 "\n"
+                "now: queued=%u running=%u workers=%u "
+                "queue_capacity=%u connections=%u\n"
+                "latency: avg_queue_wait=%.1fms max_queue_wait=%.1fms "
+                "avg_service=%.1fms max_service=%.1fms\n",
+                s.submitted, s.accepted, s.completed, s.failed,
+                s.cancelled, s.rejectedQueueFull, s.rejectedClientCap,
+                s.rejectedShutdown, s.malformed, s.queued, s.running,
+                s.workers, s.queueCapacity, s.connectionsOpen,
+                s.completed + s.failed
+                    ? s.totalQueueWaitMs / double(s.completed + s.failed)
+                    : 0.0,
+                s.maxQueueWaitMs,
+                s.completed + s.failed
+                    ? s.totalServiceMs / double(s.completed + s.failed)
+                    : 0.0,
+                s.maxServiceMs);
+            return 0;
+        }
+
+        if (cmd == "shutdown") {
+            bool drain = true;
+            for (; i < argc; ++i)
+                if (std::string(argv[i]) == "--no-drain")
+                    drain = false;
+            client.shutdownServer(drain);
+            std::printf("shutdown requested (%s)\n",
+                        drain ? "drain" : "immediate");
+            return 0;
+        }
+
+        std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
+        usage(argv[0]);
+        return 2;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "rose_client: %s\n", e.what());
+        return 1;
+    }
+}

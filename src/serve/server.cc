@@ -1,0 +1,711 @@
+#include "server.hh"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "core/batch.hh"
+#include "util/logging.hh"
+
+namespace rose::serve {
+
+namespace {
+
+void
+setNonBlockingOrThrow(int fd)
+{
+    int flags = fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+        throw bridge::TransportError(
+            std::string("fcntl O_NONBLOCK failed: ") +
+            std::strerror(errno));
+}
+
+double
+msBetween(std::chrono::steady_clock::time_point a,
+          std::chrono::steady_clock::time_point b)
+{
+    return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+} // namespace
+
+MissionServer::MissionServer(const ServerConfig &cfg)
+    : cfg_(cfg), listener_(cfg.port)
+{
+    if (cfg_.workers < 1)
+        cfg_.workers = 1;
+    if (cfg_.maxQueueDepth < 1)
+        cfg_.maxQueueDepth = 1;
+    counters_.workers = uint32_t(cfg_.workers);
+    counters_.queueCapacity = uint32_t(cfg_.maxQueueDepth);
+}
+
+MissionServer::~MissionServer()
+{
+    stop(false);
+}
+
+void
+MissionServer::start()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        rose_assert(!started_, "MissionServer started twice");
+        started_ = true;
+    }
+    ioThread_ = std::thread([this] { ioLoop(); });
+
+    // The worker pool is the batch runner's pool primitive: a
+    // parallel indexed map over worker slots, each slot's body
+    // looping on the shared job queue. Launched from a detached-join
+    // helper thread because parallelIndexed() itself blocks until
+    // every worker exits (which is exactly what waitForShutdown
+    // wants to join on).
+    poolLauncher_ = std::thread([this] {
+        core::parallelIndexed<int>(size_t(cfg_.workers), cfg_.workers,
+                                   [this](size_t i) {
+                                       workerLoop(i);
+                                       return 0;
+                                   });
+    });
+}
+
+void
+MissionServer::requestShutdown(bool drain)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!started_ || shuttingDown_)
+        return;
+    shuttingDown_ = true;
+    drainOnShutdown_ = drain;
+    if (!drain) {
+        // Immediate shutdown sheds the whole queue; running missions
+        // still finish (missions are never preempted mid-flight).
+        for (uint64_t id : queue_) {
+            auto it = jobs_.find(id);
+            if (it == jobs_.end())
+                continue;
+            it->second.state = JobState::Cancelled;
+            counters_.cancelled++;
+            auto fl = inFlightByClient_.find(it->second.clientId);
+            if (fl != inFlightByClient_.end() && fl->second > 0)
+                fl->second--;
+        }
+        queue_.clear();
+    }
+    queueCv_.notify_all();
+}
+
+void
+MissionServer::waitForShutdown()
+{
+    if (ioThread_.joinable())
+        ioThread_.join();
+    if (poolLauncher_.joinable())
+        poolLauncher_.join();
+}
+
+void
+MissionServer::stop(bool drain)
+{
+    requestShutdown(drain);
+    waitForShutdown();
+}
+
+bool
+MissionServer::running() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return started_ && !shutdownComplete_;
+}
+
+ServerStatsSnapshot
+MissionServer::stats() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return statsLocked();
+}
+
+ServerStatsSnapshot
+MissionServer::statsLocked() const
+{
+    ServerStatsSnapshot s = counters_;
+    s.queued = uint32_t(queue_.size());
+    s.running = runningJobs_;
+    s.connectionsOpen = openConnections_;
+    return s;
+}
+
+void
+MissionServer::pauseWorkers()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    workersPaused_ = true;
+}
+
+void
+MissionServer::resumeWorkers()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    workersPaused_ = false;
+    queueCv_.notify_all();
+}
+
+// ------------------------------------------------------------ workers
+
+void
+MissionServer::workerLoop(size_t)
+{
+    for (;;) {
+        core::MissionSpec spec;
+        uint64_t job_id = 0;
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            // Shutdown overrides pause so a drain can never deadlock
+            // behind a paused pool.
+            queueCv_.wait(lk, [this] {
+                bool runnable = !queue_.empty() &&
+                                (!workersPaused_ || shuttingDown_);
+                bool stop = shuttingDown_ &&
+                            (!drainOnShutdown_ || queue_.empty());
+                return runnable || stop;
+            });
+            if (queue_.empty())
+                return; // shutdown (drained or immediate)
+            job_id = queue_.front();
+            queue_.pop_front();
+            Job &job = jobs_[job_id];
+            job.state = JobState::Running;
+            job.started = Clock::now();
+            job.queueWaitMs = msBetween(job.enqueued, job.started);
+            spec = job.spec;
+            runningJobs_++;
+        }
+
+        // Execute outside the lock. The supervisor path gives served
+        // missions checkpoint/restore + fault retry + degraded-mode
+        // recovery; an unperturbed supervised run is bit-identical to
+        // runMission(), which is what makes served results hash equal
+        // to local ones.
+        core::MissionResult result;
+        bool threw = false;
+        std::string why;
+        try {
+            if (cfg_.supervise) {
+                core::MissionSupervisor sup(spec.toConfig(),
+                                            cfg_.supervisor);
+                result = sup.run();
+            } else {
+                result = core::runMission(spec);
+            }
+        } catch (const std::exception &e) {
+            threw = true;
+            why = e.what();
+        }
+        ServedResult served;
+        if (!threw)
+            served = marshalResult(result);
+
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            Job &job = jobs_[job_id];
+            job.serviceMs = msBetween(job.started, Clock::now());
+            if (threw) {
+                job.state = JobState::Failed;
+                job.result = ServedResult{};
+                job.result.failureReason = why;
+                counters_.failed++;
+            } else {
+                job.state = JobState::Done;
+                job.result = std::move(served);
+                counters_.completed++;
+            }
+            job.result.queueWaitMs = job.queueWaitMs;
+            job.result.serviceMs = job.serviceMs;
+            counters_.totalQueueWaitMs += job.queueWaitMs;
+            counters_.maxQueueWaitMs =
+                std::max(counters_.maxQueueWaitMs, job.queueWaitMs);
+            counters_.totalServiceMs += job.serviceMs;
+            counters_.maxServiceMs =
+                std::max(counters_.maxServiceMs, job.serviceMs);
+            runningJobs_--;
+            if (job.clientId != 0) {
+                auto fl = inFlightByClient_.find(job.clientId);
+                if (fl != inFlightByClient_.end() && fl->second > 0)
+                    fl->second--;
+            }
+            // A drain may complete with this job: wake idle workers
+            // (and let the IO loop observe quiescence on its next
+            // poll tick).
+            if (shuttingDown_)
+                queueCv_.notify_all();
+        }
+    }
+}
+
+// ----------------------------------------------------------------- IO
+
+void
+MissionServer::ioLoop()
+{
+    bool listenerOpen = true;
+
+    for (;;) {
+        // Exit once shutdown is requested and the job engine is
+        // quiescent (queue drained or shed, nothing running).
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            if (shuttingDown_ && queue_.empty() && runningJobs_ == 0) {
+                break;
+            }
+            if (shuttingDown_ && listenerOpen) {
+                // Stop accepting the moment shutdown begins; existing
+                // connections stay serviceable while draining.
+                listener_.close();
+                listenerOpen = false;
+            }
+        }
+
+        // Snapshot the connection count the pollfd set covers:
+        // acceptPending() below can append to conns_, and those new
+        // connections have no pfds entry until the next iteration.
+        const size_t polledConns = conns_.size();
+        std::vector<pollfd> pfds;
+        pfds.reserve(polledConns + 1);
+        if (listenerOpen)
+            pfds.push_back(pollfd{listener_.fd(), POLLIN, 0});
+        for (const auto &c : conns_)
+            pfds.push_back(pollfd{c->fd, POLLIN, 0});
+
+        int rc = ::poll(pfds.data(), nfds_t(pfds.size()),
+                        cfg_.pollIntervalMs);
+        if (rc < 0 && errno != EINTR) {
+            rose_warn("rosed IO poll failed: ",
+                          std::strerror(errno));
+            break;
+        }
+
+        size_t idx = 0;
+        if (listenerOpen) {
+            if (pfds[idx].revents & POLLIN)
+                acceptPending();
+            idx++;
+        }
+        for (size_t i = 0; i < polledConns; ++i, ++idx) {
+            if (pfds[idx].revents &
+                (POLLIN | POLLERR | POLLHUP | POLLNVAL))
+                serviceConnection(*conns_[i]);
+        }
+
+        // Retire dead connections and release their sessions.
+        for (size_t i = 0; i < conns_.size();) {
+            if (conns_[i]->dead) {
+                closeConnection(*conns_[i]);
+                conns_.erase(conns_.begin() + std::ptrdiff_t(i));
+            } else {
+                ++i;
+            }
+        }
+    }
+
+    if (listenerOpen)
+        listener_.close();
+    for (auto &c : conns_)
+        closeConnection(*c);
+    conns_.clear();
+
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdownComplete_ = true;
+}
+
+void
+MissionServer::acceptPending()
+{
+    for (;;) {
+        int fd = -1;
+        try {
+            fd = listener_.acceptFd(0);
+        } catch (const bridge::TransportError &e) {
+            rose_warn("rosed accept failed: ", e.what());
+            return;
+        }
+        if (fd < 0)
+            return;
+        auto conn = std::make_unique<Connection>();
+        conn->fd = fd;
+        try {
+            setNonBlockingOrThrow(fd);
+        } catch (const bridge::TransportError &e) {
+            rose_warn("rosed connection setup failed: ", e.what());
+            ::close(fd);
+            continue;
+        }
+        int one = 1;
+        setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            conn->id = nextConnId_++;
+            counters_.connectionsAccepted++;
+            openConnections_++;
+            inFlightByClient_[conn->id] = 0;
+        }
+        conns_.push_back(std::move(conn));
+    }
+}
+
+void
+MissionServer::serviceConnection(Connection &conn)
+{
+    uint8_t tmp[65536];
+    for (;;) {
+        ssize_t n = ::recv(conn.fd, tmp, sizeof(tmp), 0);
+        if (n > 0) {
+            conn.rx.append(tmp, size_t(n));
+            continue;
+        }
+        if (n == 0) {
+            conn.dead = true; // orderly peer close
+            break;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            break;
+        if (errno == EINTR)
+            continue;
+        conn.dead = true; // reset or hard error
+        break;
+    }
+    if (!drainRequests(conn))
+        conn.dead = true;
+}
+
+bool
+MissionServer::drainRequests(Connection &conn)
+{
+    for (;;) {
+        Message req;
+        std::string err;
+        FrameStatus st = conn.rx.next(req, &err);
+        if (st == FrameStatus::NeedMore)
+            return true;
+        if (st == FrameStatus::Malformed) {
+            std::lock_guard<std::mutex> lk(mu_);
+            counters_.malformed++;
+            rose_warn("rosed dropping connection ", conn.id,
+                          ": ", err);
+            return false;
+        }
+        if (!isRequest(req.type)) {
+            std::lock_guard<std::mutex> lk(mu_);
+            counters_.malformed++;
+            rose_warn("rosed dropping connection ", conn.id,
+                          ": unexpected response-type message ",
+                          msgTypeName(req.type));
+            return false;
+        }
+        Message reply = handleRequest(conn, req);
+        sendMessage(conn, reply);
+        if (conn.dead)
+            return false;
+    }
+}
+
+Message
+MissionServer::handleRequest(Connection &conn, const Message &req)
+{
+    try {
+        switch (req.type) {
+          case MsgType::SubmitMission:
+            return handleSubmit(conn, req);
+          case MsgType::QueryStatus:
+            return handleStatus(req);
+          case MsgType::FetchResult:
+            return handleFetch(req);
+          case MsgType::CancelMission:
+            return handleCancel(req);
+          case MsgType::ServerStats:
+            return handleStats();
+          case MsgType::Shutdown:
+            return handleShutdown(req);
+          default:
+            return encodeErrorReply(
+                std::string("unhandled request type ") +
+                msgTypeName(req.type));
+        }
+    } catch (const ProtocolError &e) {
+        return encodeErrorReply(std::string("bad request: ") +
+                                e.what());
+    } catch (const bridge::PayloadError &e) {
+        return encodeErrorReply(std::string("bad request: ") +
+                                e.what());
+    }
+}
+
+Message
+MissionServer::handleSubmit(Connection &conn, const Message &req)
+{
+    core::MissionSpec spec = decodeSubmitMission(req);
+
+    // Cheap semantic validation up front: a spec that cannot run
+    // should cost an admission decision, not a worker slot.
+    auto bad = [&](const std::string &why) {
+        std::lock_guard<std::mutex> lk(mu_);
+        counters_.submitted++;
+        return encodeRejected({RejectReason::BadRequest, why});
+    };
+    if (spec.modelDepth < 1 || spec.modelDepth > 64)
+        return bad("modelDepth out of range [1,64]");
+    if (!std::isfinite(spec.velocity) || spec.velocity < 0.0)
+        return bad("velocity must be finite and non-negative");
+    if (!std::isfinite(spec.maxSimSeconds) ||
+        spec.maxSimSeconds <= 0.0 || spec.maxSimSeconds > 3600.0)
+        return bad("maxSimSeconds out of range (0,3600]");
+    if (spec.syncGranularity == 0)
+        return bad("syncGranularity must be positive");
+
+    std::lock_guard<std::mutex> lk(mu_);
+    counters_.submitted++;
+    if (shuttingDown_) {
+        counters_.rejectedShutdown++;
+        return encodeRejected(
+            {RejectReason::ShuttingDown, "daemon is shutting down"});
+    }
+    if (queue_.size() >= cfg_.maxQueueDepth) {
+        counters_.rejectedQueueFull++;
+        return encodeRejected(
+            {RejectReason::QueueFull,
+             detail::concat("queue depth ", cfg_.maxQueueDepth,
+                            " reached; resubmit later")});
+    }
+    uint32_t &inflight = inFlightByClient_[conn.id];
+    if (inflight >= cfg_.perClientInFlight) {
+        counters_.rejectedClientCap++;
+        return encodeRejected(
+            {RejectReason::ClientCap,
+             detail::concat("per-client in-flight cap ",
+                            cfg_.perClientInFlight, " reached")});
+    }
+
+    SubmitOkReply ok;
+    ok.jobId = nextJobId_++;
+    ok.queuePosition = uint32_t(queue_.size());
+    Job job;
+    job.id = ok.jobId;
+    job.spec = std::move(spec);
+    job.clientId = conn.id;
+    job.enqueued = Clock::now();
+    jobs_.emplace(ok.jobId, std::move(job));
+    queue_.push_back(ok.jobId);
+    inflight++;
+    counters_.accepted++;
+    queueCv_.notify_one();
+    return encodeSubmitOk(ok);
+}
+
+Message
+MissionServer::handleStatus(const Message &req)
+{
+    uint64_t id = decodeQueryStatus(req);
+    std::lock_guard<std::mutex> lk(mu_);
+    StatusInfo s;
+    s.jobId = id;
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) {
+        s.state = JobState::Unknown;
+        return encodeStatusReply(s);
+    }
+    const Job &job = it->second;
+    s.state = job.state;
+    if (job.state == JobState::Queued) {
+        for (size_t i = 0; i < queue_.size(); ++i) {
+            if (queue_[i] == id) {
+                s.queuePosition = uint32_t(i);
+                break;
+            }
+        }
+        s.queueWaitMs = msBetween(job.enqueued, Clock::now());
+    } else {
+        s.queueWaitMs = job.queueWaitMs;
+        s.serviceMs = job.state == JobState::Running
+                          ? msBetween(job.started, Clock::now())
+                          : job.serviceMs;
+    }
+    return encodeStatusReply(s);
+}
+
+Message
+MissionServer::handleFetch(const Message &req)
+{
+    uint64_t id = decodeFetchResult(req);
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) {
+        StatusInfo s;
+        s.jobId = id;
+        s.state = JobState::Unknown;
+        return encodeStatusReply(s);
+    }
+    const Job &job = it->second;
+    if (job.state == JobState::Done || job.state == JobState::Failed) {
+        ResultData d;
+        d.jobId = id;
+        d.result = job.result;
+        return encodeResultReply(d);
+    }
+    // Not finished: answer with the lifecycle state so clients can
+    // poll FetchResult alone.
+    StatusInfo s;
+    s.jobId = id;
+    s.state = job.state;
+    s.queueWaitMs = job.state == JobState::Queued
+                        ? msBetween(job.enqueued, Clock::now())
+                        : job.queueWaitMs;
+    if (job.state == JobState::Running)
+        s.serviceMs = msBetween(job.started, Clock::now());
+    return encodeStatusReply(s);
+}
+
+Message
+MissionServer::handleCancel(const Message &req)
+{
+    uint64_t id = decodeCancelMission(req);
+    std::lock_guard<std::mutex> lk(mu_);
+    CancelInfo c;
+    c.jobId = id;
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) {
+        c.outcome = CancelOutcome::UnknownJob;
+        return encodeCancelReply(c);
+    }
+    Job &job = it->second;
+    switch (job.state) {
+      case JobState::Queued: {
+        for (size_t i = 0; i < queue_.size(); ++i) {
+            if (queue_[i] == id) {
+                queue_.erase(queue_.begin() + std::ptrdiff_t(i));
+                break;
+            }
+        }
+        job.state = JobState::Cancelled;
+        counters_.cancelled++;
+        auto fl = inFlightByClient_.find(job.clientId);
+        if (fl != inFlightByClient_.end() && fl->second > 0)
+            fl->second--;
+        c.outcome = CancelOutcome::Dequeued;
+        break;
+      }
+      case JobState::Running:
+        c.outcome = CancelOutcome::TooLate;
+        break;
+      case JobState::Done:
+      case JobState::Failed:
+        c.outcome = CancelOutcome::AlreadyDone;
+        break;
+      case JobState::Cancelled:
+        c.outcome = CancelOutcome::Dequeued;
+        break;
+      case JobState::Unknown:
+        c.outcome = CancelOutcome::UnknownJob;
+        break;
+    }
+    return encodeCancelReply(c);
+}
+
+Message
+MissionServer::handleStats()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return encodeStatsReply(statsLocked());
+}
+
+Message
+MissionServer::handleShutdown(const Message &req)
+{
+    bool drain = decodeShutdown(req);
+    // The reply is sent by the dispatcher after this returns; the IO
+    // loop keeps servicing connections until the drain completes, so
+    // the flag can be set right away.
+    requestShutdown(drain);
+    return encodeShutdownReply();
+}
+
+void
+MissionServer::sendMessage(Connection &conn, const Message &m)
+{
+    std::vector<uint8_t> wire;
+    serializeMessage(m, wire);
+    size_t off = 0;
+    while (off < wire.size()) {
+        ssize_t n = ::send(conn.fd, wire.data() + off,
+                           wire.size() - off, MSG_NOSIGNAL);
+        if (n >= 0) {
+            off += size_t(n);
+            continue;
+        }
+        if (errno == EINTR)
+            continue;
+        if (errno != EAGAIN && errno != EWOULDBLOCK) {
+            conn.dead = true; // peer gone mid-reply
+            return;
+        }
+        pollfd pfd{conn.fd, POLLOUT, 0};
+        int rc = ::poll(&pfd, 1, cfg_.sendTimeoutMs);
+        if (rc < 0 && errno == EINTR)
+            continue;
+        if (rc <= 0) {
+            rose_warn("rosed reply stalled on connection ",
+                          conn.id, "; dropping it");
+            conn.dead = true;
+            return;
+        }
+    }
+}
+
+void
+MissionServer::closeConnection(Connection &conn)
+{
+    if (conn.fd >= 0) {
+        ::close(conn.fd);
+        conn.fd = -1;
+    }
+    releaseClientJobs(conn.id);
+    std::lock_guard<std::mutex> lk(mu_);
+    if (openConnections_ > 0)
+        openConnections_--;
+}
+
+void
+MissionServer::releaseClientJobs(uint64_t client_id)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    // Queued jobs of a vanished client are shed (their results could
+    // never be fetched... they could, by job id, but the session is
+    // gone and the queue slot is better spent on live clients).
+    for (size_t i = 0; i < queue_.size();) {
+        auto it = jobs_.find(queue_[i]);
+        if (it != jobs_.end() && it->second.clientId == client_id) {
+            it->second.state = JobState::Cancelled;
+            counters_.cancelled++;
+            queue_.erase(queue_.begin() + std::ptrdiff_t(i));
+        } else {
+            ++i;
+        }
+    }
+    // Running/finished jobs are orphaned, not killed: the mission
+    // completes and the result stays fetchable by job id.
+    for (auto &[id, job] : jobs_) {
+        if (job.clientId == client_id)
+            job.clientId = 0;
+    }
+    inFlightByClient_.erase(client_id);
+}
+
+} // namespace rose::serve

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * `rosed` — the concurrent mission-service daemon.
+ *
+ * Turns the in-process mission library into a long-lived service:
+ * clients connect over TCP, submit MissionSpecs through the serve
+ * wire protocol (proto.hh), and fetch results whose trajectory bytes
+ * are bit-identical to a local runMission() of the same spec.
+ *
+ * Architecture (one process, three kinds of threads):
+ *
+ *  - IO thread: a poll(2) loop over the bridge::TcpListener and every
+ *    live connection. Each connection owns a MessageBuffer read state
+ *    machine; requests are decoded, answered synchronously (responses
+ *    are written with a bounded-poll sender, like the bridge's TCP
+ *    send), and submissions are handed to the job queue. A peer close
+ *    (orderly or reset) retires the connection; a framing violation
+ *    poisons and drops it.
+ *
+ *  - Worker pool: `workers` threads launched through
+ *    core::parallelIndexed (the batch runner's deterministic pool
+ *    primitive) — the pool *is* a parallel indexed map over worker
+ *    slots whose body loops on the queue. Each job executes through
+ *    core::MissionSupervisor, so served missions inherit
+ *    checkpoint/restore, fault retry, and degraded-mode behavior; a
+ *    supervised run that never trips a watchdog is bit-identical to
+ *    the unsupervised (and thus to the client's local) run.
+ *
+ *  - The owner thread: constructs/starts/stops the server.
+ *
+ * Admission control and backpressure: the job queue is bounded
+ * (maxQueueDepth), each connection has an in-flight cap
+ * (perClientInFlight), and excess submissions are *rejected
+ * explicitly* (SubmitRejected{queue_full|client_cap}) rather than
+ * buffered — load is shed at the front door, in-flight missions are
+ * never disturbed, and every shed request is counted in the stats
+ * clients can query with ServerStats.
+ *
+ * Determinism: mission execution shares nothing across jobs except
+ * the immutable artifact caches (util/memo.hh), exactly like
+ * core::BatchRunner; a result served to any client therefore hashes
+ * identically to the same spec run locally (tests/test_serve.cc pins
+ * this against the golden missions).
+ */
+
+#ifndef ROSE_SERVE_SERVER_HH
+#define ROSE_SERVE_SERVER_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "bridge/transport.hh"
+#include "core/supervisor.hh"
+#include "serve/proto.hh"
+
+namespace rose::serve {
+
+/** Daemon configuration. */
+struct ServerConfig
+{
+    /** Listen port on 127.0.0.1; 0 selects an ephemeral port
+     *  (retrieve it with MissionServer::port()). */
+    uint16_t port = 0;
+    /** Mission worker threads. */
+    int workers = 2;
+    /** Bounded queue: jobs admitted but not yet running. Submissions
+     *  beyond this depth are rejected with queue_full. */
+    size_t maxQueueDepth = 16;
+    /** Per-connection cap on unfinished (queued + running) jobs. */
+    uint32_t perClientInFlight = 8;
+    /** Execute jobs under MissionSupervisor (checkpoint/retry); off
+     *  runs bare runMission() (still deterministic, no recovery). */
+    bool supervise = true;
+    /** Supervisor knobs for supervised execution. */
+    core::SupervisorConfig supervisor;
+    /** IO-loop poll granularity [ms] (also shutdown latency bound). */
+    int pollIntervalMs = 20;
+    /** Response-write stall bound [ms] (peer not draining). */
+    int sendTimeoutMs = 5000;
+};
+
+/** Point-in-time server counters (mirrors the wire StatsReply). */
+using ServerStatsSnapshot = ServerStatsData;
+
+/**
+ * The mission-service daemon. Construct (binds the listener — throws
+ * bridge::TransportError on a busy port), start(), and eventually
+ * stop() or let requestShutdown() arrive over the wire.
+ */
+class MissionServer
+{
+  public:
+    explicit MissionServer(const ServerConfig &cfg);
+    ~MissionServer();
+
+    MissionServer(const MissionServer &) = delete;
+    MissionServer &operator=(const MissionServer &) = delete;
+
+    /** Actually-bound port (resolves an ephemeral request). */
+    uint16_t port() const { return listener_.port(); }
+
+    /** Spawn the IO thread and worker pool. */
+    void start();
+
+    /**
+     * Begin shutdown: stop accepting connections and submissions.
+     * With @p drain, queued jobs still execute; otherwise they are
+     * cancelled. Running missions always finish (no preemption).
+     * Thread-safe; callable from any thread or via the wire.
+     */
+    void requestShutdown(bool drain);
+
+    /** Block until all threads exited (after a shutdown request). */
+    void waitForShutdown();
+
+    /** requestShutdown(drain) + waitForShutdown(). Idempotent. */
+    void stop(bool drain = true);
+
+    /** True between start() and the end of shutdown. */
+    bool running() const;
+
+    /** Counter snapshot (also served over the wire as StatsReply). */
+    ServerStatsSnapshot stats() const;
+
+    /**
+     * Test/operations hook: freeze the worker pool. Queued jobs stay
+     * queued (making queue-depth admission deterministic to test);
+     * running jobs are unaffected. resumeWorkers() reawakens the
+     * pool.
+     */
+    void pauseWorkers();
+    void resumeWorkers();
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    /** One tracked job (the session manager's unit of work). */
+    struct Job
+    {
+        uint64_t id = 0;
+        core::MissionSpec spec;
+        JobState state = JobState::Queued;
+        /** Owning connection id; 0 once the client disconnected. */
+        uint64_t clientId = 0;
+        Clock::time_point enqueued;
+        Clock::time_point started;
+        double queueWaitMs = 0.0;
+        double serviceMs = 0.0;
+        ServedResult result; ///< valid when Done/Failed
+    };
+
+    /** One live client connection (owned by the IO thread). */
+    struct Connection
+    {
+        uint64_t id = 0;
+        int fd = -1;
+        MessageBuffer rx;
+        bool dead = false;
+    };
+
+    void ioLoop();
+    void workerLoop(size_t worker_index);
+    void acceptPending();
+    void serviceConnection(Connection &conn);
+    /** Decode + dispatch every complete request buffered on @p conn.
+     *  @return false when the connection must be dropped. */
+    bool drainRequests(Connection &conn);
+    Message handleRequest(Connection &conn, const Message &req);
+    Message handleSubmit(Connection &conn, const Message &req);
+    Message handleStatus(const Message &req);
+    Message handleFetch(const Message &req);
+    Message handleCancel(const Message &req);
+    Message handleStats();
+    Message handleShutdown(const Message &req);
+    void sendMessage(Connection &conn, const Message &m);
+    void closeConnection(Connection &conn);
+    /** Cancel the queued jobs of a vanished client; orphan the rest. */
+    void releaseClientJobs(uint64_t client_id);
+    ServerStatsSnapshot statsLocked() const;
+
+    ServerConfig cfg_;
+    bridge::TcpListener listener_;
+
+    /** Live connections; owned and touched only by the IO thread. */
+    std::vector<std::unique_ptr<Connection>> conns_;
+
+    std::thread ioThread_;
+    std::thread poolLauncher_; ///< runs parallelIndexed over workers
+
+    mutable std::mutex mu_;
+    std::condition_variable queueCv_; ///< workers wait here
+    std::deque<uint64_t> queue_;
+    std::unordered_map<uint64_t, Job> jobs_;
+    /** Unfinished jobs per live connection (admission cap). */
+    std::unordered_map<uint64_t, uint32_t> inFlightByClient_;
+    uint64_t nextJobId_ = 1;
+    uint64_t nextConnId_ = 1;
+    bool started_ = false;
+    bool shuttingDown_ = false;
+    bool shutdownComplete_ = false;
+    bool drainOnShutdown_ = true;
+    bool workersPaused_ = false;
+    uint32_t runningJobs_ = 0;
+    uint32_t openConnections_ = 0;
+
+    // Counters (guarded by mu_).
+    ServerStatsData counters_;
+};
+
+} // namespace rose::serve
+
+#endif // ROSE_SERVE_SERVER_HH

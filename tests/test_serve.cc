@@ -1,0 +1,787 @@
+/**
+ * @file
+ * Tests of the mission-service daemon (src/serve/).
+ *
+ * Four layers:
+ *  - protocol codecs: every request/response round-trips byte-exactly;
+ *  - framing: seeded fuzz of MessageBuffer (mirrors the bridge's
+ *    test_framing_fuzz harness) — arbitrary bytes never crash, hang,
+ *    or allocate past the payload bound, and poison sticks;
+ *  - served-result determinism: a mission submitted over TCP returns
+ *    a trajectory CSV whose FNV-1a hash is bit-identical to the same
+ *    spec run locally via runMission(), including under 4 concurrent
+ *    clients (the golden-trace acceptance criterion);
+ *  - admission control & lifecycle: queue-full and per-client-cap
+ *    shedding, cancellation, client disconnect mid-mission, and clean
+ *    shutdown with in-flight jobs.
+ */
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bridge/transport.hh"
+
+#include "core/batch.hh"
+#include "core/experiment.hh"
+#include "serve/client.hh"
+#include "serve/server.hh"
+#include "util/hash.hh"
+#include "util/rng.hh"
+
+using namespace rose;
+using namespace rose::serve;
+
+namespace {
+
+/** The golden canonical mission (mirrors test_golden.cc). */
+core::MissionSpec
+canonicalSpec(const std::string &soc, double sim_seconds = 10.0)
+{
+    core::MissionSpec spec;
+    spec.world = "tunnel";
+    spec.socName = soc;
+    spec.modelDepth = 14;
+    spec.velocity = 3.0;
+    spec.initialYawDeg = 20.0;
+    spec.seed = 1;
+    spec.maxSimSeconds = sim_seconds;
+    return spec;
+}
+
+/** A cheap mission for lifecycle tests (~0.1 s of wall time). */
+core::MissionSpec
+quickSpec(uint64_t seed = 1)
+{
+    core::MissionSpec spec = canonicalSpec("A", 2.0);
+    spec.seed = seed;
+    return spec;
+}
+
+uint64_t
+localTrajectoryHash(const core::MissionSpec &spec)
+{
+    core::MissionResult r = core::runMission(spec);
+    return fnv1a(core::trajectoryCsvString(r));
+}
+
+/** Poll a predicate over server stats until it holds or we time out. */
+template <typename Pred>
+bool
+eventually(MissionServer &server, Pred pred, int timeout_ms = 10000)
+{
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+        if (pred(server.stats()))
+            return true;
+        if (std::chrono::steady_clock::now() >= deadline)
+            return false;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+}
+
+} // namespace
+
+// ===================================================== protocol codecs
+
+TEST(ServeProto, SpecCodecRoundTripsEveryField)
+{
+    core::MissionSpec spec;
+    spec.world = "s-shape";
+    spec.vehicle = "rover";
+    spec.socName = "C";
+    spec.modelDepth = 26;
+    spec.velocity = 7.25;
+    spec.initialYawDeg = -15.5;
+    spec.syncGranularity = 12345678;
+    spec.mode = runtime::RuntimeMode::Dynamic;
+    spec.seed = 0xdeadbeefcafeULL;
+    spec.maxSimSeconds = 42.5;
+    spec.degradedMode = true;
+    spec.faults.enabled = true;
+    spec.faults.dropProb = 0.125;
+    spec.faults.corruptProb = 0.0625;
+    spec.faults.reorderProb = 0.5;
+    spec.faults.delayProb = 0.25;
+    spec.faults.delayOpsMin = 3;
+    spec.faults.delayOpsMax = 17;
+    spec.faults.protectSyncPackets = false;
+    spec.faults.seed = 0x1234;
+
+    core::MissionSpec back =
+        decodeSubmitMission(encodeSubmitMission(spec));
+    EXPECT_EQ(back.world, spec.world);
+    EXPECT_EQ(back.vehicle, spec.vehicle);
+    EXPECT_EQ(back.socName, spec.socName);
+    EXPECT_EQ(back.modelDepth, spec.modelDepth);
+    EXPECT_EQ(back.velocity, spec.velocity);
+    EXPECT_EQ(back.initialYawDeg, spec.initialYawDeg);
+    EXPECT_EQ(back.syncGranularity, spec.syncGranularity);
+    EXPECT_EQ(back.mode, spec.mode);
+    EXPECT_EQ(back.seed, spec.seed);
+    EXPECT_EQ(back.maxSimSeconds, spec.maxSimSeconds);
+    EXPECT_EQ(back.degradedMode, spec.degradedMode);
+    EXPECT_EQ(back.faults.enabled, spec.faults.enabled);
+    EXPECT_EQ(back.faults.dropProb, spec.faults.dropProb);
+    EXPECT_EQ(back.faults.corruptProb, spec.faults.corruptProb);
+    EXPECT_EQ(back.faults.reorderProb, spec.faults.reorderProb);
+    EXPECT_EQ(back.faults.delayProb, spec.faults.delayProb);
+    EXPECT_EQ(back.faults.delayOpsMin, spec.faults.delayOpsMin);
+    EXPECT_EQ(back.faults.delayOpsMax, spec.faults.delayOpsMax);
+    EXPECT_EQ(back.faults.protectSyncPackets,
+              spec.faults.protectSyncPackets);
+    EXPECT_EQ(back.faults.seed, spec.faults.seed);
+}
+
+TEST(ServeProto, ReplyCodecsRoundTrip)
+{
+    SubmitOkReply ok{42, 7};
+    SubmitOkReply ok2 = decodeSubmitOk(encodeSubmitOk(ok));
+    EXPECT_EQ(ok2.jobId, 42u);
+    EXPECT_EQ(ok2.queuePosition, 7u);
+
+    RejectedReply rej{RejectReason::QueueFull, "queue depth reached"};
+    RejectedReply rej2 = decodeRejected(encodeRejected(rej));
+    EXPECT_EQ(rej2.reason, RejectReason::QueueFull);
+    EXPECT_EQ(rej2.detail, rej.detail);
+
+    StatusInfo st;
+    st.jobId = 9;
+    st.state = JobState::Running;
+    st.queuePosition = 3;
+    st.queueWaitMs = 12.5;
+    st.serviceMs = 99.25;
+    StatusInfo st2 = decodeStatusReply(encodeStatusReply(st));
+    EXPECT_EQ(st2.jobId, 9u);
+    EXPECT_EQ(st2.state, JobState::Running);
+    EXPECT_EQ(st2.queuePosition, 3u);
+    EXPECT_EQ(st2.queueWaitMs, 12.5);
+    EXPECT_EQ(st2.serviceMs, 99.25);
+
+    CancelInfo c{11, CancelOutcome::TooLate};
+    CancelInfo c2 = decodeCancelReply(encodeCancelReply(c));
+    EXPECT_EQ(c2.jobId, 11u);
+    EXPECT_EQ(c2.outcome, CancelOutcome::TooLate);
+
+    ServerStatsData s;
+    s.submitted = 100;
+    s.accepted = 90;
+    s.completed = 80;
+    s.failed = 5;
+    s.cancelled = 5;
+    s.rejectedQueueFull = 7;
+    s.rejectedClientCap = 2;
+    s.rejectedShutdown = 1;
+    s.malformed = 3;
+    s.queued = 4;
+    s.running = 2;
+    s.workers = 8;
+    s.queueCapacity = 16;
+    s.connectionsAccepted = 12;
+    s.connectionsOpen = 6;
+    s.totalQueueWaitMs = 1234.5;
+    s.maxQueueWaitMs = 250.25;
+    s.totalServiceMs = 9876.5;
+    s.maxServiceMs = 500.125;
+    ServerStatsData s2 = decodeStatsReply(encodeStatsReply(s));
+    EXPECT_EQ(s2.submitted, s.submitted);
+    EXPECT_EQ(s2.rejectedQueueFull, s.rejectedQueueFull);
+    EXPECT_EQ(s2.rejectedClientCap, s.rejectedClientCap);
+    EXPECT_EQ(s2.malformed, s.malformed);
+    EXPECT_EQ(s2.queued, s.queued);
+    EXPECT_EQ(s2.connectionsAccepted, s.connectionsAccepted);
+    EXPECT_EQ(s2.totalQueueWaitMs, s.totalQueueWaitMs);
+    EXPECT_EQ(s2.maxServiceMs, s.maxServiceMs);
+
+    EXPECT_EQ(decodeQueryStatus(encodeQueryStatus(77)), 77u);
+    EXPECT_EQ(decodeFetchResult(encodeFetchResult(78)), 78u);
+    EXPECT_EQ(decodeCancelMission(encodeCancelMission(79)), 79u);
+    EXPECT_TRUE(decodeShutdown(encodeShutdown(true)));
+    EXPECT_FALSE(decodeShutdown(encodeShutdown(false)));
+    EXPECT_EQ(decodeErrorReply(encodeErrorReply("boom")), "boom");
+}
+
+TEST(ServeProto, ResultReplyRoundTripsTrajectoryBytes)
+{
+    ServedResult r;
+    r.completed = true;
+    r.status = 0;
+    r.missionTime = 9.99;
+    r.collisions = 3;
+    r.avgSpeed = 2.5;
+    r.maxSpeed = 3.75;
+    r.distanceTravelled = 25.0;
+    r.inferences = 500;
+    r.avgInferenceLatency = 0.015;
+    r.energyJoules = 1.25;
+    r.avgPowerWatts = 0.125;
+    r.simulatedCycles = 10'000'000'000ULL;
+    r.trajectorySamples = 2;
+    r.degradedIntervals = 1;
+    r.trajectoryCsv = "t,x\n0.01,1.25\n0.02,2.5\n";
+    r.queueWaitMs = 5.5;
+    r.serviceMs = 300.25;
+
+    ResultData d{21, r};
+    ResultData d2 = decodeResultReply(encodeResultReply(d));
+    EXPECT_EQ(d2.jobId, 21u);
+    EXPECT_EQ(d2.result.trajectoryCsv, r.trajectoryCsv);
+    EXPECT_EQ(fnv1a(d2.result.trajectoryCsv), fnv1a(r.trajectoryCsv));
+    EXPECT_EQ(d2.result.completed, r.completed);
+    EXPECT_EQ(d2.result.collisions, r.collisions);
+    EXPECT_EQ(d2.result.simulatedCycles, r.simulatedCycles);
+    EXPECT_EQ(d2.result.queueWaitMs, r.queueWaitMs);
+    EXPECT_EQ(d2.result.serviceMs, r.serviceMs);
+}
+
+TEST(ServeProto, MalformedPayloadsThrowNotCrash)
+{
+    // Truncated SubmitMission payload.
+    Message m = encodeSubmitMission(core::MissionSpec{});
+    m.payload.resize(m.payload.size() / 2);
+    EXPECT_THROW(decodeSubmitMission(m), std::exception);
+
+    // Wrong type for a decoder.
+    EXPECT_THROW(decodeQueryStatus(encodeServerStats()),
+                 ProtocolError);
+
+    // Out-of-range enum byte.
+    Message rej = encodeRejected({RejectReason::QueueFull, ""});
+    rej.payload[0] = 0x7f;
+    EXPECT_THROW(decodeRejected(rej), ProtocolError);
+
+    // Oversized string length field.
+    Message err = encodeErrorReply("x");
+    err.payload[0] = 0xff;
+    err.payload[1] = 0xff;
+    err.payload[2] = 0xff;
+    err.payload[3] = 0x7f;
+    EXPECT_THROW(decodeErrorReply(err), std::exception);
+}
+
+// ============================================================= framing
+
+namespace {
+
+/** Push a stream through a MessageBuffer in random chunks, draining
+ *  after every append (mirrors test_framing_fuzz::pushChunked). */
+void
+pushChunkedServe(MessageBuffer &mb, const std::vector<uint8_t> &stream,
+                 Rng &rng, std::vector<Message> &decoded)
+{
+    bool dead = false;
+    size_t pos = 0;
+    while (pos < stream.size()) {
+        size_t chunk = 1 + rng.uniformInt(257);
+        if (chunk > stream.size() - pos)
+            chunk = stream.size() - pos;
+        mb.append(stream.data() + pos, chunk);
+        pos += chunk;
+
+        size_t guard = stream.size() / Message::kHeaderBytes + 2;
+        for (;;) {
+            ASSERT_GT(guard--, 0u) << "decoder loop did not terminate";
+            Message m;
+            std::string err;
+            FrameStatus st = mb.next(m, &err);
+            if (st == FrameStatus::Ok) {
+                ASSERT_FALSE(dead)
+                    << "Ok after Malformed: poison did not stick";
+                ASSERT_TRUE(isValidMsgType(uint8_t(m.type)));
+                ASSERT_LE(m.payload.size(), kMaxServePayloadBytes);
+                decoded.push_back(std::move(m));
+                continue;
+            }
+            if (st == FrameStatus::Malformed) {
+                EXPECT_FALSE(err.empty());
+                dead = true;
+            }
+            break;
+        }
+    }
+}
+
+} // namespace
+
+TEST(ServeFraming, RandomBytesNeverCrashOrHang)
+{
+    for (uint64_t seed = 1; seed <= 200; ++seed) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        Rng rng(seed * 7919);
+        std::vector<uint8_t> noise(rng.uniformInt(4096));
+        for (uint8_t &b : noise)
+            b = uint8_t(rng.uniformInt(256));
+        MessageBuffer mb;
+        std::vector<Message> decoded;
+        pushChunkedServe(mb, noise, rng, decoded);
+        if (HasFatalFailure())
+            return;
+    }
+}
+
+TEST(ServeFraming, RoundTripSurvivesArbitraryFragmentation)
+{
+    for (uint64_t seed = 1; seed <= 100; ++seed) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        Rng rng(seed * 104729);
+
+        core::MissionSpec spec;
+        spec.seed = rng.next();
+        spec.velocity = rng.uniform(0.5, 10.0);
+        ServedResult sr;
+        sr.trajectoryCsv = std::string(rng.uniformInt(5000), 'x');
+        sr.collisions = rng.next();
+
+        std::vector<Message> sent{
+            encodeSubmitMission(spec),
+            encodeQueryStatus(rng.next()),
+            encodeFetchResult(rng.next()),
+            encodeCancelMission(rng.next()),
+            encodeServerStats(),
+            encodeShutdown(rng.uniformInt(2) == 0),
+            encodeSubmitOk({rng.next(), uint32_t(rng.uniformInt(100))}),
+            encodeRejected({RejectReason::ClientCap, "cap"}),
+            encodeResultReply({rng.next(), sr}),
+            encodeShutdownReply(),
+            encodeErrorReply("some error"),
+        };
+        std::vector<uint8_t> stream;
+        for (const Message &m : sent)
+            serializeMessage(m, stream);
+
+        MessageBuffer mb;
+        std::vector<Message> got;
+        pushChunkedServe(mb, stream, rng, got);
+        if (HasFatalFailure())
+            return;
+
+        ASSERT_EQ(got.size(), sent.size());
+        for (size_t i = 0; i < sent.size(); ++i) {
+            EXPECT_EQ(got[i].type, sent[i].type) << "message " << i;
+            EXPECT_EQ(got[i].payload, sent[i].payload)
+                << "message " << i;
+        }
+    }
+}
+
+TEST(ServeFraming, HeaderValidatedBeforeAllocation)
+{
+    // Unknown type byte.
+    {
+        MessageBuffer mb;
+        uint8_t bad[] = {0x55, 1, 0, 0, 0, 9};
+        mb.append(bad, sizeof(bad));
+        Message m;
+        std::string err;
+        EXPECT_EQ(mb.next(m, &err), FrameStatus::Malformed);
+        EXPECT_FALSE(err.empty());
+        // Poison sticks even if valid bytes follow.
+        std::vector<uint8_t> good;
+        serializeMessage(encodeServerStats(), good);
+        mb.append(good.data(), good.size());
+        EXPECT_EQ(mb.next(m, &err), FrameStatus::Malformed);
+    }
+    // Length above the bound: Malformed immediately, no NeedMore wait.
+    {
+        MessageBuffer mb;
+        uint32_t huge = uint32_t(kMaxServePayloadBytes + 1);
+        uint8_t hdr[] = {uint8_t(MsgType::SubmitMission),
+                         uint8_t(huge), uint8_t(huge >> 8),
+                         uint8_t(huge >> 16), uint8_t(huge >> 24)};
+        mb.append(hdr, sizeof(hdr));
+        Message m;
+        EXPECT_EQ(mb.next(m), FrameStatus::Malformed);
+    }
+    // Length exactly at the bound with a partial payload: NeedMore.
+    {
+        MessageBuffer mb;
+        uint32_t len = uint32_t(kMaxServePayloadBytes);
+        uint8_t hdr[] = {uint8_t(MsgType::ErrorReply), uint8_t(len),
+                         uint8_t(len >> 8), uint8_t(len >> 16),
+                         uint8_t(len >> 24)};
+        mb.append(hdr, sizeof(hdr));
+        Message m;
+        EXPECT_EQ(mb.next(m), FrameStatus::NeedMore);
+    }
+}
+
+// ============================================= served-result parity
+
+TEST(ServeServer, GoldenParityOverTcp)
+{
+    ServerConfig cfg;
+    cfg.workers = 3;
+    MissionServer server(cfg);
+    server.start();
+
+    ServeClient client(server.port());
+    for (const char *soc : {"A", "B", "C"}) {
+        SCOPED_TRACE(std::string("config ") + soc);
+        core::MissionSpec spec = canonicalSpec(soc);
+        SubmitOutcome out = client.submit(spec);
+        ASSERT_TRUE(out.accepted) << out.detail;
+        ServedResult served = client.waitResult(out.jobId);
+
+        core::MissionResult local = core::runMission(spec);
+        std::string localCsv = core::trajectoryCsvString(local);
+        EXPECT_EQ(fnv1a(served.trajectoryCsv), fnv1a(localCsv))
+            << "served trajectory bytes drifted from the local run";
+        EXPECT_EQ(served.trajectoryCsv, localCsv);
+        EXPECT_EQ(served.collisions, local.collisions);
+        EXPECT_EQ(served.trajectorySamples, local.trajectory.size());
+        EXPECT_EQ(served.completed, local.completed);
+        EXPECT_EQ(served.simulatedCycles, local.simulatedCycles);
+    }
+    server.stop();
+}
+
+TEST(ServeServer, FourConcurrentClientsStayBitIdentical)
+{
+    ServerConfig cfg;
+    cfg.workers = 4;
+    MissionServer server(cfg);
+    server.start();
+    uint16_t port = server.port();
+
+    // Local reference hashes for the three canonical configs.
+    static const char *kSocs[] = {"A", "B", "C"};
+    uint64_t expect[3];
+    for (int s = 0; s < 3; ++s)
+        expect[s] = localTrajectoryHash(canonicalSpec(kSocs[s]));
+
+    constexpr int kClients = 4;
+    constexpr int kMissions = 8;
+    std::vector<int> failures = core::parallelIndexed<int>(
+        kClients, kClients, [&](size_t ci) -> int {
+            int bad = 0;
+            ServeClient client(port);
+            std::vector<std::pair<uint64_t, int>> jobs;
+            for (int m = int(ci); m < kMissions; m += kClients) {
+                SubmitOutcome out =
+                    client.submit(canonicalSpec(kSocs[m % 3]));
+                if (!out.accepted) {
+                    bad++;
+                    continue;
+                }
+                jobs.emplace_back(out.jobId, m % 3);
+            }
+            for (auto [id, s] : jobs) {
+                ServedResult r = client.waitResult(id);
+                if (fnv1a(r.trajectoryCsv) != expect[s])
+                    bad++;
+            }
+            return bad;
+        });
+    for (int b : failures)
+        EXPECT_EQ(b, 0);
+
+    ServerStatsSnapshot s = server.stats();
+    EXPECT_EQ(s.accepted, kMissions);
+    EXPECT_EQ(s.completed, kMissions);
+    EXPECT_EQ(s.failed, 0u);
+    server.stop();
+}
+
+// ================================================= admission control
+
+TEST(ServeServer, QueueFullShedsLoadWithoutStallingInFlight)
+{
+    ServerConfig cfg;
+    cfg.workers = 1;
+    cfg.maxQueueDepth = 2;
+    MissionServer server(cfg);
+    server.pauseWorkers(); // make queue occupancy deterministic
+    server.start();
+
+    ServeClient client(server.port());
+    std::vector<uint64_t> accepted;
+    for (int i = 0; i < 2; ++i) {
+        SubmitOutcome out = client.submit(quickSpec(uint64_t(i + 1)));
+        ASSERT_TRUE(out.accepted) << out.detail;
+        accepted.push_back(out.jobId);
+    }
+    // Queue is at capacity: further submissions are shed explicitly.
+    for (int i = 0; i < 3; ++i) {
+        SubmitOutcome out = client.submit(quickSpec(99));
+        ASSERT_FALSE(out.accepted);
+        EXPECT_EQ(out.reason, RejectReason::QueueFull);
+        EXPECT_FALSE(out.detail.empty());
+    }
+    ServerStatsSnapshot s = server.stats();
+    EXPECT_EQ(s.rejectedQueueFull, 3u);
+    EXPECT_EQ(s.queued, 2u);
+
+    // Shedding never disturbs admitted work: resume and all accepted
+    // jobs complete; the queue drains; a retry now succeeds.
+    server.resumeWorkers();
+    for (uint64_t id : accepted) {
+        ServedResult r = client.waitResult(id);
+        EXPECT_GT(r.trajectorySamples, 0u);
+    }
+    SubmitOutcome retry = client.submit(quickSpec(3));
+    EXPECT_TRUE(retry.accepted);
+    client.waitResult(retry.jobId);
+
+    s = server.stats();
+    EXPECT_EQ(s.completed, 3u);
+    EXPECT_EQ(s.failed, 0u);
+    server.stop();
+}
+
+TEST(ServeServer, PerClientCapLeavesOtherClientsAdmittable)
+{
+    ServerConfig cfg;
+    cfg.workers = 1;
+    cfg.maxQueueDepth = 16;
+    cfg.perClientInFlight = 2;
+    MissionServer server(cfg);
+    server.pauseWorkers();
+    server.start();
+
+    ServeClient greedy(server.port());
+    EXPECT_TRUE(greedy.submit(quickSpec(1)).accepted);
+    EXPECT_TRUE(greedy.submit(quickSpec(2)).accepted);
+    SubmitOutcome third = greedy.submit(quickSpec(3));
+    ASSERT_FALSE(third.accepted);
+    EXPECT_EQ(third.reason, RejectReason::ClientCap);
+
+    // Another session is not penalized for the greedy one.
+    ServeClient polite(server.port());
+    EXPECT_TRUE(polite.submit(quickSpec(4)).accepted);
+
+    EXPECT_EQ(server.stats().rejectedClientCap, 1u);
+    server.resumeWorkers();
+    ASSERT_TRUE(eventually(server, [](const ServerStatsSnapshot &s) {
+        return s.completed == 3;
+    }));
+    server.stop();
+}
+
+TEST(ServeServer, BadSpecsAreRejectedNotExecuted)
+{
+    ServerConfig cfg;
+    cfg.workers = 1;
+    MissionServer server(cfg);
+    server.start();
+    ServeClient client(server.port());
+
+    core::MissionSpec bad = quickSpec();
+    bad.modelDepth = 0;
+    SubmitOutcome out = client.submit(bad);
+    ASSERT_FALSE(out.accepted);
+    EXPECT_EQ(out.reason, RejectReason::BadRequest);
+
+    bad = quickSpec();
+    bad.maxSimSeconds = -1.0;
+    out = client.submit(bad);
+    ASSERT_FALSE(out.accepted);
+    EXPECT_EQ(out.reason, RejectReason::BadRequest);
+
+    EXPECT_EQ(server.stats().accepted, 0u);
+    server.stop();
+}
+
+// ================================================== session lifecycle
+
+TEST(ServeServer, CancelDequeuesQueuedJob)
+{
+    ServerConfig cfg;
+    cfg.workers = 1;
+    MissionServer server(cfg);
+    server.pauseWorkers();
+    server.start();
+
+    ServeClient client(server.port());
+    SubmitOutcome out = client.submit(quickSpec());
+    ASSERT_TRUE(out.accepted);
+
+    CancelInfo c = client.cancel(out.jobId);
+    EXPECT_EQ(c.outcome, CancelOutcome::Dequeued);
+    EXPECT_EQ(client.status(out.jobId).state, JobState::Cancelled);
+    EXPECT_THROW(client.waitResult(out.jobId, 1000), ProtocolError);
+    EXPECT_EQ(client.cancel(999999).outcome,
+              CancelOutcome::UnknownJob);
+    EXPECT_EQ(client.status(999999).state, JobState::Unknown);
+
+    EXPECT_EQ(server.stats().cancelled, 1u);
+    server.resumeWorkers();
+    server.stop();
+}
+
+TEST(ServeServer, ClientDisconnectMidMissionDoesNotKillServer)
+{
+    ServerConfig cfg;
+    cfg.workers = 1;
+    MissionServer server(cfg);
+    server.start();
+
+    core::MissionSpec spec = canonicalSpec("A"); // ~0.3 s of wall time
+    uint64_t runningJob = 0;
+    uint64_t queuedJob = 0;
+    {
+        ServeClient doomed(server.port());
+        SubmitOutcome a = doomed.submit(spec);
+        ASSERT_TRUE(a.accepted);
+        runningJob = a.jobId;
+        // Wait until it is actually running, then queue another.
+        ASSERT_TRUE(eventually(server,
+                               [](const ServerStatsSnapshot &s) {
+                                   return s.running == 1;
+                               }));
+        SubmitOutcome b = doomed.submit(quickSpec(7));
+        ASSERT_TRUE(b.accepted);
+        queuedJob = b.jobId;
+        // Destructor closes the socket mid-mission.
+    }
+
+    // The server must retire the session: its queued job is shed, the
+    // running mission finishes (orphaned), nothing crashes.
+    ASSERT_TRUE(eventually(server, [&](const ServerStatsSnapshot &s) {
+        return s.connectionsOpen == 0 && s.cancelled == 1 &&
+               s.completed == 1 && s.running == 0;
+    }));
+
+    // A new session still gets served, and the orphaned result stays
+    // fetchable by job id with bit-identical bytes.
+    ServeClient fresh(server.port());
+    ServedResult r = fresh.waitResult(runningJob, 30000);
+    EXPECT_EQ(fnv1a(r.trajectoryCsv), localTrajectoryHash(spec));
+    EXPECT_EQ(fresh.status(queuedJob).state, JobState::Cancelled);
+    EXPECT_TRUE(fresh.submit(quickSpec(8)).accepted);
+    ASSERT_TRUE(eventually(server, [](const ServerStatsSnapshot &s) {
+        return s.completed == 2;
+    }));
+    server.stop();
+}
+
+TEST(ServeServer, MalformedStreamDropsConnectionOnly)
+{
+    ServerConfig cfg;
+    cfg.workers = 1;
+    MissionServer server(cfg);
+    server.start();
+
+    ServeClient observer(server.port());
+    EXPECT_EQ(observer.serverStats().malformed, 0u);
+
+    // Raw garbage through a plain socket: the server must drop that
+    // connection and count it, not crash or stall other sessions.
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(server.port());
+    inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof(addr)),
+              0);
+    const uint8_t garbage[] = {0xff, 0xff, 0xff, 0xff, 0xff, 0xff};
+    ASSERT_EQ(::send(fd, garbage, sizeof(garbage), MSG_NOSIGNAL),
+              ssize_t(sizeof(garbage)));
+    ASSERT_TRUE(eventually(server, [](const ServerStatsSnapshot &s) {
+        return s.malformed >= 1;
+    }));
+    ::close(fd);
+
+    // The server is still fully serviceable.
+    EXPECT_TRUE(observer.submit(quickSpec()).accepted);
+    ASSERT_TRUE(eventually(server, [](const ServerStatsSnapshot &s) {
+        return s.completed == 1;
+    }));
+    server.stop();
+}
+
+TEST(ServeServer, CleanShutdownDrainsInFlightJobs)
+{
+    ServerConfig cfg;
+    cfg.workers = 1;
+    MissionServer server(cfg);
+    server.start();
+
+    ServeClient client(server.port());
+    SubmitOutcome a = client.submit(quickSpec(1));
+    SubmitOutcome b = client.submit(quickSpec(2));
+    ASSERT_TRUE(a.accepted);
+    ASSERT_TRUE(b.accepted);
+
+    client.shutdownServer(/*drain=*/true);
+    // New submissions are refused while draining (if the window is
+    // still open; the server may already have drained and closed).
+    try {
+        SubmitOutcome late = client.submit(quickSpec(3));
+        EXPECT_FALSE(late.accepted);
+        if (!late.accepted) {
+            EXPECT_EQ(late.reason, RejectReason::ShuttingDown);
+        }
+    } catch (const bridge::TransportError &) {
+        // Drain finished first and the connection was closed — also a
+        // clean shutdown.
+    }
+
+    server.waitForShutdown();
+    EXPECT_FALSE(server.running());
+    ServerStatsSnapshot s = server.stats();
+    EXPECT_EQ(s.completed, 2u); // both in-flight jobs ran to the end
+    EXPECT_EQ(s.failed, 0u);
+}
+
+TEST(ServeServer, ImmediateShutdownShedsQueueButFinishesRunning)
+{
+    ServerConfig cfg;
+    cfg.workers = 1;
+    MissionServer server(cfg);
+    server.start();
+
+    ServeClient client(server.port());
+    SubmitOutcome a = client.submit(quickSpec(1));
+    ASSERT_TRUE(a.accepted);
+    ASSERT_TRUE(eventually(server, [](const ServerStatsSnapshot &s) {
+        return s.running == 1;
+    }));
+    SubmitOutcome b = client.submit(quickSpec(2));
+    ASSERT_TRUE(b.accepted);
+
+    server.stop(/*drain=*/false);
+    ServerStatsSnapshot s = server.stats();
+    EXPECT_EQ(s.completed, 1u); // the running mission finished
+    EXPECT_EQ(s.cancelled, 1u); // the queued one was shed
+}
+
+TEST(ServeServer, EphemeralPortsNeverCollide)
+{
+    // Two daemons asking for port 0 concurrently get distinct ports
+    // (the PR-1-era fixed-port race), and both serve traffic.
+    MissionServer s1{ServerConfig{}};
+    MissionServer s2{ServerConfig{}};
+    EXPECT_NE(s1.port(), 0);
+    EXPECT_NE(s2.port(), 0);
+    EXPECT_NE(s1.port(), s2.port());
+    s1.start();
+    s2.start();
+    ServeClient c1(s1.port());
+    ServeClient c2(s2.port());
+    EXPECT_EQ(c1.serverStats().connectionsOpen, 1u);
+    EXPECT_EQ(c2.serverStats().connectionsOpen, 1u);
+    s1.stop();
+    s2.stop();
+}
+
+TEST(ServeServer, ListenerFailureThrowsInsteadOfAborting)
+{
+    // Binding a port that is already taken must surface as a
+    // TransportError a daemon can catch — not a process abort
+    // (PR 1 panic→throw policy, extended to the listener path).
+    bridge::TcpListener first(0);
+    EXPECT_THROW(bridge::TcpListener second(first.port()),
+                 bridge::TransportError);
+}
