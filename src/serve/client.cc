@@ -171,9 +171,11 @@ ServeClient::tryFetchResult(uint64_t job_id, ServedResult &out,
         ResultData d = decodeResultReply(resp);
         out = std::move(d.result);
         // Failed executions also travel as ResultReply (the
-        // failureReason says why); both are terminal.
+        // failureReason says why); both are terminal. The wire
+        // carries which terminal state it was, so callers can tell
+        // success from failure without parsing failureReason.
         if (state_out)
-            *state_out = JobState::Done;
+            *state_out = d.state;
         return true;
     }
     StatusInfo s = decodeStatusReply(resp);

@@ -54,7 +54,11 @@ class ServeClient
     /**
      * One FetchResult round-trip. @return true when the job finished
      * and @p out holds its result; false when it is still queued or
-     * running (state in @p state_out when non-null).
+     * running. @p state_out (when non-null) receives the job's state
+     * — Done or Failed on a true return, so success and failure are
+     * distinguishable without inspecting failureReason. Fetching a
+     * finished result releases it server-side: a second fetch of the
+     * same id reports it Unknown.
      * @throws ProtocolError when the job is unknown.
      */
     bool tryFetchResult(uint64_t job_id, ServedResult &out,

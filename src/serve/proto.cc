@@ -496,6 +496,24 @@ marshalResult(const core::MissionResult &r)
     return s;
 }
 
+bool
+fitResultToWire(ServedResult &r)
+{
+    if (r.trajectoryCsv.size() <= kMaxTrajectoryCsvBytes)
+        return true;
+    std::string why = detail::concat(
+        "result too large for the wire: trajectory CSV is ",
+        r.trajectoryCsv.size(), " bytes, bound is ",
+        kMaxTrajectoryCsvBytes,
+        " (reduce maxSimSeconds or raise syncGranularity)");
+    r.trajectoryCsv.clear();
+    if (r.failureReason.empty())
+        r.failureReason = why;
+    else
+        r.failureReason += "; " + why;
+    return false;
+}
+
 Message
 encodeResultReply(const ResultData &d)
 {
@@ -503,6 +521,7 @@ encodeResultReply(const ResultData &d)
     m.type = MsgType::ResultReply;
     ByteWriter w(m.payload);
     w.u64(d.jobId);
+    w.u8(uint8_t(d.state));
     const ServedResult &s = d.result;
     w.u8(s.completed ? 1 : 0);
     w.u8(s.status);
@@ -519,7 +538,7 @@ encodeResultReply(const ResultData &d)
     w.u64(s.simulatedCycles);
     w.u32(s.trajectorySamples);
     w.u32(s.degradedIntervals);
-    writeString(w, s.trajectoryCsv, kMaxServePayloadBytes);
+    writeString(w, s.trajectoryCsv, kMaxTrajectoryCsvBytes);
     w.f64(s.queueWaitMs);
     w.f64(s.serviceMs);
     return m;
@@ -532,6 +551,13 @@ decodeResultReply(const Message &m)
     ByteReader r(m.payload);
     ResultData d;
     d.jobId = r.u64();
+    uint8_t state = r.u8();
+    if (state != uint8_t(JobState::Done) &&
+        state != uint8_t(JobState::Failed))
+        throw ProtocolError(detail::concat(
+            "non-terminal job state byte ", unsigned(state),
+            " in ResultReply"));
+    d.state = JobState(state);
     ServedResult &s = d.result;
     s.completed = r.u8() != 0;
     s.status = r.u8();
@@ -548,7 +574,7 @@ decodeResultReply(const Message &m)
     s.simulatedCycles = r.u64();
     s.trajectorySamples = r.u32();
     s.degradedIntervals = r.u32();
-    s.trajectoryCsv = readString(r, kMaxServePayloadBytes);
+    s.trajectoryCsv = readString(r, kMaxTrajectoryCsvBytes);
     s.queueWaitMs = r.f64();
     s.serviceMs = r.f64();
     return d;

@@ -90,6 +90,16 @@ const char *msgTypeName(MsgType t);
  */
 constexpr size_t kMaxServePayloadBytes = 8 * 1024 * 1024;
 
+/**
+ * Budget for the trajectory CSV inside a ResultReply: the payload
+ * bound minus generous slack for every fixed-width field and bounded
+ * string around it. Results are demoted to a failure *before* they
+ * reach the encoder when the CSV outgrows this (fitResultToWire), so
+ * an accepted mission can never produce an unencodable reply.
+ */
+constexpr size_t kMaxTrajectoryCsvBytes =
+    kMaxServePayloadBytes - 64 * 1024;
+
 /** One serve-protocol message: type + raw payload bytes. */
 struct Message
 {
@@ -221,11 +231,22 @@ struct ServedResult
 /** Marshal a core result (trajectory rendered to canonical CSV). */
 ServedResult marshalResult(const core::MissionResult &r);
 
+/**
+ * Enforce the wire budget on a marshalled result. Returns true when
+ * the trajectory CSV fits kMaxTrajectoryCsvBytes; otherwise drops the
+ * CSV, records why in failureReason, and returns false so the caller
+ * can mark the job Failed — a well-formed failure reply instead of an
+ * assert-abort in the encode path.
+ */
+bool fitResultToWire(ServedResult &r);
+
 /** ResultReply payload. */
 struct ResultData
 {
     uint64_t jobId = 0;
     ServedResult result;
+    /** Terminal lifecycle state (Done or Failed) of the job. */
+    JobState state = JobState::Done;
 };
 
 /** What a CancelMission achieved. */

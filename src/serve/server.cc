@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/batch.hh"
+#include "sync/synchronizer.hh"
 #include "util/logging.hh"
 
 namespace rose::serve {
@@ -36,6 +37,30 @@ msBetween(std::chrono::steady_clock::time_point a,
     return std::chrono::duration<double, std::milli>(b - a).count();
 }
 
+/**
+ * Strict lower bound on one trajectory CSV row: 11 cells of at least
+ * one character, 10 commas, one newline. Using the minimum (real rows
+ * run ~4x larger) means the admission check below can never reject a
+ * spec whose result would actually have fit; specs in the gray zone
+ * are admitted and demoted at completion by fitResultToWire instead.
+ */
+constexpr double kMinCsvBytesPerSample = 22.0;
+
+/**
+ * Guaranteed-minimum size of a spec's trajectory CSV. One sample is
+ * recorded per sync period, and one period is syncGranularity SoC
+ * cycles (MissionSpec::toConfig leaves the default 1 GHz clock and
+ * one-sample-per-period cadence in place).
+ */
+double
+minTrajectoryCsvBytes(const core::MissionSpec &spec)
+{
+    double socHz = sync::SyncConfig{}.clocks.socClockHz;
+    double periods =
+        spec.maxSimSeconds * socHz / double(spec.syncGranularity);
+    return periods * kMinCsvBytesPerSample;
+}
+
 } // namespace
 
 MissionServer::MissionServer(const ServerConfig &cfg)
@@ -45,6 +70,8 @@ MissionServer::MissionServer(const ServerConfig &cfg)
         cfg_.workers = 1;
     if (cfg_.maxQueueDepth < 1)
         cfg_.maxQueueDepth = 1;
+    if (cfg_.maxRetainedResults < 1)
+        cfg_.maxRetainedResults = 1;
     counters_.workers = uint32_t(cfg_.workers);
     counters_.queueCapacity = uint32_t(cfg_.maxQueueDepth);
 }
@@ -99,6 +126,7 @@ MissionServer::requestShutdown(bool drain)
             auto fl = inFlightByClient_.find(it->second.clientId);
             if (fl != inFlightByClient_.end() && fl->second > 0)
                 fl->second--;
+            markTerminalLocked(id);
         }
         queue_.clear();
     }
@@ -212,8 +240,14 @@ MissionServer::workerLoop(size_t)
             why = e.what();
         }
         ServedResult served;
-        if (!threw)
+        bool fits = true;
+        if (!threw) {
             served = marshalResult(result);
+            // A trajectory beyond the wire budget becomes a
+            // well-formed failure (CSV dropped, reason recorded) —
+            // never an assert in the encode path.
+            fits = fitResultToWire(served);
+        }
 
         {
             std::lock_guard<std::mutex> lk(mu_);
@@ -223,6 +257,10 @@ MissionServer::workerLoop(size_t)
                 job.state = JobState::Failed;
                 job.result = ServedResult{};
                 job.result.failureReason = why;
+                counters_.failed++;
+            } else if (!fits) {
+                job.state = JobState::Failed;
+                job.result = std::move(served);
                 counters_.failed++;
             } else {
                 job.state = JobState::Done;
@@ -243,6 +281,7 @@ MissionServer::workerLoop(size_t)
                 if (fl != inFlightByClient_.end() && fl->second > 0)
                     fl->second--;
             }
+            markTerminalLocked(job_id);
             // A drain may complete with this job: wake idle workers
             // (and let the IO loop observe quiescence on its next
             // poll tick).
@@ -260,18 +299,33 @@ MissionServer::ioLoop()
     bool listenerOpen = true;
 
     for (;;) {
-        // Exit once shutdown is requested and the job engine is
-        // quiescent (queue drained or shed, nothing running).
+        // Exit once shutdown is requested, the job engine is
+        // quiescent (queue drained or shed, nothing running), and no
+        // live connection still has buffered replies — the final
+        // ResultReply/ShutdownReply must reach its peer. A peer that
+        // refuses to drain cannot wedge the exit: its progress
+        // deadline below marks the connection dead.
         {
-            std::lock_guard<std::mutex> lk(mu_);
-            if (shuttingDown_ && queue_.empty() && runningJobs_ == 0) {
-                break;
+            bool quiescent;
+            {
+                std::lock_guard<std::mutex> lk(mu_);
+                quiescent = shuttingDown_ && queue_.empty() &&
+                            runningJobs_ == 0;
+                if (shuttingDown_ && listenerOpen) {
+                    // Stop accepting the moment shutdown begins;
+                    // existing connections stay serviceable while
+                    // draining.
+                    listener_.close();
+                    listenerOpen = false;
+                }
             }
-            if (shuttingDown_ && listenerOpen) {
-                // Stop accepting the moment shutdown begins; existing
-                // connections stay serviceable while draining.
-                listener_.close();
-                listenerOpen = false;
+            if (quiescent) {
+                bool pending = false;
+                for (const auto &c : conns_)
+                    if (!c->dead && c->pendingTx() > 0)
+                        pending = true;
+                if (!pending)
+                    break;
             }
         }
 
@@ -283,8 +337,12 @@ MissionServer::ioLoop()
         pfds.reserve(polledConns + 1);
         if (listenerOpen)
             pfds.push_back(pollfd{listener_.fd(), POLLIN, 0});
-        for (const auto &c : conns_)
-            pfds.push_back(pollfd{c->fd, POLLIN, 0});
+        for (const auto &c : conns_) {
+            short events = POLLIN;
+            if (c->pendingTx() > 0)
+                events |= POLLOUT;
+            pfds.push_back(pollfd{c->fd, events, 0});
+        }
 
         int rc = ::poll(pfds.data(), nfds_t(pfds.size()),
                         cfg_.pollIntervalMs);
@@ -301,9 +359,21 @@ MissionServer::ioLoop()
             idx++;
         }
         for (size_t i = 0; i < polledConns; ++i, ++idx) {
+            Connection &conn = *conns_[i];
+            if (pfds[idx].revents & POLLOUT)
+                flushSend(conn);
             if (pfds[idx].revents &
                 (POLLIN | POLLERR | POLLHUP | POLLNVAL))
-                serviceConnection(*conns_[i]);
+                serviceConnection(conn);
+            if (!conn.dead && conn.pendingTx() > 0 &&
+                Clock::now() >= conn.txDeadline) {
+                rose_warn("rosed reply stalled on connection ",
+                              conn.id, " (", conn.pendingTx(),
+                              " bytes unflushed for ",
+                              cfg_.sendTimeoutMs,
+                              " ms); dropping it");
+                conn.dead = true;
+            }
         }
 
         // Retire dead connections and release their sessions.
@@ -351,6 +421,10 @@ MissionServer::acceptPending()
         }
         int one = 1;
         setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        if (cfg_.sendBufferBytes > 0)
+            setsockopt(fd, SOL_SOCKET, SO_SNDBUF,
+                       &cfg_.sendBufferBytes,
+                       sizeof(cfg_.sendBufferBytes));
         {
             std::lock_guard<std::mutex> lk(mu_);
             conn->id = nextConnId_++;
@@ -470,6 +544,16 @@ MissionServer::handleSubmit(Connection &conn, const Message &req)
         return bad("maxSimSeconds out of range (0,3600]");
     if (spec.syncGranularity == 0)
         return bad("syncGranularity must be positive");
+    // A result that provably cannot fit a ResultReply is rejected at
+    // the front door instead of burning a worker slot on a mission
+    // whose result would only be demoted to Failed at completion.
+    if (minTrajectoryCsvBytes(spec) > double(kMaxTrajectoryCsvBytes))
+        return bad(detail::concat(
+            "trajectory for maxSimSeconds=", spec.maxSimSeconds,
+            " at syncGranularity=", spec.syncGranularity,
+            " cannot fit the ", kMaxTrajectoryCsvBytes,
+            "-byte result bound; shorten the mission or raise the"
+            " granularity"));
 
     std::lock_guard<std::mutex> lk(mu_);
     counters_.submitted++;
@@ -553,11 +637,17 @@ MissionServer::handleFetch(const Message &req)
         s.state = JobState::Unknown;
         return encodeStatusReply(s);
     }
-    const Job &job = it->second;
+    Job &job = it->second;
     if (job.state == JobState::Done || job.state == JobState::Failed) {
         ResultData d;
         d.jobId = id;
-        d.result = job.result;
+        d.state = job.state;
+        d.result = std::move(job.result);
+        // Fetch is one-shot: the record (and its multi-hundred-KiB
+        // CSV) is released now rather than retained forever, so a
+        // long-lived daemon's memory tracks retention policy, not
+        // total jobs served. Later queries for this id say Unknown.
+        jobs_.erase(it);
         return encodeResultReply(d);
     }
     // Not finished: answer with the lifecycle state so clients can
@@ -599,6 +689,7 @@ MissionServer::handleCancel(const Message &req)
         auto fl = inFlightByClient_.find(job.clientId);
         if (fl != inFlightByClient_.end() && fl->second > 0)
             fl->second--;
+        markTerminalLocked(id);
         c.outcome = CancelOutcome::Dequeued;
         break;
       }
@@ -640,33 +731,60 @@ MissionServer::handleShutdown(const Message &req)
 void
 MissionServer::sendMessage(Connection &conn, const Message &m)
 {
-    std::vector<uint8_t> wire;
-    serializeMessage(m, wire);
-    size_t off = 0;
-    while (off < wire.size()) {
-        ssize_t n = ::send(conn.fd, wire.data() + off,
-                           wire.size() - off, MSG_NOSIGNAL);
-        if (n >= 0) {
-            off += size_t(n);
-            continue;
-        }
-        if (errno == EINTR)
-            continue;
-        if (errno != EAGAIN && errno != EWOULDBLOCK) {
-            conn.dead = true; // peer gone mid-reply
-            return;
-        }
-        pollfd pfd{conn.fd, POLLOUT, 0};
-        int rc = ::poll(&pfd, 1, cfg_.sendTimeoutMs);
-        if (rc < 0 && errno == EINTR)
-            continue;
-        if (rc <= 0) {
-            rose_warn("rosed reply stalled on connection ",
-                          conn.id, "; dropping it");
-            conn.dead = true;
-            return;
-        }
+    if (conn.dead)
+        return;
+    // Compact the already-flushed prefix before growing the buffer.
+    if (conn.txPos > 0 && conn.txPos == conn.tx.size()) {
+        conn.tx.clear();
+        conn.txPos = 0;
+    } else if (conn.txPos > 4096 &&
+               conn.txPos >= conn.tx.size() / 2) {
+        conn.tx.erase(conn.tx.begin(),
+                      conn.tx.begin() + std::ptrdiff_t(conn.txPos));
+        conn.txPos = 0;
     }
+    bool wasIdle = conn.pendingTx() == 0;
+    serializeMessage(m, conn.tx);
+    if (conn.pendingTx() > cfg_.maxTxBacklogBytes) {
+        rose_warn("rosed reply backlog on connection ", conn.id,
+                      " exceeds ", cfg_.maxTxBacklogBytes,
+                      " bytes; dropping it");
+        conn.dead = true;
+        return;
+    }
+    if (wasIdle)
+        conn.txDeadline = Clock::now() +
+                          std::chrono::milliseconds(cfg_.sendTimeoutMs);
+    // Opportunistic flush: most replies fit the socket buffer and
+    // leave nothing for the POLLOUT path.
+    flushSend(conn);
+}
+
+void
+MissionServer::flushSend(Connection &conn)
+{
+    if (conn.dead)
+        return;
+    while (conn.txPos < conn.tx.size()) {
+        ssize_t n = ::send(conn.fd, conn.tx.data() + conn.txPos,
+                           conn.tx.size() - conn.txPos, MSG_NOSIGNAL);
+        if (n > 0) {
+            conn.txPos += size_t(n);
+            // Any forward progress restarts the stall deadline.
+            conn.txDeadline =
+                Clock::now() +
+                std::chrono::milliseconds(cfg_.sendTimeoutMs);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            return; // kernel buffer full; POLLOUT will resume
+        conn.dead = true; // peer gone mid-reply
+        return;
+    }
+    conn.tx.clear();
+    conn.txPos = 0;
 }
 
 void
@@ -692,9 +810,11 @@ MissionServer::releaseClientJobs(uint64_t client_id)
     for (size_t i = 0; i < queue_.size();) {
         auto it = jobs_.find(queue_[i]);
         if (it != jobs_.end() && it->second.clientId == client_id) {
+            uint64_t id = queue_[i];
             it->second.state = JobState::Cancelled;
             counters_.cancelled++;
             queue_.erase(queue_.begin() + std::ptrdiff_t(i));
+            markTerminalLocked(id);
         } else {
             ++i;
         }
@@ -706,6 +826,19 @@ MissionServer::releaseClientJobs(uint64_t client_id)
             job.clientId = 0;
     }
     inFlightByClient_.erase(client_id);
+}
+
+void
+MissionServer::markTerminalLocked(uint64_t job_id)
+{
+    terminalOrder_.push_back(job_id);
+    // Ids already released by a fetch just fall out of the FIFO; the
+    // erase below is a no-op for them.
+    while (terminalOrder_.size() > cfg_.maxRetainedResults) {
+        uint64_t oldest = terminalOrder_.front();
+        terminalOrder_.pop_front();
+        jobs_.erase(oldest);
+    }
 }
 
 } // namespace rose::serve

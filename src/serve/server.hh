@@ -82,8 +82,28 @@ struct ServerConfig
     core::SupervisorConfig supervisor;
     /** IO-loop poll granularity [ms] (also shutdown latency bound). */
     int pollIntervalMs = 20;
-    /** Response-write stall bound [ms] (peer not draining). */
+    /**
+     * Response-write progress deadline [ms]: a connection whose
+     * buffered replies make no progress for this long is dropped.
+     * Writes never block the IO loop — replies are buffered per
+     * connection and flushed via POLLOUT, so one stalled reader only
+     * costs its own connection, never other sessions.
+     */
     int sendTimeoutMs = 5000;
+    /** Drop a connection whose unflushed reply backlog exceeds this. */
+    size_t maxTxBacklogBytes = 64 * 1024 * 1024;
+    /**
+     * Terminal jobs retained for later FetchResult. A fetched result
+     * is evicted immediately (fetch is one-shot); unfetched terminal
+     * jobs (orphans, cancellations) are kept for at most this many
+     * terminal transitions, oldest evicted first, so a long-lived
+     * daemon's memory is bounded by retention, not by total jobs
+     * served.
+     */
+    size_t maxRetainedResults = 256;
+    /** When > 0, SO_SNDBUF for accepted connections [bytes] (test /
+     *  operations hook for exercising slow-reader backpressure). */
+    int sendBufferBytes = 0;
 };
 
 /** Point-in-time server counters (mirrors the wire StatsReply). */
@@ -163,6 +183,14 @@ class MissionServer
         int fd = -1;
         MessageBuffer rx;
         bool dead = false;
+        /** Buffered outgoing bytes not yet accepted by the kernel;
+         *  tx[txPos..) is pending, flushed on POLLOUT. */
+        std::vector<uint8_t> tx;
+        size_t txPos = 0;
+        /** Progress deadline while pendingTx() > 0. */
+        Clock::time_point txDeadline{};
+
+        size_t pendingTx() const { return tx.size() - txPos; }
     };
 
     void ioLoop();
@@ -179,10 +207,18 @@ class MissionServer
     Message handleCancel(const Message &req);
     Message handleStats();
     Message handleShutdown(const Message &req);
+    /** Queue @p m on the connection and flush what the kernel takes
+     *  right now; the remainder drains via POLLOUT in the IO loop. */
     void sendMessage(Connection &conn, const Message &m);
+    /** Non-blocking flush of conn.tx; marks the connection dead on a
+     *  hard send error. Resets the progress deadline on any write. */
+    void flushSend(Connection &conn);
     void closeConnection(Connection &conn);
     /** Cancel the queued jobs of a vanished client; orphan the rest. */
     void releaseClientJobs(uint64_t client_id);
+    /** Record a job's terminal transition and evict the oldest
+     *  retained terminal jobs beyond maxRetainedResults (mu_ held). */
+    void markTerminalLocked(uint64_t job_id);
     ServerStatsSnapshot statsLocked() const;
 
     ServerConfig cfg_;
@@ -198,6 +234,9 @@ class MissionServer
     std::condition_variable queueCv_; ///< workers wait here
     std::deque<uint64_t> queue_;
     std::unordered_map<uint64_t, Job> jobs_;
+    /** Terminal jobs in transition order (retention FIFO); ids whose
+     *  job was already fetch-evicted are skipped lazily. */
+    std::deque<uint64_t> terminalOrder_;
     /** Unfinished jobs per live connection (admission cap). */
     std::unordered_map<uint64_t, uint32_t> inFlightByClient_;
     uint64_t nextJobId_ = 1;

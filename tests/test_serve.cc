@@ -244,6 +244,52 @@ TEST(ServeProto, ResultReplyRoundTripsTrajectoryBytes)
     EXPECT_EQ(d2.result.serviceMs, r.serviceMs);
 }
 
+TEST(ServeProto, ResultReplyCarriesTerminalState)
+{
+    ServedResult r;
+    r.completed = false;
+    r.failureReason = "mission threw";
+
+    ResultData failed{5, r, JobState::Failed};
+    ResultData back = decodeResultReply(encodeResultReply(failed));
+    EXPECT_EQ(back.state, JobState::Failed);
+    EXPECT_EQ(back.result.failureReason, "mission threw");
+
+    ResultData done{6, ServedResult{}};
+    EXPECT_EQ(decodeResultReply(encodeResultReply(done)).state,
+              JobState::Done);
+
+    // Non-terminal state bytes are rejected, not trusted.
+    Message m = encodeResultReply(done);
+    m.payload[8] = uint8_t(JobState::Running);
+    EXPECT_THROW(decodeResultReply(m), ProtocolError);
+}
+
+TEST(ServeProto, OversizedResultDemotedToFailureNotAbort)
+{
+    // A trajectory CSV beyond the wire budget must become a
+    // well-formed failure — never reach the encoder's assert.
+    ServedResult big;
+    big.completed = true;
+    big.trajectoryCsv.assign(kMaxTrajectoryCsvBytes + 1, 'x');
+    EXPECT_FALSE(fitResultToWire(big));
+    EXPECT_TRUE(big.trajectoryCsv.empty());
+    EXPECT_FALSE(big.failureReason.empty());
+    // The demoted result encodes cleanly.
+    Message m = encodeResultReply({1, big, JobState::Failed});
+    EXPECT_EQ(decodeResultReply(m).state, JobState::Failed);
+
+    // A result exactly at the budget is untouched and encodes.
+    ServedResult fits;
+    fits.trajectoryCsv.assign(kMaxTrajectoryCsvBytes, 'y');
+    EXPECT_TRUE(fitResultToWire(fits));
+    EXPECT_EQ(fits.trajectoryCsv.size(), kMaxTrajectoryCsvBytes);
+    std::vector<uint8_t> wire;
+    serializeMessage(encodeResultReply({2, fits}), wire);
+    EXPECT_LE(wire.size(),
+              Message::kHeaderBytes + kMaxServePayloadBytes);
+}
+
 TEST(ServeProto, MalformedPayloadsThrowNotCrash)
 {
     // Truncated SubmitMission payload.
@@ -588,6 +634,167 @@ TEST(ServeServer, BadSpecsAreRejectedNotExecuted)
     EXPECT_EQ(out.reason, RejectReason::BadRequest);
 
     EXPECT_EQ(server.stats().accepted, 0u);
+    server.stop();
+}
+
+TEST(ServeServer, UnserviceableResultSizeRejectedAtAdmission)
+{
+    // A spec whose trajectory provably cannot fit a ResultReply (tiny
+    // sync granularity → one sample every 1k cycles → tens of MB of
+    // CSV) is shed as bad_request at the front door; it must not
+    // occupy a worker only to fail — and must never abort the daemon.
+    ServerConfig cfg;
+    cfg.workers = 1;
+    MissionServer server(cfg);
+    server.start();
+    ServeClient client(server.port());
+
+    core::MissionSpec spec = quickSpec();
+    spec.syncGranularity = 1000;
+    SubmitOutcome out = client.submit(spec);
+    ASSERT_FALSE(out.accepted);
+    EXPECT_EQ(out.reason, RejectReason::BadRequest);
+    EXPECT_FALSE(out.detail.empty());
+    EXPECT_EQ(server.stats().accepted, 0u);
+
+    // The daemon is fully serviceable afterwards.
+    EXPECT_TRUE(client.submit(quickSpec()).accepted);
+    server.stop();
+}
+
+TEST(ServeServer, FailedJobReportsFailedStateOverTheWire)
+{
+    ServerConfig cfg;
+    cfg.workers = 1;
+    MissionServer server(cfg);
+    server.start();
+    ServeClient client(server.port());
+
+    // Unknown SoC names pass admission (cheap validation only) and
+    // throw in the worker — a Failed job, not a dead daemon.
+    core::MissionSpec spec = quickSpec();
+    spec.socName = "Z";
+    SubmitOutcome out = client.submit(spec);
+    ASSERT_TRUE(out.accepted) << out.detail;
+
+    ServedResult r;
+    JobState state = JobState::Unknown;
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::seconds(10);
+    while (!client.tryFetchResult(out.jobId, r, &state)) {
+        ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_EQ(state, JobState::Failed);
+    EXPECT_FALSE(r.completed);
+    EXPECT_FALSE(r.failureReason.empty());
+    EXPECT_EQ(server.stats().failed, 1u);
+    server.stop();
+}
+
+TEST(ServeServer, FetchReleasesResultAndRetentionIsBounded)
+{
+    ServerConfig cfg;
+    cfg.workers = 1;
+    cfg.maxRetainedResults = 1;
+    MissionServer server(cfg);
+    server.start();
+    ServeClient client(server.port());
+
+    // Fetch is one-shot: the record is released with the reply.
+    SubmitOutcome a = client.submit(quickSpec(1));
+    ASSERT_TRUE(a.accepted);
+    ServedResult r = client.waitResult(a.jobId);
+    EXPECT_GT(r.trajectorySamples, 0u);
+    EXPECT_EQ(client.status(a.jobId).state, JobState::Unknown);
+    EXPECT_THROW(client.waitResult(a.jobId, 500), ProtocolError);
+
+    // Unfetched terminal jobs are bounded by the retention FIFO: with
+    // capacity 1, finishing a third job evicts the second unfetched.
+    SubmitOutcome b = client.submit(quickSpec(2));
+    SubmitOutcome c = client.submit(quickSpec(3));
+    ASSERT_TRUE(b.accepted);
+    ASSERT_TRUE(c.accepted);
+    ASSERT_TRUE(eventually(server, [](const ServerStatsSnapshot &s) {
+        return s.completed == 3;
+    }));
+    EXPECT_EQ(client.status(b.jobId).state, JobState::Unknown);
+    EXPECT_EQ(client.status(c.jobId).state, JobState::Done);
+    ServedResult rc = client.waitResult(c.jobId);
+    EXPECT_GT(rc.trajectorySamples, 0u);
+    server.stop();
+}
+
+TEST(ServeServer, StalledReaderDoesNotBlockOtherClients)
+{
+    // One client that requests its (large) result and then never
+    // reads must cost only its own connection: other sessions stay
+    // serviceable the whole time, and the stalled connection is
+    // dropped once its reply makes no progress for sendTimeoutMs.
+    ServerConfig cfg;
+    cfg.workers = 1;
+    cfg.sendTimeoutMs = 2000;
+    cfg.sendBufferBytes = 4096; // shrink kernel buffering so the
+                                // ~90 KiB reply actually stalls
+    MissionServer server(cfg);
+    server.start();
+
+    ServeClient observer(server.port());
+
+    // Raw non-reading socket with a tiny receive window.
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    int rcvbuf = 4096;
+    setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(server.port());
+    inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof(addr)),
+              0);
+
+    // Submit the canonical mission (~90 KiB of trajectory CSV). The
+    // daemon assigns it job id 1 — it is the first submission.
+    std::vector<uint8_t> wire;
+    serializeMessage(encodeSubmitMission(canonicalSpec("A")), wire);
+    ASSERT_EQ(::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL),
+              ssize_t(wire.size()));
+    ASSERT_TRUE(eventually(server, [](const ServerStatsSnapshot &s) {
+        return s.completed == 1;
+    }));
+
+    // Ask for the result, then never read a byte of it.
+    wire.clear();
+    serializeMessage(encodeFetchResult(1), wire);
+    ASSERT_EQ(::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL),
+              ssize_t(wire.size()));
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+    // While that reply is wedged, other clients are serviced at full
+    // speed (well under the 2 s stall deadline) — no head-of-line
+    // blocking through the shared IO loop.
+    auto t0 = std::chrono::steady_clock::now();
+    ServerStatsSnapshot s = observer.serverStats();
+    double statsMs = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+    EXPECT_LT(statsMs, 1500.0);
+    EXPECT_EQ(s.connectionsOpen, 2u);
+    SubmitOutcome out = observer.submit(quickSpec(9));
+    ASSERT_TRUE(out.accepted);
+    EXPECT_GT(observer.waitResult(out.jobId).trajectorySamples, 0u);
+
+    // The stalled connection is dropped after the progress deadline;
+    // everything else keeps running.
+    ASSERT_TRUE(eventually(
+        server,
+        [](const ServerStatsSnapshot &st) {
+            return st.connectionsOpen == 1;
+        },
+        15000));
+    ::close(fd);
+    EXPECT_TRUE(observer.submit(quickSpec(10)).accepted);
     server.stop();
 }
 
