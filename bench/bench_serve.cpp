@@ -22,6 +22,14 @@
  * queue, tail latency stays flatter and the overflow shows up as
  * shed submissions instead — backpressure trades retries for bounded
  * queue wait. Results land in BENCH_serve.json.
+ *
+ * A second sweep measures result streaming: multi-megabyte
+ * trajectories fetched through the chunked ResultChunk/ResultEnd
+ * protocol across chunk size {64 KiB, 256 KiB, 1 MiB} x clients
+ * {1, 4} x encoding {csv, binary}. Reported per cell: p50 fetch
+ * latency, p50 reassembled MB/s per client, and the actual wire
+ * payload moved (the binary encoding's ~1.8x size win over CSV shows
+ * up directly in wire_bytes).
  */
 
 #include <algorithm>
@@ -165,6 +173,98 @@ runCell(int clients, size_t queue_depth)
     return cell;
 }
 
+// ------------------------------------------------------- streaming
+
+/** Long-trajectory spec for the streaming sweep: ~4 MB of CSV per
+ *  mission (one sample every 20k cycles for 1 simulated second). */
+core::MissionSpec
+streamSpec(uint64_t seed)
+{
+    core::MissionSpec spec = benchSpec(seed);
+    spec.maxSimSeconds = 1.0;
+    spec.syncGranularity = 20000;
+    return spec;
+}
+
+struct StreamCell
+{
+    size_t chunkBytes = 0;
+    int clients = 0;
+    TrajectoryEncoding encoding = TrajectoryEncoding::Csv;
+    size_t payloadBytes = 0; ///< reassembled CSV bytes (p50 client)
+    uint64_t wireBytes = 0;  ///< chunk payload actually sent
+    uint64_t chunks = 0;
+    double fetchP50Ms = 0.0;
+    double mbPerSecP50 = 0.0;
+};
+
+StreamCell
+runStreamCell(size_t chunk_bytes, int clients,
+              TrajectoryEncoding encoding)
+{
+    ServerConfig cfg;
+    cfg.workers = kWorkers;
+    cfg.maxQueueDepth = 32;
+    cfg.perClientInFlight = 64;
+    cfg.resultChunkBytes = chunk_bytes;
+    cfg.progressIntervalPeriods = 0; // measure the stream alone
+    MissionServer server(cfg);
+    server.start();
+    uint16_t port = server.port();
+
+    struct FetchTally
+    {
+        double ms = 0.0;
+        size_t bytes = 0;
+    };
+    std::vector<FetchTally> tallies =
+        core::parallelIndexed<FetchTally>(
+            size_t(clients), size_t(clients), [&](size_t ci) {
+                ServeClient client(port);
+                SubmitOutcome out = client.submit(streamSpec(1 + ci));
+                if (!out.accepted)
+                    rose_fatal("stream bench submit shed: ",
+                               out.detail);
+                while (client.status(out.jobId).state !=
+                       JobState::Done)
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(2));
+                // The mission is finished: time only the fetch — the
+                // chunked stream generation, transfer, reassembly,
+                // and hash verification.
+                Clock::time_point f0 = Clock::now();
+                ServedResult r;
+                JobState st = JobState::Unknown;
+                client.tryFetchResult(out.jobId, r, &st, encoding);
+                FetchTally t;
+                t.ms = std::chrono::duration<double, std::milli>(
+                           Clock::now() - f0)
+                           .count();
+                t.bytes = r.trajectoryCsv.size();
+                return t;
+            });
+    ServerStatsSnapshot stats = server.stats();
+    server.stop();
+
+    StreamCell cell;
+    cell.chunkBytes = chunk_bytes;
+    cell.clients = clients;
+    cell.encoding = encoding;
+    cell.wireBytes = stats.streamedPayloadBytes;
+    cell.chunks = stats.streamedChunks;
+    std::vector<double> ms, mbps;
+    for (const FetchTally &t : tallies) {
+        ms.push_back(t.ms);
+        mbps.push_back(t.ms > 0.0
+                           ? double(t.bytes) / 1e6 / (t.ms / 1e3)
+                           : 0.0);
+    }
+    cell.payloadBytes = tallies.empty() ? 0 : tallies[0].bytes;
+    cell.fetchP50Ms = percentiles(ms).p50;
+    cell.mbPerSecP50 = percentiles(mbps).p50;
+    return cell;
+}
+
 } // namespace
 
 int
@@ -191,6 +291,33 @@ main()
         }
     }
 
+    std::printf("\nresult streaming (chunk size x clients x "
+                "encoding; ~4 MB trajectory per fetch)\n\n");
+    std::printf("%-10s %-8s %-9s %-11s %-11s %-8s %-12s %-12s\n",
+                "chunk", "clients", "encoding", "payload[B]",
+                "wire[B]", "chunks", "fetch p50[ms]", "MB/s p50");
+    std::vector<StreamCell> streamCells;
+    for (size_t chunk : {size_t(64) * 1024, size_t(256) * 1024,
+                         size_t(1024) * 1024}) {
+        for (int clients : {1, 4}) {
+            for (TrajectoryEncoding enc :
+                 {TrajectoryEncoding::Csv,
+                  TrajectoryEncoding::Binary}) {
+                StreamCell c = runStreamCell(chunk, clients, enc);
+                std::printf(
+                    "%-10zu %-8d %-9s %-11zu %-11llu %-8llu "
+                    "%-12.2f %-12.2f\n",
+                    c.chunkBytes, c.clients,
+                    trajectoryEncodingName(c.encoding),
+                    c.payloadBytes,
+                    static_cast<unsigned long long>(c.wireBytes),
+                    static_cast<unsigned long long>(c.chunks),
+                    c.fetchP50Ms, c.mbPerSecP50);
+                streamCells.push_back(c);
+            }
+        }
+    }
+
     std::ostringstream js;
     js << "{\n  \"workers\": " << kWorkers
        << ",\n  \"missions_per_client\": " << kMissionsPerClient
@@ -208,6 +335,19 @@ main()
            << c.latency.max << "}, \"queue_wait_ms\": {\"p50\": "
            << c.queueWait.p50 << ", \"p95\": " << c.queueWait.p95
            << ", \"max\": " << c.queueWait.max << "}}";
+    }
+    js << "\n  ],\n  \"streaming\": [";
+    for (size_t i = 0; i < streamCells.size(); ++i) {
+        const StreamCell &c = streamCells[i];
+        js << (i ? ",\n    " : "\n    ") << "{\"chunk_bytes\": "
+           << c.chunkBytes << ", \"clients\": " << c.clients
+           << ", \"encoding\": \""
+           << trajectoryEncodingName(c.encoding)
+           << "\", \"payload_bytes\": " << c.payloadBytes
+           << ", \"wire_bytes\": " << c.wireBytes
+           << ", \"chunks\": " << c.chunks
+           << ", \"fetch_p50_ms\": " << c.fetchP50Ms
+           << ", \"mb_per_sec_p50\": " << c.mbPerSecP50 << "}";
     }
     js << "\n  ]\n}\n";
 

@@ -104,6 +104,10 @@ CoSimulation::stepPeriod()
 
     if (periods_ % cfg_.samplePeriods == 0)
         sample();
+
+    if (cfg_.progressPeriods != 0 && cfg_.progressHook &&
+        periods_ % cfg_.progressPeriods == 0)
+        cfg_.progressHook(env_->simTime(), trajectory_.size());
 }
 
 void

@@ -55,9 +55,10 @@ runMission(const MissionSpec &spec)
 namespace {
 
 void
-emitTrajectoryCsv(CsvWriter &csv, const MissionResult &r)
+emitTrajectoryCsv(CsvWriter &csv,
+                  const std::vector<TrajectorySample> &trajectory)
 {
-    for (const TrajectorySample &s : r.trajectory) {
+    for (const TrajectorySample &s : trajectory) {
         csv.row(s.time, s.position.x, s.position.y, s.position.z, s.yaw,
                 s.speed, s.lateralOffset, s.collisions, s.cmdForward,
                 s.cmdLateral, s.cmdYawRate);
@@ -79,15 +80,21 @@ void
 writeTrajectoryCsv(const std::string &path, const MissionResult &r)
 {
     CsvWriter csv(path, trajectoryHeader());
-    emitTrajectoryCsv(csv, r);
+    emitTrajectoryCsv(csv, r.trajectory);
 }
 
 std::string
 trajectoryCsvString(const MissionResult &r)
 {
+    return trajectoryCsvString(r.trajectory);
+}
+
+std::string
+trajectoryCsvString(const std::vector<TrajectorySample> &trajectory)
+{
     std::ostringstream os;
     CsvWriter csv(os, trajectoryHeader());
-    emitTrajectoryCsv(csv, r);
+    emitTrajectoryCsv(csv, trajectory);
     return os.str();
 }
 

@@ -60,6 +60,14 @@ void writeTrajectoryCsv(const std::string &path, const MissionResult &r);
  */
 std::string trajectoryCsvString(const MissionResult &r);
 
+/**
+ * The canonical CSV of a bare sample vector — what a serve client
+ * uses to re-encode a binary-streamed trajectory before checking its
+ * hash against the server's.
+ */
+std::string
+trajectoryCsvString(const std::vector<TrajectorySample> &trajectory);
+
 /** Format seconds as "12.34s" or "DNF" for incomplete missions. */
 std::string missionTimeString(const MissionResult &r);
 

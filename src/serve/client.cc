@@ -8,7 +8,6 @@
 #include <unistd.h>
 
 #include <cerrno>
-#include <chrono>
 #include <cstring>
 #include <thread>
 
@@ -53,6 +52,12 @@ ServeClient::~ServeClient()
 }
 
 void
+ServeClient::onProgress(std::function<void(const ProgressEvent &)> fn)
+{
+    progress_ = std::move(fn);
+}
+
+void
 ServeClient::sendAll(const std::vector<uint8_t> &wire)
 {
     size_t off = 0;
@@ -79,14 +84,8 @@ ServeClient::sendAll(const std::vector<uint8_t> &wire)
 }
 
 Message
-ServeClient::request(const Message &req)
+ServeClient::nextResponse(Clock::time_point deadline)
 {
-    std::vector<uint8_t> wire;
-    serializeMessage(req, wire);
-    sendAll(wire);
-
-    auto deadline = std::chrono::steady_clock::now() +
-                    std::chrono::milliseconds(timeoutMs_);
     uint8_t tmp[65536];
     for (;;) {
         Message resp;
@@ -98,6 +97,12 @@ ServeClient::request(const Message &req)
                     "server sent a request-type message");
             if (resp.type == MsgType::ErrorReply)
                 throw ProtocolError(decodeErrorReply(resp));
+            if (resp.type == MsgType::Progress) {
+                // Push frame: not part of request/response pairing.
+                if (progress_)
+                    progress_(decodeProgress(resp));
+                continue;
+            }
             return resp;
           case FrameStatus::Malformed:
             throw TransportError("serve stream framing corrupt: " +
@@ -106,7 +111,7 @@ ServeClient::request(const Message &req)
             break;
         }
 
-        auto now = std::chrono::steady_clock::now();
+        auto now = Clock::now();
         if (now >= deadline)
             throw TransportError(detail::concat(
                 "no response from server within ", timeoutMs_, " ms"));
@@ -137,6 +142,16 @@ ServeClient::request(const Message &req)
     }
 }
 
+Message
+ServeClient::request(const Message &req)
+{
+    std::vector<uint8_t> wire;
+    serializeMessage(req, wire);
+    sendAll(wire);
+    return nextResponse(Clock::now() +
+                        std::chrono::milliseconds(timeoutMs_));
+}
+
 SubmitOutcome
 ServeClient::submit(const core::MissionSpec &spec)
 {
@@ -164,41 +179,51 @@ ServeClient::status(uint64_t job_id)
 
 bool
 ServeClient::tryFetchResult(uint64_t job_id, ServedResult &out,
-                            JobState *state_out)
+                            JobState *state_out,
+                            TrajectoryEncoding encoding)
 {
-    Message resp = request(encodeFetchResult(job_id));
-    if (resp.type == MsgType::ResultReply) {
-        ResultData d = decodeResultReply(resp);
-        out = std::move(d.result);
-        // Failed executions also travel as ResultReply (the
-        // failureReason says why); both are terminal. The wire
-        // carries which terminal state it was, so callers can tell
-        // success from failure without parsing failureReason.
+    Message resp = request(encodeFetchResult(job_id, encoding));
+    if (resp.type == MsgType::StatusReply) {
+        StatusInfo s = decodeStatusReply(resp);
         if (state_out)
-            *state_out = d.state;
-        return true;
+            *state_out = s.state;
+        if (s.state == JobState::Unknown)
+            throw ProtocolError(
+                detail::concat("unknown job id ", job_id));
+        if (s.state == JobState::Cancelled)
+            throw ProtocolError(detail::concat("job ", job_id,
+                                               " was cancelled"));
+        return false;
     }
-    StatusInfo s = decodeStatusReply(resp);
+    // The job finished: reassemble and verify its result stream. The
+    // deadline resets per frame so a long stream can't trip the
+    // round-trip timeout while frames keep arriving.
+    ResultStreamAssembler assembler(job_id);
+    while (!assembler.feed(resp))
+        resp = nextResponse(Clock::now() +
+                            std::chrono::milliseconds(timeoutMs_));
+    ResultData d = assembler.takeResult();
+    out = std::move(d.result);
+    // Failed executions stream too (an empty trajectory and a
+    // failureReason); both terminal states travel in ResultEnd, so
+    // callers can tell success from failure without parsing
+    // failureReason.
     if (state_out)
-        *state_out = s.state;
-    if (s.state == JobState::Unknown)
-        throw ProtocolError(detail::concat("unknown job id ", job_id));
-    if (s.state == JobState::Cancelled)
-        throw ProtocolError(detail::concat("job ", job_id,
-                                           " was cancelled"));
-    return false;
+        *state_out = d.state;
+    return true;
 }
 
 ServedResult
-ServeClient::waitResult(uint64_t job_id, int timeout_ms, int poll_ms)
+ServeClient::waitResult(uint64_t job_id, int timeout_ms, int poll_ms,
+                        TrajectoryEncoding encoding)
 {
-    auto deadline = std::chrono::steady_clock::now() +
+    auto deadline = Clock::now() +
                     std::chrono::milliseconds(timeout_ms);
     for (;;) {
         ServedResult result;
-        if (tryFetchResult(job_id, result))
+        if (tryFetchResult(job_id, result, nullptr, encoding))
             return result;
-        if (std::chrono::steady_clock::now() >= deadline)
+        if (Clock::now() >= deadline)
             throw TransportError(detail::concat(
                 "job ", job_id, " did not finish within ", timeout_ms,
                 " ms"));

@@ -4,16 +4,35 @@
  *
  * One ServeClient is one TCP connection and one session: requests are
  * written synchronously and the matching response is awaited (the
- * protocol pairs exactly one response per request, in order), so the
- * client needs no reader thread. Use one ServeClient per thread;
- * instances are not thread-safe (concurrent load is modeled with
- * multiple clients, exactly like real traffic).
+ * protocol pairs one logical response per request, in order), so the
+ * client needs no reader thread. Two kinds of frames ride alongside
+ * plain replies:
+ *
+ *  - Result streams: FetchResult of a finished job is answered with a
+ *    sequence of ResultChunk frames closed by ResultEnd; the client
+ *    reassembles them through ResultStreamAssembler, which verifies
+ *    chunk ordering, the byte count, and the FNV-1a trajectory hash
+ *    before handing back a ServedResult. Binary-encoded payloads are
+ *    re-encoded to canonical CSV so the verified bytes are identical
+ *    to a local runMission() of the same spec.
+ *
+ *  - Progress pushes: the server may interleave Progress frames
+ *    (latest simulated time of a running job) anywhere between
+ *    logical responses. They are dispatched to the onProgress handler
+ *    (when set) and are otherwise invisible to the request/response
+ *    pairing.
+ *
+ * Use one ServeClient per thread; instances are not thread-safe
+ * (concurrent load is modeled with multiple clients, exactly like
+ * real traffic).
  */
 
 #ifndef ROSE_SERVE_CLIENT_HH
 #define ROSE_SERVE_CLIENT_HH
 
+#include <chrono>
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "serve/proto.hh"
@@ -45,6 +64,14 @@ class ServeClient
     ServeClient(const ServeClient &) = delete;
     ServeClient &operator=(const ServeClient &) = delete;
 
+    /**
+     * Install a handler for server-pushed Progress frames. Invoked
+     * from whatever call is currently reading the socket (submit,
+     * status, tryFetchResult, waitResult); must not reenter the
+     * client. Pass nullptr to drop progress silently.
+     */
+    void onProgress(std::function<void(const ProgressEvent &)> fn);
+
     /** Submit a mission; never throws on rejection (see outcome). */
     SubmitOutcome submit(const core::MissionSpec &spec);
 
@@ -52,17 +79,27 @@ class ServeClient
     StatusInfo status(uint64_t job_id);
 
     /**
-     * One FetchResult round-trip. @return true when the job finished
-     * and @p out holds its result; false when it is still queued or
-     * running. @p state_out (when non-null) receives the job's state
-     * — Done or Failed on a true return, so success and failure are
-     * distinguishable without inspecting failureReason. Fetching a
-     * finished result releases it server-side: a second fetch of the
-     * same id reports it Unknown.
-     * @throws ProtocolError when the job is unknown.
+     * One FetchResult round-trip. @return true when the job finished:
+     * the full result stream was consumed, hash-verified, and @p out
+     * holds the result; false when it is still queued or running.
+     * @p state_out (when non-null) receives the job's state — Done or
+     * Failed on a true return, so success and failure are
+     * distinguishable without inspecting failureReason. @p encoding
+     * selects the trajectory wire encoding (the reassembled
+     * trajectoryCsv is byte-identical either way; Binary is smaller
+     * on the wire). Fetching a finished result releases it
+     * server-side: a second fetch of the same id reports it Unknown.
+     * The receive deadline applies per frame, not to the whole
+     * stream, so arbitrarily long results don't trip the timeout
+     * while frames keep arriving.
+     * @throws ProtocolError when the job is unknown, was cancelled,
+     * or the stream is malformed (bad order, truncation, hash
+     * mismatch).
      */
     bool tryFetchResult(uint64_t job_id, ServedResult &out,
-                        JobState *state_out = nullptr);
+                        JobState *state_out = nullptr,
+                        TrajectoryEncoding encoding =
+                            TrajectoryEncoding::Csv);
 
     /**
      * Poll FetchResult until the job finishes. @throws
@@ -70,7 +107,9 @@ class ServeClient
      * elapses; ProtocolError when the job is unknown or cancelled.
      */
     ServedResult waitResult(uint64_t job_id, int timeout_ms = 120000,
-                            int poll_ms = 10);
+                            int poll_ms = 10,
+                            TrajectoryEncoding encoding =
+                                TrajectoryEncoding::Csv);
 
     CancelInfo cancel(uint64_t job_id);
 
@@ -80,13 +119,20 @@ class ServeClient
     void shutdownServer(bool drain = true);
 
   private:
-    /** Send one request and block for its paired response. */
+    using Clock = std::chrono::steady_clock;
+
+    /** Send one request and block for its paired logical response
+     *  (the first non-Progress frame). */
     Message request(const Message &req);
+    /** Block for the next non-Progress frame until @p deadline;
+     *  Progress frames are dispatched to the handler in passing. */
+    Message nextResponse(Clock::time_point deadline);
     void sendAll(const std::vector<uint8_t> &wire);
 
     int fd_ = -1;
     int timeoutMs_;
     MessageBuffer rx_;
+    std::function<void(const ProgressEvent &)> progress_;
 };
 
 } // namespace rose::serve

@@ -1,7 +1,10 @@
 #include "proto.hh"
 
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
+#include "util/hash.hh"
 #include "util/logging.hh"
 
 namespace rose::serve {
@@ -22,10 +25,12 @@ isValidMsgType(uint8_t raw)
       case MsgType::SubmitOk:
       case MsgType::SubmitRejected:
       case MsgType::StatusReply:
-      case MsgType::ResultReply:
       case MsgType::CancelReply:
       case MsgType::StatsReply:
       case MsgType::ShutdownReply:
+      case MsgType::ResultChunk:
+      case MsgType::ResultEnd:
+      case MsgType::Progress:
       case MsgType::ErrorReply:
         return true;
     }
@@ -51,10 +56,12 @@ msgTypeName(MsgType t)
       case MsgType::SubmitOk: return "SubmitOk";
       case MsgType::SubmitRejected: return "SubmitRejected";
       case MsgType::StatusReply: return "StatusReply";
-      case MsgType::ResultReply: return "ResultReply";
       case MsgType::CancelReply: return "CancelReply";
       case MsgType::StatsReply: return "StatsReply";
       case MsgType::ShutdownReply: return "ShutdownReply";
+      case MsgType::ResultChunk: return "ResultChunk";
+      case MsgType::ResultEnd: return "ResultEnd";
+      case MsgType::Progress: return "Progress";
       case MsgType::ErrorReply: return "ErrorReply";
     }
     return "unknown";
@@ -82,6 +89,16 @@ jobStateName(JobState s)
       case JobState::Failed: return "failed";
       case JobState::Cancelled: return "cancelled";
       case JobState::Unknown: return "unknown";
+    }
+    return "unknown";
+}
+
+const char *
+trajectoryEncodingName(TrajectoryEncoding e)
+{
+    switch (e) {
+      case TrajectoryEncoding::Csv: return "csv";
+      case TrajectoryEncoding::Binary: return "binary";
     }
     return "unknown";
 }
@@ -250,7 +267,127 @@ readJobIdMessage(const Message &m, MsgType want)
     return r.u64();
 }
 
+JobState
+readTerminalState(ByteReader &r, const char *where)
+{
+    uint8_t state = r.u8();
+    if (state != uint8_t(JobState::Done) &&
+        state != uint8_t(JobState::Failed))
+        throw ProtocolError(detail::concat(
+            "non-terminal job state byte ", unsigned(state), " in ",
+            where));
+    return JobState(state);
+}
+
+TrajectoryEncoding
+readEncoding(ByteReader &r, const char *where)
+{
+    uint8_t enc = r.u8();
+    if (enc != uint8_t(TrajectoryEncoding::Csv) &&
+        enc != uint8_t(TrajectoryEncoding::Binary))
+        throw ProtocolError(detail::concat(
+            "invalid trajectory encoding byte ", unsigned(enc),
+            " in ", where));
+    return TrajectoryEncoding(enc);
+}
+
+void
+writeF32(ByteWriter &w, float f)
+{
+    uint32_t bits = 0;
+    std::memcpy(&bits, &f, sizeof(bits));
+    w.u32(bits);
+}
+
 } // namespace
+
+// ------------------------------------------------ binary trajectory
+
+float
+canonicalTrajectoryF32(double v)
+{
+    // %.6g is exactly the default-formatted ostream insertion
+    // CsvWriter uses for its cells; re-reading that decimal and
+    // narrowing lands within 2^-24 relative of the printed value,
+    // which is why printing the f32 at precision 6 reproduces the
+    // original cell (tests pin this printf/ostream equivalence).
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return float(std::strtod(buf, nullptr));
+}
+
+void
+encodeTrajectoryBinaryRecords(const core::TrajectorySample *samples,
+                              size_t count, std::vector<uint8_t> &out)
+{
+    out.reserve(out.size() + count * kTrajectoryBinaryRecordBytes);
+    ByteWriter w(out);
+    for (size_t i = 0; i < count; ++i) {
+        const core::TrajectorySample &s = samples[i];
+        if (s.collisions > UINT32_MAX)
+            throw ProtocolError(detail::concat(
+                "collision count ", s.collisions,
+                " exceeds the u32 binary-record field"));
+        writeF32(w, canonicalTrajectoryF32(s.time));
+        writeF32(w, canonicalTrajectoryF32(s.position.x));
+        writeF32(w, canonicalTrajectoryF32(s.position.y));
+        writeF32(w, canonicalTrajectoryF32(s.position.z));
+        writeF32(w, canonicalTrajectoryF32(s.yaw));
+        writeF32(w, canonicalTrajectoryF32(s.speed));
+        writeF32(w, canonicalTrajectoryF32(s.lateralOffset));
+        w.u32(uint32_t(s.collisions));
+        writeF32(w, canonicalTrajectoryF32(s.cmdForward));
+        writeF32(w, canonicalTrajectoryF32(s.cmdLateral));
+        writeF32(w, canonicalTrajectoryF32(s.cmdYawRate));
+    }
+}
+
+std::vector<uint8_t>
+encodeTrajectoryBinary(const std::vector<core::TrajectorySample> &t)
+{
+    std::vector<uint8_t> out;
+    encodeTrajectoryBinaryRecords(t.data(), t.size(), out);
+    return out;
+}
+
+std::vector<core::TrajectorySample>
+decodeTrajectoryBinary(const uint8_t *data, size_t size)
+{
+    if (size % kTrajectoryBinaryRecordBytes != 0)
+        throw ProtocolError(detail::concat(
+            "binary trajectory payload of ", size,
+            " bytes is not a whole number of ",
+            kTrajectoryBinaryRecordBytes, "-byte records"));
+    std::vector<core::TrajectorySample> t;
+    t.resize(size / kTrajectoryBinaryRecordBytes);
+    const uint8_t *p = data;
+    auto rd_u32 = [&p]() {
+        uint32_t v = uint32_t(p[0]) | uint32_t(p[1]) << 8 |
+                     uint32_t(p[2]) << 16 | uint32_t(p[3]) << 24;
+        p += 4;
+        return v;
+    };
+    auto rd_f32 = [&rd_u32]() {
+        uint32_t bits = rd_u32();
+        float f = 0.0f;
+        std::memcpy(&f, &bits, sizeof(f));
+        return double(f);
+    };
+    for (core::TrajectorySample &s : t) {
+        s.time = rd_f32();
+        s.position.x = rd_f32();
+        s.position.y = rd_f32();
+        s.position.z = rd_f32();
+        s.yaw = rd_f32();
+        s.speed = rd_f32();
+        s.lateralOffset = rd_f32();
+        s.collisions = rd_u32();
+        s.cmdForward = rd_f32();
+        s.cmdLateral = rd_f32();
+        s.cmdYawRate = rd_f32();
+    }
+    return t;
+}
 
 // ------------------------------------------------------------ requests
 
@@ -340,15 +477,25 @@ decodeQueryStatus(const Message &m)
 }
 
 Message
-encodeFetchResult(uint64_t job_id)
+encodeFetchResult(uint64_t job_id, TrajectoryEncoding enc)
 {
-    return makeJobIdMessage(MsgType::FetchResult, job_id);
+    Message m;
+    m.type = MsgType::FetchResult;
+    ByteWriter w(m.payload);
+    w.u64(job_id);
+    w.u8(uint8_t(enc));
+    return m;
 }
 
-uint64_t
+FetchRequest
 decodeFetchResult(const Message &m)
 {
-    return readJobIdMessage(m, MsgType::FetchResult);
+    requireType(m, MsgType::FetchResult);
+    ByteReader r(m.payload);
+    FetchRequest req;
+    req.jobId = r.u64();
+    req.encoding = readEncoding(r, "FetchResult");
+    return req;
 }
 
 Message
@@ -493,36 +640,59 @@ marshalResult(const core::MissionResult &r)
     s.trajectorySamples = uint32_t(r.trajectory.size());
     s.degradedIntervals = uint32_t(r.degradedIntervals.size());
     s.trajectoryCsv = core::trajectoryCsvString(r);
+    s.trajectoryHash = fnv1a(s.trajectoryCsv);
+    s.trajectory = r.trajectory;
     return s;
 }
 
-bool
-fitResultToWire(ServedResult &r)
+Message
+encodeResultChunk(const ResultChunkData &c)
 {
-    if (r.trajectoryCsv.size() <= kMaxTrajectoryCsvBytes)
-        return true;
-    std::string why = detail::concat(
-        "result too large for the wire: trajectory CSV is ",
-        r.trajectoryCsv.size(), " bytes, bound is ",
-        kMaxTrajectoryCsvBytes,
-        " (reduce maxSimSeconds or raise syncGranularity)");
-    r.trajectoryCsv.clear();
-    if (r.failureReason.empty())
-        r.failureReason = why;
-    else
-        r.failureReason += "; " + why;
-    return false;
+    rose_assert(c.bytes.size() <= kMaxResultChunkBytes,
+                "result chunk exceeds the chunk bound");
+    Message m;
+    m.type = MsgType::ResultChunk;
+    ByteWriter w(m.payload);
+    w.u64(c.jobId);
+    w.u32(c.seq);
+    w.u32(uint32_t(c.bytes.size()));
+    w.bytes(c.bytes.data(), c.bytes.size());
+    return m;
+}
+
+ResultChunkData
+decodeResultChunk(const Message &m)
+{
+    requireType(m, MsgType::ResultChunk);
+    ByteReader r(m.payload);
+    ResultChunkData c;
+    c.jobId = r.u64();
+    c.seq = r.u32();
+    uint32_t n = r.u32();
+    if (n > kMaxResultChunkBytes)
+        throw ProtocolError(detail::concat(
+            "result chunk length ", n, " exceeds bound ",
+            kMaxResultChunkBytes));
+    if (n > r.remaining())
+        throw ProtocolError("result chunk truncated");
+    c.bytes.resize(n);
+    r.bytes(c.bytes.data(), n);
+    return c;
 }
 
 Message
-encodeResultReply(const ResultData &d)
+encodeResultEnd(const ResultEndData &e)
 {
     Message m;
-    m.type = MsgType::ResultReply;
+    m.type = MsgType::ResultEnd;
     ByteWriter w(m.payload);
-    w.u64(d.jobId);
-    w.u8(uint8_t(d.state));
-    const ServedResult &s = d.result;
+    w.u64(e.jobId);
+    w.u8(uint8_t(e.state));
+    w.u8(uint8_t(e.encoding));
+    w.u32(e.chunkCount);
+    w.u64(e.payloadBytes);
+    w.u64(e.trajectoryHash);
+    const ServedResult &s = e.result;
     w.u8(s.completed ? 1 : 0);
     w.u8(s.status);
     writeString(w, s.failureReason, kMaxStringBytes);
@@ -538,27 +708,24 @@ encodeResultReply(const ResultData &d)
     w.u64(s.simulatedCycles);
     w.u32(s.trajectorySamples);
     w.u32(s.degradedIntervals);
-    writeString(w, s.trajectoryCsv, kMaxTrajectoryCsvBytes);
     w.f64(s.queueWaitMs);
     w.f64(s.serviceMs);
     return m;
 }
 
-ResultData
-decodeResultReply(const Message &m)
+ResultEndData
+decodeResultEnd(const Message &m)
 {
-    requireType(m, MsgType::ResultReply);
+    requireType(m, MsgType::ResultEnd);
     ByteReader r(m.payload);
-    ResultData d;
-    d.jobId = r.u64();
-    uint8_t state = r.u8();
-    if (state != uint8_t(JobState::Done) &&
-        state != uint8_t(JobState::Failed))
-        throw ProtocolError(detail::concat(
-            "non-terminal job state byte ", unsigned(state),
-            " in ResultReply"));
-    d.state = JobState(state);
-    ServedResult &s = d.result;
+    ResultEndData e;
+    e.jobId = r.u64();
+    e.state = readTerminalState(r, "ResultEnd");
+    e.encoding = readEncoding(r, "ResultEnd");
+    e.chunkCount = r.u32();
+    e.payloadBytes = r.u64();
+    e.trajectoryHash = r.u64();
+    ServedResult &s = e.result;
     s.completed = r.u8() != 0;
     s.status = r.u8();
     s.failureReason = readString(r, kMaxStringBytes);
@@ -574,10 +741,138 @@ decodeResultReply(const Message &m)
     s.simulatedCycles = r.u64();
     s.trajectorySamples = r.u32();
     s.degradedIntervals = r.u32();
-    s.trajectoryCsv = readString(r, kMaxTrajectoryCsvBytes);
     s.queueWaitMs = r.f64();
     s.serviceMs = r.f64();
-    return d;
+    s.trajectoryHash = e.trajectoryHash;
+    return e;
+}
+
+Message
+encodeProgress(const ProgressEvent &p)
+{
+    Message m;
+    m.type = MsgType::Progress;
+    ByteWriter w(m.payload);
+    w.u64(p.jobId);
+    w.f64(p.simTimeSeconds);
+    w.f64(p.maxSimSeconds);
+    w.u64(p.samples);
+    return m;
+}
+
+ProgressEvent
+decodeProgress(const Message &m)
+{
+    requireType(m, MsgType::Progress);
+    ByteReader r(m.payload);
+    ProgressEvent p;
+    p.jobId = r.u64();
+    p.simTimeSeconds = r.f64();
+    p.maxSimSeconds = r.f64();
+    p.samples = r.u64();
+    return p;
+}
+
+// --------------------------------------------------- stream assembly
+
+ResultStreamAssembler::ResultStreamAssembler(uint64_t job_id,
+                                             size_t max_payload_bytes)
+    : jobId_(job_id), maxPayloadBytes_(max_payload_bytes)
+{
+}
+
+bool
+ResultStreamAssembler::feed(const Message &m)
+{
+    if (complete_)
+        throw ProtocolError(detail::concat(
+            msgTypeName(m.type), " frame after ResultEnd closed the "
+            "stream for job ", jobId_));
+    switch (m.type) {
+      case MsgType::ResultChunk: {
+        ResultChunkData c = decodeResultChunk(m);
+        if (c.jobId != jobId_)
+            throw ProtocolError(detail::concat(
+                "ResultChunk for job ", c.jobId,
+                " inside the stream of job ", jobId_));
+        if (c.seq != nextSeq_)
+            throw ProtocolError(detail::concat(
+                "result stream out of order: expected chunk ",
+                nextSeq_, ", got ", c.seq));
+        if (c.bytes.size() > maxPayloadBytes_ - payload_.size())
+            throw ProtocolError(detail::concat(
+                "result stream exceeds the ", maxPayloadBytes_,
+                "-byte reassembly bound"));
+        payload_.insert(payload_.end(), c.bytes.begin(),
+                        c.bytes.end());
+        nextSeq_++;
+        return false;
+      }
+      case MsgType::ResultEnd:
+        finish(decodeResultEnd(m));
+        return true;
+      default:
+        throw ProtocolError(detail::concat(
+            "unexpected ", msgTypeName(m.type),
+            " frame inside a result stream"));
+    }
+}
+
+void
+ResultStreamAssembler::finish(const ResultEndData &end)
+{
+    if (end.jobId != jobId_)
+        throw ProtocolError(detail::concat(
+            "ResultEnd for job ", end.jobId,
+            " inside the stream of job ", jobId_));
+    if (end.chunkCount != nextSeq_)
+        throw ProtocolError(detail::concat(
+            "result stream truncated: ResultEnd declares ",
+            end.chunkCount, " chunks, received ", nextSeq_));
+    if (end.payloadBytes != payload_.size())
+        throw ProtocolError(detail::concat(
+            "result stream truncated: ResultEnd declares ",
+            end.payloadBytes, " payload bytes, received ",
+            payload_.size()));
+
+    ResultData d;
+    d.jobId = end.jobId;
+    d.state = end.state;
+    d.result = end.result;
+    switch (end.encoding) {
+      case TrajectoryEncoding::Csv:
+        d.result.trajectoryCsv.assign(payload_.begin(),
+                                      payload_.end());
+        break;
+      case TrajectoryEncoding::Binary:
+        // Canonical re-encode: the binary records quantize every
+        // cell to its printed decimal, so rendering them reproduces
+        // the server-side CSV bit-for-bit — which the hash check
+        // below then proves.
+        d.result.trajectory =
+            decodeTrajectoryBinary(payload_.data(), payload_.size());
+        d.result.trajectoryCsv =
+            core::trajectoryCsvString(d.result.trajectory);
+        break;
+    }
+    uint64_t h = fnv1a(d.result.trajectoryCsv);
+    if (h != end.trajectoryHash)
+        throw ProtocolError(detail::concat(
+            "trajectory hash mismatch after reassembly of job ",
+            jobId_, " (", trajectoryEncodingName(end.encoding),
+            " encoding, ", payload_.size(), " payload bytes)"));
+    payload_.clear();
+    payload_.shrink_to_fit();
+    result_ = std::move(d);
+    complete_ = true;
+}
+
+ResultData
+ResultStreamAssembler::takeResult()
+{
+    rose_assert(complete_,
+                "takeResult() before the stream completed");
+    return std::move(result_);
 }
 
 Message
@@ -632,6 +927,13 @@ encodeStatsReply(const ServerStatsData &s)
     w.f64(s.maxQueueWaitMs);
     w.f64(s.totalServiceMs);
     w.f64(s.maxServiceMs);
+    w.u64(s.streamsStarted);
+    w.u64(s.streamsCompleted);
+    w.u64(s.streamedChunks);
+    w.u64(s.streamedPayloadBytes);
+    w.u64(s.progressEvents);
+    w.u64(s.retainedResultBytes);
+    w.u32(s.activeStreams);
     return m;
 }
 
@@ -660,6 +962,13 @@ decodeStatsReply(const Message &m)
     s.maxQueueWaitMs = r.f64();
     s.totalServiceMs = r.f64();
     s.maxServiceMs = r.f64();
+    s.streamsStarted = r.u64();
+    s.streamsCompleted = r.u64();
+    s.streamedChunks = r.u64();
+    s.streamedPayloadBytes = r.u64();
+    s.progressEvents = r.u64();
+    s.retainedResultBytes = r.u64();
+    s.activeStreams = r.u32();
     return s;
 }
 

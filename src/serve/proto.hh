@@ -12,13 +12,30 @@
  * header, with the type byte and length bound validated *before* any
  * payload allocation, and a poisoned-buffer rule — once framing is
  * lost the stream can never be trusted again. The payload bound is
- * larger than the bridge's (results carry whole trajectory CSVs), but
- * still hard: a corrupt length can neither trigger an unbounded
- * allocation nor an endless NeedMore wait.
+ * larger than the bridge's, but still hard: a corrupt length can
+ * neither trigger an unbounded allocation nor an endless NeedMore
+ * wait.
  *
- * Request/response pairing is strict: every request produces exactly
- * one response on the same connection, in request order. Responses
- * have the high bit of the type byte set.
+ * Request/response pairing (protocol version 2): every request
+ * produces exactly one *logical* response on the same connection, in
+ * request order — but two response kinds span multiple frames or
+ * arrive unsolicited:
+ *
+ *  - A FetchResult of a terminal job answers with a *result stream*:
+ *    zero or more ResultChunk frames (ordered, contiguous segments of
+ *    the trajectory payload) closed by exactly one ResultEnd frame
+ *    that carries the scalar result, the terminal JobState, and an
+ *    FNV-1a hash of the canonical trajectory CSV so the client can
+ *    verify reassembly bit-for-bit. No frame for a *different
+ *    request on the same connection* is interleaved inside a stream.
+ *
+ *  - Progress frames are server-push events for *running* jobs owned
+ *    by the connection. They may arrive between any two logical
+ *    responses and between the frames of another job's result stream,
+ *    but never inside the result stream *of their own job* (a job
+ *    only streams after it stopped running).
+ *
+ * Responses have the high bit of the type byte set.
  */
 
 #ifndef ROSE_SERVE_PROTO_HH
@@ -51,13 +68,21 @@ class ProtocolError : public std::runtime_error
         : std::runtime_error(what) {}
 };
 
+/**
+ * Serve protocol version. Version 2 replaced the single-frame
+ * ResultReply (wire type 0x84, now invalid) with chunked result
+ * streams and added Progress push events plus a binary trajectory
+ * encoding; FetchResult grew an encoding byte.
+ */
+constexpr uint8_t kServeProtocolVersion = 2;
+
 /** Wire identifiers. Requests 0x01..0x7f, responses 0x81..0xff. */
 enum class MsgType : uint8_t
 {
     // --- requests (client -> server) ---
     SubmitMission = 0x01, ///< enqueue a MissionSpec
     QueryStatus = 0x02,   ///< job lifecycle state
-    FetchResult = 0x03,   ///< retrieve a finished job's result
+    FetchResult = 0x03,   ///< stream a finished job's result
     CancelMission = 0x04, ///< dequeue a not-yet-running job
     ServerStats = 0x05,   ///< admission / load-shedding counters
     Shutdown = 0x06,      ///< stop the daemon (drain or immediate)
@@ -66,10 +91,14 @@ enum class MsgType : uint8_t
     SubmitOk = 0x81,     ///< job accepted: id + queue position
     SubmitRejected = 0x82, ///< admission control shed the request
     StatusReply = 0x83,
-    ResultReply = 0x84,
+    // 0x84 was the v1 single-frame ResultReply; retired with the
+    // protocol-2 stream frames below and invalid on the wire now.
     CancelReply = 0x85,
     StatsReply = 0x86,
     ShutdownReply = 0x87,
+    ResultChunk = 0x88, ///< ordered segment of a result stream
+    ResultEnd = 0x89,   ///< closes a result stream: scalars + hash
+    Progress = 0x8a,    ///< server-push progress of a running job
     ErrorReply = 0x8f, ///< malformed-but-framed request, unknown job
 };
 
@@ -83,22 +112,33 @@ bool isRequest(MsgType t);
 const char *msgTypeName(MsgType t);
 
 /**
- * Upper bound on a serve frame's payload. The largest legitimate
- * payload is a ResultReply carrying a full trajectory CSV (a
- * 60-second mission at the default sample rate is ~500 KiB); 8 MiB
- * covers any configurable mission with a wide margin.
+ * Upper bound on a serve frame's payload. Trajectories of arbitrary
+ * size travel as ResultChunk frames (each at most
+ * kMaxResultChunkBytes), so no single frame ever needs to grow with
+ * mission length; this bound only has to cover specs, stats, and the
+ * scalar stream frames with a wide margin.
  */
 constexpr size_t kMaxServePayloadBytes = 8 * 1024 * 1024;
 
 /**
- * Budget for the trajectory CSV inside a ResultReply: the payload
- * bound minus generous slack for every fixed-width field and bounded
- * string around it. Results are demoted to a failure *before* they
- * reach the encoder when the CSV outgrows this (fitResultToWire), so
- * an accepted mission can never produce an unencodable reply.
+ * Hard bound on one ResultChunk's segment. Decoders reject larger
+ * chunks before allocating; servers slice streams at
+ * ServerConfig::resultChunkBytes (default below) which is clamped to
+ * this.
  */
-constexpr size_t kMaxTrajectoryCsvBytes =
-    kMaxServePayloadBytes - 64 * 1024;
+constexpr size_t kMaxResultChunkBytes = 1024 * 1024;
+
+/** Default server-side stream slice size. */
+constexpr size_t kDefaultResultChunkBytes = 256 * 1024;
+
+/**
+ * Reassembly guard: a ResultStreamAssembler refuses to accumulate
+ * more than this many payload bytes (a corrupt or hostile stream can
+ * not drive an unbounded client allocation). 1 GiB is ~35 hours of
+ * mission at the default sample cadence — far past maxSimSeconds'
+ * admission ceiling.
+ */
+constexpr size_t kMaxAssembledTrajectoryBytes = 1ull << 30;
 
 /** One serve-protocol message: type + raw payload bytes. */
 struct Message
@@ -173,6 +213,65 @@ enum class JobState : uint8_t
 
 const char *jobStateName(JobState s);
 
+/**
+ * How the trajectory payload of a result stream is encoded. Either
+ * way the verification target is the canonical CSV: a Binary stream
+ * is re-encoded client-side (decodeTrajectoryBinary +
+ * core::trajectoryCsvString) before the FNV-1a hash is checked, so
+ * golden hashes are preserved bit-for-bit in both encodings.
+ */
+enum class TrajectoryEncoding : uint8_t
+{
+    Csv = 1,    ///< the canonical CSV bytes themselves
+    Binary = 2, ///< fixed-width records (kTrajectoryBinaryRecordBytes)
+};
+
+const char *trajectoryEncodingName(TrajectoryEncoding e);
+
+/**
+ * One fixed-width binary trajectory record: the 10 float columns as
+ * canonical f32 (7 before `collisions`, 3 command columns after) and
+ * `collisions` as u32, little-endian. 44 bytes vs ~80 bytes/sample
+ * measured for real CSV rows (~1.8x smaller).
+ *
+ * "Canonical f32" makes the encoding lossless *with respect to the
+ * canonical CSV*: each double is first pushed through its 6
+ * significant-digit printed form (exactly what CsvWriter emits), and
+ * that decimal re-read as f32. An f32 sits within 2^-24 ≈ 6e-8
+ * relative of the decimal value, far inside the 5e-7 half-step of
+ * the 6-digit decimal grid, so printing the f32 back at precision 6
+ * reproduces the original CSV cell exactly.
+ */
+constexpr size_t kTrajectoryBinaryRecordBytes = 44;
+
+/** The canonical-f32 quantizer (exposed for tests). */
+float canonicalTrajectoryF32(double v);
+
+/**
+ * Encode samples as fixed-width binary records.
+ * @throws ProtocolError when a sample's collision count exceeds u32
+ * (the record could no longer round-trip the CSV bit-for-bit).
+ */
+std::vector<uint8_t>
+encodeTrajectoryBinary(const std::vector<core::TrajectorySample> &t);
+
+/**
+ * Append @p count records starting at @p s to @p out. The building
+ * block of encodeTrajectoryBinary, exposed so the server can
+ * quantize a stream one chunk at a time instead of stalling its IO
+ * loop on a whole multi-megabyte trajectory.
+ */
+void encodeTrajectoryBinaryRecords(const core::TrajectorySample *s,
+                                   size_t count,
+                                   std::vector<uint8_t> &out);
+
+/**
+ * Decode fixed-width binary records.
+ * @throws ProtocolError when @p size is not a whole number of records.
+ */
+std::vector<core::TrajectorySample>
+decodeTrajectoryBinary(const uint8_t *data, size_t size);
+
 /** SubmitOk payload. */
 struct SubmitOkReply
 {
@@ -199,10 +298,12 @@ struct StatusInfo
 };
 
 /**
- * A mission result marshalled for the wire. The trajectory travels as
- * the canonical CSV string (core::trajectoryCsvString) — the same
- * bytes the golden-trace tests hash — so a client can verify
- * bit-identity with a local run without any float re-encoding.
+ * A mission result marshalled for the wire. The trajectory's
+ * canonical form is the CSV string (core::trajectoryCsvString) — the
+ * same bytes the golden-trace tests hash; `trajectoryHash` is its
+ * FNV-1a and rides the ResultEnd frame so clients verify reassembly.
+ * The raw samples are kept alongside so a Binary-encoding fetch can
+ * be served without re-parsing the CSV.
  */
 struct ServedResult
 {
@@ -223,6 +324,10 @@ struct ServedResult
     uint32_t degradedIntervals = 0;
     /** Canonical trajectory CSV (hash target of test_golden.cc). */
     std::string trajectoryCsv;
+    /** FNV-1a of trajectoryCsv (util/hash.hh). */
+    uint64_t trajectoryHash = 0;
+    /** Raw samples (Binary stream source; empty after a CSV fetch). */
+    std::vector<core::TrajectorySample> trajectory;
     /** Server-side queueing telemetry for this job. */
     double queueWaitMs = 0.0;
     double serviceMs = 0.0;
@@ -231,22 +336,95 @@ struct ServedResult
 /** Marshal a core result (trajectory rendered to canonical CSV). */
 ServedResult marshalResult(const core::MissionResult &r);
 
-/**
- * Enforce the wire budget on a marshalled result. Returns true when
- * the trajectory CSV fits kMaxTrajectoryCsvBytes; otherwise drops the
- * CSV, records why in failureReason, and returns false so the caller
- * can mark the job Failed — a well-formed failure reply instead of an
- * assert-abort in the encode path.
- */
-bool fitResultToWire(ServedResult &r);
+/** ResultChunk payload: one ordered segment of a result stream. */
+struct ResultChunkData
+{
+    uint64_t jobId = 0;
+    /** 0-based stream position; chunks arrive strictly sequential. */
+    uint32_t seq = 0;
+    std::vector<uint8_t> bytes;
+};
 
-/** ResultReply payload. */
+/**
+ * ResultEnd payload: closes a result stream. Carries everything
+ * except the trajectory payload itself — terminal state, encoding,
+ * stream totals for truncation detection, the verification hash, and
+ * the scalar result fields.
+ */
+struct ResultEndData
+{
+    uint64_t jobId = 0;
+    /** Terminal lifecycle state (Done or Failed) of the job. */
+    JobState state = JobState::Done;
+    TrajectoryEncoding encoding = TrajectoryEncoding::Csv;
+    uint32_t chunkCount = 0;
+    uint64_t payloadBytes = 0;
+    /** FNV-1a of the canonical trajectory CSV. */
+    uint64_t trajectoryHash = 0;
+    /** Scalar fields only; trajectoryCsv/trajectory stay empty. */
+    ServedResult result;
+};
+
+/** Progress payload: a running job's position in simulated time. */
+struct ProgressEvent
+{
+    uint64_t jobId = 0;
+    double simTimeSeconds = 0.0;
+    double maxSimSeconds = 0.0;
+    uint64_t samples = 0;
+};
+
+/** A fully reassembled result (ResultStreamAssembler's output). */
 struct ResultData
 {
     uint64_t jobId = 0;
     ServedResult result;
     /** Terminal lifecycle state (Done or Failed) of the job. */
     JobState state = JobState::Done;
+};
+
+/**
+ * Client-side state machine that reassembles one result stream.
+ * Standalone (no socket knowledge) so the whole protocol surface is
+ * fuzzable: feed it decoded frames in arrival order and it enforces
+ * every stream invariant — matching job id, strictly sequential
+ * chunk seq, bounded accumulation, no frame after ResultEnd, totals
+ * and chunk count matching, and the FNV-1a hash of the (re-encoded
+ * when Binary) canonical CSV.
+ */
+class ResultStreamAssembler
+{
+  public:
+    explicit ResultStreamAssembler(
+        uint64_t job_id,
+        size_t max_payload_bytes = kMaxAssembledTrajectoryBytes);
+
+    /**
+     * Consume one stream frame (ResultChunk or ResultEnd).
+     * @return true once the stream is complete and verified.
+     * @throws ProtocolError on any stream violation, including any
+     * frame fed after completion and any non-stream message type
+     * (Progress frames are connection-level events — dispatch them
+     * before the assembler, never into it).
+     */
+    bool feed(const Message &m);
+
+    bool complete() const { return complete_; }
+    uint64_t jobId() const { return jobId_; }
+    /** Payload bytes accumulated so far. */
+    size_t payloadBytes() const { return payload_.size(); }
+    /** The verified result; only valid once complete(). */
+    ResultData takeResult();
+
+  private:
+    void finish(const ResultEndData &end);
+
+    uint64_t jobId_ = 0;
+    size_t maxPayloadBytes_ = 0;
+    uint32_t nextSeq_ = 0;
+    std::vector<uint8_t> payload_;
+    bool complete_ = false;
+    ResultData result_;
 };
 
 /** What a CancelMission achieved. */
@@ -288,6 +466,15 @@ struct ServerStatsData
     double maxQueueWaitMs = 0.0;
     double totalServiceMs = 0.0;
     double maxServiceMs = 0.0;
+    // Result-stream telemetry (protocol 2).
+    uint64_t streamsStarted = 0;
+    uint64_t streamsCompleted = 0; ///< ResultEnd enqueued
+    uint64_t streamedChunks = 0;
+    uint64_t streamedPayloadBytes = 0;
+    uint64_t progressEvents = 0;
+    /** Bytes currently held by retained terminal results. */
+    uint64_t retainedResultBytes = 0;
+    uint32_t activeStreams = 0; ///< streams mid-flight right now
 };
 
 // Requests.
@@ -297,8 +484,17 @@ core::MissionSpec decodeSubmitMission(const Message &m);
 Message encodeQueryStatus(uint64_t job_id);
 uint64_t decodeQueryStatus(const Message &m);
 
-Message encodeFetchResult(uint64_t job_id);
-uint64_t decodeFetchResult(const Message &m);
+/** FetchResult payload: job id + requested trajectory encoding. */
+struct FetchRequest
+{
+    uint64_t jobId = 0;
+    TrajectoryEncoding encoding = TrajectoryEncoding::Csv;
+};
+
+Message encodeFetchResult(
+    uint64_t job_id,
+    TrajectoryEncoding enc = TrajectoryEncoding::Csv);
+FetchRequest decodeFetchResult(const Message &m);
 
 Message encodeCancelMission(uint64_t job_id);
 uint64_t decodeCancelMission(const Message &m);
@@ -318,8 +514,14 @@ RejectedReply decodeRejected(const Message &m);
 Message encodeStatusReply(const StatusInfo &s);
 StatusInfo decodeStatusReply(const Message &m);
 
-Message encodeResultReply(const ResultData &r);
-ResultData decodeResultReply(const Message &m);
+Message encodeResultChunk(const ResultChunkData &c);
+ResultChunkData decodeResultChunk(const Message &m);
+
+Message encodeResultEnd(const ResultEndData &e);
+ResultEndData decodeResultEnd(const Message &m);
+
+Message encodeProgress(const ProgressEvent &p);
+ProgressEvent decodeProgress(const Message &m);
 
 Message encodeCancelReply(const CancelInfo &c);
 CancelInfo decodeCancelReply(const Message &m);

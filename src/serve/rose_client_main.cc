@@ -4,17 +4,30 @@
  *
  *   rose_client --port N submit [spec flags] [--wait]
  *   rose_client --port N status JOB
- *   rose_client --port N fetch JOB [--csv PATH]
+ *   rose_client --port N fetch JOB [--csv PATH] [--binary]
  *   rose_client --port N cancel JOB
  *   rose_client --port N stats
  *   rose_client --port N shutdown [--no-drain]
  *   rose_client --port N smoke [--clients 4] [--missions 8]
+ *   rose_client --port N stream-smoke [--sim-seconds T]
+ *                                     [--sync-granularity N]
+ *                                     [--min-bytes B]
+ *
+ * `submit --wait` and `fetch` print server-pushed progress events
+ * (simulated seconds so far) to stderr while the mission runs.
  *
  * `smoke` is the end-to-end acceptance check used by CI: it fans out
  * concurrent clients (core::parallelIndexed), submits the canonical
  * golden missions, and verifies that every served trajectory hashes
  * bit-identically (FNV-1a) to the same spec run locally through
  * runMission(). Exit 0 only when every mission matches.
+ *
+ * `stream-smoke` is the long-mission streaming check: it submits one
+ * mission whose trajectory CSV exceeds --min-bytes (default 8 MiB —
+ * larger than any single protocol frame, so it necessarily crosses
+ * many ResultChunk frames), fetches it in both CSV and binary
+ * encodings, and verifies each reassembled trajectory hashes
+ * bit-identically to the local runMission() of the same spec.
  */
 
 #include <chrono>
@@ -48,10 +61,24 @@ usage(const char *argv0)
         " X\n"
         "          --yaw DEG --seed N --sim-seconds T --dynamic\n"
         "          --degraded] [--wait]\n"
-        "  status JOB | fetch JOB [--csv PATH] | cancel JOB\n"
+        "  status JOB | fetch JOB [--csv PATH] [--binary] | cancel "
+        "JOB\n"
         "  stats | shutdown [--no-drain]\n"
-        "  smoke [--clients N] [--missions N] [--sim-seconds T]\n",
+        "  smoke [--clients N] [--missions N] [--sim-seconds T]\n"
+        "  stream-smoke [--sim-seconds T] [--sync-granularity N]\n"
+        "               [--min-bytes B]\n",
         argv0);
+}
+
+/** Progress-to-stderr handler for interactive commands. */
+void
+printProgress(const serve::ProgressEvent &p)
+{
+    std::fprintf(stderr,
+                 "progress: job %" PRIu64 " %.2f / %.2f sim-s "
+                 "(%" PRIu64 " samples)\n",
+                 p.jobId, p.simTimeSeconds, p.maxSimSeconds,
+                 p.samples);
 }
 
 void
@@ -182,6 +209,70 @@ runSmoke(const std::string &host, uint16_t port, int timeout_ms,
     return 1;
 }
 
+int
+runStreamSmoke(const std::string &host, uint16_t port, int timeout_ms,
+               double sim_seconds, uint64_t sync_granularity,
+               size_t min_bytes)
+{
+    core::MissionSpec spec = canonicalSpec("A", sim_seconds);
+    spec.syncGranularity = sync_granularity;
+
+    std::printf("stream-smoke: local reference run...\n");
+    core::MissionResult local = core::runMission(spec);
+    std::string localCsv = core::trajectoryCsvString(local);
+    uint64_t expect = fnv1a(localCsv);
+    std::printf("stream-smoke: local CSV %zu bytes, fnv1a "
+                "0x%016" PRIx64 "\n",
+                localCsv.size(), expect);
+    if (localCsv.size() < min_bytes) {
+        std::fprintf(stderr,
+                     "stream-smoke: trajectory too small (%zu < %zu "
+                     "bytes); raise --sim-seconds or lower "
+                     "--sync-granularity\n",
+                     localCsv.size(), min_bytes);
+        return 1;
+    }
+
+    serve::ServeClient client(port, host, timeout_ms);
+    uint64_t progressSeen = 0;
+    client.onProgress([&](const serve::ProgressEvent &p) {
+        progressSeen++;
+        printProgress(p);
+    });
+
+    static const serve::TrajectoryEncoding kEncodings[] = {
+        serve::TrajectoryEncoding::Csv,
+        serve::TrajectoryEncoding::Binary};
+    for (serve::TrajectoryEncoding enc : kEncodings) {
+        serve::SubmitOutcome out = client.submit(spec);
+        if (!out.accepted) {
+            std::fprintf(stderr, "stream-smoke: submit shed: %s\n",
+                         out.detail.c_str());
+            return 1;
+        }
+        serve::ServedResult r =
+            client.waitResult(out.jobId, timeout_ms, 10, enc);
+        uint64_t served = fnv1a(r.trajectoryCsv);
+        std::printf("stream-smoke: job %" PRIu64 " (%s) %zu bytes, "
+                    "fnv1a 0x%016" PRIx64 "\n",
+                    out.jobId, serve::trajectoryEncodingName(enc),
+                    r.trajectoryCsv.size(), served);
+        if (served != expect) {
+            std::fprintf(stderr,
+                         "stream-smoke: HASH MISMATCH (%s): served "
+                         "0x%016" PRIx64 " local 0x%016" PRIx64 "\n",
+                         serve::trajectoryEncodingName(enc), served,
+                         expect);
+            return 1;
+        }
+    }
+    std::printf("stream-smoke: %zu-byte trajectory streamed "
+                "bit-identically in both encodings (%" PRIu64
+                " progress events)\n",
+                localCsv.size(), progressSeen);
+    return 0;
+}
+
 } // namespace
 
 int
@@ -229,7 +320,26 @@ main(int argc, char **argv)
                             sim_seconds);
         }
 
+        if (cmd == "stream-smoke") {
+            double sim_seconds = 2.2;
+            uint64_t sync_granularity = 20000;
+            size_t min_bytes = 8 * 1024 * 1024;
+            for (; i < argc; ++i) {
+                std::string arg = argv[i];
+                if (arg == "--sim-seconds" && i + 1 < argc)
+                    sim_seconds = std::atof(argv[++i]);
+                else if (arg == "--sync-granularity" && i + 1 < argc)
+                    sync_granularity =
+                        uint64_t(std::atoll(argv[++i]));
+                else if (arg == "--min-bytes" && i + 1 < argc)
+                    min_bytes = size_t(std::atoll(argv[++i]));
+            }
+            return runStreamSmoke(host, port, timeout_ms, sim_seconds,
+                                  sync_granularity, min_bytes);
+        }
+
         serve::ServeClient client(port, host, timeout_ms);
+        client.onProgress(printProgress);
 
         if (cmd == "submit") {
             core::MissionSpec spec;
@@ -252,6 +362,9 @@ main(int argc, char **argv)
                     spec.seed = uint64_t(std::atoll(argv[++i]));
                 else if (arg == "--sim-seconds" && i + 1 < argc)
                     spec.maxSimSeconds = std::atof(argv[++i]);
+                else if (arg == "--sync-granularity" && i + 1 < argc)
+                    spec.syncGranularity =
+                        uint64_t(std::atoll(argv[++i]));
                 else if (arg == "--dynamic")
                     spec.mode = runtime::RuntimeMode::Dynamic;
                 else if (arg == "--degraded")
@@ -304,12 +417,17 @@ main(int argc, char **argv)
                            : 0;
             }
             std::string csvPath;
+            serve::TrajectoryEncoding enc =
+                serve::TrajectoryEncoding::Csv;
             for (; i < argc; ++i) {
                 std::string arg = argv[i];
                 if (arg == "--csv" && i + 1 < argc)
                     csvPath = argv[++i];
+                else if (arg == "--binary")
+                    enc = serve::TrajectoryEncoding::Binary;
             }
-            serve::ServedResult r = client.waitResult(job, timeout_ms);
+            serve::ServedResult r =
+                client.waitResult(job, timeout_ms, 10, enc);
             printResult(job, r);
             if (!csvPath.empty()) {
                 std::FILE *f = std::fopen(csvPath.c_str(), "wb");

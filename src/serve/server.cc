@@ -13,7 +13,7 @@
 #include <vector>
 
 #include "core/batch.hh"
-#include "sync/synchronizer.hh"
+#include "util/hash.hh"
 #include "util/logging.hh"
 
 namespace rose::serve {
@@ -37,31 +37,17 @@ msBetween(std::chrono::steady_clock::time_point a,
     return std::chrono::duration<double, std::milli>(b - a).count();
 }
 
-/**
- * Strict lower bound on one trajectory CSV row: 11 cells of at least
- * one character, 10 commas, one newline. Using the minimum (real rows
- * run ~4x larger) means the admission check below can never reject a
- * spec whose result would actually have fit; specs in the gray zone
- * are admitted and demoted at completion by fitResultToWire instead.
- */
-constexpr double kMinCsvBytesPerSample = 22.0;
-
-/**
- * Guaranteed-minimum size of a spec's trajectory CSV. One sample is
- * recorded per sync period, and one period is syncGranularity SoC
- * cycles (MissionSpec::toConfig leaves the default 1 GHz clock and
- * one-sample-per-period cadence in place).
- */
-double
-minTrajectoryCsvBytes(const core::MissionSpec &spec)
-{
-    double socHz = sync::SyncConfig{}.clocks.socClockHz;
-    double periods =
-        spec.maxSimSeconds * socHz / double(spec.syncGranularity);
-    return periods * kMinCsvBytesPerSample;
-}
-
 } // namespace
+
+/** Bytes a retained terminal job pins in memory (payload only). */
+static uint64_t
+jobRetainedBytes(const ServedResult &r)
+{
+    return uint64_t(r.trajectoryCsv.size()) +
+           uint64_t(r.trajectory.size()) *
+               sizeof(core::TrajectorySample) +
+           uint64_t(r.failureReason.size());
+}
 
 MissionServer::MissionServer(const ServerConfig &cfg)
     : cfg_(cfg), listener_(cfg.port)
@@ -72,6 +58,12 @@ MissionServer::MissionServer(const ServerConfig &cfg)
         cfg_.maxQueueDepth = 1;
     if (cfg_.maxRetainedResults < 1)
         cfg_.maxRetainedResults = 1;
+    if (cfg_.resultChunkBytes < 1)
+        cfg_.resultChunkBytes = 1;
+    if (cfg_.resultChunkBytes > kMaxResultChunkBytes)
+        cfg_.resultChunkBytes = kMaxResultChunkBytes;
+    if (cfg_.streamBacklogBytes < 1)
+        cfg_.streamBacklogBytes = 1;
     counters_.workers = uint32_t(cfg_.workers);
     counters_.queueCapacity = uint32_t(cfg_.maxQueueDepth);
 }
@@ -170,6 +162,8 @@ MissionServer::statsLocked() const
     s.queued = uint32_t(queue_.size());
     s.running = runningJobs_;
     s.connectionsOpen = openConnections_;
+    s.retainedResultBytes = retainedBytes_;
+    s.activeStreams = activeStreams_;
     return s;
 }
 
@@ -228,26 +222,55 @@ MissionServer::workerLoop(size_t)
         bool threw = false;
         std::string why;
         try {
+            core::CosimConfig ccfg = spec.toConfig();
+            const double max_sim = ccfg.maxSimSeconds;
+            if (cfg_.progressIntervalPeriods > 0) {
+                ccfg.progressPeriods = cfg_.progressIntervalPeriods;
+                ccfg.progressHook =
+                    [this, job_id, max_sim](double sim_t,
+                                            uint64_t samples) {
+                        std::lock_guard<std::mutex> lk(mu_);
+                        ProgressEvent &p = pendingProgress_[job_id];
+                        p.jobId = job_id;
+                        p.simTimeSeconds = sim_t;
+                        p.maxSimSeconds = max_sim;
+                        p.samples = samples;
+                    };
+            }
             if (cfg_.supervise) {
-                core::MissionSupervisor sup(spec.toConfig(),
-                                            cfg_.supervisor);
+                core::SupervisorConfig sc = cfg_.supervisor;
+                // A fixed snapshot cadence is quadratic in mission
+                // length (each checkpoint copies the whole trajectory
+                // so far); cap the checkpoint count instead so the
+                // snapshot overhead stays a bounded fraction of any
+                // mission.
+                if (cfg_.supervisorCheckpointCap > 0 &&
+                    sc.checkpointPeriods > 0) {
+                    double soc_hz = ccfg.sync.clocks.socClockHz;
+                    double expected =
+                        max_sim * soc_hz /
+                        double(std::max<uint64_t>(
+                            1, spec.syncGranularity));
+                    uint64_t floor_cadence =
+                        uint64_t(expected /
+                                 double(cfg_.supervisorCheckpointCap)) +
+                        1;
+                    if (sc.checkpointPeriods < floor_cadence)
+                        sc.checkpointPeriods = floor_cadence;
+                }
+                core::MissionSupervisor sup(ccfg, sc);
                 result = sup.run();
             } else {
-                result = core::runMission(spec);
+                core::CoSimulation sim(ccfg);
+                result = sim.run();
             }
         } catch (const std::exception &e) {
             threw = true;
             why = e.what();
         }
         ServedResult served;
-        bool fits = true;
-        if (!threw) {
+        if (!threw)
             served = marshalResult(result);
-            // A trajectory beyond the wire budget becomes a
-            // well-formed failure (CSV dropped, reason recorded) —
-            // never an assert in the encode path.
-            fits = fitResultToWire(served);
-        }
 
         {
             std::lock_guard<std::mutex> lk(mu_);
@@ -257,10 +280,8 @@ MissionServer::workerLoop(size_t)
                 job.state = JobState::Failed;
                 job.result = ServedResult{};
                 job.result.failureReason = why;
-                counters_.failed++;
-            } else if (!fits) {
-                job.state = JobState::Failed;
-                job.result = std::move(served);
+                job.result.trajectoryHash =
+                    fnv1a(job.result.trajectoryCsv);
                 counters_.failed++;
             } else {
                 job.state = JobState::Done;
@@ -276,6 +297,7 @@ MissionServer::workerLoop(size_t)
             counters_.maxServiceMs =
                 std::max(counters_.maxServiceMs, job.serviceMs);
             runningJobs_--;
+            pendingProgress_.erase(job_id);
             if (job.clientId != 0) {
                 auto fl = inFlightByClient_.find(job.clientId);
                 if (fl != inFlightByClient_.end() && fl->second > 0)
@@ -301,10 +323,10 @@ MissionServer::ioLoop()
     for (;;) {
         // Exit once shutdown is requested, the job engine is
         // quiescent (queue drained or shed, nothing running), and no
-        // live connection still has buffered replies — the final
-        // ResultReply/ShutdownReply must reach its peer. A peer that
-        // refuses to drain cannot wedge the exit: its progress
-        // deadline below marks the connection dead.
+        // live connection still has buffered replies or an open
+        // result stream — the final frames must reach their peers. A
+        // peer that refuses to drain cannot wedge the exit: its
+        // progress deadline below marks the connection dead.
         {
             bool quiescent;
             {
@@ -322,7 +344,7 @@ MissionServer::ioLoop()
             if (quiescent) {
                 bool pending = false;
                 for (const auto &c : conns_)
-                    if (!c->dead && c->pendingTx() > 0)
+                    if (!c->dead && (c->pendingTx() > 0 || c->stream))
                         pending = true;
                 if (!pending)
                     break;
@@ -365,6 +387,13 @@ MissionServer::ioLoop()
             if (pfds[idx].revents &
                 (POLLIN | POLLERR | POLLHUP | POLLNVAL))
                 serviceConnection(conn);
+            // A flushed stream wants refilling even with no new
+            // input: generate the next chunks (and any requests
+            // deferred behind the stream) now that the backlog has
+            // room.
+            if (!conn.dead && conn.stream &&
+                !drainRequests(conn))
+                conn.dead = true;
             if (!conn.dead && conn.pendingTx() > 0 &&
                 Clock::now() >= conn.txDeadline) {
                 rose_warn("rosed reply stalled on connection ",
@@ -375,6 +404,9 @@ MissionServer::ioLoop()
                 conn.dead = true;
             }
         }
+
+        // Push coalesced mission progress to owning connections.
+        flushProgress();
 
         // Retire dead connections and release their sessions.
         for (size_t i = 0; i < conns_.size();) {
@@ -465,6 +497,18 @@ bool
 MissionServer::drainRequests(Connection &conn)
 {
     for (;;) {
+        // An open result stream defers everything behind it: its
+        // frames are generated first (bounded by the backlog cap),
+        // and only once it closes are further buffered requests
+        // decoded — strict per-connection ordering, per-stream
+        // memory.
+        if (conn.stream) {
+            pumpStream(conn);
+            if (conn.dead)
+                return false;
+            if (conn.stream)
+                return true; // backlog full; POLLOUT resumes us
+        }
         Message req;
         std::string err;
         FrameStatus st = conn.rx.next(req, &err);
@@ -485,14 +529,99 @@ MissionServer::drainRequests(Connection &conn)
                           msgTypeName(req.type));
             return false;
         }
-        Message reply = handleRequest(conn, req);
-        sendMessage(conn, reply);
+        std::optional<Message> reply = handleRequest(conn, req);
+        if (reply)
+            sendMessage(conn, *reply);
         if (conn.dead)
             return false;
     }
 }
 
-Message
+void
+MissionServer::pumpStream(Connection &conn)
+{
+    ResultStream &st = *conn.stream;
+    while (!conn.dead && conn.pendingTx() < cfg_.streamBacklogBytes) {
+        if (st.offset >= st.totalBytes) {
+            sendMessage(conn, encodeResultEnd(st.end));
+            conn.stream.reset();
+            std::lock_guard<std::mutex> lk(mu_);
+            counters_.streamsCompleted++;
+            if (activeStreams_ > 0)
+                activeStreams_--;
+            return;
+        }
+        ResultChunkData c;
+        c.jobId = st.end.jobId;
+        c.seq = st.seq++;
+        if (st.encoding == TrajectoryEncoding::Csv) {
+            size_t n = size_t(std::min<uint64_t>(
+                cfg_.resultChunkBytes, st.totalBytes - st.offset));
+            const uint8_t *base =
+                reinterpret_cast<const uint8_t *>(st.csv.data()) +
+                st.offset;
+            c.bytes.assign(base, base + n);
+        } else {
+            // Quantize lazily, one chunk's worth of records at a
+            // time, so a multi-megabyte binary stream never stalls
+            // the IO loop in a single call.
+            size_t per_chunk =
+                std::max<size_t>(1, cfg_.resultChunkBytes /
+                                        kTrajectoryBinaryRecordBytes);
+            size_t first =
+                size_t(st.offset / kTrajectoryBinaryRecordBytes);
+            size_t count =
+                std::min(per_chunk, st.samples.size() - first);
+            encodeTrajectoryBinaryRecords(st.samples.data() + first,
+                                          count, c.bytes);
+        }
+        st.offset += c.bytes.size();
+        sendMessage(conn, encodeResultChunk(c));
+        std::lock_guard<std::mutex> lk(mu_);
+        counters_.streamedChunks++;
+        counters_.streamedPayloadBytes += c.bytes.size();
+    }
+}
+
+void
+MissionServer::flushProgress()
+{
+    std::vector<std::pair<uint64_t, ProgressEvent>> events;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (pendingProgress_.empty())
+            return;
+        events.reserve(pendingProgress_.size());
+        for (const auto &[job_id, ev] : pendingProgress_) {
+            auto it = jobs_.find(job_id);
+            if (it == jobs_.end() || it->second.clientId == 0)
+                continue; // orphaned: nobody to push to
+            events.emplace_back(it->second.clientId, ev);
+        }
+        pendingProgress_.clear();
+    }
+    uint64_t pushed = 0;
+    for (const auto &[client_id, ev] : events) {
+        for (auto &c : conns_) {
+            if (c->id != client_id || c->dead)
+                continue;
+            // Progress frames may interleave with another job's
+            // result stream on this connection (the client
+            // dispatches them before its assembler); a job that is
+            // streaming is terminal, so its own stream can never
+            // see its own Progress.
+            sendMessage(*c, encodeProgress(ev));
+            pushed++;
+            break;
+        }
+    }
+    if (pushed > 0) {
+        std::lock_guard<std::mutex> lk(mu_);
+        counters_.progressEvents += pushed;
+    }
+}
+
+std::optional<Message>
 MissionServer::handleRequest(Connection &conn, const Message &req)
 {
     try {
@@ -502,7 +631,7 @@ MissionServer::handleRequest(Connection &conn, const Message &req)
           case MsgType::QueryStatus:
             return handleStatus(req);
           case MsgType::FetchResult:
-            return handleFetch(req);
+            return handleFetch(conn, req);
           case MsgType::CancelMission:
             return handleCancel(req);
           case MsgType::ServerStats:
@@ -529,7 +658,9 @@ MissionServer::handleSubmit(Connection &conn, const Message &req)
     core::MissionSpec spec = decodeSubmitMission(req);
 
     // Cheap semantic validation up front: a spec that cannot run
-    // should cost an admission decision, not a worker slot.
+    // should cost an admission decision, not a worker slot. Mission
+    // *length* is deliberately not validated: a trajectory of any
+    // size streams in bounded chunks.
     auto bad = [&](const std::string &why) {
         std::lock_guard<std::mutex> lk(mu_);
         counters_.submitted++;
@@ -544,16 +675,6 @@ MissionServer::handleSubmit(Connection &conn, const Message &req)
         return bad("maxSimSeconds out of range (0,3600]");
     if (spec.syncGranularity == 0)
         return bad("syncGranularity must be positive");
-    // A result that provably cannot fit a ResultReply is rejected at
-    // the front door instead of burning a worker slot on a mission
-    // whose result would only be demoted to Failed at completion.
-    if (minTrajectoryCsvBytes(spec) > double(kMaxTrajectoryCsvBytes))
-        return bad(detail::concat(
-            "trajectory for maxSimSeconds=", spec.maxSimSeconds,
-            " at syncGranularity=", spec.syncGranularity,
-            " cannot fit the ", kMaxTrajectoryCsvBytes,
-            "-byte result bound; shorten the mission or raise the"
-            " granularity"));
 
     std::lock_guard<std::mutex> lk(mu_);
     counters_.submitted++;
@@ -625,35 +746,85 @@ MissionServer::handleStatus(const Message &req)
     return encodeStatusReply(s);
 }
 
-Message
-MissionServer::handleFetch(const Message &req)
+std::optional<Message>
+MissionServer::handleFetch(Connection &conn, const Message &req)
 {
-    uint64_t id = decodeFetchResult(req);
+    FetchRequest freq = decodeFetchResult(req);
     std::lock_guard<std::mutex> lk(mu_);
-    auto it = jobs_.find(id);
+    auto it = jobs_.find(freq.jobId);
     if (it == jobs_.end()) {
         StatusInfo s;
-        s.jobId = id;
+        s.jobId = freq.jobId;
         s.state = JobState::Unknown;
         return encodeStatusReply(s);
     }
     Job &job = it->second;
     if (job.state == JobState::Done || job.state == JobState::Failed) {
-        ResultData d;
-        d.jobId = id;
-        d.state = job.state;
-        d.result = std::move(job.result);
-        // Fetch is one-shot: the record (and its multi-hundred-KiB
-        // CSV) is released now rather than retained forever, so a
-        // long-lived daemon's memory tracks retention policy, not
-        // total jobs served. Later queries for this id say Unknown.
+        TrajectoryEncoding enc = freq.encoding;
+        if (enc == TrajectoryEncoding::Binary) {
+            // Binary requires samples that re-encode to the stored
+            // CSV: a result that never went through marshalResult
+            // (the worker threw) has neither, and a collision count
+            // past u32 cannot ride the fixed-width record — both
+            // fall back to the always-correct CSV payload.
+            bool encodable = !job.result.trajectoryCsv.empty();
+            for (const core::TrajectorySample &s :
+                 job.result.trajectory)
+                if (s.collisions > UINT32_MAX)
+                    encodable = false;
+            if (!encodable)
+                enc = TrajectoryEncoding::Csv;
+        }
+
+        uint64_t released = jobRetainedBytes(job.result);
+        auto stream = std::make_unique<ResultStream>();
+        stream->encoding = enc;
+        if (enc == TrajectoryEncoding::Binary) {
+            stream->samples = std::move(job.result.trajectory);
+            stream->totalBytes = uint64_t(stream->samples.size()) *
+                                 kTrajectoryBinaryRecordBytes;
+        } else {
+            stream->csv = std::move(job.result.trajectoryCsv);
+            stream->totalBytes = stream->csv.size();
+        }
+
+        ResultEndData &end = stream->end;
+        end.jobId = freq.jobId;
+        end.state = job.state;
+        end.encoding = enc;
+        end.payloadBytes = stream->totalBytes;
+        if (stream->totalBytes > 0) {
+            uint64_t slice = cfg_.resultChunkBytes;
+            if (enc == TrajectoryEncoding::Binary)
+                slice = std::max<uint64_t>(
+                            1, cfg_.resultChunkBytes /
+                                   kTrajectoryBinaryRecordBytes) *
+                        kTrajectoryBinaryRecordBytes;
+            end.chunkCount =
+                uint32_t((stream->totalBytes + slice - 1) / slice);
+        }
+        end.trajectoryHash = job.result.trajectoryHash;
+        end.result = std::move(job.result);
+        end.result.trajectoryCsv.clear();
+        end.result.trajectoryCsv.shrink_to_fit();
+        end.result.trajectory.clear();
+        end.result.trajectory.shrink_to_fit();
+
+        // Fetch is one-shot: the job record is released the moment
+        // its stream opens (later queries for this id say Unknown),
+        // and the payload now lives only in the stream until it
+        // drains — or dies with the connection.
+        retainedBytes_ -= std::min(retainedBytes_, released);
         jobs_.erase(it);
-        return encodeResultReply(d);
+        counters_.streamsStarted++;
+        activeStreams_++;
+        conn.stream = std::move(stream);
+        return std::nullopt; // the stream frames are the reply
     }
     // Not finished: answer with the lifecycle state so clients can
     // poll FetchResult alone.
     StatusInfo s;
-    s.jobId = id;
+    s.jobId = freq.jobId;
     s.state = job.state;
     s.queueWaitMs = job.state == JobState::Queued
                         ? msBetween(job.enqueued, Clock::now())
@@ -796,6 +967,14 @@ MissionServer::closeConnection(Connection &conn)
     }
     releaseClientJobs(conn.id);
     std::lock_guard<std::mutex> lk(mu_);
+    if (conn.stream) {
+        // The stream (and its partially-framed payload) dies with
+        // the connection; the job record was already released when
+        // the stream opened, so nothing is retained.
+        conn.stream.reset();
+        if (activeStreams_ > 0)
+            activeStreams_--;
+    }
     if (openConnections_ > 0)
         openConnections_--;
 }
@@ -831,14 +1010,30 @@ MissionServer::releaseClientJobs(uint64_t client_id)
 void
 MissionServer::markTerminalLocked(uint64_t job_id)
 {
+    auto it = jobs_.find(job_id);
+    if (it != jobs_.end())
+        retainedBytes_ += jobRetainedBytes(it->second.result);
     terminalOrder_.push_back(job_id);
     // Ids already released by a fetch just fall out of the FIFO; the
     // erase below is a no-op for them.
-    while (terminalOrder_.size() > cfg_.maxRetainedResults) {
+    auto evictOldest = [this] {
         uint64_t oldest = terminalOrder_.front();
         terminalOrder_.pop_front();
-        jobs_.erase(oldest);
-    }
+        auto jt = jobs_.find(oldest);
+        if (jt != jobs_.end()) {
+            retainedBytes_ -= std::min(
+                retainedBytes_, jobRetainedBytes(jt->second.result));
+            jobs_.erase(jt);
+        }
+    };
+    while (terminalOrder_.size() > cfg_.maxRetainedResults)
+        evictOldest();
+    // Byte bound: evict oldest-first until the account fits, but
+    // never the newest entry — one oversized result stays fetchable
+    // rather than evaporating the moment it finishes.
+    while (retainedBytes_ > cfg_.maxRetainedResultBytes &&
+           terminalOrder_.size() > 1)
+        evictOldest();
 }
 
 } // namespace rose::serve

@@ -11,9 +11,16 @@
  *
  *  - IO thread: a poll(2) loop over the bridge::TcpListener and every
  *    live connection. Each connection owns a MessageBuffer read state
- *    machine; requests are decoded, answered synchronously (responses
- *    are written with a bounded-poll sender, like the bridge's TCP
- *    send), and submissions are handed to the job queue. A peer close
+ *    machine; requests are decoded, answered synchronously, and
+ *    submissions are handed to the job queue. A terminal job's
+ *    FetchResult opens a *result stream* on its connection: the
+ *    trajectory payload is sliced into ResultChunk frames generated
+ *    under a per-stream backlog cap and drained through the same
+ *    POLLOUT tx-buffer machinery as every other reply, then closed
+ *    with a ResultEnd carrying the scalar result and the FNV-1a
+ *    verification hash. While a stream is open, further requests
+ *    buffered on that connection are deferred (strict per-connection
+ *    ordering); other connections are untouched. A peer close
  *    (orderly or reset) retires the connection; a framing violation
  *    poisons and drops it.
  *
@@ -24,7 +31,10 @@
  *    core::MissionSupervisor, so served missions inherit
  *    checkpoint/restore, fault retry, and degraded-mode behavior; a
  *    supervised run that never trips a watchdog is bit-identical to
- *    the unsupervised (and thus to the client's local) run.
+ *    the unsupervised (and thus to the client's local) run. Workers
+ *    publish coalesced progress (latest simulated time per running
+ *    job); the IO thread drains that map once per poll tick into
+ *    Progress push frames on the owning connection.
  *
  *  - The owner thread: constructs/starts/stops the server.
  *
@@ -34,7 +44,8 @@
  * explicitly* (SubmitRejected{queue_full|client_cap}) rather than
  * buffered — load is shed at the front door, in-flight missions are
  * never disturbed, and every shed request is counted in the stats
- * clients can query with ServerStats.
+ * clients can query with ServerStats. Mission length is not an
+ * admission criterion: results of any size stream in bounded chunks.
  *
  * Determinism: mission execution shares nothing across jobs except
  * the immutable artifact caches (util/memo.hh), exactly like
@@ -52,6 +63,7 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -80,6 +92,15 @@ struct ServerConfig
     bool supervise = true;
     /** Supervisor knobs for supervised execution. */
     core::SupervisorConfig supervisor;
+    /**
+     * Upper bound on checkpoints taken over one supervised mission:
+     * the effective snapshot cadence is raised to at least
+     * expectedPeriods / cap, so a long mission spends a bounded
+     * fraction of its wall time snapshotting its (growing)
+     * trajectory instead of going quadratic at a fixed cadence.
+     * 0 keeps supervisor.checkpointPeriods untouched.
+     */
+    uint32_t supervisorCheckpointCap = 64;
     /** IO-loop poll granularity [ms] (also shutdown latency bound). */
     int pollIntervalMs = 20;
     /**
@@ -87,11 +108,32 @@ struct ServerConfig
      * buffered replies make no progress for this long is dropped.
      * Writes never block the IO loop — replies are buffered per
      * connection and flushed via POLLOUT, so one stalled reader only
-     * costs its own connection, never other sessions.
+     * costs its own connection (and its own result stream), never
+     * other sessions.
      */
     int sendTimeoutMs = 5000;
     /** Drop a connection whose unflushed reply backlog exceeds this. */
     size_t maxTxBacklogBytes = 64 * 1024 * 1024;
+    /** Result-stream slice size [bytes]; clamped to
+     *  [1, kMaxResultChunkBytes]. */
+    size_t resultChunkBytes = kDefaultResultChunkBytes;
+    /**
+     * Per-stream generation cap [bytes]: chunks are only produced
+     * while the connection's unflushed tx backlog is below this, so
+     * a slow reader holds at most ~this much of its own stream in
+     * server memory — the rest stays in the retained result until
+     * the stream advances. (A stream in flight has released its job
+     * record; this bounds the transient buffer, not retention.)
+     */
+    size_t streamBacklogBytes = 1024 * 1024;
+    /**
+     * Worker-side progress cadence [sync periods]: each running
+     * mission publishes its simulated time every this many periods
+     * (coalesced to the latest per job; the IO thread pushes at most
+     * one Progress frame per job per poll tick). 0 disables
+     * progress events.
+     */
+    uint64_t progressIntervalPeriods = 200;
     /**
      * Terminal jobs retained for later FetchResult. A fetched result
      * is evicted immediately (fetch is one-shot); unfetched terminal
@@ -101,6 +143,15 @@ struct ServerConfig
      * served.
      */
     size_t maxRetainedResults = 256;
+    /**
+     * Byte bound on retained terminal results (trajectory CSV +
+     * samples + failure reason), enforced alongside
+     * maxRetainedResults: oldest results are evicted until the total
+     * fits. The newest terminal result is never evicted by the byte
+     * bound (a single oversized result stays fetchable), so the
+     * bound can be transiently exceeded by exactly one result.
+     */
+    uint64_t maxRetainedResultBytes = 256 * 1024 * 1024;
     /** When > 0, SO_SNDBUF for accepted connections [bytes] (test /
      *  operations hook for exercising slow-reader backpressure). */
     int sendBufferBytes = 0;
@@ -176,6 +227,23 @@ class MissionServer
         ServedResult result; ///< valid when Done/Failed
     };
 
+    /**
+     * One result stream in flight on a connection. Owns the payload
+     * source (the CSV string, or the raw samples quantized to binary
+     * records one chunk at a time) and the pre-built ResultEnd; the
+     * job record itself was released when the stream opened.
+     */
+    struct ResultStream
+    {
+        TrajectoryEncoding encoding = TrajectoryEncoding::Csv;
+        std::string csv;     ///< payload source when Csv
+        std::vector<core::TrajectorySample> samples; ///< when Binary
+        uint64_t totalBytes = 0;
+        uint64_t offset = 0; ///< payload bytes already framed
+        uint32_t seq = 0;    ///< next chunk sequence number
+        ResultEndData end;
+    };
+
     /** One live client connection (owned by the IO thread). */
     struct Connection
     {
@@ -189,6 +257,8 @@ class MissionServer
         size_t txPos = 0;
         /** Progress deadline while pendingTx() > 0. */
         Clock::time_point txDeadline{};
+        /** Open result stream; requests queue behind it. */
+        std::unique_ptr<ResultStream> stream;
 
         size_t pendingTx() const { return tx.size() - txPos; }
     };
@@ -197,13 +267,27 @@ class MissionServer
     void workerLoop(size_t worker_index);
     void acceptPending();
     void serviceConnection(Connection &conn);
-    /** Decode + dispatch every complete request buffered on @p conn.
-     *  @return false when the connection must be dropped. */
+    /**
+     * The per-connection service pump: emit result-stream frames
+     * while the backlog cap allows, then decode + dispatch buffered
+     * requests until a stream opens (deferring the rest) or the
+     * buffer runs dry. @return false when the connection must be
+     * dropped.
+     */
     bool drainRequests(Connection &conn);
-    Message handleRequest(Connection &conn, const Message &req);
+    /** Generate stream frames up to the backlog cap; closes the
+     *  stream (ResultEnd) when the payload is exhausted. */
+    void pumpStream(Connection &conn);
+    /** Push coalesced worker progress to owning connections. */
+    void flushProgress();
+    /** @return the reply, or nullopt when a result stream was opened
+     *  (its frames are the reply). */
+    std::optional<Message> handleRequest(Connection &conn,
+                                         const Message &req);
     Message handleSubmit(Connection &conn, const Message &req);
     Message handleStatus(const Message &req);
-    Message handleFetch(const Message &req);
+    std::optional<Message> handleFetch(Connection &conn,
+                                       const Message &req);
     Message handleCancel(const Message &req);
     Message handleStats();
     Message handleShutdown(const Message &req);
@@ -216,8 +300,10 @@ class MissionServer
     void closeConnection(Connection &conn);
     /** Cancel the queued jobs of a vanished client; orphan the rest. */
     void releaseClientJobs(uint64_t client_id);
-    /** Record a job's terminal transition and evict the oldest
-     *  retained terminal jobs beyond maxRetainedResults (mu_ held). */
+    /** Record a job's terminal transition, add its result to the
+     *  retained-byte account, and evict the oldest retained terminal
+     *  jobs beyond maxRetainedResults / maxRetainedResultBytes
+     *  (mu_ held). */
     void markTerminalLocked(uint64_t job_id);
     ServerStatsSnapshot statsLocked() const;
 
@@ -237,6 +323,12 @@ class MissionServer
     /** Terminal jobs in transition order (retention FIFO); ids whose
      *  job was already fetch-evicted are skipped lazily. */
     std::deque<uint64_t> terminalOrder_;
+    /** Bytes held by retained terminal results (jobs_ entries that
+     *  are Done/Failed/Cancelled). */
+    uint64_t retainedBytes_ = 0;
+    /** Latest worker-published progress per running job, coalesced
+     *  between IO-thread poll ticks. */
+    std::unordered_map<uint64_t, ProgressEvent> pendingProgress_;
     /** Unfinished jobs per live connection (admission cap). */
     std::unordered_map<uint64_t, uint32_t> inFlightByClient_;
     uint64_t nextJobId_ = 1;
@@ -248,6 +340,7 @@ class MissionServer
     bool workersPaused_ = false;
     uint32_t runningJobs_ = 0;
     uint32_t openConnections_ = 0;
+    uint32_t activeStreams_ = 0;
 
     // Counters (guarded by mu_).
     ServerStatsData counters_;

@@ -2,18 +2,28 @@
  * @file
  * Tests of the mission-service daemon (src/serve/).
  *
- * Four layers:
- *  - protocol codecs: every request/response round-trips byte-exactly;
+ * Five layers:
+ *  - protocol codecs: every request/response round-trips byte-exactly,
+ *    including the v2 result-stream frames (ResultChunk / ResultEnd /
+ *    Progress) and the fixed-width binary trajectory encoding with
+ *    its canonical-f32 CSV print-parity invariant;
  *  - framing: seeded fuzz of MessageBuffer (mirrors the bridge's
  *    test_framing_fuzz harness) — arbitrary bytes never crash, hang,
  *    or allocate past the payload bound, and poison sticks;
+ *  - stream reassembly: ResultStreamAssembler state machine under
+ *    seeded fuzz — random chunk splits, truncation, frames after
+ *    ResultEnd, corrupted hashes — every violation is a clean
+ *    ProtocolError, never a crash or a silent wrong result;
  *  - served-result determinism: a mission submitted over TCP returns
  *    a trajectory CSV whose FNV-1a hash is bit-identical to the same
  *    spec run locally via runMission(), including under 4 concurrent
- *    clients (the golden-trace acceptance criterion);
+ *    clients and for multi-megabyte trajectories streamed across many
+ *    chunks in both encodings (the golden-trace acceptance
+ *    criterion);
  *  - admission control & lifecycle: queue-full and per-client-cap
- *    shedding, cancellation, client disconnect mid-mission, and clean
- *    shutdown with in-flight jobs.
+ *    shedding, cancellation, stalled readers and disconnects
+ *    mid-stream, byte-bounded result retention, and clean shutdown
+ *    with in-flight jobs.
  */
 
 #include <arpa/inet.h>
@@ -21,8 +31,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -193,6 +206,13 @@ TEST(ServeProto, ReplyCodecsRoundTrip)
     s.maxQueueWaitMs = 250.25;
     s.totalServiceMs = 9876.5;
     s.maxServiceMs = 500.125;
+    s.streamsStarted = 17;
+    s.streamsCompleted = 15;
+    s.streamedChunks = 1234;
+    s.streamedPayloadBytes = 987654321;
+    s.progressEvents = 4321;
+    s.retainedResultBytes = 55555;
+    s.activeStreams = 2;
     ServerStatsData s2 = decodeStatsReply(encodeStatsReply(s));
     EXPECT_EQ(s2.submitted, s.submitted);
     EXPECT_EQ(s2.rejectedQueueFull, s.rejectedQueueFull);
@@ -202,16 +222,37 @@ TEST(ServeProto, ReplyCodecsRoundTrip)
     EXPECT_EQ(s2.connectionsAccepted, s.connectionsAccepted);
     EXPECT_EQ(s2.totalQueueWaitMs, s.totalQueueWaitMs);
     EXPECT_EQ(s2.maxServiceMs, s.maxServiceMs);
+    EXPECT_EQ(s2.streamsStarted, s.streamsStarted);
+    EXPECT_EQ(s2.streamsCompleted, s.streamsCompleted);
+    EXPECT_EQ(s2.streamedChunks, s.streamedChunks);
+    EXPECT_EQ(s2.streamedPayloadBytes, s.streamedPayloadBytes);
+    EXPECT_EQ(s2.progressEvents, s.progressEvents);
+    EXPECT_EQ(s2.retainedResultBytes, s.retainedResultBytes);
+    EXPECT_EQ(s2.activeStreams, s.activeStreams);
 
     EXPECT_EQ(decodeQueryStatus(encodeQueryStatus(77)), 77u);
-    EXPECT_EQ(decodeFetchResult(encodeFetchResult(78)), 78u);
+    FetchRequest fr = decodeFetchResult(encodeFetchResult(78));
+    EXPECT_EQ(fr.jobId, 78u);
+    EXPECT_EQ(fr.encoding, TrajectoryEncoding::Csv);
+    fr = decodeFetchResult(
+        encodeFetchResult(80, TrajectoryEncoding::Binary));
+    EXPECT_EQ(fr.jobId, 80u);
+    EXPECT_EQ(fr.encoding, TrajectoryEncoding::Binary);
+    // An unknown encoding byte is rejected, not trusted.
+    Message badEnc = encodeFetchResult(81);
+    badEnc.payload[8] = 0x7f;
+    EXPECT_THROW(decodeFetchResult(badEnc), ProtocolError);
     EXPECT_EQ(decodeCancelMission(encodeCancelMission(79)), 79u);
     EXPECT_TRUE(decodeShutdown(encodeShutdown(true)));
     EXPECT_FALSE(decodeShutdown(encodeShutdown(false)));
     EXPECT_EQ(decodeErrorReply(encodeErrorReply("boom")), "boom");
 }
 
-TEST(ServeProto, ResultReplyRoundTripsTrajectoryBytes)
+namespace {
+
+/** A scalar-only ServedResult with every field populated. */
+ServedResult
+denseScalarResult()
 {
     ServedResult r;
     r.completed = true;
@@ -228,66 +269,384 @@ TEST(ServeProto, ResultReplyRoundTripsTrajectoryBytes)
     r.simulatedCycles = 10'000'000'000ULL;
     r.trajectorySamples = 2;
     r.degradedIntervals = 1;
-    r.trajectoryCsv = "t,x\n0.01,1.25\n0.02,2.5\n";
     r.queueWaitMs = 5.5;
     r.serviceMs = 300.25;
-
-    ResultData d{21, r};
-    ResultData d2 = decodeResultReply(encodeResultReply(d));
-    EXPECT_EQ(d2.jobId, 21u);
-    EXPECT_EQ(d2.result.trajectoryCsv, r.trajectoryCsv);
-    EXPECT_EQ(fnv1a(d2.result.trajectoryCsv), fnv1a(r.trajectoryCsv));
-    EXPECT_EQ(d2.result.completed, r.completed);
-    EXPECT_EQ(d2.result.collisions, r.collisions);
-    EXPECT_EQ(d2.result.simulatedCycles, r.simulatedCycles);
-    EXPECT_EQ(d2.result.queueWaitMs, r.queueWaitMs);
-    EXPECT_EQ(d2.result.serviceMs, r.serviceMs);
+    return r;
 }
 
-TEST(ServeProto, ResultReplyCarriesTerminalState)
+/** Plausible-physics random samples (magnitudes the canonical-f32
+ *  quantization is specified for: no f32 overflow or subnormals). */
+std::vector<core::TrajectorySample>
+randomSamples(Rng &rng, size_t n)
 {
-    ServedResult r;
-    r.completed = false;
-    r.failureReason = "mission threw";
+    std::vector<core::TrajectorySample> v(n);
+    for (size_t i = 0; i < n; ++i) {
+        core::TrajectorySample &s = v[i];
+        s.time = double(i) * 0.01 + rng.uniform(0.0, 0.001);
+        s.position = {rng.uniform(-500.0, 500.0),
+                      rng.uniform(-500.0, 500.0),
+                      rng.uniform(-50.0, 50.0)};
+        s.yaw = rng.uniform(-3.2, 3.2);
+        s.speed = rng.uniform(0.0, 30.0);
+        s.lateralOffset = rng.uniform(-5.0, 5.0);
+        s.collisions = rng.uniformInt(100);
+        s.cmdForward = rng.uniform(-1.0, 1.0);
+        s.cmdLateral = rng.uniform(-1.0, 1.0);
+        s.cmdYawRate = rng.uniform(-2.0, 2.0);
+        if (i % 7 == 0) {
+            s.speed = 0.0; // exact zeros must survive quantization
+            s.cmdLateral = 0.0;
+        }
+    }
+    return v;
+}
 
-    ResultData failed{5, r, JobState::Failed};
-    ResultData back = decodeResultReply(encodeResultReply(failed));
-    EXPECT_EQ(back.state, JobState::Failed);
-    EXPECT_EQ(back.result.failureReason, "mission threw");
+/** Slice a trajectory payload into ResultChunk frames + ResultEnd,
+ *  exactly as the server's stream pump does. */
+std::vector<Message>
+buildStream(uint64_t job_id, const std::string &csv,
+            size_t chunk_bytes, const ServedResult &scalars,
+            JobState state = JobState::Done)
+{
+    std::vector<Message> frames;
+    uint32_t seq = 0;
+    for (size_t off = 0; off < csv.size(); off += chunk_bytes) {
+        ResultChunkData c;
+        c.jobId = job_id;
+        c.seq = seq++;
+        size_t n = std::min(chunk_bytes, csv.size() - off);
+        c.bytes.assign(csv.begin() + std::ptrdiff_t(off),
+                       csv.begin() + std::ptrdiff_t(off + n));
+        frames.push_back(encodeResultChunk(c));
+    }
+    ResultEndData end;
+    end.jobId = job_id;
+    end.state = state;
+    end.encoding = TrajectoryEncoding::Csv;
+    end.chunkCount = seq;
+    end.payloadBytes = csv.size();
+    end.trajectoryHash = fnv1a(csv);
+    end.result = scalars;
+    frames.push_back(encodeResultEnd(end));
+    return frames;
+}
 
-    ResultData done{6, ServedResult{}};
-    EXPECT_EQ(decodeResultReply(encodeResultReply(done)).state,
-              JobState::Done);
+} // namespace
+
+TEST(ServeProto, ResultChunkAndEndRoundTrip)
+{
+    ResultChunkData c;
+    c.jobId = 21;
+    c.seq = 7;
+    c.bytes = {1, 2, 3, 250, 0, 99};
+    ResultChunkData c2 = decodeResultChunk(encodeResultChunk(c));
+    EXPECT_EQ(c2.jobId, 21u);
+    EXPECT_EQ(c2.seq, 7u);
+    EXPECT_EQ(c2.bytes, c.bytes);
+
+    ResultEndData e;
+    e.jobId = 21;
+    e.state = JobState::Failed;
+    e.encoding = TrajectoryEncoding::Binary;
+    e.chunkCount = 13;
+    e.payloadBytes = 123456789;
+    e.trajectoryHash = 0xabcdef0123456789ULL;
+    e.result = denseScalarResult();
+    e.result.failureReason = "mission threw";
+    ResultEndData e2 = decodeResultEnd(encodeResultEnd(e));
+    EXPECT_EQ(e2.jobId, 21u);
+    EXPECT_EQ(e2.state, JobState::Failed);
+    EXPECT_EQ(e2.encoding, TrajectoryEncoding::Binary);
+    EXPECT_EQ(e2.chunkCount, 13u);
+    EXPECT_EQ(e2.payloadBytes, 123456789u);
+    EXPECT_EQ(e2.trajectoryHash, e.trajectoryHash);
+    EXPECT_EQ(e2.result.failureReason, "mission threw");
+    EXPECT_EQ(e2.result.collisions, e.result.collisions);
+    EXPECT_EQ(e2.result.simulatedCycles, e.result.simulatedCycles);
+    EXPECT_EQ(e2.result.queueWaitMs, e.result.queueWaitMs);
+    EXPECT_EQ(e2.result.serviceMs, e.result.serviceMs);
+    // The decoder surfaces the verification hash on the result too.
+    EXPECT_EQ(e2.result.trajectoryHash, e.trajectoryHash);
 
     // Non-terminal state bytes are rejected, not trusted.
-    Message m = encodeResultReply(done);
+    Message m = encodeResultEnd(e);
     m.payload[8] = uint8_t(JobState::Running);
-    EXPECT_THROW(decodeResultReply(m), ProtocolError);
+    EXPECT_THROW(decodeResultEnd(m), ProtocolError);
+
+    ProgressEvent p;
+    p.jobId = 44;
+    p.simTimeSeconds = 1.25;
+    p.maxSimSeconds = 10.0;
+    p.samples = 125;
+    ProgressEvent p2 = decodeProgress(encodeProgress(p));
+    EXPECT_EQ(p2.jobId, 44u);
+    EXPECT_EQ(p2.simTimeSeconds, 1.25);
+    EXPECT_EQ(p2.maxSimSeconds, 10.0);
+    EXPECT_EQ(p2.samples, 125u);
 }
 
-TEST(ServeProto, OversizedResultDemotedToFailureNotAbort)
+TEST(ServeProto, CanonicalF32PreservesCsvCells)
 {
-    // A trajectory CSV beyond the wire budget must become a
-    // well-formed failure — never reach the encoder's assert.
-    ServedResult big;
-    big.completed = true;
-    big.trajectoryCsv.assign(kMaxTrajectoryCsvBytes + 1, 'x');
-    EXPECT_FALSE(fitResultToWire(big));
-    EXPECT_TRUE(big.trajectoryCsv.empty());
-    EXPECT_FALSE(big.failureReason.empty());
-    // The demoted result encodes cleanly.
-    Message m = encodeResultReply({1, big, JobState::Failed});
-    EXPECT_EQ(decodeResultReply(m).state, JobState::Failed);
+    // The binary encoding's whole correctness argument: quantizing a
+    // double to canonicalTrajectoryF32 must not change how the value
+    // prints at the CSV's 6-significant-digit precision. (An f32 is
+    // within 2^-24 relative of the printed decimal, far inside the
+    // 5e-7 half-step of the 6-digit grid, so the nearest 6-digit
+    // decimal to the f32 is the original cell.)
+    Rng rng(0xf32f32);
+    for (int i = 0; i < 20000; ++i) {
+        double mag = std::pow(10.0, rng.uniform(-6.0, 9.0));
+        double v = rng.uniform(-1.0, 1.0) * mag;
+        if (i % 13 == 0)
+            v = 0.0;
+        std::ostringstream a;
+        a << v;
+        std::ostringstream b;
+        b << double(canonicalTrajectoryF32(v));
+        ASSERT_EQ(a.str(), b.str()) << "value " << v;
+    }
+}
 
-    // A result exactly at the budget is untouched and encodes.
-    ServedResult fits;
-    fits.trajectoryCsv.assign(kMaxTrajectoryCsvBytes, 'y');
-    EXPECT_TRUE(fitResultToWire(fits));
-    EXPECT_EQ(fits.trajectoryCsv.size(), kMaxTrajectoryCsvBytes);
-    std::vector<uint8_t> wire;
-    serializeMessage(encodeResultReply({2, fits}), wire);
-    EXPECT_LE(wire.size(),
-              Message::kHeaderBytes + kMaxServePayloadBytes);
+TEST(ServeProto, BinaryTrajectoryCodecPreservesCsvBytes)
+{
+    Rng rng(0xb17a57);
+    for (int round = 0; round < 20; ++round) {
+        SCOPED_TRACE("round " + std::to_string(round));
+        std::vector<core::TrajectorySample> samples =
+            randomSamples(rng, rng.uniformInt(300));
+        std::vector<uint8_t> wire = encodeTrajectoryBinary(samples);
+        ASSERT_EQ(wire.size(),
+                  samples.size() * kTrajectoryBinaryRecordBytes);
+        std::vector<core::TrajectorySample> back =
+            decodeTrajectoryBinary(wire.data(), wire.size());
+        ASSERT_EQ(back.size(), samples.size());
+        // The decoded samples re-render to the exact CSV bytes of the
+        // originals — the invariant the streamed hash check rests on.
+        EXPECT_EQ(core::trajectoryCsvString(back),
+                  core::trajectoryCsvString(samples));
+        for (size_t i = 0; i < back.size(); ++i)
+            ASSERT_EQ(back[i].collisions, samples[i].collisions);
+    }
+
+    // Truncated / misaligned binary payloads are rejected cleanly.
+    std::vector<uint8_t> wire =
+        encodeTrajectoryBinary(randomSamples(rng, 3));
+    EXPECT_THROW(decodeTrajectoryBinary(wire.data(), wire.size() - 1),
+                 ProtocolError);
+    // A collision count that cannot ride the u32 record field throws
+    // at encode time instead of truncating silently.
+    std::vector<core::TrajectorySample> overflow = randomSamples(rng, 1);
+    overflow[0].collisions = uint64_t(UINT32_MAX) + 1;
+    EXPECT_THROW(encodeTrajectoryBinary(overflow), ProtocolError);
+}
+
+TEST(ServeProto, AssemblerReassemblesMultiChunkStream)
+{
+    // CSV payload sliced at an awkward chunk size (not a divisor).
+    std::vector<core::TrajectorySample> samples;
+    {
+        Rng rng(0x5eed);
+        samples = randomSamples(rng, 200);
+    }
+    std::string csv = core::trajectoryCsvString(samples);
+    ServedResult scalars = denseScalarResult();
+    scalars.failureReason.clear();
+    std::vector<Message> frames = buildStream(9, csv, 777, scalars);
+    ASSERT_GT(frames.size(), 3u);
+
+    ResultStreamAssembler assembler(9);
+    for (size_t i = 0; i < frames.size(); ++i) {
+        EXPECT_EQ(assembler.feed(frames[i]), i + 1 == frames.size());
+        EXPECT_EQ(assembler.complete(), i + 1 == frames.size());
+    }
+    ResultData d = assembler.takeResult();
+    EXPECT_EQ(d.jobId, 9u);
+    EXPECT_EQ(d.state, JobState::Done);
+    EXPECT_EQ(d.result.trajectoryCsv, csv);
+    EXPECT_EQ(d.result.collisions, scalars.collisions);
+
+    // Binary streams decode, re-encode to canonical CSV, and verify
+    // against the hash of that CSV.
+    std::vector<uint8_t> bin = encodeTrajectoryBinary(samples);
+    std::string binStr(bin.begin(), bin.end());
+    std::vector<Message> binFrames =
+        buildStream(10, binStr, 555, scalars);
+    // Rewrite the end frame for binary semantics.
+    ResultEndData end;
+    end.jobId = 10;
+    end.state = JobState::Done;
+    end.encoding = TrajectoryEncoding::Binary;
+    end.chunkCount = uint32_t(binFrames.size() - 1);
+    end.payloadBytes = bin.size();
+    end.trajectoryHash = fnv1a(core::trajectoryCsvString(samples));
+    end.result = scalars;
+    binFrames.back() = encodeResultEnd(end);
+
+    ResultStreamAssembler binAssembler(10);
+    for (const Message &f : binFrames)
+        binAssembler.feed(f);
+    ASSERT_TRUE(binAssembler.complete());
+    ResultData bd = binAssembler.takeResult();
+    EXPECT_EQ(bd.result.trajectoryCsv,
+              core::trajectoryCsvString(samples));
+}
+
+TEST(ServeProto, AssemblerRejectsProtocolViolations)
+{
+    std::string csv = "t,x\n0.01,1\n0.02,2\n0.03,3\n";
+    ServedResult scalars;
+    auto frames = [&] { return buildStream(5, csv, 8, scalars); };
+
+    { // chunk for the wrong job
+        ResultStreamAssembler a(5);
+        Message alien = encodeResultChunk({6, 0, {1, 2, 3}});
+        EXPECT_THROW(a.feed(alien), ProtocolError);
+    }
+    { // out-of-order sequence number
+        ResultStreamAssembler a(5);
+        std::vector<Message> fs = frames();
+        ASSERT_TRUE(a.feed(fs[0]) == false);
+        EXPECT_THROW(a.feed(fs[0]), ProtocolError); // seq 0 repeated
+    }
+    { // frames after ResultEnd
+        ResultStreamAssembler a(5);
+        for (const Message &f : frames())
+            a.feed(f);
+        ASSERT_TRUE(a.complete());
+        EXPECT_THROW(a.feed(encodeResultChunk({5, 99, {1}})),
+                     ProtocolError);
+    }
+    { // truncated: end frame claims more chunks than were fed
+        ResultStreamAssembler a(5);
+        std::vector<Message> fs = frames();
+        a.feed(fs[0]);
+        EXPECT_THROW(a.feed(fs.back()), ProtocolError);
+        EXPECT_FALSE(a.complete());
+    }
+    { // corrupted verification hash
+        ResultStreamAssembler a(5);
+        std::vector<Message> fs = frames();
+        ResultEndData end = decodeResultEnd(fs.back());
+        end.trajectoryHash ^= 1;
+        fs.back() = encodeResultEnd(end);
+        for (size_t i = 0; i + 1 < fs.size(); ++i)
+            a.feed(fs[i]);
+        EXPECT_THROW(a.feed(fs.back()), ProtocolError);
+    }
+    { // a Progress frame must never reach the assembler
+        ResultStreamAssembler a(5);
+        EXPECT_THROW(a.feed(encodeProgress({5, 0.5, 1.0, 10})),
+                     ProtocolError);
+    }
+    { // per-stream memory bound: oversized payload rejected
+        ResultStreamAssembler a(5, 16);
+        std::vector<Message> fs = frames();
+        a.feed(fs[0]);
+        a.feed(fs[1]);
+        EXPECT_THROW(a.feed(fs[2]), ProtocolError);
+    }
+}
+
+TEST(ServeProto, StreamFuzzReassemblyNeverCrashes)
+{
+    // Seeded adversarial streams: random chunk sizes, random framing
+    // splits, and per-seed mutations (truncation, frames after end,
+    // interleaved Progress, hash corruption). Every outcome must be
+    // either a verified result or a clean ProtocolError — no crash,
+    // no hang, no silently wrong bytes (ASan/UBSan presets make the
+    // "no corruption" half observable).
+    for (uint64_t seed = 1; seed <= 60; ++seed) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        Rng rng(seed * 2654435761u);
+
+        std::vector<core::TrajectorySample> samples =
+            randomSamples(rng, rng.uniformInt(120));
+        std::string csv = core::trajectoryCsvString(samples);
+        uint64_t jobId = 1 + rng.uniformInt(1000);
+        size_t chunkBytes = 1 + rng.uniformInt(csv.size() + 64);
+        std::vector<Message> frames =
+            buildStream(jobId, csv, chunkBytes, ServedResult{});
+
+        // Interleave Progress frames (legal anywhere in the byte
+        // stream; the dispatch layer keeps them out of the
+        // assembler).
+        std::vector<Message> stream;
+        for (const Message &f : frames) {
+            if (rng.uniformInt(3) == 0)
+                stream.push_back(encodeProgress(
+                    {jobId + 1, rng.uniform(0.0, 5.0), 5.0,
+                     uint64_t(rng.uniformInt(1000))}));
+            stream.push_back(f);
+        }
+
+        int mutation = int(seed % 4);
+        bool expectOk = mutation == 0;
+        if (mutation == 1 && stream.size() > 1) {
+            // Truncate: drop a suffix (stream never completes).
+            stream.resize(1 + rng.uniformInt(stream.size() - 1));
+        } else if (mutation == 2) {
+            // Frames after ResultEnd.
+            stream.push_back(
+                encodeResultChunk({jobId, 0, {0x41, 0x42}}));
+        } else if (mutation == 3) {
+            // Corrupt one frame: flip the end-frame hash.
+            ResultEndData end = decodeResultEnd(stream.back());
+            end.trajectoryHash ^= (1ULL << rng.uniformInt(64));
+            stream.back() = encodeResultEnd(end);
+        }
+
+        // Serialize everything and push through a MessageBuffer in
+        // random fragments — chunk boundaries never align with frame
+        // boundaries.
+        std::vector<uint8_t> wire;
+        for (const Message &m : stream)
+            serializeMessage(m, wire);
+        MessageBuffer mb;
+        ResultStreamAssembler assembler(jobId);
+        bool violated = false;
+        size_t pos = 0;
+        while (pos < wire.size()) {
+            size_t n = 1 + rng.uniformInt(4096);
+            n = std::min(n, wire.size() - pos);
+            mb.append(wire.data() + pos, n);
+            pos += n;
+            for (;;) {
+                Message m;
+                std::string err;
+                FrameStatus st = mb.next(m, &err);
+                if (st != FrameStatus::Ok)
+                    break;
+                if (m.type == MsgType::Progress)
+                    continue; // dispatched, never assembled
+                if (violated || assembler.complete()) {
+                    // A real client dropped the connection already;
+                    // later frames go unread.
+                    continue;
+                }
+                try {
+                    assembler.feed(m);
+                } catch (const ProtocolError &) {
+                    violated = true;
+                }
+            }
+        }
+        if (expectOk) {
+            ASSERT_FALSE(violated);
+            ASSERT_TRUE(assembler.complete());
+            EXPECT_EQ(assembler.takeResult().result.trajectoryCsv,
+                      csv);
+        } else if (mutation == 1) {
+            // Truncation drops the ResultEnd: the stream must be
+            // visibly incomplete, never a silently short result.
+            EXPECT_FALSE(assembler.complete());
+        } else {
+            // Mutations 2 and 3 must be detected, not absorbed:
+            // either a ProtocolError fired or (mutation 2) the
+            // stream completed validly before the trailing garbage,
+            // which the connection-level dispatch would then reject.
+            EXPECT_TRUE(violated || assembler.complete());
+        }
+    }
 }
 
 TEST(ServeProto, MalformedPayloadsThrowNotCrash)
@@ -384,20 +743,35 @@ TEST(ServeFraming, RoundTripSurvivesArbitraryFragmentation)
         core::MissionSpec spec;
         spec.seed = rng.next();
         spec.velocity = rng.uniform(0.5, 10.0);
-        ServedResult sr;
-        sr.trajectoryCsv = std::string(rng.uniformInt(5000), 'x');
-        sr.collisions = rng.next();
+        ResultChunkData chunk;
+        chunk.jobId = rng.next();
+        chunk.seq = uint32_t(rng.uniformInt(1000));
+        chunk.bytes.resize(rng.uniformInt(5000), 0x78);
+        ResultEndData end;
+        end.jobId = chunk.jobId;
+        end.state = JobState::Done;
+        end.encoding = TrajectoryEncoding::Binary;
+        end.chunkCount = chunk.seq + 1;
+        end.payloadBytes = chunk.bytes.size();
+        end.trajectoryHash = rng.next();
+        end.result.collisions = rng.next();
 
         std::vector<Message> sent{
             encodeSubmitMission(spec),
             encodeQueryStatus(rng.next()),
-            encodeFetchResult(rng.next()),
+            encodeFetchResult(rng.next(),
+                              rng.uniformInt(2) == 0
+                                  ? TrajectoryEncoding::Csv
+                                  : TrajectoryEncoding::Binary),
             encodeCancelMission(rng.next()),
             encodeServerStats(),
             encodeShutdown(rng.uniformInt(2) == 0),
             encodeSubmitOk({rng.next(), uint32_t(rng.uniformInt(100))}),
             encodeRejected({RejectReason::ClientCap, "cap"}),
-            encodeResultReply({rng.next(), sr}),
+            encodeResultChunk(chunk),
+            encodeResultEnd(end),
+            encodeProgress({rng.next(), rng.uniform(0.0, 10.0), 10.0,
+                            rng.next() % 100000}),
             encodeShutdownReply(),
             encodeErrorReply("some error"),
         };
@@ -637,28 +1011,85 @@ TEST(ServeServer, BadSpecsAreRejectedNotExecuted)
     server.stop();
 }
 
-TEST(ServeServer, UnserviceableResultSizeRejectedAtAdmission)
+TEST(ServeServer, LongMissionStreamsGoldenParityBothEncodings)
 {
-    // A spec whose trajectory provably cannot fit a ResultReply (tiny
-    // sync granularity → one sample every 1k cycles → tens of MB of
-    // CSV) is shed as bad_request at the front door; it must not
-    // occupy a worker only to fail — and must never abort the daemon.
+    // The lifted mission-length limit, end to end: a spec whose
+    // trajectory CSV exceeds 8 MiB — larger than any single protocol
+    // frame, and rejected outright at admission before streaming —
+    // is admitted, executed (supervised, with the checkpoint-cadence
+    // cap keeping snapshot overhead bounded), streamed across many
+    // ResultChunk frames, and reassembles bit-identically to the
+    // local runMission() of the same spec in BOTH wire encodings.
+    core::MissionSpec spec = canonicalSpec("A", 2.2);
+    spec.syncGranularity = 20000; // one sample every 20k cycles
+
+    core::MissionResult local = core::runMission(spec);
+    std::string localCsv = core::trajectoryCsvString(local);
+    ASSERT_GT(localCsv.size(), 8u * 1024 * 1024)
+        << "spec no longer produces a >8 MiB trajectory; retune";
+
     ServerConfig cfg;
     cfg.workers = 1;
     MissionServer server(cfg);
     server.start();
+    ServeClient client(server.port(), "127.0.0.1", 120000);
+
+    for (TrajectoryEncoding enc : {TrajectoryEncoding::Csv,
+                                   TrajectoryEncoding::Binary}) {
+        SCOPED_TRACE(trajectoryEncodingName(enc));
+        SubmitOutcome out = client.submit(spec);
+        ASSERT_TRUE(out.accepted) << out.detail;
+        ServedResult r =
+            client.waitResult(out.jobId, 120000, 10, enc);
+        EXPECT_EQ(fnv1a(r.trajectoryCsv), fnv1a(localCsv));
+        EXPECT_TRUE(r.trajectoryCsv == localCsv)
+            << "streamed trajectory bytes drifted from the local run";
+        EXPECT_EQ(r.trajectorySamples, local.trajectory.size());
+    }
+
+    ServerStatsSnapshot s = server.stats();
+    EXPECT_EQ(s.streamsStarted, 2u);
+    EXPECT_EQ(s.streamsCompleted, 2u);
+    EXPECT_EQ(s.activeStreams, 0u);
+    // ~8.8 MiB at the default 256 KiB slice: dozens of chunks per
+    // stream, and the binary stream moves ~1.8x fewer payload bytes.
+    EXPECT_GT(s.streamedChunks, 40u);
+    EXPECT_GT(s.streamedPayloadBytes, localCsv.size());
+    EXPECT_LT(s.streamedPayloadBytes, 2u * localCsv.size());
+    server.stop();
+}
+
+TEST(ServeServer, ProgressEventsArriveWhileMissionRuns)
+{
+    ServerConfig cfg;
+    cfg.workers = 1;
+    cfg.progressIntervalPeriods = 10; // dense enough to observe
+    MissionServer server(cfg);
+    server.start();
     ServeClient client(server.port());
 
-    core::MissionSpec spec = quickSpec();
-    spec.syncGranularity = 1000;
-    SubmitOutcome out = client.submit(spec);
-    ASSERT_FALSE(out.accepted);
-    EXPECT_EQ(out.reason, RejectReason::BadRequest);
-    EXPECT_FALSE(out.detail.empty());
-    EXPECT_EQ(server.stats().accepted, 0u);
+    std::vector<ProgressEvent> seen;
+    client.onProgress([&](const ProgressEvent &p) {
+        seen.push_back(p);
+    });
 
-    // The daemon is fully serviceable afterwards.
-    EXPECT_TRUE(client.submit(quickSpec()).accepted);
+    core::MissionSpec spec = canonicalSpec("A", 4.0);
+    SubmitOutcome out = client.submit(spec);
+    ASSERT_TRUE(out.accepted) << out.detail;
+    ServedResult r = client.waitResult(out.jobId);
+    EXPECT_GT(r.trajectorySamples, 0u);
+
+    ASSERT_FALSE(seen.empty())
+        << "no Progress frames observed during the mission";
+    double prev = -1.0;
+    for (const ProgressEvent &p : seen) {
+        EXPECT_EQ(p.jobId, out.jobId);
+        EXPECT_GT(p.simTimeSeconds, prev); // coalesced ⇒ monotonic
+        EXPECT_EQ(p.maxSimSeconds, 4.0);
+        EXPECT_GT(p.samples, 0u);
+        prev = p.simTimeSeconds;
+    }
+    EXPECT_GE(server.stats().progressEvents, seen.size());
     server.stop();
 }
 
@@ -730,12 +1161,16 @@ TEST(ServeServer, StalledReaderDoesNotBlockOtherClients)
     // One client that requests its (large) result and then never
     // reads must cost only its own connection: other sessions stay
     // serviceable the whole time, and the stalled connection is
-    // dropped once its reply makes no progress for sendTimeoutMs.
+    // dropped — mid-stream — once its reply makes no progress for
+    // sendTimeoutMs. The stream backlog cap bounds how much of the
+    // stalled stream is ever generated into server memory.
     ServerConfig cfg;
     cfg.workers = 1;
     cfg.sendTimeoutMs = 2000;
-    cfg.sendBufferBytes = 4096; // shrink kernel buffering so the
-                                // ~90 KiB reply actually stalls
+    cfg.sendBufferBytes = 4096;  // shrink kernel buffering so the
+                                 // ~90 KiB stream actually stalls
+    cfg.resultChunkBytes = 4096; // many chunks...
+    cfg.streamBacklogBytes = 8192; // ...but only ~2 in flight
     MissionServer server(cfg);
     server.start();
 
@@ -764,16 +1199,19 @@ TEST(ServeServer, StalledReaderDoesNotBlockOtherClients)
         return s.completed == 1;
     }));
 
-    // Ask for the result, then never read a byte of it.
+    // Ask for the result, then never read a byte of it. The stream
+    // opens (releasing the job record) and wedges mid-flight.
     wire.clear();
     serializeMessage(encodeFetchResult(1), wire);
     ASSERT_EQ(::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL),
               ssize_t(wire.size()));
-    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    ASSERT_TRUE(eventually(server, [](const ServerStatsSnapshot &s) {
+        return s.streamsStarted == 1 && s.activeStreams == 1;
+    }));
 
-    // While that reply is wedged, other clients are serviced at full
-    // speed (well under the 2 s stall deadline) — no head-of-line
-    // blocking through the shared IO loop.
+    // While that stream is wedged, other clients are serviced at
+    // full speed (well under the 2 s stall deadline) — no
+    // head-of-line blocking through the shared IO loop.
     auto t0 = std::chrono::steady_clock::now();
     ServerStatsSnapshot s = observer.serverStats();
     double statsMs = std::chrono::duration<double, std::milli>(
@@ -781,20 +1219,135 @@ TEST(ServeServer, StalledReaderDoesNotBlockOtherClients)
                          .count();
     EXPECT_LT(statsMs, 1500.0);
     EXPECT_EQ(s.connectionsOpen, 2u);
+    EXPECT_EQ(s.streamsCompleted, 0u);
     SubmitOutcome out = observer.submit(quickSpec(9));
     ASSERT_TRUE(out.accepted);
     EXPECT_GT(observer.waitResult(out.jobId).trajectorySamples, 0u);
 
     // The stalled connection is dropped after the progress deadline;
+    // its half-sent stream dies with it (never "completed"), and
     // everything else keeps running.
     ASSERT_TRUE(eventually(
         server,
         [](const ServerStatsSnapshot &st) {
-            return st.connectionsOpen == 1;
+            return st.connectionsOpen == 1 && st.activeStreams == 0;
         },
         15000));
+    EXPECT_EQ(server.stats().streamsCompleted, 1u)
+        << "only the observer's own fetch should have completed";
     ::close(fd);
     EXPECT_TRUE(observer.submit(quickSpec(10)).accepted);
+    server.stop();
+}
+
+TEST(ServeServer, DisconnectMidStreamReleasesJobAndStream)
+{
+    // A client that starts a fetch, reads part of the stream, and
+    // vanishes must leave nothing behind: the job record was already
+    // released when the stream opened, the stream itself dies with
+    // the connection, and no partial payload stays retained.
+    ServerConfig cfg;
+    cfg.workers = 1;
+    cfg.sendBufferBytes = 4096;
+    cfg.resultChunkBytes = 4096;
+    cfg.streamBacklogBytes = 8192;
+    MissionServer server(cfg);
+    server.start();
+
+    ServeClient observer(server.port());
+
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    int rcvbuf = 4096;
+    setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(server.port());
+    inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof(addr)),
+              0);
+
+    std::vector<uint8_t> wire;
+    serializeMessage(encodeSubmitMission(canonicalSpec("A")), wire);
+    ASSERT_EQ(::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL),
+              ssize_t(wire.size()));
+    ASSERT_TRUE(eventually(server, [](const ServerStatsSnapshot &s) {
+        return s.completed == 1;
+    }));
+    EXPECT_GT(server.stats().retainedResultBytes, 0u);
+
+    wire.clear();
+    serializeMessage(encodeFetchResult(1), wire);
+    ASSERT_EQ(::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL),
+              ssize_t(wire.size()));
+    ASSERT_TRUE(eventually(server, [](const ServerStatsSnapshot &s) {
+        return s.activeStreams == 1;
+    }));
+    // Opening the stream released the record: the result is no
+    // longer retained, and the id is gone — cancel says so.
+    EXPECT_EQ(server.stats().retainedResultBytes, 0u);
+    EXPECT_EQ(observer.cancel(1).outcome, CancelOutcome::UnknownJob);
+    EXPECT_EQ(observer.status(1).state, JobState::Unknown);
+
+    // Read a few chunks' worth, then vanish mid-stream.
+    uint8_t buf[8192];
+    ssize_t got = ::recv(fd, buf, sizeof(buf), 0);
+    EXPECT_GT(got, 0);
+    ::close(fd);
+
+    ASSERT_TRUE(eventually(server, [](const ServerStatsSnapshot &s) {
+        return s.connectionsOpen == 1 && s.activeStreams == 0;
+    }));
+    ServerStatsSnapshot s = server.stats();
+    EXPECT_EQ(s.streamsStarted, 1u);
+    EXPECT_EQ(s.streamsCompleted, 0u);
+    EXPECT_EQ(s.retainedResultBytes, 0u);
+
+    // The daemon is fully serviceable afterwards.
+    SubmitOutcome out = observer.submit(quickSpec(5));
+    ASSERT_TRUE(out.accepted);
+    EXPECT_GT(observer.waitResult(out.jobId).trajectorySamples, 0u);
+    server.stop();
+}
+
+TEST(ServeServer, RetentionByteBoundEvictsOldestKeepsNewest)
+{
+    // The retention FIFO is bounded by actual retained bytes, not
+    // just job count: with a 1-byte budget every completion evicts
+    // all older unfetched results, but the newest one is never
+    // evicted by the byte bound — a single oversized result stays
+    // fetchable rather than evaporating as it finishes.
+    ServerConfig cfg;
+    cfg.workers = 1;
+    cfg.maxRetainedResults = 256; // count bound out of the picture
+    cfg.maxRetainedResultBytes = 1;
+    MissionServer server(cfg);
+    server.start();
+    ServeClient client(server.port());
+
+    SubmitOutcome a = client.submit(quickSpec(1));
+    SubmitOutcome b = client.submit(quickSpec(2));
+    SubmitOutcome c = client.submit(quickSpec(3));
+    ASSERT_TRUE(a.accepted && b.accepted && c.accepted);
+    ASSERT_TRUE(eventually(server, [](const ServerStatsSnapshot &s) {
+        return s.completed == 3;
+    }));
+
+    // Only the newest terminal result survives the byte bound.
+    EXPECT_EQ(client.status(a.jobId).state, JobState::Unknown);
+    EXPECT_EQ(client.status(b.jobId).state, JobState::Unknown);
+    EXPECT_EQ(client.status(c.jobId).state, JobState::Done);
+    uint64_t retained = server.stats().retainedResultBytes;
+    EXPECT_GT(retained, 0u);
+
+    // Fetching it empties the byte account entirely — the account
+    // tracks live payload, not history.
+    ServedResult r = client.waitResult(c.jobId);
+    EXPECT_GT(r.trajectorySamples, 0u);
+    ASSERT_TRUE(eventually(server, [](const ServerStatsSnapshot &s) {
+        return s.retainedResultBytes == 0;
+    }));
     server.stop();
 }
 
