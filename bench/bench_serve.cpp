@@ -30,11 +30,20 @@
  * latency, p50 reassembled MB/s per client, and the actual wire
  * payload moved (the binary encoding's ~1.8x size win over CSV shows
  * up directly in wire_bytes).
+ *
+ * A third sweep quantifies the write-ahead job journal's overhead:
+ * the same submit->waitResult loop run with journaling off, on
+ * (flush-only, the default durability level), and on with fsync per
+ * append. Submit latency is reported separately from end-to-end
+ * latency because the WAL append sits on the submit path — the
+ * admission reply is not sent until the Submit record is on disk —
+ * while the Terminal append happens on the worker thread.
  */
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -265,6 +274,94 @@ runStreamCell(size_t chunk_bytes, int clients,
     return cell;
 }
 
+// --------------------------------------------------------- journal
+
+/** Durability level for the journal-overhead sweep. */
+enum class JournalMode
+{
+    Off,   ///< in-memory only (pre-v3 behavior)
+    On,    ///< write-ahead journal, flush per append
+    Fsync, ///< write-ahead journal, fsync per append
+};
+
+const char *
+journalModeName(JournalMode m)
+{
+    switch (m) {
+    case JournalMode::Off:
+        return "off";
+    case JournalMode::On:
+        return "journal";
+    case JournalMode::Fsync:
+        return "journal+fsync";
+    }
+    return "?";
+}
+
+struct JournalCell
+{
+    JournalMode mode = JournalMode::Off;
+    size_t missions = 0;
+    double wallSeconds = 0.0;
+    double missionsPerSec = 0.0;
+    Pct submit;  ///< submit() wall time — the WAL append sits here
+    Pct latency; ///< submit() to waitResult() end to end
+};
+
+constexpr int kJournalMissions = 16;
+
+JournalCell
+runJournalCell(JournalMode mode)
+{
+    const std::string dir = "bench_serve_journal.d";
+    std::filesystem::remove_all(dir);
+
+    ServerConfig cfg;
+    cfg.workers = kWorkers;
+    cfg.maxQueueDepth = 32;
+    cfg.perClientInFlight = 64;
+    if (mode != JournalMode::Off) {
+        cfg.journalDir = dir;
+        cfg.journalFsync = (mode == JournalMode::Fsync);
+    }
+    MissionServer server(cfg);
+    server.start();
+
+    JournalCell cell;
+    cell.mode = mode;
+    std::vector<double> submit_ms, lat_ms;
+    ServeClient client(server.port());
+    Clock::time_point t0 = Clock::now();
+    for (int m = 0; m < kJournalMissions; ++m) {
+        core::MissionSpec spec = benchSpec(uint64_t(1 + m));
+        Clock::time_point start = Clock::now();
+        SubmitOutcome out = client.submit(spec);
+        submit_ms.push_back(
+            std::chrono::duration<double, std::milli>(Clock::now() -
+                                                      start)
+                .count());
+        if (!out.accepted)
+            rose_fatal("journal bench submit shed: ", out.detail);
+        client.waitResult(out.jobId);
+        lat_ms.push_back(
+            std::chrono::duration<double, std::milli>(Clock::now() -
+                                                      start)
+                .count());
+    }
+    cell.wallSeconds =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    server.stop();
+    std::filesystem::remove_all(dir);
+
+    cell.missions = lat_ms.size();
+    cell.missionsPerSec = cell.wallSeconds > 0.0
+                              ? double(cell.missions) / cell.wallSeconds
+                              : 0.0;
+    cell.submit = percentiles(submit_ms);
+    cell.latency = percentiles(lat_ms);
+    return cell;
+}
+
 } // namespace
 
 int
@@ -318,6 +415,22 @@ main()
         }
     }
 
+    std::printf("\njournal overhead (write-ahead durability on the "
+                "submit path; %d sequential missions)\n\n",
+                kJournalMissions);
+    std::printf("%-15s %-9s %-14s %-14s %-12s %-12s\n", "mode",
+                "missions", "submit p50[ms]", "submit p95[ms]",
+                "lat p50[ms]", "msn/sec");
+    std::vector<JournalCell> journalCells;
+    for (JournalMode mode : {JournalMode::Off, JournalMode::On,
+                             JournalMode::Fsync}) {
+        JournalCell c = runJournalCell(mode);
+        std::printf("%-15s %-9zu %-14.3f %-14.3f %-12.2f %-12.2f\n",
+                    journalModeName(c.mode), c.missions, c.submit.p50,
+                    c.submit.p95, c.latency.p50, c.missionsPerSec);
+        journalCells.push_back(c);
+    }
+
     std::ostringstream js;
     js << "{\n  \"workers\": " << kWorkers
        << ",\n  \"missions_per_client\": " << kMissionsPerClient
@@ -348,6 +461,19 @@ main()
            << ", \"chunks\": " << c.chunks
            << ", \"fetch_p50_ms\": " << c.fetchP50Ms
            << ", \"mb_per_sec_p50\": " << c.mbPerSecP50 << "}";
+    }
+    js << "\n  ],\n  \"journal\": [";
+    for (size_t i = 0; i < journalCells.size(); ++i) {
+        const JournalCell &c = journalCells[i];
+        js << (i ? ",\n    " : "\n    ") << "{\"mode\": \""
+           << journalModeName(c.mode) << "\", \"missions\": "
+           << c.missions << ", \"wall_seconds\": " << c.wallSeconds
+           << ", \"missions_per_sec\": " << c.missionsPerSec
+           << ", \"submit_ms\": {\"p50\": " << c.submit.p50
+           << ", \"p95\": " << c.submit.p95 << ", \"max\": "
+           << c.submit.max << "}, \"latency_ms\": {\"p50\": "
+           << c.latency.p50 << ", \"p95\": " << c.latency.p95
+           << ", \"max\": " << c.latency.max << "}}";
     }
     js << "\n  ]\n}\n";
 

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Chaos smoke for crash-safe serving: boot a journaled rosed, submit a
+# long mission, SIGKILL the daemon mid-mission, restart it on the same
+# journal directory, and require that
+#   (a) resubmitting the same idempotency key lands on the original
+#       job id instead of running the mission twice, and
+#   (b) the recovered job's served trajectory hashes bit-identically
+#       to a local uninterrupted run of the same spec (`rose_client
+#       verify` exits nonzero on mismatch).
+# Covers the whole durability path end to end: journal append, torn-
+# tail-tolerant replay, requeue + checkpoint warm restore, idempotent
+# admission, and result streaming after recovery.
+#
+# usage: chaos_smoke.sh <rose_client> <rosed>
+set -euo pipefail
+
+client="$1"
+rosed="$2"
+work="$(mktemp -d)"
+rosed_pid=
+cleanup() {
+    [ -n "$rosed_pid" ] && kill -9 "$rosed_pid" 2>/dev/null
+    rm -rf "$work"
+    return 0
+}
+trap cleanup EXIT
+
+# The canonical golden mission at a deliberately fine sync granularity:
+# ~1.7 s of service time in the default build (more under sanitizers),
+# so the SIGKILL below reliably lands mid-mission.
+spec=(--world tunnel --soc A --depth 14 --velocity 3.0 --yaw 20
+      --seed 1 --sim-seconds 30 --sync-granularity 100000)
+
+boot_rosed() {
+    : > "$work/port"
+    "$rosed" --port 0 --jobs 1 --journal "$work/journal" \
+        --port-file "$work/port" &
+    rosed_pid=$!
+    for _ in $(seq 1 100); do
+        [ -s "$work/port" ] && break
+        sleep 0.1
+    done
+    [ -s "$work/port" ] || {
+        echo "chaos_smoke: rosed never published its port" >&2
+        exit 1
+    }
+    port="$(cat "$work/port")"
+}
+
+boot_rosed
+"$client" --port "$port" submit "${spec[@]}" \
+    --idem-key chaos-smoke-1 --job-file "$work/job"
+job="$(cat "$work/job")"
+
+# Let the mission get going, then die without ceremony — no drain, no
+# journal close, exactly the crash the write-ahead discipline is for.
+sleep 0.3
+kill -9 "$rosed_pid"
+wait "$rosed_pid" 2>/dev/null || true
+
+# Restart on the same journal directory: the interrupted job must be
+# replayed, and the retried submission must dedup onto its id.
+boot_rosed
+"$client" --port "$port" submit "${spec[@]}" \
+    --idem-key chaos-smoke-1 --job-file "$work/job2"
+job2="$(cat "$work/job2")"
+if [ "$job" != "$job2" ]; then
+    echo "chaos_smoke: idempotent resubmit ran the mission twice" \
+        "(job $job before the crash, job $job2 after)" >&2
+    exit 1
+fi
+
+# Golden-hash parity: the recovered (requeued, possibly checkpoint-
+# warm-restored) result must be bit-identical to a local run.
+"$client" --port "$port" --timeout 120000 verify "$job" "${spec[@]}"
+
+"$client" --port "$port" shutdown
+wait "$rosed_pid"
+rosed_pid=
+echo "chaos_smoke: job $job recovered bit-identically across SIGKILL"

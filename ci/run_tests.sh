@@ -75,6 +75,15 @@ run_preset() {
         shutdown
     wait "$rosed_pid"
     rm -f "$portfile"
+
+    # Chaos smoke: SIGKILL a journaled rosed mid-mission, restart it
+    # on the same journal directory, and require idempotent-resubmit
+    # dedup plus golden-hash parity of the recovered result. This is
+    # the crash-safety acceptance gate, run under both presets so the
+    # sanitizers sweep the journal replay and recovery paths too.
+    echo "==== [$preset] chaos smoke (SIGKILL + journal recovery) ===="
+    ci/chaos_smoke.sh "$builddir/src/serve/rose_client" \
+        "$builddir/src/serve/rosed"
 }
 
 run_preset default build

@@ -1,5 +1,6 @@
 #include "checkpoint.hh"
 
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 
@@ -96,15 +97,28 @@ writeCheckpointFile(const std::string &path, const Checkpoint &ck)
     w.u32(uint32_t(ck.state.size()));
     w.bytes(ck.state.data(), ck.state.size());
 
-    std::ofstream f(path, std::ios::binary | std::ios::trunc);
-    if (!f)
-        throw CheckpointError("cannot open checkpoint file for write: " +
+    // Write-aside + rename: the file is replaced atomically, so a
+    // crash mid-write can never tear the checkpoint — the previous
+    // good snapshot survives until the new one is fully on disk
+    // (rosed's per-job crash recovery warm-restores from this file).
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+        if (!f)
+            throw CheckpointError(
+                "cannot open checkpoint file for write: " + tmp);
+        f.write(kMagic, sizeof(kMagic));
+        f.write(reinterpret_cast<const char *>(w.data().data()),
+                std::streamsize(w.size()));
+        if (!f)
+            throw CheckpointError("short write to checkpoint file: " +
+                                  tmp);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throw CheckpointError("cannot move checkpoint into place: " +
                               path);
-    f.write(kMagic, sizeof(kMagic));
-    f.write(reinterpret_cast<const char *>(w.data().data()),
-            std::streamsize(w.size()));
-    if (!f)
-        throw CheckpointError("short write to checkpoint file: " + path);
+    }
 }
 
 Checkpoint

@@ -84,6 +84,33 @@ MissionSupervisor::run()
             .count();
     };
 
+    // Cross-process warm start: seed the ring from a snapshot a
+    // previous incarnation persisted and restore it, so the mission
+    // continues from where that process died instead of replaying
+    // from zero. Restore is bit-exact (trajectory-so-far included),
+    // so the final trace is identical to an uninterrupted run.
+    if (!sup_.resumeFromPath.empty()) {
+        try {
+            Checkpoint ck = readCheckpointFile(sup_.resumeFromPath);
+            rebuild();
+            if (sim_->checkpointable()) {
+                sim_->restore(ck);
+                ring_.push(std::move(ck));
+                ++stats_.diskResumes;
+                note(sim_->periods(),
+                     "resumed from disk checkpoint " +
+                         sup_.resumeFromPath);
+            } else {
+                note(0, "disk checkpoint ignored: transport is not "
+                        "checkpointable; cold start");
+            }
+        } catch (const std::exception &e) {
+            note(0, std::string("disk resume unavailable (") +
+                        e.what() + "); cold start");
+            sim_.reset();
+        }
+    }
+
     std::string last_failure;
     while (true) {
         bool transport_failure = false;

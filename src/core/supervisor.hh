@@ -73,6 +73,15 @@ struct SupervisorConfig
      *  (overwritten in place) for post-mortem or cross-process
      *  resume. */
     std::string checkpointPath;
+    /**
+     * When non-empty, run() first tries to resume from this ROSECKPT
+     * file (a previous incarnation's persisted snapshot — rosed's
+     * crash recovery uses the per-job checkpoint it wrote before
+     * dying). Any problem — missing file, corrupt bytes, config
+     * fingerprint mismatch, non-checkpointable transport — falls back
+     * to a normal cold start; resume never fails a mission.
+     */
+    std::string resumeFromPath;
 };
 
 /** One recovery-relevant event, for logs and tests. */
@@ -88,6 +97,7 @@ struct SupervisorStats
     uint64_t checkpointsTaken = 0;
     uint64_t restores = 0;     ///< warm recoveries from the ring
     uint64_t coldRestarts = 0; ///< rebuilds (no usable checkpoint)
+    uint64_t diskResumes = 0;  ///< warm starts from resumeFromPath
     int retriesUsed = 0;
     std::vector<SupervisorEvent> events;
 };

@@ -9,9 +9,11 @@
 
 #include <cerrno>
 #include <cstring>
+#include <random>
 #include <thread>
 
 #include "bridge/transport.hh"
+#include "util/hash.hh"
 #include "util/logging.hh"
 
 namespace rose::serve {
@@ -20,13 +22,27 @@ using bridge::TransportError;
 
 ServeClient::ServeClient(uint16_t port, const std::string &host,
                          int timeout_ms)
-    : timeoutMs_(timeout_ms)
+    : host_(host), port_(port), timeoutMs_(timeout_ms)
 {
+    dial();
+}
+
+void
+ServeClient::dial()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    // A fresh connection is a fresh frame stream: any half-read
+    // frame from the previous incarnation must not prefix it.
+    rx_ = MessageBuffer{};
+
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
-    addr.sin_port = htons(port);
-    if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
-        throw TransportError("invalid IPv4 address: " + host);
+    addr.sin_port = htons(port_);
+    if (inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1)
+        throw TransportError("invalid IPv4 address: " + host_);
 
     fd_ = socket(AF_INET, SOCK_STREAM, 0);
     if (fd_ < 0)
@@ -37,12 +53,52 @@ ServeClient::ServeClient(uint16_t port, const std::string &host,
         int err = errno;
         ::close(fd_);
         fd_ = -1;
-        throw TransportError(detail::concat("connect to ", host, ":",
-                                            port, " failed: ",
+        throw TransportError(detail::concat("connect to ", host_, ":",
+                                            port_, " failed: ",
                                             std::strerror(err)));
     }
     int one = 1;
     setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+void
+ServeClient::enableReconnect(const ReconnectConfig &cfg)
+{
+    reconnect_ = cfg;
+    if (reconnect_->maxAttempts < 1)
+        reconnect_->maxAttempts = 1;
+    if (reconnect_->maxEpisodes < 1)
+        reconnect_->maxEpisodes = 1;
+    if (keyNonce_ == 0) {
+        // Per-instance namespace for auto-generated idempotency
+        // keys: two clients (or two incarnations of one) must never
+        // collide, or one would silently adopt the other's job.
+        std::random_device rd;
+        keyNonce_ = (uint64_t(rd()) << 32) ^ uint64_t(rd());
+        if (keyNonce_ == 0)
+            keyNonce_ = 1;
+    }
+}
+
+void
+ServeClient::reconnectOrThrow()
+{
+    if (!reconnect_)
+        throw; // rethrow the in-flight TransportError
+    Backoff backoff(reconnect_->backoff, keyNonce_ ^ reconnects_);
+    for (int attempt = 0; attempt < reconnect_->maxAttempts;
+         ++attempt) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(backoff.nextDelayMs()));
+        try {
+            dial();
+            reconnects_++;
+            return;
+        } catch (const TransportError &) {
+            // keep trying; the original failure is rethrown below
+        }
+    }
+    throw; // every dial attempt failed
 }
 
 ServeClient::~ServeClient()
@@ -152,11 +208,39 @@ ServeClient::request(const Message &req)
                         std::chrono::milliseconds(timeoutMs_));
 }
 
-SubmitOutcome
-ServeClient::submit(const core::MissionSpec &spec)
+Message
+ServeClient::transact(const Message &req, bool retriable)
 {
-    Message resp = request(encodeSubmitMission(spec));
+    int episodes = 0;
+    for (;;) {
+        try {
+            return request(req);
+        } catch (const TransportError &) {
+            if (!retriable ||
+                (reconnect_ && ++episodes >= reconnect_->maxEpisodes))
+                throw;
+            reconnectOrThrow();
+        }
+    }
+}
+
+SubmitOutcome
+ServeClient::submit(const core::MissionSpec &spec,
+                    const std::string &idempotency_key)
+{
+    std::string key = idempotency_key;
+    if (key.empty() && reconnect_)
+        // No caller key under reconnect: mint one, or the
+        // transparent retry below could run the mission twice.
+        key = detail::concat("rose-", std::hex, keyNonce_, "-",
+                             ++keyCounter_);
+    // Keyed submissions are idempotent and therefore retriable; an
+    // unkeyed one is not (the retry could double-run), so transport
+    // failures propagate.
+    Message resp = transact(encodeSubmitMission(spec, key),
+                            !key.empty());
     SubmitOutcome out;
+    out.idempotencyKey = key;
     if (resp.type == MsgType::SubmitOk) {
         SubmitOkReply ok = decodeSubmitOk(resp);
         out.accepted = true;
@@ -174,7 +258,9 @@ ServeClient::submit(const core::MissionSpec &spec)
 StatusInfo
 ServeClient::status(uint64_t job_id)
 {
-    return decodeStatusReply(request(encodeQueryStatus(job_id)));
+    // A pure read: always safe to retry.
+    return decodeStatusReply(
+        transact(encodeQueryStatus(job_id), true));
 }
 
 bool
@@ -182,26 +268,53 @@ ServeClient::tryFetchResult(uint64_t job_id, ServedResult &out,
                             JobState *state_out,
                             TrajectoryEncoding encoding)
 {
-    Message resp = request(encodeFetchResult(job_id, encoding));
-    if (resp.type == MsgType::StatusReply) {
-        StatusInfo s = decodeStatusReply(resp);
-        if (state_out)
-            *state_out = s.state;
-        if (s.state == JobState::Unknown)
-            throw ProtocolError(
-                detail::concat("unknown job id ", job_id));
-        if (s.state == JobState::Cancelled)
-            throw ProtocolError(detail::concat("job ", job_id,
-                                               " was cancelled"));
-        return false;
-    }
-    // The job finished: reassemble and verify its result stream. The
-    // deadline resets per frame so a long stream can't trip the
-    // round-trip timeout while frames keep arriving.
+    // Resumable fetch: on connection loss mid-stream (reconnect
+    // enabled) the assembled prefix is kept and the re-request
+    // carries its byte offset; the server restarts chunk numbering
+    // at 0 from there (rewindForResume matches). If the server
+    // refuses the resume (e.g. binary no longer servable), one
+    // restart from offset 0 with a fresh assembler is attempted.
     ResultStreamAssembler assembler(job_id);
-    while (!assembler.feed(resp))
-        resp = nextResponse(Clock::now() +
-                            std::chrono::milliseconds(timeoutMs_));
+    bool restarted = false;
+    int episodes = 0;
+    for (;;) {
+        try {
+            Message resp = request(encodeFetchResult(
+                job_id, encoding,
+                uint64_t(assembler.payloadBytes())));
+            if (resp.type == MsgType::StatusReply) {
+                StatusInfo s = decodeStatusReply(resp);
+                if (state_out)
+                    *state_out = s.state;
+                if (s.state == JobState::Unknown)
+                    throw ProtocolError(
+                        detail::concat("unknown job id ", job_id));
+                if (s.state == JobState::Cancelled)
+                    throw ProtocolError(detail::concat(
+                        "job ", job_id, " was cancelled"));
+                return false;
+            }
+            // The job finished: reassemble and verify its result
+            // stream. The deadline resets per frame so a long stream
+            // can't trip the round-trip timeout while frames keep
+            // arriving.
+            while (!assembler.feed(resp))
+                resp = nextResponse(
+                    Clock::now() +
+                    std::chrono::milliseconds(timeoutMs_));
+            break;
+        } catch (const TransportError &) {
+            if (reconnect_ && ++episodes > reconnect_->maxEpisodes)
+                throw;
+            reconnectOrThrow(); // rethrows when reconnect is off
+            assembler.rewindForResume();
+        } catch (const ProtocolError &) {
+            if (assembler.payloadBytes() == 0 || restarted)
+                throw;
+            restarted = true;
+            assembler = ResultStreamAssembler(job_id);
+        }
+    }
     ResultData d = assembler.takeResult();
     out = std::move(d.result);
     // Failed executions stream too (an empty trajectory and a
@@ -210,18 +323,46 @@ ServeClient::tryFetchResult(uint64_t job_id, ServedResult &out,
     // failureReason.
     if (state_out)
         *state_out = d.state;
+    // The bytes are verified locally: release the server-side record
+    // (the ack carries our hash so the server only drops what we
+    // actually hold).
+    ackVerified(job_id, fnv1a(out.trajectoryCsv));
     return true;
+}
+
+void
+ServeClient::ackVerified(uint64_t job_id, uint64_t trajectory_hash)
+{
+    Message resp;
+    try {
+        resp = transact(encodeAckResult(job_id, trajectory_hash),
+                        true);
+    } catch (const TransportError &) {
+        // Best effort: the result is already safe in our hands; an
+        // unreachable server just retains the record until its
+        // retention bound evicts it.
+        return;
+    }
+    AckInfo a = decodeAckReply(resp);
+    if (a.outcome == AckOutcome::HashMismatch)
+        // Should be impossible after local verification — it means
+        // the server holds different bytes than it streamed us.
+        throw ProtocolError(detail::concat(
+            "server refused ack of job ", job_id,
+            ": trajectory hash mismatch"));
+    // Released, or UnknownJob (an earlier ack already landed): done.
 }
 
 ServedResult
 ServeClient::waitResult(uint64_t job_id, int timeout_ms, int poll_ms,
-                        TrajectoryEncoding encoding)
+                        TrajectoryEncoding encoding,
+                        JobState *state_out)
 {
     auto deadline = Clock::now() +
                     std::chrono::milliseconds(timeout_ms);
     for (;;) {
         ServedResult result;
-        if (tryFetchResult(job_id, result, nullptr, encoding))
+        if (tryFetchResult(job_id, result, state_out, encoding))
             return result;
         if (Clock::now() >= deadline)
             throw TransportError(detail::concat(
@@ -235,13 +376,16 @@ ServeClient::waitResult(uint64_t job_id, int timeout_ms, int poll_ms,
 CancelInfo
 ServeClient::cancel(uint64_t job_id)
 {
-    return decodeCancelReply(request(encodeCancelMission(job_id)));
+    // Cancel is idempotent (a second cancel of the same id answers
+    // Dequeued/AlreadyDone, never double-acts): retriable.
+    return decodeCancelReply(
+        transact(encodeCancelMission(job_id), true));
 }
 
 ServerStatsData
 ServeClient::serverStats()
 {
-    return decodeStatsReply(request(encodeServerStats()));
+    return decodeStatsReply(transact(encodeServerStats(), true));
 }
 
 void

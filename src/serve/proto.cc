@@ -22,6 +22,7 @@ isValidMsgType(uint8_t raw)
       case MsgType::CancelMission:
       case MsgType::ServerStats:
       case MsgType::Shutdown:
+      case MsgType::AckResult:
       case MsgType::SubmitOk:
       case MsgType::SubmitRejected:
       case MsgType::StatusReply:
@@ -31,6 +32,7 @@ isValidMsgType(uint8_t raw)
       case MsgType::ResultChunk:
       case MsgType::ResultEnd:
       case MsgType::Progress:
+      case MsgType::AckReply:
       case MsgType::ErrorReply:
         return true;
     }
@@ -53,6 +55,7 @@ msgTypeName(MsgType t)
       case MsgType::CancelMission: return "CancelMission";
       case MsgType::ServerStats: return "ServerStats";
       case MsgType::Shutdown: return "Shutdown";
+      case MsgType::AckResult: return "AckResult";
       case MsgType::SubmitOk: return "SubmitOk";
       case MsgType::SubmitRejected: return "SubmitRejected";
       case MsgType::StatusReply: return "StatusReply";
@@ -62,6 +65,7 @@ msgTypeName(MsgType t)
       case MsgType::ResultChunk: return "ResultChunk";
       case MsgType::ResultEnd: return "ResultEnd";
       case MsgType::Progress: return "Progress";
+      case MsgType::AckReply: return "AckReply";
       case MsgType::ErrorReply: return "ErrorReply";
     }
     return "unknown";
@@ -99,6 +103,17 @@ trajectoryEncodingName(TrajectoryEncoding e)
     switch (e) {
       case TrajectoryEncoding::Csv: return "csv";
       case TrajectoryEncoding::Binary: return "binary";
+    }
+    return "unknown";
+}
+
+const char *
+ackOutcomeName(AckOutcome o)
+{
+    switch (o) {
+      case AckOutcome::Released: return "released";
+      case AckOutcome::UnknownJob: return "unknown_job";
+      case AckOutcome::HashMismatch: return "hash_mismatch";
     }
     return "unknown";
 }
@@ -391,16 +406,15 @@ decodeTrajectoryBinary(const uint8_t *data, size_t size)
 
 // ------------------------------------------------------------ requests
 
-// Spec codec version: bump when MissionSpec grows wire fields.
-static constexpr uint8_t kSpecCodecVersion = 1;
-
 Message
-encodeSubmitMission(const core::MissionSpec &spec)
+encodeSubmitMission(const core::MissionSpec &spec,
+                    const std::string &idempotency_key)
 {
     Message m;
     m.type = MsgType::SubmitMission;
     ByteWriter w(m.payload);
     w.u8(kSpecCodecVersion);
+    writeString(w, idempotency_key, kMaxIdempotencyKeyBytes);
     writeString(w, spec.world, kMaxStringBytes);
     writeString(w, spec.vehicle, kMaxStringBytes);
     writeString(w, spec.socName, kMaxStringBytes);
@@ -425,17 +439,22 @@ encodeSubmitMission(const core::MissionSpec &spec)
     return m;
 }
 
-core::MissionSpec
-decodeSubmitMission(const Message &m)
+SubmitRequest
+decodeSubmitRequest(const Message &m)
 {
     requireType(m, MsgType::SubmitMission);
     ByteReader r(m.payload);
     uint8_t version = r.u8();
-    if (version != kSpecCodecVersion)
+    // Version 1 predates the idempotency key; still accepted (the
+    // journal replays v1-era records through this same decoder).
+    if (version < 1 || version > kSpecCodecVersion)
         throw ProtocolError(detail::concat(
             "unsupported mission-spec codec version ",
             unsigned(version)));
-    core::MissionSpec spec;
+    SubmitRequest req;
+    if (version >= 2)
+        req.idempotencyKey = readString(r, kMaxIdempotencyKeyBytes);
+    core::MissionSpec &spec = req.spec;
     spec.world = readString(r, kMaxStringBytes);
     spec.vehicle = readString(r, kMaxStringBytes);
     spec.socName = readString(r, kMaxStringBytes);
@@ -461,7 +480,13 @@ decodeSubmitMission(const Message &m)
     f.delayOpsMax = r.u64();
     f.protectSyncPackets = r.u8() != 0;
     f.seed = r.u64();
-    return spec;
+    return req;
+}
+
+core::MissionSpec
+decodeSubmitMission(const Message &m)
+{
+    return decodeSubmitRequest(m).spec;
 }
 
 Message
@@ -477,13 +502,15 @@ decodeQueryStatus(const Message &m)
 }
 
 Message
-encodeFetchResult(uint64_t job_id, TrajectoryEncoding enc)
+encodeFetchResult(uint64_t job_id, TrajectoryEncoding enc,
+                  uint64_t resume_offset)
 {
     Message m;
     m.type = MsgType::FetchResult;
     ByteWriter w(m.payload);
     w.u64(job_id);
     w.u8(uint8_t(enc));
+    w.u64(resume_offset);
     return m;
 }
 
@@ -495,7 +522,30 @@ decodeFetchResult(const Message &m)
     FetchRequest req;
     req.jobId = r.u64();
     req.encoding = readEncoding(r, "FetchResult");
+    req.resumeOffset = r.u64();
     return req;
+}
+
+Message
+encodeAckResult(uint64_t job_id, uint64_t trajectory_hash)
+{
+    Message m;
+    m.type = MsgType::AckResult;
+    ByteWriter w(m.payload);
+    w.u64(job_id);
+    w.u64(trajectory_hash);
+    return m;
+}
+
+AckRequest
+decodeAckResult(const Message &m)
+{
+    requireType(m, MsgType::AckResult);
+    ByteReader r(m.payload);
+    AckRequest a;
+    a.jobId = r.u64();
+    a.trajectoryHash = r.u64();
+    return a;
 }
 
 Message
@@ -875,6 +925,18 @@ ResultStreamAssembler::takeResult()
     return std::move(result_);
 }
 
+void
+ResultStreamAssembler::rewindForResume()
+{
+    rose_assert(!complete_,
+                "rewindForResume() after the stream completed");
+    // The accumulated prefix is kept: a resumed stream restarts its
+    // chunk numbering at 0 and ResultEnd's totals still check out —
+    // chunkCount counts the resumed stream's chunks and payloadBytes
+    // is the whole payload, prefix included.
+    nextSeq_ = 0;
+}
+
 Message
 encodeCancelReply(const CancelInfo &c)
 {
@@ -900,6 +962,33 @@ decodeCancelReply(const Message &m)
             "invalid cancel outcome byte ", unsigned(outcome)));
     c.outcome = CancelOutcome(outcome);
     return c;
+}
+
+Message
+encodeAckReply(const AckInfo &a)
+{
+    Message m;
+    m.type = MsgType::AckReply;
+    ByteWriter w(m.payload);
+    w.u64(a.jobId);
+    w.u8(uint8_t(a.outcome));
+    return m;
+}
+
+AckInfo
+decodeAckReply(const Message &m)
+{
+    requireType(m, MsgType::AckReply);
+    ByteReader r(m.payload);
+    AckInfo a;
+    a.jobId = r.u64();
+    uint8_t outcome = r.u8();
+    if (outcome < uint8_t(AckOutcome::Released) ||
+        outcome > uint8_t(AckOutcome::HashMismatch))
+        throw ProtocolError(detail::concat(
+            "invalid ack outcome byte ", unsigned(outcome)));
+    a.outcome = AckOutcome(outcome);
+    return a;
 }
 
 Message
@@ -934,6 +1023,11 @@ encodeStatsReply(const ServerStatsData &s)
     w.u64(s.progressEvents);
     w.u64(s.retainedResultBytes);
     w.u32(s.activeStreams);
+    w.u64(s.dedupedSubmits);
+    w.u64(s.journalReplayedJobs);
+    w.u64(s.warmRestoredJobs);
+    w.u64(s.resultsAcked);
+    w.u64(s.streamsResumed);
     return m;
 }
 
@@ -969,6 +1063,11 @@ decodeStatsReply(const Message &m)
     s.progressEvents = r.u64();
     s.retainedResultBytes = r.u64();
     s.activeStreams = r.u32();
+    s.dedupedSubmits = r.u64();
+    s.journalReplayedJobs = r.u64();
+    s.warmRestoredJobs = r.u64();
+    s.resultsAcked = r.u64();
+    s.streamsResumed = r.u64();
     return s;
 }
 

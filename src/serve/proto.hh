@@ -16,7 +16,7 @@
  * neither trigger an unbounded allocation nor an endless NeedMore
  * wait.
  *
- * Request/response pairing (protocol version 2): every request
+ * Request/response pairing (protocol version 3): every request
  * produces exactly one *logical* response on the same connection, in
  * request order — but two response kinds span multiple frames or
  * arrive unsolicited:
@@ -28,6 +28,13 @@
  *    FNV-1a hash of the canonical trajectory CSV so the client can
  *    verify reassembly bit-for-bit. No frame for a *different
  *    request on the same connection* is interleaved inside a stream.
+ *    FetchResult carries a *resume byte offset*: a client whose
+ *    connection died mid-stream reconnects and asks for the payload
+ *    from where its assembler stopped, instead of restarting. In a
+ *    resumed stream, chunk seq restarts at 0 and ResultEnd's
+ *    chunkCount counts only the chunks of *this* stream, while
+ *    payloadBytes is always the total payload size — the client's
+ *    prefix plus the resumed tail must add up to it.
  *
  *  - Progress frames are server-push events for *running* jobs owned
  *    by the connection. They may arrive between any two logical
@@ -72,9 +79,23 @@ class ProtocolError : public std::runtime_error
  * Serve protocol version. Version 2 replaced the single-frame
  * ResultReply (wire type 0x84, now invalid) with chunked result
  * streams and added Progress push events plus a binary trajectory
- * encoding; FetchResult grew an encoding byte.
+ * encoding; FetchResult grew an encoding byte. Version 3 is the
+ * crash-safety revision: SubmitMission carries a client-supplied
+ * idempotency key (spec codec v2), FetchResult carries a resume byte
+ * offset, and the one-shot release-at-stream-open moved to an
+ * explicit hash-verified AckResult/AckReply exchange.
  */
-constexpr uint8_t kServeProtocolVersion = 2;
+constexpr uint8_t kServeProtocolVersion = 3;
+
+/**
+ * Version byte leading the SubmitMission payload (and the journal's
+ * copy of it). Version 2 added the idempotency-key string between
+ * the version byte and the spec fields.
+ */
+constexpr uint8_t kSpecCodecVersion = 2;
+
+/** Bound on a SubmitMission idempotency key (empty = none). */
+constexpr size_t kMaxIdempotencyKeyBytes = 256;
 
 /** Wire identifiers. Requests 0x01..0x7f, responses 0x81..0xff. */
 enum class MsgType : uint8_t
@@ -86,6 +107,7 @@ enum class MsgType : uint8_t
     CancelMission = 0x04, ///< dequeue a not-yet-running job
     ServerStats = 0x05,   ///< admission / load-shedding counters
     Shutdown = 0x06,      ///< stop the daemon (drain or immediate)
+    AckResult = 0x07,     ///< hash-verified release of a fetched result
 
     // --- responses (server -> client) ---
     SubmitOk = 0x81,     ///< job accepted: id + queue position
@@ -99,6 +121,7 @@ enum class MsgType : uint8_t
     ResultChunk = 0x88, ///< ordered segment of a result stream
     ResultEnd = 0x89,   ///< closes a result stream: scalars + hash
     Progress = 0x8a,    ///< server-push progress of a running job
+    AckReply = 0x8b,    ///< outcome of an AckResult release
     ErrorReply = 0x8f, ///< malformed-but-framed request, unknown job
 };
 
@@ -416,6 +439,15 @@ class ResultStreamAssembler
     /** The verified result; only valid once complete(). */
     ResultData takeResult();
 
+    /**
+     * Prepare to continue after the connection carrying the stream
+     * died: keeps the accumulated payload prefix and resets the
+     * chunk-sequence expectation to 0, matching the server's numbering
+     * of a stream resumed at payloadBytes(). Only valid before
+     * completion.
+     */
+    void rewindForResume();
+
   private:
     void finish(const ResultEndData &end);
 
@@ -475,26 +507,66 @@ struct ServerStatsData
     /** Bytes currently held by retained terminal results. */
     uint64_t retainedResultBytes = 0;
     uint32_t activeStreams = 0; ///< streams mid-flight right now
+    // Durability telemetry (protocol 3).
+    uint64_t dedupedSubmits = 0; ///< idempotency-key hits answered
+    uint64_t journalReplayedJobs = 0; ///< jobs recovered at boot
+    uint64_t warmRestoredJobs = 0; ///< recovered via disk checkpoint
+    uint64_t resultsAcked = 0;     ///< hash-verified releases
+    uint64_t streamsResumed = 0;   ///< fetches with resumeOffset > 0
 };
 
 // Requests.
-Message encodeSubmitMission(const core::MissionSpec &spec);
+
+/** SubmitMission payload: the spec plus an optional idempotency key. */
+struct SubmitRequest
+{
+    core::MissionSpec spec;
+    /**
+     * Client-chosen retry token. A resubmission carrying a key the
+     * server has already journaled answers with the original job id
+     * instead of enqueueing a duplicate mission. Empty = none.
+     */
+    std::string idempotencyKey;
+};
+
+Message encodeSubmitMission(const core::MissionSpec &spec,
+                            const std::string &idempotency_key = "");
+SubmitRequest decodeSubmitRequest(const Message &m);
+/** Spec-only view of decodeSubmitRequest (key discarded). */
 core::MissionSpec decodeSubmitMission(const Message &m);
 
 Message encodeQueryStatus(uint64_t job_id);
 uint64_t decodeQueryStatus(const Message &m);
 
-/** FetchResult payload: job id + requested trajectory encoding. */
+/** FetchResult payload: job id + encoding + resume byte offset. */
 struct FetchRequest
 {
     uint64_t jobId = 0;
     TrajectoryEncoding encoding = TrajectoryEncoding::Csv;
+    /**
+     * Payload bytes the client already holds from an interrupted
+     * stream of the same job + encoding; the server streams the rest.
+     * 0 = full stream. Binary resumes must be record-aligned.
+     */
+    uint64_t resumeOffset = 0;
 };
 
 Message encodeFetchResult(
     uint64_t job_id,
-    TrajectoryEncoding enc = TrajectoryEncoding::Csv);
+    TrajectoryEncoding enc = TrajectoryEncoding::Csv,
+    uint64_t resume_offset = 0);
 FetchRequest decodeFetchResult(const Message &m);
+
+/** AckResult payload: releases a fetched result after verification. */
+struct AckRequest
+{
+    uint64_t jobId = 0;
+    /** FNV-1a of the canonical CSV the client reassembled. */
+    uint64_t trajectoryHash = 0;
+};
+
+Message encodeAckResult(uint64_t job_id, uint64_t trajectory_hash);
+AckRequest decodeAckResult(const Message &m);
 
 Message encodeCancelMission(uint64_t job_id);
 uint64_t decodeCancelMission(const Message &m);
@@ -525,6 +597,30 @@ ProgressEvent decodeProgress(const Message &m);
 
 Message encodeCancelReply(const CancelInfo &c);
 CancelInfo decodeCancelReply(const Message &m);
+
+/** What an AckResult achieved. */
+enum class AckOutcome : uint8_t
+{
+    Released = 1, ///< hash matched; the server dropped the record
+    /**
+     * No such retained job — also the reply when a reconnect retried
+     * an ack that already landed, so clients treat it as success.
+     */
+    UnknownJob = 2,
+    HashMismatch = 3, ///< client hash ≠ stored hash; record kept
+};
+
+const char *ackOutcomeName(AckOutcome o);
+
+/** AckReply payload. */
+struct AckInfo
+{
+    uint64_t jobId = 0;
+    AckOutcome outcome = AckOutcome::UnknownJob;
+};
+
+Message encodeAckReply(const AckInfo &a);
+AckInfo decodeAckReply(const Message &m);
 
 Message encodeStatsReply(const ServerStatsData &s);
 ServerStatsData decodeStatsReply(const Message &m);

@@ -3,9 +3,11 @@
  * `rose_client` — CLI for the mission-service daemon.
  *
  *   rose_client --port N submit [spec flags] [--wait]
+ *                               [--idem-key K] [--job-file P]
  *   rose_client --port N status JOB
  *   rose_client --port N fetch JOB [--csv PATH] [--binary]
  *   rose_client --port N cancel JOB
+ *   rose_client --port N verify JOB [spec flags]
  *   rose_client --port N stats
  *   rose_client --port N shutdown [--no-drain]
  *   rose_client --port N smoke [--clients 4] [--missions 8]
@@ -14,7 +16,16 @@
  *                                     [--min-bytes B]
  *
  * `submit --wait` and `fetch` print server-pushed progress events
- * (simulated seconds so far) to stderr while the mission runs.
+ * (simulated seconds so far) to stderr while the mission runs, and
+ * exit 1 (printing the journaled failureReason) when the mission
+ * terminal state is Failed. `--idem-key` makes the submission safe
+ * to retry across daemon restarts (the resubmit lands on the same
+ * job); `--job-file` writes the bare job id for scripts. `verify`
+ * fetches a finished job AND runs the same spec locally, exiting 0
+ * only when the two trajectory FNV-1a hashes are bit-identical —
+ * the crash-recovery chaos check in CI is built on it. The global
+ * `--reconnect` flag turns on transparent redial with capped
+ * backoff + jitter and resumable result streams.
  *
  * `smoke` is the end-to-end acceptance check used by CI: it fans out
  * concurrent clients (core::parallelIndexed), submits the canonical
@@ -44,6 +55,7 @@
 #include "core/batch.hh"
 #include "core/experiment.hh"
 #include "serve/client.hh"
+#include "util/backoff.hh"
 #include "util/hash.hh"
 
 using namespace rose;
@@ -55,14 +67,17 @@ usage(const char *argv0)
 {
     std::fprintf(
         stderr,
-        "usage: %s --port N [--host H] [--timeout MS] COMMAND ...\n"
+        "usage: %s --port N [--host H] [--timeout MS] [--reconnect] "
+        "COMMAND ...\n"
         "commands:\n"
         "  submit [--world W --vehicle V --soc S --depth D --velocity"
         " X\n"
         "          --yaw DEG --seed N --sim-seconds T --dynamic\n"
-        "          --degraded] [--wait]\n"
+        "          --degraded] [--wait] [--idem-key K] [--job-file P]\n"
         "  status JOB | fetch JOB [--csv PATH] [--binary] | cancel "
         "JOB\n"
+        "  verify JOB [spec flags]   (fetch + local re-run, compare "
+        "hashes)\n"
         "  stats | shutdown [--no-drain]\n"
         "  smoke [--clients N] [--missions N] [--sim-seconds T]\n"
         "  stream-smoke [--sim-seconds T] [--sync-granularity N]\n"
@@ -99,6 +114,38 @@ printResult(uint64_t job_id, const serve::ServedResult &r)
                 "trajectory_fnv1a=0x%016" PRIx64 "\n",
                 r.queueWaitMs, r.serviceMs, r.trajectorySamples,
                 fnv1a(r.trajectoryCsv));
+}
+
+/** Consume one mission-spec flag at argv[i]; true when recognized. */
+bool
+parseSpecFlag(core::MissionSpec &spec, int argc, char **argv, int &i)
+{
+    std::string arg = argv[i];
+    if (arg == "--world" && i + 1 < argc)
+        spec.world = argv[++i];
+    else if (arg == "--vehicle" && i + 1 < argc)
+        spec.vehicle = argv[++i];
+    else if (arg == "--soc" && i + 1 < argc)
+        spec.socName = argv[++i];
+    else if (arg == "--depth" && i + 1 < argc)
+        spec.modelDepth = std::atoi(argv[++i]);
+    else if (arg == "--velocity" && i + 1 < argc)
+        spec.velocity = std::atof(argv[++i]);
+    else if (arg == "--yaw" && i + 1 < argc)
+        spec.initialYawDeg = std::atof(argv[++i]);
+    else if (arg == "--seed" && i + 1 < argc)
+        spec.seed = uint64_t(std::atoll(argv[++i]));
+    else if (arg == "--sim-seconds" && i + 1 < argc)
+        spec.maxSimSeconds = std::atof(argv[++i]);
+    else if (arg == "--sync-granularity" && i + 1 < argc)
+        spec.syncGranularity = uint64_t(std::atoll(argv[++i]));
+    else if (arg == "--dynamic")
+        spec.mode = runtime::RuntimeMode::Dynamic;
+    else if (arg == "--degraded")
+        spec.degradedMode = true;
+    else
+        return false;
+    return true;
 }
 
 /** The golden-trace canonical mission, SoC config varying. */
@@ -146,20 +193,28 @@ runSmoke(const std::string &host, uint16_t port, int timeout_ms,
             std::vector<std::pair<uint64_t, const char *>> jobs;
             for (int m = int(ci); m < missions; m += clients) {
                 const char *soc = kSocs[m % 3];
-                serve::SubmitOutcome out = client.submit(
-                    canonicalSpec(soc, sim_seconds));
-                if (!out.accepted) {
-                    // Backpressure is legitimate: retry after a beat.
-                    std::this_thread::sleep_for(
-                        std::chrono::milliseconds(50));
+                // Backpressure is legitimate: retry shed submissions
+                // on a capped-backoff-with-jitter schedule (the
+                // jitter desynchronizes the concurrent clients so
+                // they don't re-stampede the queue in lockstep).
+                Backoff backoff({25, 500, 2.0, 0.5},
+                                0xb0ffULL + ci * 977 + uint64_t(m));
+                serve::SubmitOutcome out;
+                for (int attempt = 0; attempt < 8; ++attempt) {
                     out = client.submit(
                         canonicalSpec(soc, sim_seconds));
+                    if (out.accepted ||
+                        out.reason != serve::RejectReason::QueueFull)
+                        break;
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(
+                            backoff.nextDelayMs()));
                 }
                 if (!out.accepted) {
                     std::lock_guard<std::mutex> lk(mu);
                     std::fprintf(stderr,
                                  "smoke: client %zu submit shed "
-                                 "twice (%s)\n",
+                                 "repeatedly (%s)\n",
                                  ci, out.detail.c_str());
                     bad++;
                     continue;
@@ -281,6 +336,7 @@ main(int argc, char **argv)
     std::string host = "127.0.0.1";
     uint16_t port = 0;
     int timeout_ms = 120000;
+    bool reconnect = false;
 
     int i = 1;
     for (; i < argc; ++i) {
@@ -291,6 +347,8 @@ main(int argc, char **argv)
             host = argv[++i];
         else if (arg == "--timeout" && i + 1 < argc)
             timeout_ms = std::atoi(argv[++i]);
+        else if (arg == "--reconnect")
+            reconnect = true;
         else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
             return 0;
@@ -340,39 +398,25 @@ main(int argc, char **argv)
 
         serve::ServeClient client(port, host, timeout_ms);
         client.onProgress(printProgress);
+        if (reconnect)
+            client.enableReconnect();
 
         if (cmd == "submit") {
             core::MissionSpec spec;
             bool wait = false;
+            std::string idemKey, jobFile;
             for (; i < argc; ++i) {
+                if (parseSpecFlag(spec, argc, argv, i))
+                    continue;
                 std::string arg = argv[i];
-                if (arg == "--world" && i + 1 < argc)
-                    spec.world = argv[++i];
-                else if (arg == "--vehicle" && i + 1 < argc)
-                    spec.vehicle = argv[++i];
-                else if (arg == "--soc" && i + 1 < argc)
-                    spec.socName = argv[++i];
-                else if (arg == "--depth" && i + 1 < argc)
-                    spec.modelDepth = std::atoi(argv[++i]);
-                else if (arg == "--velocity" && i + 1 < argc)
-                    spec.velocity = std::atof(argv[++i]);
-                else if (arg == "--yaw" && i + 1 < argc)
-                    spec.initialYawDeg = std::atof(argv[++i]);
-                else if (arg == "--seed" && i + 1 < argc)
-                    spec.seed = uint64_t(std::atoll(argv[++i]));
-                else if (arg == "--sim-seconds" && i + 1 < argc)
-                    spec.maxSimSeconds = std::atof(argv[++i]);
-                else if (arg == "--sync-granularity" && i + 1 < argc)
-                    spec.syncGranularity =
-                        uint64_t(std::atoll(argv[++i]));
-                else if (arg == "--dynamic")
-                    spec.mode = runtime::RuntimeMode::Dynamic;
-                else if (arg == "--degraded")
-                    spec.degradedMode = true;
-                else if (arg == "--wait")
+                if (arg == "--wait")
                     wait = true;
+                else if (arg == "--idem-key" && i + 1 < argc)
+                    idemKey = argv[++i];
+                else if (arg == "--job-file" && i + 1 < argc)
+                    jobFile = argv[++i];
             }
-            serve::SubmitOutcome out = client.submit(spec);
+            serve::SubmitOutcome out = client.submit(spec, idemKey);
             if (!out.accepted) {
                 std::fprintf(stderr, "rejected (%s): %s\n",
                              serve::rejectReasonName(out.reason),
@@ -382,9 +426,66 @@ main(int argc, char **argv)
             std::printf("accepted: job %" PRIu64
                         " (queue position %u)\n",
                         out.jobId, out.queuePosition);
-            if (wait)
-                printResult(out.jobId,
-                            client.waitResult(out.jobId, timeout_ms));
+            if (!jobFile.empty()) {
+                std::FILE *f = std::fopen(jobFile.c_str(), "w");
+                if (!f) {
+                    std::fprintf(stderr, "cannot write %s\n",
+                                 jobFile.c_str());
+                    return 1;
+                }
+                std::fprintf(f, "%" PRIu64 "\n", out.jobId);
+                std::fclose(f);
+            }
+            if (wait) {
+                serve::JobState state = serve::JobState::Unknown;
+                serve::ServedResult r = client.waitResult(
+                    out.jobId, timeout_ms, 10,
+                    serve::TrajectoryEncoding::Csv, &state);
+                printResult(out.jobId, r);
+                if (state == serve::JobState::Failed) {
+                    std::fprintf(stderr,
+                                 "job %" PRIu64 " FAILED: %s\n",
+                                 out.jobId,
+                                 r.failureReason.c_str());
+                    return 1;
+                }
+            }
+            return 0;
+        }
+
+        if (cmd == "verify") {
+            if (i >= argc) {
+                std::fprintf(stderr, "verify requires a job id\n");
+                return 2;
+            }
+            uint64_t job = uint64_t(std::atoll(argv[i++]));
+            core::MissionSpec spec;
+            for (; i < argc; ++i)
+                parseSpecFlag(spec, argc, argv, i);
+            serve::JobState state = serve::JobState::Unknown;
+            serve::ServedResult r = client.waitResult(
+                job, timeout_ms, 10, serve::TrajectoryEncoding::Csv,
+                &state);
+            if (state == serve::JobState::Failed) {
+                std::fprintf(stderr,
+                             "verify: job %" PRIu64 " FAILED: %s\n",
+                             job, r.failureReason.c_str());
+                return 1;
+            }
+            uint64_t served = fnv1a(r.trajectoryCsv);
+            core::MissionResult local = core::runMission(spec);
+            uint64_t expect = fnv1a(core::trajectoryCsvString(local));
+            std::printf("verify: job %" PRIu64 " served "
+                        "0x%016" PRIx64 " local 0x%016" PRIx64 "\n",
+                        job, served, expect);
+            if (served != expect) {
+                std::fprintf(stderr,
+                             "verify: HASH MISMATCH for job %" PRIu64
+                             "\n",
+                             job);
+                return 1;
+            }
+            std::printf("verify: bit-identical\n");
             return 0;
         }
 
@@ -426,8 +527,9 @@ main(int argc, char **argv)
                 else if (arg == "--binary")
                     enc = serve::TrajectoryEncoding::Binary;
             }
+            serve::JobState state = serve::JobState::Unknown;
             serve::ServedResult r =
-                client.waitResult(job, timeout_ms, 10, enc);
+                client.waitResult(job, timeout_ms, 10, enc, &state);
             printResult(job, r);
             if (!csvPath.empty()) {
                 std::FILE *f = std::fopen(csvPath.c_str(), "wb");
@@ -439,6 +541,11 @@ main(int argc, char **argv)
                 std::fwrite(r.trajectoryCsv.data(), 1,
                             r.trajectoryCsv.size(), f);
                 std::fclose(f);
+            }
+            if (state == serve::JobState::Failed) {
+                std::fprintf(stderr, "job %" PRIu64 " FAILED: %s\n",
+                             job, r.failureReason.c_str());
+                return 1;
             }
             return 0;
         }

@@ -8,6 +8,13 @@
  * and optionally written to --port-file for scripts), serves mission
  * submissions until a client sends Shutdown or the process receives
  * SIGINT/SIGTERM (drain), and exits 0 on a clean shutdown.
+ *
+ * With --journal DIR the daemon is crash-safe: submissions and
+ * terminal results are write-ahead journaled and supervised jobs
+ * persist per-job checkpoints, so a SIGKILLed rosed restarted on the
+ * same directory replays its job table, finishes interrupted
+ * missions (warm-restored from their checkpoint when possible), and
+ * serves every journaled result bit-identically.
  */
 
 #include <csignal>
@@ -46,6 +53,11 @@ usage(const char *argv0)
         "  --client-cap N   per-connection unfinished-job cap "
         "(default 8)\n"
         "  --no-supervise   run missions bare (no checkpoint/retry)\n"
+        "  --journal DIR    crash-safe serving: write-ahead job\n"
+        "                   journal + per-job checkpoints in DIR;\n"
+        "                   restart on the same DIR to recover\n"
+        "  --journal-fsync  fsync every journal append (power-loss\n"
+        "                   durability; slower)\n"
         "  --port-file P    write the bound port to file P\n",
         argv0);
 }
@@ -78,6 +90,10 @@ main(int argc, char **argv)
                 uint32_t(std::atoi(next("--client-cap")));
         } else if (arg == "--no-supervise") {
             cfg.supervise = false;
+        } else if (arg == "--journal") {
+            cfg.journalDir = next("--journal");
+        } else if (arg == "--journal-fsync") {
+            cfg.journalFsync = true;
         } else if (arg == "--port-file") {
             portFile = next("--port-file");
         } else if (arg == "--help" || arg == "-h") {
@@ -92,15 +108,21 @@ main(int argc, char **argv)
 
     std::signal(SIGINT, onSignal);
     std::signal(SIGTERM, onSignal);
+    // A peer that vanishes between poll() and send() must surface as
+    // an EPIPE errno on that one connection, never kill the daemon.
+    // Every send already passes MSG_NOSIGNAL; this covers any code
+    // path (and any libc) that slips past it.
+    std::signal(SIGPIPE, SIG_IGN);
 
     try {
         serve::MissionServer server(cfg);
         server.start();
         std::printf("rosed: listening on 127.0.0.1:%u "
-                    "(workers=%d queue=%zu client-cap=%u%s)\n",
+                    "(workers=%d queue=%zu client-cap=%u%s%s)\n",
                     unsigned(server.port()), cfg.workers,
                     cfg.maxQueueDepth, cfg.perClientInFlight,
-                    cfg.supervise ? ", supervised" : "");
+                    cfg.supervise ? ", supervised" : "",
+                    cfg.journalDir.empty() ? "" : ", journaled");
         std::fflush(stdout);
         if (!portFile.empty()) {
             // Written after the listener is live: a script that sees
@@ -140,6 +162,11 @@ main(int argc, char **argv)
                                          s.rejectedClientCap +
                                          s.rejectedShutdown));
         return 0;
+    } catch (const serve::JournalError &e) {
+        std::fprintf(stderr,
+                     "rosed: cannot open journal %s: %s\n",
+                     cfg.journalDir.c_str(), e.what());
+        return 1;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "rosed: %s\n", e.what());
         return 1;

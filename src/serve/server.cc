@@ -41,12 +41,40 @@ msBetween(std::chrono::steady_clock::time_point a,
 
 /** Bytes a retained terminal job pins in memory (payload only). */
 static uint64_t
-jobRetainedBytes(const ServedResult &r)
+jobRetainedBytes(const ServedResult *r)
 {
-    return uint64_t(r.trajectoryCsv.size()) +
-           uint64_t(r.trajectory.size()) *
+    if (!r)
+        return 0;
+    return uint64_t(r->trajectoryCsv.size()) +
+           uint64_t(r->trajectory.size()) *
                sizeof(core::TrajectorySample) +
-           uint64_t(r.failureReason.size());
+           uint64_t(r->failureReason.size());
+}
+
+/** Scalar-only copy of a result (no CSV / sample payload). */
+static ServedResult
+scalarResult(const ServedResult &r)
+{
+    ServedResult s;
+    s.completed = r.completed;
+    s.status = r.status;
+    s.failureReason = r.failureReason;
+    s.missionTime = r.missionTime;
+    s.collisions = r.collisions;
+    s.avgSpeed = r.avgSpeed;
+    s.maxSpeed = r.maxSpeed;
+    s.distanceTravelled = r.distanceTravelled;
+    s.inferences = r.inferences;
+    s.avgInferenceLatency = r.avgInferenceLatency;
+    s.energyJoules = r.energyJoules;
+    s.avgPowerWatts = r.avgPowerWatts;
+    s.simulatedCycles = r.simulatedCycles;
+    s.trajectorySamples = r.trajectorySamples;
+    s.degradedIntervals = r.degradedIntervals;
+    s.trajectoryHash = r.trajectoryHash;
+    s.queueWaitMs = r.queueWaitMs;
+    s.serviceMs = r.serviceMs;
+    return s;
 }
 
 MissionServer::MissionServer(const ServerConfig &cfg)
@@ -66,6 +94,59 @@ MissionServer::MissionServer(const ServerConfig &cfg)
         cfg_.streamBacklogBytes = 1;
     counters_.workers = uint32_t(cfg_.workers);
     counters_.queueCapacity = uint32_t(cfg_.maxQueueDepth);
+
+    if (cfg_.journalDir.empty())
+        return;
+
+    // Crash recovery. Open (replaying + compacting) the journal,
+    // then rebuild the job table: terminal jobs come back retained
+    // and fetchable, unfinished ones re-enter the queue flagged for
+    // a warm restore from their persisted checkpoint. Runs before
+    // any thread exists, so mu_ conventions are trivially met.
+    journal_ = std::make_unique<JobJournal>(
+        cfg_.journalDir, journalFingerprint(cfg_.supervise),
+        cfg_.journalFsync);
+    JournalReplay rep = journal_->takeReplay();
+    // High-water mark across every journaled submit (released ones
+    // included): a restarted daemon must never reuse a job id.
+    nextJobId_ = std::max(nextJobId_, rep.maxJobId + 1);
+    if (rep.recoveredFromCorruption)
+        rose_warn("rosed journal: recovered past a torn/corrupt ",
+                      "tail (", rep.truncatedBytes,
+                      " bytes discarded)");
+    for (RecoveredJob &rj : rep.jobs) {
+        uint64_t id = rj.jobId;
+        Job job;
+        job.id = id;
+        job.spec = std::move(rj.spec);
+        job.idempotencyKey = rj.idempotencyKey;
+        job.clientId = 0; // the submitting session died with us
+        job.enqueued = Clock::now();
+        if (!rj.idempotencyKey.empty())
+            idemToJob_[rj.idempotencyKey] = id;
+        nextJobId_ = std::max(nextJobId_, id + 1);
+        counters_.journalReplayedJobs++;
+        if (rj.terminal) {
+            job.state = rj.state;
+            job.queueWaitMs = rj.result.queueWaitMs;
+            job.serviceMs = rj.result.serviceMs;
+            if (rj.state != JobState::Cancelled)
+                job.result = std::make_shared<const ServedResult>(
+                    std::move(rj.result));
+            jobs_.emplace(id, std::move(job));
+            markTerminalLocked(id);
+            journal_->removeCheckpoint(id);
+        } else {
+            job.state = JobState::Queued;
+            job.recovered = true;
+            jobs_.emplace(id, std::move(job));
+            queue_.push_back(id);
+        }
+    }
+    if (counters_.journalReplayedJobs > 0)
+        rose_inform("rosed journal: replayed ",
+                    counters_.journalReplayedJobs, " job(s), ",
+                    queue_.size(), " requeued");
 }
 
 MissionServer::~MissionServer()
@@ -118,6 +199,7 @@ MissionServer::requestShutdown(bool drain)
             auto fl = inFlightByClient_.find(it->second.clientId);
             if (fl != inFlightByClient_.end() && fl->second > 0)
                 fl->second--;
+            journalCancelLocked(id);
             markTerminalLocked(id);
         }
         queue_.clear();
@@ -182,6 +264,13 @@ MissionServer::resumeWorkers()
     queueCv_.notify_all();
 }
 
+void
+MissionServer::dropConnections()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    kickConnections_ = true;
+}
+
 // ------------------------------------------------------------ workers
 
 void
@@ -190,6 +279,9 @@ MissionServer::workerLoop(size_t)
     for (;;) {
         core::MissionSpec spec;
         uint64_t job_id = 0;
+        bool recovered = false;
+        Clock::time_point started;
+        double queue_wait_ms = 0.0;
         {
             std::unique_lock<std::mutex> lk(mu_);
             // Shutdown overrides pause so a drain can never deadlock
@@ -210,6 +302,9 @@ MissionServer::workerLoop(size_t)
             job.started = Clock::now();
             job.queueWaitMs = msBetween(job.enqueued, job.started);
             spec = job.spec;
+            recovered = job.recovered;
+            started = job.started;
+            queue_wait_ms = job.queueWaitMs;
             runningJobs_++;
         }
 
@@ -220,6 +315,7 @@ MissionServer::workerLoop(size_t)
         // to local ones.
         core::MissionResult result;
         bool threw = false;
+        bool warm_restored = false;
         std::string why;
         try {
             core::CosimConfig ccfg = spec.toConfig();
@@ -258,8 +354,20 @@ MissionServer::workerLoop(size_t)
                     if (sc.checkpointPeriods < floor_cadence)
                         sc.checkpointPeriods = floor_cadence;
                 }
+                // Journaled jobs persist their checkpoint ring per
+                // job; a journal-replayed job warm-restores from the
+                // snapshot its previous incarnation left behind
+                // (supervisor falls back to a cold start on any
+                // problem — resume never fails a mission).
+                if (journal_) {
+                    sc.checkpointPath =
+                        journal_->checkpointPathFor(job_id);
+                    if (recovered)
+                        sc.resumeFromPath = sc.checkpointPath;
+                }
                 core::MissionSupervisor sup(ccfg, sc);
                 result = sup.run();
+                warm_restored = sup.stats().diskResumes > 0;
             } else {
                 core::CoSimulation sim(ccfg);
                 result = sim.run();
@@ -269,27 +377,48 @@ MissionServer::workerLoop(size_t)
             why = e.what();
         }
         ServedResult served;
-        if (!threw)
+        if (!threw) {
             served = marshalResult(result);
+        } else {
+            served.failureReason = why;
+            served.trajectoryHash = fnv1a(served.trajectoryCsv);
+        }
+        double service_ms = msBetween(started, Clock::now());
+        served.queueWaitMs = queue_wait_ms;
+        served.serviceMs = service_ms;
+        JobState terminal_state =
+            threw ? JobState::Failed : JobState::Done;
+
+        // Write-ahead: the terminal record hits the journal before
+        // the in-memory transition publishes it, so a crash between
+        // the two re-runs the job (duplicated work) rather than
+        // acking a result that would evaporate (lost work). Journal
+        // trouble is logged, never fatal — the daemon degrades to
+        // in-memory serving.
+        if (journal_) {
+            try {
+                journal_->appendTerminal(job_id, terminal_state,
+                                         served);
+                journal_->removeCheckpoint(job_id);
+            } catch (const JournalError &e) {
+                rose_warn("rosed journal append failed for job ",
+                              job_id, ": ", e.what());
+            }
+        }
 
         {
             std::lock_guard<std::mutex> lk(mu_);
             Job &job = jobs_[job_id];
-            job.serviceMs = msBetween(job.started, Clock::now());
-            if (threw) {
-                job.state = JobState::Failed;
-                job.result = ServedResult{};
-                job.result.failureReason = why;
-                job.result.trajectoryHash =
-                    fnv1a(job.result.trajectoryCsv);
+            job.serviceMs = service_ms;
+            job.state = terminal_state;
+            job.result = std::make_shared<const ServedResult>(
+                std::move(served));
+            if (threw)
                 counters_.failed++;
-            } else {
-                job.state = JobState::Done;
-                job.result = std::move(served);
+            else
                 counters_.completed++;
-            }
-            job.result.queueWaitMs = job.queueWaitMs;
-            job.result.serviceMs = job.serviceMs;
+            if (warm_restored)
+                counters_.warmRestoredJobs++;
             counters_.totalQueueWaitMs += job.queueWaitMs;
             counters_.maxQueueWaitMs =
                 std::max(counters_.maxQueueWaitMs, job.queueWaitMs);
@@ -407,6 +536,20 @@ MissionServer::ioLoop()
 
         // Push coalesced mission progress to owning connections.
         flushProgress();
+
+        // Chaos hook: sever everything on request, as if the network
+        // dropped out from under every client at once.
+        {
+            bool kick = false;
+            {
+                std::lock_guard<std::mutex> lk(mu_);
+                kick = kickConnections_;
+                kickConnections_ = false;
+            }
+            if (kick)
+                for (auto &c : conns_)
+                    c->dead = true;
+        }
 
         // Retire dead connections and release their sessions.
         for (size_t i = 0; i < conns_.size();) {
@@ -558,22 +701,24 @@ MissionServer::pumpStream(Connection &conn)
             size_t n = size_t(std::min<uint64_t>(
                 cfg_.resultChunkBytes, st.totalBytes - st.offset));
             const uint8_t *base =
-                reinterpret_cast<const uint8_t *>(st.csv.data()) +
+                reinterpret_cast<const uint8_t *>(
+                    st.src->trajectoryCsv.data()) +
                 st.offset;
             c.bytes.assign(base, base + n);
         } else {
             // Quantize lazily, one chunk's worth of records at a
             // time, so a multi-megabyte binary stream never stalls
-            // the IO loop in a single call.
+            // the IO loop in a single call. (A resumed stream's
+            // offset is validated record-aligned at fetch.)
             size_t per_chunk =
                 std::max<size_t>(1, cfg_.resultChunkBytes /
                                         kTrajectoryBinaryRecordBytes);
             size_t first =
                 size_t(st.offset / kTrajectoryBinaryRecordBytes);
-            size_t count =
-                std::min(per_chunk, st.samples.size() - first);
-            encodeTrajectoryBinaryRecords(st.samples.data() + first,
-                                          count, c.bytes);
+            size_t count = std::min(
+                per_chunk, st.src->trajectory.size() - first);
+            encodeTrajectoryBinaryRecords(
+                st.src->trajectory.data() + first, count, c.bytes);
         }
         st.offset += c.bytes.size();
         sendMessage(conn, encodeResultChunk(c));
@@ -634,6 +779,8 @@ MissionServer::handleRequest(Connection &conn, const Message &req)
             return handleFetch(conn, req);
           case MsgType::CancelMission:
             return handleCancel(req);
+          case MsgType::AckResult:
+            return handleAck(req);
           case MsgType::ServerStats:
             return handleStats();
           case MsgType::Shutdown:
@@ -655,7 +802,8 @@ MissionServer::handleRequest(Connection &conn, const Message &req)
 Message
 MissionServer::handleSubmit(Connection &conn, const Message &req)
 {
-    core::MissionSpec spec = decodeSubmitMission(req);
+    SubmitRequest sreq = decodeSubmitRequest(req);
+    core::MissionSpec &spec = sreq.spec;
 
     // Cheap semantic validation up front: a spec that cannot run
     // should cost an admission decision, not a worker slot. Mission
@@ -678,6 +826,24 @@ MissionServer::handleSubmit(Connection &conn, const Message &req)
 
     std::lock_guard<std::mutex> lk(mu_);
     counters_.submitted++;
+
+    // Idempotent resubmission: a key we have already admitted (this
+    // incarnation or a journal-replayed one) returns the existing
+    // job id instead of running the mission twice — this is what
+    // makes the client's submit-retry after a reconnect safe.
+    if (!sreq.idempotencyKey.empty()) {
+        auto ij = idemToJob_.find(sreq.idempotencyKey);
+        if (ij != idemToJob_.end() && jobs_.count(ij->second)) {
+            counters_.dedupedSubmits++;
+            SubmitOkReply ok;
+            ok.jobId = ij->second;
+            for (size_t i = 0; i < queue_.size(); ++i)
+                if (queue_[i] == ok.jobId)
+                    ok.queuePosition = uint32_t(i);
+            return encodeSubmitOk(ok);
+        }
+    }
+
     if (shuttingDown_) {
         counters_.rejectedShutdown++;
         return encodeRejected(
@@ -702,11 +868,31 @@ MissionServer::handleSubmit(Connection &conn, const Message &req)
     SubmitOkReply ok;
     ok.jobId = nextJobId_++;
     ok.queuePosition = uint32_t(queue_.size());
+
+    // Write-ahead: the submission is journaled before admission
+    // takes effect; if the append fails the job is refused outright
+    // (admitting it would break the crash-recovery contract).
+    if (journal_) {
+        try {
+            journal_->appendSubmit(ok.jobId, sreq.idempotencyKey,
+                                   spec);
+        } catch (const JournalError &e) {
+            nextJobId_--;
+            rose_warn("rosed journal append failed: ", e.what());
+            return encodeRejected(
+                {RejectReason::BadRequest,
+                 std::string("journal append failed: ") + e.what()});
+        }
+    }
+
     Job job;
     job.id = ok.jobId;
     job.spec = std::move(spec);
     job.clientId = conn.id;
+    job.idempotencyKey = sreq.idempotencyKey;
     job.enqueued = Clock::now();
+    if (!sreq.idempotencyKey.empty())
+        idemToJob_[sreq.idempotencyKey] = ok.jobId;
     jobs_.emplace(ok.jobId, std::move(job));
     queue_.push_back(ok.jobId);
     inflight++;
@@ -760,63 +946,87 @@ MissionServer::handleFetch(Connection &conn, const Message &req)
     }
     Job &job = it->second;
     if (job.state == JobState::Done || job.state == JobState::Failed) {
+        std::shared_ptr<const ServedResult> src = job.result;
+        if (!src) // Cancelled-at-shutdown records carry no payload
+            return encodeErrorReply("job has no result payload");
         TrajectoryEncoding enc = freq.encoding;
         if (enc == TrajectoryEncoding::Binary) {
             // Binary requires samples that re-encode to the stored
             // CSV: a result that never went through marshalResult
-            // (the worker threw) has neither, and a collision count
-            // past u32 cannot ride the fixed-width record — both
-            // fall back to the always-correct CSV payload.
-            bool encodable = !job.result.trajectoryCsv.empty();
-            for (const core::TrajectorySample &s :
-                 job.result.trajectory)
+            // (the worker threw) has neither, a journal-replayed one
+            // retains only the CSV, and a collision count past u32
+            // cannot ride the fixed-width record — all fall back to
+            // the always-correct CSV payload.
+            bool encodable =
+                !src->trajectoryCsv.empty() &&
+                uint64_t(src->trajectory.size()) ==
+                    uint64_t(src->trajectorySamples);
+            for (const core::TrajectorySample &s : src->trajectory)
                 if (s.collisions > UINT32_MAX)
                     encodable = false;
-            if (!encodable)
+            if (!encodable) {
+                if (freq.resumeOffset > 0)
+                    // A resumed binary stream must slice the exact
+                    // byte sequence the first attempt produced; if
+                    // binary is no longer servable the offsets would
+                    // disagree. The client restarts from 0 (in CSV).
+                    return encodeErrorReply(
+                        "binary resume unavailable for this job; "
+                        "restart from offset 0");
                 enc = TrajectoryEncoding::Csv;
+            }
         }
 
-        uint64_t released = jobRetainedBytes(job.result);
         auto stream = std::make_unique<ResultStream>();
         stream->encoding = enc;
-        if (enc == TrajectoryEncoding::Binary) {
-            stream->samples = std::move(job.result.trajectory);
-            stream->totalBytes = uint64_t(stream->samples.size()) *
-                                 kTrajectoryBinaryRecordBytes;
-        } else {
-            stream->csv = std::move(job.result.trajectoryCsv);
-            stream->totalBytes = stream->csv.size();
-        }
+        stream->src = src;
+        stream->totalBytes =
+            enc == TrajectoryEncoding::Binary
+                ? uint64_t(src->trajectory.size()) *
+                      kTrajectoryBinaryRecordBytes
+                : uint64_t(src->trajectoryCsv.size());
+
+        // Resume: the client presents how many payload bytes it
+        // already holds; the stream restarts its chunk sequence at 0
+        // from that offset. ResultEnd.payloadBytes stays the TOTAL
+        // payload size so the assembler's final accounting (and the
+        // FNV-1a hash check) is identical either way.
+        if (freq.resumeOffset > stream->totalBytes)
+            return encodeErrorReply(detail::concat(
+                "resume offset ", freq.resumeOffset,
+                " exceeds payload size ", stream->totalBytes));
+        if (enc == TrajectoryEncoding::Binary &&
+            freq.resumeOffset % kTrajectoryBinaryRecordBytes != 0)
+            return encodeErrorReply(detail::concat(
+                "binary resume offset must be a multiple of ",
+                kTrajectoryBinaryRecordBytes));
+        stream->offset = freq.resumeOffset;
 
         ResultEndData &end = stream->end;
         end.jobId = freq.jobId;
         end.state = job.state;
         end.encoding = enc;
         end.payloadBytes = stream->totalBytes;
-        if (stream->totalBytes > 0) {
+        uint64_t to_send = stream->totalBytes - freq.resumeOffset;
+        if (to_send > 0) {
             uint64_t slice = cfg_.resultChunkBytes;
             if (enc == TrajectoryEncoding::Binary)
                 slice = std::max<uint64_t>(
                             1, cfg_.resultChunkBytes /
                                    kTrajectoryBinaryRecordBytes) *
                         kTrajectoryBinaryRecordBytes;
-            end.chunkCount =
-                uint32_t((stream->totalBytes + slice - 1) / slice);
+            end.chunkCount = uint32_t((to_send + slice - 1) / slice);
         }
-        end.trajectoryHash = job.result.trajectoryHash;
-        end.result = std::move(job.result);
-        end.result.trajectoryCsv.clear();
-        end.result.trajectoryCsv.shrink_to_fit();
-        end.result.trajectory.clear();
-        end.result.trajectory.shrink_to_fit();
+        end.trajectoryHash = src->trajectoryHash;
+        end.result = scalarResult(*src);
 
-        // Fetch is one-shot: the job record is released the moment
-        // its stream opens (later queries for this id say Unknown),
-        // and the payload now lives only in the stream until it
-        // drains — or dies with the connection.
-        retainedBytes_ -= std::min(retainedBytes_, released);
-        jobs_.erase(it);
+        // The job record stays retained (and fetchable) until the
+        // client's hash-verified AckResult releases it — a stream
+        // that dies with its connection costs nothing; the client
+        // reconnects and resumes from its byte offset.
         counters_.streamsStarted++;
+        if (freq.resumeOffset > 0)
+            counters_.streamsResumed++;
         activeStreams_++;
         conn.stream = std::move(stream);
         return std::nullopt; // the stream frames are the reply
@@ -860,6 +1070,7 @@ MissionServer::handleCancel(const Message &req)
         auto fl = inFlightByClient_.find(job.clientId);
         if (fl != inFlightByClient_.end() && fl->second > 0)
             fl->second--;
+        journalCancelLocked(id);
         markTerminalLocked(id);
         c.outcome = CancelOutcome::Dequeued;
         break;
@@ -879,6 +1090,36 @@ MissionServer::handleCancel(const Message &req)
         break;
     }
     return encodeCancelReply(c);
+}
+
+Message
+MissionServer::handleAck(const Message &req)
+{
+    AckRequest ack = decodeAckResult(req);
+    std::lock_guard<std::mutex> lk(mu_);
+    AckInfo info;
+    info.jobId = ack.jobId;
+    auto it = jobs_.find(ack.jobId);
+    if (it == jobs_.end() || (it->second.state != JobState::Done &&
+                              it->second.state != JobState::Failed)) {
+        // Unknown covers the retried ack whose first attempt already
+        // released the job — clients treat it as success.
+        info.outcome = AckOutcome::UnknownJob;
+        return encodeAckReply(info);
+    }
+    uint64_t have = it->second.result
+                        ? it->second.result->trajectoryHash
+                        : fnv1a(std::string_view{});
+    if (have != ack.trajectoryHash) {
+        // The client assembled different bytes than we hold: keep
+        // the record so it can refetch from offset 0.
+        info.outcome = AckOutcome::HashMismatch;
+        return encodeAckReply(info);
+    }
+    releaseJobLocked(ack.jobId);
+    counters_.resultsAcked++;
+    info.outcome = AckOutcome::Released;
+    return encodeAckReply(info);
 }
 
 Message
@@ -968,9 +1209,9 @@ MissionServer::closeConnection(Connection &conn)
     releaseClientJobs(conn.id);
     std::lock_guard<std::mutex> lk(mu_);
     if (conn.stream) {
-        // The stream (and its partially-framed payload) dies with
-        // the connection; the job record was already released when
-        // the stream opened, so nothing is retained.
+        // The stream dies with the connection, but its payload is
+        // shared with the retained job record, which stays fetchable
+        // — the client reconnects and resumes from its byte offset.
         conn.stream.reset();
         if (activeStreams_ > 0)
             activeStreams_--;
@@ -986,13 +1227,19 @@ MissionServer::releaseClientJobs(uint64_t client_id)
     // Queued jobs of a vanished client are shed (their results could
     // never be fetched... they could, by job id, but the session is
     // gone and the queue slot is better spent on live clients).
+    // Exception: a keyed submission is a client declaring it intends
+    // to come back — those stay queued (orphaned below) so the
+    // reconnect's idempotent resubmit finds a live job, not a
+    // Cancelled tombstone.
     for (size_t i = 0; i < queue_.size();) {
         auto it = jobs_.find(queue_[i]);
-        if (it != jobs_.end() && it->second.clientId == client_id) {
+        if (it != jobs_.end() && it->second.clientId == client_id &&
+            it->second.idempotencyKey.empty()) {
             uint64_t id = queue_[i];
             it->second.state = JobState::Cancelled;
             counters_.cancelled++;
             queue_.erase(queue_.begin() + std::ptrdiff_t(i));
+            journalCancelLocked(id);
             markTerminalLocked(id);
         } else {
             ++i;
@@ -1012,19 +1259,14 @@ MissionServer::markTerminalLocked(uint64_t job_id)
 {
     auto it = jobs_.find(job_id);
     if (it != jobs_.end())
-        retainedBytes_ += jobRetainedBytes(it->second.result);
+        retainedBytes_ += jobRetainedBytes(it->second.result.get());
     terminalOrder_.push_back(job_id);
-    // Ids already released by a fetch just fall out of the FIFO; the
-    // erase below is a no-op for them.
+    // Ids already released by an ack just fall out of the FIFO; the
+    // release below is a no-op for them.
     auto evictOldest = [this] {
         uint64_t oldest = terminalOrder_.front();
         terminalOrder_.pop_front();
-        auto jt = jobs_.find(oldest);
-        if (jt != jobs_.end()) {
-            retainedBytes_ -= std::min(
-                retainedBytes_, jobRetainedBytes(jt->second.result));
-            jobs_.erase(jt);
-        }
+        releaseJobLocked(oldest);
     };
     while (terminalOrder_.size() > cfg_.maxRetainedResults)
         evictOldest();
@@ -1034,6 +1276,50 @@ MissionServer::markTerminalLocked(uint64_t job_id)
     while (retainedBytes_ > cfg_.maxRetainedResultBytes &&
            terminalOrder_.size() > 1)
         evictOldest();
+}
+
+bool
+MissionServer::releaseJobLocked(uint64_t job_id)
+{
+    auto it = jobs_.find(job_id);
+    if (it == jobs_.end())
+        return false;
+    Job &job = it->second;
+    retainedBytes_ -=
+        std::min(retainedBytes_, jobRetainedBytes(job.result.get()));
+    if (!job.idempotencyKey.empty()) {
+        auto ij = idemToJob_.find(job.idempotencyKey);
+        if (ij != idemToJob_.end() && ij->second == job_id)
+            idemToJob_.erase(ij);
+    }
+    if (journal_) {
+        try {
+            journal_->appendReleased(job_id);
+        } catch (const JournalError &e) {
+            rose_warn("rosed journal release failed for job ",
+                          job_id, ": ", e.what());
+        }
+        journal_->removeCheckpoint(job_id);
+    }
+    jobs_.erase(it);
+    return true;
+}
+
+void
+MissionServer::journalCancelLocked(uint64_t job_id)
+{
+    if (!journal_)
+        return;
+    try {
+        // A cancellation is terminal with an empty result; on replay
+        // the job comes back as a Cancelled tombstone, not requeued.
+        journal_->appendTerminal(job_id, JobState::Cancelled,
+                                 ServedResult{});
+    } catch (const JournalError &e) {
+        rose_warn("rosed journal cancel failed for job ", job_id,
+                      ": ", e.what());
+    }
+    journal_->removeCheckpoint(job_id);
 }
 
 } // namespace rose::serve

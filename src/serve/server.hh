@@ -52,6 +52,15 @@
  * core::BatchRunner; a result served to any client therefore hashes
  * identically to the same spec run locally (tests/test_serve.cc pins
  * this against the golden missions).
+ *
+ * Durability (ServerConfig::journalDir): submissions, terminal
+ * results, and releases are write-ahead journaled (serve/journal.hh)
+ * and supervised jobs persist their checkpoint ring per job, so a
+ * SIGKILLed daemon restarted on the same directory replays its job
+ * table, deduplicates resubmissions by idempotency key, warm-
+ * restores interrupted missions, and serves their results with
+ * hashes bit-identical to uninterrupted runs (determinism is what
+ * makes even a cold re-run indistinguishable).
  */
 
 #ifndef ROSE_SERVE_SERVER_HH
@@ -70,6 +79,7 @@
 
 #include "bridge/transport.hh"
 #include "core/supervisor.hh"
+#include "serve/journal.hh"
 #include "serve/proto.hh"
 
 namespace rose::serve {
@@ -122,8 +132,8 @@ struct ServerConfig
      * while the connection's unflushed tx backlog is below this, so
      * a slow reader holds at most ~this much of its own stream in
      * server memory — the rest stays in the retained result until
-     * the stream advances. (A stream in flight has released its job
-     * record; this bounds the transient buffer, not retention.)
+     * the stream advances. (Streams share the retained record's
+     * payload; this bounds the transient frame buffer only.)
      */
     size_t streamBacklogBytes = 1024 * 1024;
     /**
@@ -135,12 +145,13 @@ struct ServerConfig
      */
     uint64_t progressIntervalPeriods = 200;
     /**
-     * Terminal jobs retained for later FetchResult. A fetched result
-     * is evicted immediately (fetch is one-shot); unfetched terminal
-     * jobs (orphans, cancellations) are kept for at most this many
-     * terminal transitions, oldest evicted first, so a long-lived
-     * daemon's memory is bounded by retention, not by total jobs
-     * served.
+     * Terminal jobs retained for later FetchResult. A result is
+     * released by the client's hash-verified AckResult (fetch itself
+     * no longer releases — a stream that dies mid-flight must stay
+     * resumable); unacked terminal jobs (orphans, cancellations,
+     * crashed clients) are kept for at most this many terminal
+     * transitions, oldest evicted first, so a long-lived daemon's
+     * memory is bounded by retention, not by total jobs served.
      */
     size_t maxRetainedResults = 256;
     /**
@@ -155,6 +166,25 @@ struct ServerConfig
     /** When > 0, SO_SNDBUF for accepted connections [bytes] (test /
      *  operations hook for exercising slow-reader backpressure). */
     int sendBufferBytes = 0;
+    /**
+     * When non-empty, serve crash-safely: a write-ahead job journal
+     * (serve/journal.hh) lives in this directory, submissions are
+     * journaled before admission, terminal results before they are
+     * published, and each supervised job persists its checkpoint
+     * ring to `<dir>/job-<id>.ckpt`. A restarted daemon pointed at
+     * the same directory replays the journal: terminal results come
+     * back fetchable bit-identically, unfinished jobs re-enter the
+     * queue and warm-restore from their checkpoint. Empty disables
+     * journaling (the pre-v3 purely in-memory behavior).
+     */
+    std::string journalDir;
+    /**
+     * fsync every journal append. The default (flush only) already
+     * survives SIGKILL — the bytes are in the page cache; fsync adds
+     * power-loss durability at a significant per-append latency cost
+     * (bench_serve's journal sweep quantifies it).
+     */
+    bool journalFsync = false;
 };
 
 /** Point-in-time server counters (mirrors the wire StatsReply). */
@@ -209,6 +239,15 @@ class MissionServer
     void pauseWorkers();
     void resumeWorkers();
 
+    /**
+     * Test/chaos hook: sever every live connection on the next poll
+     * tick, as if the network dropped. Jobs are untouched (queued
+     * ones of the severed clients are cancelled exactly as on a real
+     * disconnect); reconnect-enabled clients are expected to dial
+     * back and resume.
+     */
+    void dropConnections();
+
   private:
     using Clock = std::chrono::steady_clock;
 
@@ -220,24 +259,37 @@ class MissionServer
         JobState state = JobState::Queued;
         /** Owning connection id; 0 once the client disconnected. */
         uint64_t clientId = 0;
+        /** Client retry token; "" = none. */
+        std::string idempotencyKey;
+        /** Replayed from the journal: the worker attempts a warm
+         *  restore from the job's persisted checkpoint. */
+        bool recovered = false;
         Clock::time_point enqueued;
         Clock::time_point started;
         double queueWaitMs = 0.0;
         double serviceMs = 0.0;
-        ServedResult result; ///< valid when Done/Failed
+        /** Valid when Done/Failed; shared with any open streams so
+         *  the record can be released mid-stream (client ack, ret-
+         *  ention eviction) without pulling bytes out from under
+         *  them. */
+        std::shared_ptr<const ServedResult> result;
     };
 
     /**
-     * One result stream in flight on a connection. Owns the payload
-     * source (the CSV string, or the raw samples quantized to binary
-     * records one chunk at a time) and the pre-built ResultEnd; the
-     * job record itself was released when the stream opened.
+     * One result stream in flight on a connection. Shares the
+     * payload source with the retained job record (the CSV string,
+     * or the raw samples quantized to binary records one chunk at a
+     * time) and owns the pre-built ResultEnd. The job stays
+     * fetchable until the client's hash-verified AckResult (or
+     * retention eviction) releases it, so a stream that dies with
+     * its connection costs nothing — the client reconnects and
+     * resumes from its byte offset.
      */
     struct ResultStream
     {
         TrajectoryEncoding encoding = TrajectoryEncoding::Csv;
-        std::string csv;     ///< payload source when Csv
-        std::vector<core::TrajectorySample> samples; ///< when Binary
+        /** Payload source, shared with the job record. */
+        std::shared_ptr<const ServedResult> src;
         uint64_t totalBytes = 0;
         uint64_t offset = 0; ///< payload bytes already framed
         uint32_t seq = 0;    ///< next chunk sequence number
@@ -289,6 +341,7 @@ class MissionServer
     std::optional<Message> handleFetch(Connection &conn,
                                        const Message &req);
     Message handleCancel(const Message &req);
+    Message handleAck(const Message &req);
     Message handleStats();
     Message handleShutdown(const Message &req);
     /** Queue @p m on the connection and flush what the kernel takes
@@ -305,10 +358,18 @@ class MissionServer
      *  jobs beyond maxRetainedResults / maxRetainedResultBytes
      *  (mu_ held). */
     void markTerminalLocked(uint64_t job_id);
+    /** Drop a job record: retained-byte account, idempotency map,
+     *  journal Released record (mu_ held). @return false if the id
+     *  was already gone. */
+    bool releaseJobLocked(uint64_t job_id);
+    /** Journal a cancellation's Terminal record (mu_ held). */
+    void journalCancelLocked(uint64_t job_id);
     ServerStatsSnapshot statsLocked() const;
 
     ServerConfig cfg_;
     bridge::TcpListener listener_;
+    /** Write-ahead job journal; null when journalDir is empty. */
+    std::unique_ptr<JobJournal> journal_;
 
     /** Live connections; owned and touched only by the IO thread. */
     std::vector<std::unique_ptr<Connection>> conns_;
@@ -331,8 +392,12 @@ class MissionServer
     std::unordered_map<uint64_t, ProgressEvent> pendingProgress_;
     /** Unfinished jobs per live connection (admission cap). */
     std::unordered_map<uint64_t, uint32_t> inFlightByClient_;
+    /** Live idempotency keys -> job id (journaled submissions). */
+    std::unordered_map<std::string, uint64_t> idemToJob_;
     uint64_t nextJobId_ = 1;
     uint64_t nextConnId_ = 1;
+    /** dropConnections() latch, consumed by the IO loop. */
+    bool kickConnections_ = false;
     bool started_ = false;
     bool shuttingDown_ = false;
     bool shutdownComplete_ = false;

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Capped exponential backoff with deterministic jitter.
+ *
+ * The serve layer retries two things: a client re-dialing a daemon
+ * that dropped its connection, and a submitter re-offering a mission
+ * that admission control shed (queue_full). Both want the same
+ * policy — delays that grow geometrically up to a cap, with a random
+ * jitter fraction subtracted so a herd of retriers decorrelates
+ * instead of thundering back in lockstep. The jitter draws from a
+ * seeded util Rng, so tests (and the deterministic batch harness)
+ * reproduce exact retry schedules.
+ */
+
+#ifndef ROSE_UTIL_BACKOFF_HH
+#define ROSE_UTIL_BACKOFF_HH
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/rng.hh"
+
+namespace rose {
+
+/** Backoff policy knobs. */
+struct BackoffConfig
+{
+    /** First delay [ms]. */
+    int baseMs = 50;
+    /** Delay ceiling [ms]; growth saturates here. */
+    int capMs = 2000;
+    /** Geometric growth factor per attempt. */
+    double multiplier = 2.0;
+    /**
+     * Fraction of each delay randomized away: the returned delay is
+     * uniform in [(1 - jitter) * d, d]. 0 is fully deterministic;
+     * 1 is "full jitter".
+     */
+    double jitter = 0.5;
+};
+
+/**
+ * One retry schedule: nextDelayMs() yields the jittered delay for
+ * attempt 0, 1, 2, ... Reset() rewinds to attempt 0 (e.g. after a
+ * successful request, so the next failure starts cheap again).
+ */
+class Backoff
+{
+  public:
+    explicit Backoff(const BackoffConfig &cfg = {},
+                     uint64_t seed = 0xb0ffULL)
+        : cfg_(cfg), rng_(seed)
+    {
+        if (cfg_.baseMs < 1)
+            cfg_.baseMs = 1;
+        if (cfg_.capMs < cfg_.baseMs)
+            cfg_.capMs = cfg_.baseMs;
+        if (cfg_.multiplier < 1.0)
+            cfg_.multiplier = 1.0;
+        cfg_.jitter = std::clamp(cfg_.jitter, 0.0, 1.0);
+        current_ = double(cfg_.baseMs);
+    }
+
+    /** Jittered delay for the next attempt [ms], in
+     *  [(1-jitter)*d, d] where d is the capped exponential value. */
+    int nextDelayMs()
+    {
+        double d = std::min(current_, double(cfg_.capMs));
+        current_ = std::min(current_ * cfg_.multiplier,
+                            double(cfg_.capMs));
+        attempt_++;
+        double shaved = cfg_.jitter * d * rng_.uniform();
+        int delay = int(d - shaved);
+        return std::max(1, delay);
+    }
+
+    /** Attempts drawn since construction / the last reset(). */
+    int attempts() const { return attempt_; }
+
+    void reset()
+    {
+        current_ = double(cfg_.baseMs);
+        attempt_ = 0;
+    }
+
+  private:
+    BackoffConfig cfg_;
+    Rng rng_;
+    double current_ = 0.0;
+    int attempt_ = 0;
+};
+
+} // namespace rose
+
+#endif // ROSE_UTIL_BACKOFF_HH

@@ -1,0 +1,363 @@
+/**
+ * @file
+ * Durability-edge tests for the write-ahead job journal
+ * (serve/journal.hh) plus the shared backoff helper (util/backoff.hh).
+ *
+ * The journal's contract under fire is what crash recovery stands on:
+ * a torn tail (crash mid-append) or a corrupt record must truncate
+ * recovery at the last intact record — never abort — while a header
+ * from a different format or config fingerprint must be refused
+ * outright. These tests drive byte-level damage through replayBytes()
+ * and full reopen cycles through JobJournal itself.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <string>
+#include <sys/stat.h>
+#include <vector>
+
+#include "serve/journal.hh"
+#include "util/backoff.hh"
+#include "util/hash.hh"
+
+using namespace rose;
+using namespace rose::serve;
+
+namespace {
+
+core::MissionSpec
+testSpec(uint64_t seed)
+{
+    core::MissionSpec spec;
+    spec.world = "tunnel";
+    spec.socName = "A";
+    spec.modelDepth = 14;
+    spec.velocity = 3.0;
+    spec.initialYawDeg = 20.0;
+    spec.seed = seed;
+    spec.maxSimSeconds = 1.5;
+    return spec;
+}
+
+ServedResult
+testResult(const std::string &csv)
+{
+    ServedResult r;
+    r.completed = true;
+    r.missionTime = 1.5;
+    r.collisions = 2;
+    r.trajectorySamples = 7;
+    r.trajectoryCsv = csv;
+    r.trajectoryHash = fnv1a(csv);
+    r.queueWaitMs = 3.5;
+    r.serviceMs = 42.0;
+    return r;
+}
+
+std::vector<uint8_t>
+readFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    EXPECT_NE(f, nullptr) << path;
+    std::vector<uint8_t> bytes;
+    if (!f)
+        return bytes;
+    uint8_t buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        bytes.insert(bytes.end(), buf, buf + n);
+    std::fclose(f);
+    return bytes;
+}
+
+void
+writeFile(const std::string &path, const std::vector<uint8_t> &bytes)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr) << path;
+    std::fwrite(bytes.data(), 1, bytes.size(), f);
+    std::fclose(f);
+}
+
+/** Fresh scratch dir per test: wipe any leftover journal state. */
+std::string
+scratchDir(const std::string &name)
+{
+    std::string dir = "journal_test_" + name;
+    std::remove((dir + "/journal.wal").c_str());
+    std::remove((dir + "/journal.wal.tmp").c_str());
+    for (uint64_t id = 1; id <= 16; ++id)
+        std::remove(
+            (dir + "/job-" + std::to_string(id) + ".ckpt").c_str());
+    return dir;
+}
+
+/** A journal with two submits, one Done terminal, one release. */
+std::vector<uint8_t>
+buildSampleJournal(const std::string &name, uint64_t fp,
+                   std::string *wal_out = nullptr)
+{
+    std::string dir = scratchDir(name);
+    JobJournal j(dir, fp);
+    j.appendSubmit(1, "key-1", testSpec(1));
+    j.appendSubmit(2, "key-2", testSpec(2));
+    j.appendTerminal(1, JobState::Done,
+                     testResult("t,x,y,z\n0,1,2,3\n"));
+    j.appendSubmit(3, "", testSpec(3));
+    j.appendReleased(3);
+    if (wal_out)
+        *wal_out = j.walPath();
+    return readFile(j.walPath());
+}
+
+} // namespace
+
+// ---------------------------------------------------------- Backoff
+
+TEST(Backoff, GrowsGeometricallyUpToCap)
+{
+    // Zero jitter makes the schedule deterministic.
+    Backoff b({50, 400, 2.0, 0.0});
+    EXPECT_EQ(b.nextDelayMs(), 50);
+    EXPECT_EQ(b.nextDelayMs(), 100);
+    EXPECT_EQ(b.nextDelayMs(), 200);
+    EXPECT_EQ(b.nextDelayMs(), 400);
+    EXPECT_EQ(b.nextDelayMs(), 400); // capped
+    EXPECT_EQ(b.attempts(), 5);
+    b.reset();
+    EXPECT_EQ(b.attempts(), 0);
+    EXPECT_EQ(b.nextDelayMs(), 50);
+}
+
+TEST(Backoff, JitterStaysWithinEnvelopeAndVaries)
+{
+    Backoff b({100, 1000, 2.0, 0.5}, 1234);
+    std::set<int> seen;
+    int expected_full = 100;
+    for (int i = 0; i < 6; ++i) {
+        int d = b.nextDelayMs();
+        EXPECT_GE(d, std::max(1, expected_full / 2));
+        EXPECT_LE(d, expected_full);
+        seen.insert(d);
+        expected_full = std::min(1000, expected_full * 2);
+    }
+    // Jittered delays should not all collapse to one value.
+    EXPECT_GT(seen.size(), 1u);
+}
+
+TEST(Backoff, ClampsDegenerateConfig)
+{
+    Backoff b({-5, -10, 0.5, 7.0});
+    for (int i = 0; i < 4; ++i) {
+        int d = b.nextDelayMs();
+        EXPECT_GE(d, 1);
+        EXPECT_LE(d, 1);
+    }
+}
+
+// ---------------------------------------------------------- Journal
+
+TEST(Journal, FreshDirectoryReplaysEmpty)
+{
+    std::string dir = scratchDir("fresh");
+    JobJournal j(dir, journalFingerprint(true));
+    JournalReplay rep = j.takeReplay();
+    EXPECT_TRUE(rep.jobs.empty());
+    EXPECT_EQ(rep.recordsReplayed, 0u);
+    EXPECT_FALSE(rep.recoveredFromCorruption);
+}
+
+TEST(Journal, RoundTripAcrossReopen)
+{
+    uint64_t fp = journalFingerprint(true);
+    std::string dir = scratchDir("roundtrip");
+    {
+        JobJournal j(dir, fp);
+        j.appendSubmit(1, "key-1", testSpec(1));
+        j.appendSubmit(2, "key-2", testSpec(2));
+        j.appendTerminal(1, JobState::Done,
+                         testResult("t,x\n0,1\n"));
+        j.appendSubmit(3, "", testSpec(3));
+        j.appendReleased(3);
+    }
+    JobJournal j2(dir, fp);
+    JournalReplay rep = j2.takeReplay();
+    ASSERT_EQ(rep.jobs.size(), 2u);
+    EXPECT_EQ(rep.maxJobId, 3u);
+
+    const RecoveredJob &done = rep.jobs[0];
+    EXPECT_EQ(done.jobId, 1u);
+    EXPECT_EQ(done.idempotencyKey, "key-1");
+    EXPECT_TRUE(done.terminal);
+    EXPECT_EQ(done.state, JobState::Done);
+    EXPECT_EQ(done.result.trajectoryCsv, "t,x\n0,1\n");
+    EXPECT_EQ(done.result.trajectoryHash, fnv1a("t,x\n0,1\n"));
+    EXPECT_DOUBLE_EQ(done.result.serviceMs, 42.0);
+
+    const RecoveredJob &queued = rep.jobs[1];
+    EXPECT_EQ(queued.jobId, 2u);
+    EXPECT_FALSE(queued.terminal);
+    EXPECT_EQ(queued.spec.seed, 2u);
+    EXPECT_EQ(queued.spec.world, "tunnel");
+}
+
+TEST(Journal, CompactionDropsReleasedJobs)
+{
+    uint64_t fp = journalFingerprint(true);
+    std::string dir = scratchDir("compact");
+    uint64_t before;
+    {
+        JobJournal j(dir, fp);
+        j.appendSubmit(1, "k", testSpec(1));
+        j.appendTerminal(1, JobState::Done, testResult("csv\n"));
+        j.appendReleased(1);
+        before = j.bytesOnDisk();
+    }
+    // Reopen compacts: the released job's records disappear.
+    JobJournal j2(dir, fp);
+    EXPECT_TRUE(j2.takeReplay().jobs.empty());
+    EXPECT_LT(j2.bytesOnDisk(), before);
+}
+
+TEST(Journal, TruncatedTailRecoversPrefix)
+{
+    uint64_t fp = journalFingerprint(true);
+    std::vector<uint8_t> bytes = buildSampleJournal("torntail", fp);
+    // Tear the last record: drop the trailing 5 bytes (inside the
+    // record hash), exactly what a crash mid-append leaves.
+    std::vector<uint8_t> torn(bytes.begin(), bytes.end() - 5);
+    size_t keep = 0;
+    JournalReplay rep = JobJournal::replayBytes(torn, fp, keep);
+    EXPECT_TRUE(rep.recoveredFromCorruption);
+    EXPECT_LT(keep, torn.size());
+    // Everything before the torn Released record survived: job 1
+    // terminal, job 2 queued, job 3 still present (its release was
+    // the torn record).
+    ASSERT_EQ(rep.jobs.size(), 3u);
+    EXPECT_TRUE(rep.jobs[0].terminal);
+    EXPECT_FALSE(rep.jobs[1].terminal);
+    EXPECT_EQ(rep.jobs[2].jobId, 3u);
+}
+
+TEST(Journal, TruncatedTailReopensCleanly)
+{
+    uint64_t fp = journalFingerprint(true);
+    std::string wal;
+    std::vector<uint8_t> bytes =
+        buildSampleJournal("tornreopen", fp, &wal);
+    bytes.resize(bytes.size() - 3);
+    writeFile(wal, bytes);
+    // The constructor must recover (truncate + compact), not abort.
+    std::string dir = wal.substr(0, wal.rfind('/'));
+    JobJournal j(dir, fp);
+    JournalReplay rep = j.takeReplay();
+    EXPECT_TRUE(rep.recoveredFromCorruption);
+    EXPECT_EQ(rep.jobs.size(), 3u);
+    // And the compacted journal replays identically next time.
+    JobJournal j2(dir, fp);
+    JournalReplay rep2 = j2.takeReplay();
+    EXPECT_FALSE(rep2.recoveredFromCorruption);
+    EXPECT_EQ(rep2.jobs.size(), 3u);
+}
+
+TEST(Journal, CorruptMidJournalRecordTruncatesFromThere)
+{
+    uint64_t fp = journalFingerprint(true);
+    std::vector<uint8_t> bytes = buildSampleJournal("midflip", fp);
+
+    // Flip one byte inside the second record's payload. The header
+    // is 20 bytes; the first record starts right after it. Walk the
+    // record framing to find the second record's payload start.
+    size_t off = 20;
+    auto recLen = [&](size_t at) {
+        uint32_t len = 0;
+        std::memcpy(&len, bytes.data() + at + 1, 4);
+        return size_t(1 + 4 + len + 8);
+    };
+    size_t second = off + recLen(off);
+    ASSERT_LT(second + 6, bytes.size());
+    bytes[second + 6] ^= 0xff;
+
+    size_t keep = 0;
+    JournalReplay rep = JobJournal::replayBytes(bytes, fp, keep);
+    EXPECT_TRUE(rep.recoveredFromCorruption);
+    EXPECT_EQ(keep, second);
+    // Only the first record (submit of job 1) survives; everything
+    // after the damaged record is gone — never wrong, never fatal.
+    ASSERT_EQ(rep.jobs.size(), 1u);
+    EXPECT_EQ(rep.jobs[0].jobId, 1u);
+    EXPECT_FALSE(rep.jobs[0].terminal);
+}
+
+TEST(Journal, FingerprintMismatchIsRejected)
+{
+    uint64_t fp = journalFingerprint(true);
+    std::string wal;
+    buildSampleJournal("fpmismatch", fp, &wal);
+    std::string dir = wal.substr(0, wal.rfind('/'));
+    // A daemon running a different execution mode must refuse to
+    // reinterpret this journal (supervise flips the fingerprint).
+    EXPECT_THROW(JobJournal(dir, journalFingerprint(false)),
+                 JournalError);
+    // The right fingerprint still opens it (job 3 was released, so
+    // two jobs survive).
+    JobJournal ok(dir, fp);
+    EXPECT_EQ(ok.takeReplay().jobs.size(), 2u);
+}
+
+TEST(Journal, GarbageFileIsRejected)
+{
+    std::string dir = scratchDir("garbage");
+    ::mkdir(dir.c_str(), 0755);
+    std::vector<uint8_t> junk(64, 0x5a);
+    writeFile(dir + "/journal.wal", junk);
+    EXPECT_THROW(JobJournal(dir, journalFingerprint(true)),
+                 JournalError);
+}
+
+TEST(Journal, TornHeaderRecoversAsEmpty)
+{
+    uint64_t fp = journalFingerprint(true);
+    std::string wal;
+    buildSampleJournal("tornheader", fp, &wal);
+    std::string dir = wal.substr(0, wal.rfind('/'));
+    // Keep only the first 6 bytes of the magic: a crash during the
+    // very first header write. Recoverable (nothing was journaled
+    // yet), not a format mismatch.
+    std::vector<uint8_t> bytes = readFile(wal);
+    bytes.resize(6);
+    writeFile(wal, bytes);
+    JobJournal j(dir, fp);
+    JournalReplay rep = j.takeReplay();
+    EXPECT_TRUE(rep.jobs.empty());
+    EXPECT_TRUE(rep.recoveredFromCorruption);
+}
+
+TEST(Journal, CancelledTerminalReplaysAsTombstone)
+{
+    uint64_t fp = journalFingerprint(true);
+    std::string dir = scratchDir("cancelled");
+    {
+        JobJournal j(dir, fp);
+        j.appendSubmit(1, "k", testSpec(1));
+        j.appendTerminal(1, JobState::Cancelled, ServedResult{});
+    }
+    JobJournal j2(dir, fp);
+    JournalReplay rep = j2.takeReplay();
+    ASSERT_EQ(rep.jobs.size(), 1u);
+    EXPECT_TRUE(rep.jobs[0].terminal);
+    EXPECT_EQ(rep.jobs[0].state, JobState::Cancelled);
+}
+
+TEST(Journal, CheckpointPathsLiveInTheJournalDir)
+{
+    std::string dir = scratchDir("ckptpath");
+    JobJournal j(dir, journalFingerprint(true));
+    EXPECT_EQ(j.checkpointPathFor(7), dir + "/job-7.ckpt");
+    // removeCheckpoint of a nonexistent file is a harmless no-op.
+    j.removeCheckpoint(7);
+}

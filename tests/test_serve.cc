@@ -23,7 +23,15 @@
  *  - admission control & lifecycle: queue-full and per-client-cap
  *    shedding, cancellation, stalled readers and disconnects
  *    mid-stream, byte-bounded result retention, and clean shutdown
- *    with in-flight jobs.
+ *    with in-flight jobs;
+ *  - durability & crash recovery (ServeDurability): the write-ahead
+ *    job journal replayed across a daemon restart (terminal results
+ *    fetchable bit-identically, interrupted jobs re-queued and
+ *    warm-restored from their persisted checkpoint, idempotency keys
+ *    deduplicated), hash-verified AckResult release, resume-offset
+ *    result streams, and reconnect-enabled clients surviving severed
+ *    connections (ci/chaos_smoke.sh adds the real SIGKILL
+ *    dimension).
  */
 
 #include <arpa/inet.h>
@@ -32,8 +40,11 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -46,7 +57,9 @@
 
 #include "core/batch.hh"
 #include "core/experiment.hh"
+#include "core/supervisor.hh"
 #include "serve/client.hh"
+#include "serve/journal.hh"
 #include "serve/server.hh"
 #include "util/hash.hh"
 #include "util/rng.hh"
@@ -213,6 +226,11 @@ TEST(ServeProto, ReplyCodecsRoundTrip)
     s.progressEvents = 4321;
     s.retainedResultBytes = 55555;
     s.activeStreams = 2;
+    s.dedupedSubmits = 9;
+    s.journalReplayedJobs = 3;
+    s.warmRestoredJobs = 2;
+    s.resultsAcked = 77;
+    s.streamsResumed = 6;
     ServerStatsData s2 = decodeStatsReply(encodeStatsReply(s));
     EXPECT_EQ(s2.submitted, s.submitted);
     EXPECT_EQ(s2.rejectedQueueFull, s.rejectedQueueFull);
@@ -229,15 +247,39 @@ TEST(ServeProto, ReplyCodecsRoundTrip)
     EXPECT_EQ(s2.progressEvents, s.progressEvents);
     EXPECT_EQ(s2.retainedResultBytes, s.retainedResultBytes);
     EXPECT_EQ(s2.activeStreams, s.activeStreams);
+    EXPECT_EQ(s2.dedupedSubmits, s.dedupedSubmits);
+    EXPECT_EQ(s2.journalReplayedJobs, s.journalReplayedJobs);
+    EXPECT_EQ(s2.warmRestoredJobs, s.warmRestoredJobs);
+    EXPECT_EQ(s2.resultsAcked, s.resultsAcked);
+    EXPECT_EQ(s2.streamsResumed, s.streamsResumed);
 
     EXPECT_EQ(decodeQueryStatus(encodeQueryStatus(77)), 77u);
     FetchRequest fr = decodeFetchResult(encodeFetchResult(78));
     EXPECT_EQ(fr.jobId, 78u);
     EXPECT_EQ(fr.encoding, TrajectoryEncoding::Csv);
-    fr = decodeFetchResult(
-        encodeFetchResult(80, TrajectoryEncoding::Binary));
+    EXPECT_EQ(fr.resumeOffset, 0u);
+    fr = decodeFetchResult(encodeFetchResult(
+        80, TrajectoryEncoding::Binary, 0x1234567890abcdefULL));
     EXPECT_EQ(fr.jobId, 80u);
     EXPECT_EQ(fr.encoding, TrajectoryEncoding::Binary);
+    EXPECT_EQ(fr.resumeOffset, 0x1234567890abcdefULL);
+
+    // v3 additions: the idempotency key rides the submit payload, and
+    // AckResult/AckReply close the fetch-verify-release handshake.
+    core::MissionSpec keyedSpec;
+    keyedSpec.seed = 99;
+    SubmitRequest sr = decodeSubmitRequest(
+        encodeSubmitMission(keyedSpec, "retry-key-1"));
+    EXPECT_EQ(sr.spec.seed, 99u);
+    EXPECT_EQ(sr.idempotencyKey, "retry-key-1");
+    AckRequest ar =
+        decodeAckResult(encodeAckResult(55, 0xfeedfacecafef00dULL));
+    EXPECT_EQ(ar.jobId, 55u);
+    EXPECT_EQ(ar.trajectoryHash, 0xfeedfacecafef00dULL);
+    AckInfo ai{55, AckOutcome::HashMismatch};
+    AckInfo ai2 = decodeAckReply(encodeAckReply(ai));
+    EXPECT_EQ(ai2.jobId, 55u);
+    EXPECT_EQ(ai2.outcome, AckOutcome::HashMismatch);
     // An unknown encoding byte is rejected, not trusted.
     Message badEnc = encodeFetchResult(81);
     badEnc.payload[8] = 0x7f;
@@ -489,6 +531,49 @@ TEST(ServeProto, AssemblerReassemblesMultiChunkStream)
     ResultData bd = binAssembler.takeResult();
     EXPECT_EQ(bd.result.trajectoryCsv,
               core::trajectoryCsvString(samples));
+}
+
+TEST(ServeProto, AssemblerResumesAfterRewind)
+{
+    // The client half of reconnect-resume: after the connection dies
+    // mid-stream, rewindForResume() keeps the payload prefix and
+    // expects the resumed stream's chunk numbering to restart at 0 —
+    // exactly how the server numbers a stream resumed at
+    // payloadBytes(). The reassembled bytes must equal the
+    // uninterrupted stream's, verified by the same full-payload hash.
+    std::vector<core::TrajectorySample> samples;
+    {
+        Rng rng(0x7e5e7);
+        samples = randomSamples(rng, 150);
+    }
+    std::string csv = core::trajectoryCsvString(samples);
+    ServedResult scalars = denseScalarResult();
+    scalars.failureReason.clear();
+    std::vector<Message> first = buildStream(12, csv, 512, scalars);
+    ASSERT_GT(first.size(), 5u);
+
+    ResultStreamAssembler a(12);
+    // Feed a few chunks, then "lose the connection".
+    for (size_t i = 0; i < 3; ++i)
+        a.feed(first[i]);
+    size_t resumeAt = a.payloadBytes();
+    ASSERT_EQ(resumeAt, 3u * 512);
+    a.rewindForResume();
+    EXPECT_EQ(a.payloadBytes(), resumeAt); // prefix kept
+
+    // The resumed stream: the byte suffix sliced fresh, seq from 0,
+    // chunkCount covering only this stream's chunks, but payloadBytes
+    // and the hash always describing the TOTAL payload.
+    std::string rest = csv.substr(resumeAt);
+    std::vector<Message> resumed = buildStream(12, rest, 700, scalars);
+    ResultEndData end = decodeResultEnd(resumed.back());
+    end.payloadBytes = csv.size();
+    end.trajectoryHash = fnv1a(csv);
+    resumed.back() = encodeResultEnd(end);
+    for (const Message &f : resumed)
+        a.feed(f);
+    ASSERT_TRUE(a.complete());
+    EXPECT_EQ(a.takeResult().result.trajectoryCsv, csv);
 }
 
 TEST(ServeProto, AssemblerRejectsProtocolViolations)
@@ -1132,11 +1217,14 @@ TEST(ServeServer, FetchReleasesResultAndRetentionIsBounded)
     server.start();
     ServeClient client(server.port());
 
-    // Fetch is one-shot: the record is released with the reply.
+    // A completed fetch releases the record — via the client's
+    // hash-verified AckResult, sent once the reassembled stream
+    // passed local verification (not by the fetch itself).
     SubmitOutcome a = client.submit(quickSpec(1));
     ASSERT_TRUE(a.accepted);
     ServedResult r = client.waitResult(a.jobId);
     EXPECT_GT(r.trajectorySamples, 0u);
+    EXPECT_EQ(server.stats().resultsAcked, 1u);
     EXPECT_EQ(client.status(a.jobId).state, JobState::Unknown);
     EXPECT_THROW(client.waitResult(a.jobId, 500), ProtocolError);
 
@@ -1200,7 +1288,8 @@ TEST(ServeServer, StalledReaderDoesNotBlockOtherClients)
     }));
 
     // Ask for the result, then never read a byte of it. The stream
-    // opens (releasing the job record) and wedges mid-flight.
+    // opens (the record stays retained until an ack that will never
+    // come) and wedges mid-flight.
     wire.clear();
     serializeMessage(encodeFetchResult(1), wire);
     ASSERT_EQ(::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL),
@@ -1240,12 +1329,13 @@ TEST(ServeServer, StalledReaderDoesNotBlockOtherClients)
     server.stop();
 }
 
-TEST(ServeServer, DisconnectMidStreamReleasesJobAndStream)
+TEST(ServeServer, DisconnectMidStreamKeepsJobFetchable)
 {
     // A client that starts a fetch, reads part of the stream, and
-    // vanishes must leave nothing behind: the job record was already
-    // released when the stream opened, the stream itself dies with
-    // the connection, and no partial payload stays retained.
+    // vanishes loses only its own stream: the job record is NOT
+    // released by the fetch (release needs the hash-verified
+    // AckResult), so the result stays retained and a later client —
+    // or the same one, reconnected — fetches the identical bytes.
     ServerConfig cfg;
     cfg.workers = 1;
     cfg.sendBufferBytes = 4096;
@@ -1284,11 +1374,11 @@ TEST(ServeServer, DisconnectMidStreamReleasesJobAndStream)
     ASSERT_TRUE(eventually(server, [](const ServerStatsSnapshot &s) {
         return s.activeStreams == 1;
     }));
-    // Opening the stream released the record: the result is no
-    // longer retained, and the id is gone — cancel says so.
-    EXPECT_EQ(server.stats().retainedResultBytes, 0u);
-    EXPECT_EQ(observer.cancel(1).outcome, CancelOutcome::UnknownJob);
-    EXPECT_EQ(observer.status(1).state, JobState::Unknown);
+    // Opening the stream does NOT release the record: the result
+    // stays retained (and thus resumable) until the client acks it.
+    EXPECT_GT(server.stats().retainedResultBytes, 0u);
+    EXPECT_EQ(observer.status(1).state, JobState::Done);
+    EXPECT_EQ(observer.cancel(1).outcome, CancelOutcome::AlreadyDone);
 
     // Read a few chunks' worth, then vanish mid-stream.
     uint8_t buf[8192];
@@ -1302,7 +1392,18 @@ TEST(ServeServer, DisconnectMidStreamReleasesJobAndStream)
     ServerStatsSnapshot s = server.stats();
     EXPECT_EQ(s.streamsStarted, 1u);
     EXPECT_EQ(s.streamsCompleted, 0u);
-    EXPECT_EQ(s.retainedResultBytes, 0u);
+    EXPECT_GT(s.retainedResultBytes, 0u);
+
+    // The interrupted fetch cost nothing: the observer now fetches
+    // the very same job and gets bit-identical bytes; its verified
+    // ack is what finally releases the record.
+    ServedResult refetched = observer.waitResult(1);
+    EXPECT_EQ(fnv1a(refetched.trajectoryCsv),
+              localTrajectoryHash(canonicalSpec("A")));
+    ASSERT_TRUE(eventually(server, [](const ServerStatsSnapshot &st) {
+        return st.resultsAcked == 1 && st.retainedResultBytes == 0;
+    }));
+    EXPECT_EQ(observer.status(1).state, JobState::Unknown);
 
     // The daemon is fully serviceable afterwards.
     SubmitOutcome out = observer.submit(quickSpec(5));
@@ -1544,4 +1645,507 @@ TEST(ServeServer, ListenerFailureThrowsInsteadOfAborting)
     bridge::TcpListener first(0);
     EXPECT_THROW(bridge::TcpListener second(first.port()),
                  bridge::TransportError);
+}
+
+// ========================================= durability & crash recovery
+
+namespace {
+
+/** Fresh scratch directory for a journaled server (build-tree CWD). */
+std::string
+serveScratchDir(const std::string &name)
+{
+    std::filesystem::path dir = "serve_test_" + name;
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir.string();
+}
+
+/**
+ * A raw protocol connection for driving the wire directly (ack
+ * handshakes, resume offsets) — things ServeClient does implicitly.
+ */
+struct RawConn
+{
+    int fd = -1;
+    MessageBuffer rx;
+
+    explicit RawConn(uint16_t port)
+    {
+        fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(port);
+        inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+        if (fd >= 0 &&
+            ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) != 0) {
+            ::close(fd);
+            fd = -1;
+        }
+    }
+    ~RawConn()
+    {
+        if (fd >= 0)
+            ::close(fd);
+    }
+
+    void send(const Message &m)
+    {
+        std::vector<uint8_t> wire;
+        serializeMessage(m, wire);
+        ASSERT_EQ(::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL),
+                  ssize_t(wire.size()));
+    }
+
+    /** Next non-Progress frame (blocking). */
+    Message next()
+    {
+        for (;;) {
+            Message m;
+            std::string err;
+            FrameStatus st = rx.next(m, &err);
+            if (st == FrameStatus::Ok) {
+                if (m.type == MsgType::Progress)
+                    continue;
+                return m;
+            }
+            if (st == FrameStatus::Malformed)
+                throw ProtocolError("raw frame: " + err);
+            uint8_t buf[65536];
+            ssize_t got = ::recv(fd, buf, sizeof(buf), 0);
+            if (got <= 0)
+                throw bridge::TransportError("raw recv failed");
+            rx.append(buf, size_t(got));
+        }
+    }
+
+    Message request(const Message &m)
+    {
+        send(m);
+        return next();
+    }
+
+    /** Drain one result stream; returns the payload bytes and fills
+     *  @p end. Fails the test on anything but chunks + end. */
+    std::string drainStream(ResultEndData &end)
+    {
+        std::string bytes;
+        for (;;) {
+            Message m = next();
+            if (m.type == MsgType::ResultChunk) {
+                ResultChunkData c = decodeResultChunk(m);
+                bytes.append(c.bytes.begin(), c.bytes.end());
+                continue;
+            }
+            if (m.type == MsgType::ResultEnd) {
+                end = decodeResultEnd(m);
+                return bytes;
+            }
+            ADD_FAILURE() << "unexpected stream frame type 0x"
+                          << std::hex << unsigned(m.type);
+            return bytes;
+        }
+    }
+};
+
+} // namespace
+
+TEST(ServeDurability, AckProtocolVerifiesHashBeforeRelease)
+{
+    ServerConfig cfg;
+    cfg.workers = 1;
+    MissionServer server(cfg);
+    server.start();
+    ServeClient client(server.port());
+
+    core::MissionSpec spec = quickSpec(1);
+    SubmitOutcome out = client.submit(spec);
+    ASSERT_TRUE(out.accepted);
+    ASSERT_TRUE(eventually(server, [](const ServerStatsSnapshot &s) {
+        return s.completed == 1;
+    }));
+    uint64_t hash = localTrajectoryHash(spec);
+
+    RawConn raw(server.port());
+    ASSERT_GE(raw.fd, 0);
+    // A wrong hash must NOT release: the client's copy is suspect, so
+    // the server keeps the record for a clean refetch.
+    AckInfo ack = decodeAckReply(
+        raw.request(encodeAckResult(out.jobId, hash ^ 1)));
+    EXPECT_EQ(ack.outcome, AckOutcome::HashMismatch);
+    EXPECT_EQ(client.status(out.jobId).state, JobState::Done);
+
+    // The right hash releases exactly once; a retried ack (the
+    // reconnect case) reports UnknownJob, which clients treat as
+    // success.
+    ack = decodeAckReply(raw.request(encodeAckResult(out.jobId, hash)));
+    EXPECT_EQ(ack.outcome, AckOutcome::Released);
+    ack = decodeAckReply(raw.request(encodeAckResult(out.jobId, hash)));
+    EXPECT_EQ(ack.outcome, AckOutcome::UnknownJob);
+    EXPECT_EQ(client.status(out.jobId).state, JobState::Unknown);
+
+    ServerStatsSnapshot s = server.stats();
+    EXPECT_EQ(s.resultsAcked, 1u);
+    EXPECT_EQ(s.retainedResultBytes, 0u);
+    server.stop();
+}
+
+TEST(ServeDurability, ResumeOffsetStreamsExactSuffix)
+{
+    ServerConfig cfg;
+    cfg.workers = 1;
+    MissionServer server(cfg);
+    server.start();
+    ServeClient client(server.port());
+
+    core::MissionSpec spec = quickSpec(2);
+    SubmitOutcome out = client.submit(spec);
+    ASSERT_TRUE(out.accepted);
+    ASSERT_TRUE(eventually(server, [](const ServerStatsSnapshot &s) {
+        return s.completed == 1;
+    }));
+    std::string localCsv =
+        core::trajectoryCsvString(core::runMission(spec));
+    ASSERT_GT(localCsv.size(), 64u);
+
+    RawConn raw(server.port());
+    ASSERT_GE(raw.fd, 0);
+
+    // Resume from a mid-payload offset: the stream is exactly the
+    // byte suffix, numbered from 0, and ResultEnd still describes the
+    // TOTAL payload (size + full-payload hash) so the assembler's
+    // final verification covers prefix + suffix together.
+    uint64_t offset = localCsv.size() / 3;
+    raw.send(encodeFetchResult(out.jobId, TrajectoryEncoding::Csv,
+                               offset));
+    ResultEndData end;
+    std::string suffix = raw.drainStream(end);
+    EXPECT_EQ(suffix, localCsv.substr(offset));
+    EXPECT_EQ(end.payloadBytes, localCsv.size());
+    EXPECT_EQ(end.trajectoryHash, fnv1a(localCsv));
+    EXPECT_EQ(end.state, JobState::Done);
+
+    // An offset beyond the payload is a client bug: explicit error,
+    // job untouched.
+    Message reply = raw.request(encodeFetchResult(
+        out.jobId, TrajectoryEncoding::Csv, localCsv.size() + 1));
+    EXPECT_EQ(reply.type, MsgType::ErrorReply);
+    EXPECT_EQ(client.status(out.jobId).state, JobState::Done);
+
+    // A binary resume must be record-aligned.
+    reply = raw.request(encodeFetchResult(
+        out.jobId, TrajectoryEncoding::Binary,
+        kTrajectoryBinaryRecordBytes + 1));
+    EXPECT_EQ(reply.type, MsgType::ErrorReply);
+
+    ServerStatsSnapshot s = server.stats();
+    EXPECT_EQ(s.streamsResumed, 1u);
+    EXPECT_GT(s.retainedResultBytes, 0u); // never released: no ack
+    server.stop();
+}
+
+TEST(ServeDurability, IdempotentResubmitReturnsOriginalJob)
+{
+    // In-memory dedup (no journal): a resubmission carrying the same
+    // key lands on the original job instead of running twice.
+    ServerConfig cfg;
+    cfg.workers = 1;
+    MissionServer server(cfg);
+    server.pauseWorkers();
+    server.start();
+    ServeClient client(server.port());
+
+    SubmitOutcome first = client.submit(quickSpec(1), "retry-0");
+    ASSERT_TRUE(first.accepted);
+    SubmitOutcome again = client.submit(quickSpec(1), "retry-0");
+    ASSERT_TRUE(again.accepted);
+    EXPECT_EQ(again.jobId, first.jobId);
+    SubmitOutcome other = client.submit(quickSpec(2), "retry-1");
+    ASSERT_TRUE(other.accepted);
+    EXPECT_NE(other.jobId, first.jobId);
+
+    ServerStatsSnapshot s = server.stats();
+    EXPECT_EQ(s.dedupedSubmits, 1u);
+    EXPECT_EQ(s.accepted, 2u); // the dup never entered the queue
+    server.resumeWorkers();
+    ASSERT_TRUE(eventually(server, [](const ServerStatsSnapshot &st) {
+        return st.completed == 2;
+    }));
+    server.stop();
+}
+
+TEST(ServeDurability, RestartReplaysResultsAndDedups)
+{
+    // The tentpole, in-process: a journaled daemon is torn down with
+    // unfetched terminal results; a new daemon on the same directory
+    // replays them — fetchable bit-identically — and still honors the
+    // idempotency key of the pre-restart submission.
+    std::string dir = serveScratchDir("restart");
+    core::MissionSpec spec = quickSpec(1);
+    uint64_t jobId = 0;
+    uint16_t port = 0;
+    {
+        ServerConfig cfg;
+        cfg.workers = 1;
+        cfg.journalDir = dir;
+        MissionServer server(cfg);
+        server.start();
+        port = server.port();
+        ServeClient client(port);
+        SubmitOutcome out = client.submit(spec, "restart-key");
+        ASSERT_TRUE(out.accepted);
+        jobId = out.jobId;
+        ASSERT_TRUE(eventually(server,
+                               [](const ServerStatsSnapshot &s) {
+                                   return s.completed == 1;
+                               }));
+        server.stop(); // result never fetched, never acked
+    }
+
+    ServerConfig cfg;
+    cfg.workers = 1;
+    cfg.journalDir = dir;
+    MissionServer server(cfg);
+    server.start();
+    ServeClient client(server.port());
+
+    EXPECT_EQ(server.stats().journalReplayedJobs, 1u);
+    EXPECT_EQ(client.status(jobId).state, JobState::Done);
+
+    // The old incarnation's retry lands on the original job...
+    SubmitOutcome dup = client.submit(spec, "restart-key");
+    ASSERT_TRUE(dup.accepted);
+    EXPECT_EQ(dup.jobId, jobId);
+    EXPECT_EQ(server.stats().dedupedSubmits, 1u);
+
+    // ...and its bytes are exactly what the mission produced.
+    ServedResult r = client.waitResult(jobId);
+    EXPECT_EQ(fnv1a(r.trajectoryCsv), localTrajectoryHash(spec));
+    EXPECT_GT(r.trajectorySamples, 0u);
+
+    // Fresh ids never collide with pre-restart ones.
+    SubmitOutcome fresh = client.submit(quickSpec(2));
+    ASSERT_TRUE(fresh.accepted);
+    EXPECT_GT(fresh.jobId, jobId);
+    client.waitResult(fresh.jobId);
+    server.stop();
+}
+
+TEST(ServeDurability, InterruptedSubmissionRequeuesAndRuns)
+{
+    // A journal holding only a Submit record — the daemon died after
+    // admission, before the mission finished, with no checkpoint on
+    // disk. The restarted daemon re-queues the job, runs it cold, and
+    // the result is indistinguishable from an uninterrupted run.
+    std::string dir = serveScratchDir("requeue");
+    core::MissionSpec spec = quickSpec(3);
+    {
+        JobJournal j(dir, journalFingerprint(true));
+        j.appendSubmit(1, "interrupted-key", spec);
+    }
+
+    ServerConfig cfg;
+    cfg.workers = 1;
+    cfg.journalDir = dir;
+    MissionServer server(cfg);
+    server.start();
+    EXPECT_EQ(server.stats().journalReplayedJobs, 1u);
+
+    ServeClient client(server.port());
+
+    // The replayed key dedups (the record keeps its key until the
+    // verified ack releases it), and new ids start past the replayed
+    // high-water mark.
+    SubmitOutcome dup = client.submit(spec, "interrupted-key");
+    ASSERT_TRUE(dup.accepted);
+    EXPECT_EQ(dup.jobId, 1u);
+    SubmitOutcome fresh = client.submit(quickSpec(4));
+    ASSERT_TRUE(fresh.accepted);
+    EXPECT_EQ(fresh.jobId, 2u);
+
+    ServedResult r = client.waitResult(1);
+    EXPECT_EQ(fnv1a(r.trajectoryCsv), localTrajectoryHash(spec));
+    EXPECT_EQ(server.stats().warmRestoredJobs, 0u); // no checkpoint
+    client.waitResult(2);
+    server.stop();
+}
+
+TEST(ServeDurability, WarmRestoreResumesFromPersistedCheckpoint)
+{
+    // The daemon died mid-mission but its per-job checkpoint ring
+    // made it to disk: the restarted daemon warm-restores instead of
+    // re-running from zero, and restore being bit-exact means the
+    // served trajectory still equals the uninterrupted run's.
+    std::string dir = serveScratchDir("warm");
+    core::MissionSpec spec = canonicalSpec("A", 3.0);
+
+    // Persist a checkpoint exactly where rosed would have: run the
+    // mission under a supervisor writing to the job's checkpoint
+    // path. (The file keeps the latest pre-death snapshot; a real
+    // crash just stops the overwrites earlier.)
+    {
+        JobJournal j(dir, journalFingerprint(true));
+        j.appendSubmit(1, "warm-key", spec);
+        core::SupervisorConfig sup;
+        sup.checkpointPeriods = 40;
+        sup.checkpointPath = j.checkpointPathFor(1);
+        core::MissionSupervisor supervisor(spec.toConfig(), sup);
+        supervisor.run();
+        ASSERT_GT(supervisor.stats().checkpointsTaken, 0u);
+    }
+
+    ServerConfig cfg;
+    cfg.workers = 1;
+    cfg.journalDir = dir;
+    MissionServer server(cfg);
+    server.start();
+    EXPECT_EQ(server.stats().journalReplayedJobs, 1u);
+
+    ServeClient client(server.port());
+    ServedResult r = client.waitResult(1);
+    EXPECT_EQ(fnv1a(r.trajectoryCsv), localTrajectoryHash(spec))
+        << "warm-restored trajectory drifted from the clean run";
+    EXPECT_EQ(server.stats().warmRestoredJobs, 1u)
+        << "checkpoint was ignored — the job ran cold";
+    server.stop();
+}
+
+TEST(ServeDurability, CorruptCheckpointFallsBackToColdRun)
+{
+    // Garbage where the checkpoint should be must never fail the
+    // mission: resume is best-effort, the cold path is the answer.
+    std::string dir = serveScratchDir("coldfb");
+    core::MissionSpec spec = quickSpec(5);
+    {
+        JobJournal j(dir, journalFingerprint(true));
+        j.appendSubmit(1, "", spec);
+        std::ofstream f(j.checkpointPathFor(1), std::ios::binary);
+        f << "this is not a ROSECKPT file";
+    }
+
+    ServerConfig cfg;
+    cfg.workers = 1;
+    cfg.journalDir = dir;
+    MissionServer server(cfg);
+    server.start();
+    ServeClient client(server.port());
+    ServedResult r = client.waitResult(1);
+    EXPECT_EQ(fnv1a(r.trajectoryCsv), localTrajectoryHash(spec));
+    EXPECT_EQ(server.stats().warmRestoredJobs, 0u);
+    EXPECT_EQ(server.stats().completed, 1u);
+    server.stop();
+}
+
+TEST(ServeDurability, ReconnectingClientSurvivesDroppedConnections)
+{
+    // The client half under chaos: every connection severed while a
+    // result is pending. A reconnect-enabled client redials with
+    // backoff, its auto-minted idempotency key makes the resubmission
+    // land on the original job, and the fetched bytes stay
+    // bit-identical.
+    ServerConfig cfg;
+    cfg.workers = 1;
+    MissionServer server(cfg);
+    server.start();
+
+    ServeClient client(server.port());
+    ReconnectConfig rc;
+    rc.backoff.baseMs = 1;
+    rc.backoff.capMs = 20;
+    rc.maxEpisodes = 50;
+    client.enableReconnect(rc);
+
+    core::MissionSpec spec = quickSpec(6);
+    SubmitOutcome out = client.submit(spec);
+    ASSERT_TRUE(out.accepted);
+    EXPECT_FALSE(out.idempotencyKey.empty())
+        << "reconnect-enabled submits must be idempotent";
+    ASSERT_TRUE(eventually(server, [](const ServerStatsSnapshot &s) {
+        return s.completed == 1;
+    }));
+
+    // Sever everything; the next client call transparently redials.
+    server.dropConnections();
+    ASSERT_TRUE(eventually(server, [](const ServerStatsSnapshot &s) {
+        return s.connectionsOpen == 0;
+    }));
+
+    SubmitOutcome retry = client.submit(spec, out.idempotencyKey);
+    ASSERT_TRUE(retry.accepted);
+    EXPECT_EQ(retry.jobId, out.jobId) << "retry ran the mission twice";
+    EXPECT_GE(client.reconnects(), 1u);
+
+    ServedResult r = client.waitResult(out.jobId);
+    EXPECT_EQ(fnv1a(r.trajectoryCsv), localTrajectoryHash(spec));
+    EXPECT_EQ(client.status(out.jobId).state, JobState::Unknown);
+    server.stop();
+}
+
+TEST(ServeDurability, KillLoopStreamStaysBitIdentical)
+{
+    // Kill-restart-loop chaos on the stream path: connections are
+    // severed repeatedly while a multi-megabyte result streams. The
+    // client's resume offsets + the server's retained record must
+    // reassemble the exact bytes no matter where the cuts land (the
+    // assembler's full-payload hash check makes any drift fatal).
+    core::MissionSpec spec = canonicalSpec("A", 2.2);
+    spec.syncGranularity = 20000; // ~8.8 MiB of trajectory CSV
+
+    ServerConfig cfg;
+    cfg.workers = 1;
+    cfg.resultChunkBytes = 16 * 1024; // many chunks
+    cfg.streamBacklogBytes = 64 * 1024;
+    cfg.sendBufferBytes = 16 * 1024;
+    cfg.pollIntervalMs = 2;
+    MissionServer server(cfg);
+    server.start();
+
+    ServeClient client(server.port(), "127.0.0.1", 120000);
+    ReconnectConfig rc;
+    rc.backoff.baseMs = 1;
+    rc.backoff.capMs = 10;
+    rc.maxEpisodes = 500;
+    client.enableReconnect(rc);
+
+    SubmitOutcome out = client.submit(spec);
+    ASSERT_TRUE(out.accepted) << out.detail;
+    ASSERT_TRUE(eventually(
+        server,
+        [](const ServerStatsSnapshot &s) { return s.completed == 1; },
+        60000));
+
+    // Guarantee at least one reconnect (sever before the fetch), then
+    // keep cutting while the stream runs.
+    server.dropConnections();
+    ASSERT_TRUE(eventually(server, [](const ServerStatsSnapshot &s) {
+        return s.connectionsOpen == 0;
+    }));
+    std::atomic<bool> done{false};
+    std::thread chaos([&] {
+        for (int i = 0; i < 40 && !done.load(); ++i) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(15));
+            server.dropConnections();
+        }
+    });
+
+    ServedResult r;
+    try {
+        r = client.waitResult(out.jobId, 120000);
+    } catch (...) {
+        done.store(true);
+        chaos.join();
+        throw;
+    }
+    done.store(true);
+    chaos.join();
+
+    core::MissionResult local = core::runMission(spec);
+    std::string localCsv = core::trajectoryCsvString(local);
+    EXPECT_EQ(fnv1a(r.trajectoryCsv), fnv1a(localCsv));
+    EXPECT_TRUE(r.trajectoryCsv == localCsv)
+        << "bytes drifted across reconnect-resume";
+    EXPECT_GE(client.reconnects(), 1u);
+    server.stop();
 }

@@ -8,6 +8,8 @@
  * must not take down its neighbors.
  */
 
+#include <cstdio>
+#include <fstream>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -162,6 +164,71 @@ TEST(Supervisor, WallClockBudgetCutsMissionOff)
     EXPECT_EQ(r.status, MissionStatus::TimedOut);
     EXPECT_NE(r.failureReason.find("wall-clock"), std::string::npos);
     EXPECT_LT(r.missionTime, 60.0);
+}
+
+TEST(Supervisor, DiskResumeMatchesUninterruptedRun)
+{
+    // Crash-recovery contract rosed leans on: a mission resumed from
+    // a persisted checkpoint file (a previous incarnation's snapshot)
+    // finishes with a trajectory bit-identical to an uninterrupted
+    // run — restore is bit-exact and the remainder is deterministic.
+    constexpr uint64_t kGoldenA = 0x2b24ad514f06c3cbULL;
+    const std::string path = "supervisor_test_resume.ckpt";
+    std::remove(path.c_str());
+
+    CosimConfig cfg = canonicalSpec("A").toConfig();
+    {
+        SupervisorConfig sup;
+        sup.checkpointPeriods = 100;
+        sup.checkpointPath = path;
+        MissionSupervisor first(cfg, sup);
+        MissionResult r = first.run();
+        ASSERT_GT(first.stats().checkpointsTaken, 0u);
+        ASSERT_EQ(fnv1a(core::trajectoryCsvString(r)), kGoldenA);
+        // The file now holds the last snapshot the "dead" incarnation
+        // persisted; a real crash just stops the overwrites earlier.
+    }
+
+    SupervisorConfig sup;
+    sup.checkpointPeriods = 100;
+    sup.resumeFromPath = path;
+    MissionSupervisor resumed(cfg, sup);
+    MissionResult r = resumed.run();
+    EXPECT_EQ(resumed.stats().diskResumes, 1u)
+        << "resume silently fell back to a cold start";
+    EXPECT_EQ(fnv1a(core::trajectoryCsvString(r)), kGoldenA)
+        << "disk-resumed trajectory diverged from the golden trace";
+    std::remove(path.c_str());
+}
+
+TEST(Supervisor, CorruptResumeFileFallsBackToColdStart)
+{
+    // resumeFromPath is best-effort by contract: garbage bytes (or a
+    // checkpoint for a different config) must cost nothing but a log
+    // note — never a failed mission, never an abort.
+    constexpr uint64_t kGoldenA = 0x2b24ad514f06c3cbULL;
+    const std::string path = "supervisor_test_corrupt.ckpt";
+    {
+        std::ofstream f(path, std::ios::binary);
+        f << "ROSECKPT but not really \x01\x02\x03 garbage";
+    }
+
+    SupervisorConfig sup;
+    sup.checkpointPeriods = 100;
+    sup.resumeFromPath = path;
+    MissionSupervisor supervisor(canonicalSpec("A").toConfig(), sup);
+    MissionResult r = supervisor.run();
+    EXPECT_EQ(supervisor.stats().diskResumes, 0u);
+    EXPECT_EQ(fnv1a(core::trajectoryCsvString(r)), kGoldenA)
+        << "cold fallback diverged from the golden trace";
+    std::remove(path.c_str());
+
+    // A missing file is equally benign.
+    sup.resumeFromPath = "no_such_checkpoint_anywhere.ckpt";
+    MissionSupervisor missing(canonicalSpec("A").toConfig(), sup);
+    EXPECT_EQ(fnv1a(core::trajectoryCsvString(missing.run())),
+              kGoldenA);
+    EXPECT_EQ(missing.stats().diskResumes, 0u);
 }
 
 TEST(Supervisor, BadConfigurationIsNotRetried)
