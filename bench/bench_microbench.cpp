@@ -370,14 +370,17 @@ struct ShapeResult
     bool conv = false;
     int m = 0, k = 0, n = 0;
     double naiveNs = 0.0;
-    double blockedNs = 0.0;
+    double blockedNs = 0.0; ///< blocked kernel, scalar tier
+    double simdNs = 0.0;    ///< blocked kernel, dispatched tier
 
     double speedup() const
     { return blockedNs > 0 ? naiveNs / blockedNs : 0.0; }
+    double simdSpeedup() const
+    { return simdNs > 0 ? blockedNs / simdNs : 0.0; }
     double gflops() const
     {
-        return blockedNs > 0
-                   ? 2.0 * m * k * n / blockedNs
+        return simdNs > 0
+                   ? 2.0 * m * k * n / simdNs
                    : 0.0;
     }
 };
@@ -463,10 +466,15 @@ run(const std::string &jsonPath, const std::string &baselinePath,
         }
     }
 
-    std::printf("hot-path GEMM: blocked microkernel vs naive "
-                "reference (dense operands)\n\n");
-    std::printf("%-22s %-16s %12s %12s %9s %8s\n", "layer", "m*k*n",
-                "naive[ns]", "blocked[ns]", "speedup", "GFLOP/s");
+    const gemmini::GemmIsa isa = gemmini::activeGemmIsa();
+    const char *isaName = gemmini::gemmIsaName(isa);
+    std::printf("hot-path GEMM: blocked microkernel (scalar and "
+                "dispatched '%s' tiers) vs naive reference (dense "
+                "operands)\n\n",
+                isaName);
+    std::printf("%-22s %-16s %12s %12s %12s %9s %8s\n", "layer",
+                "m*k*n", "naive[ns]", "scalar[ns]", "simd[ns]",
+                "simd-up", "GFLOP/s");
     for (ShapeResult &s : shapes) {
         std::vector<float> a(size_t(s.m) * s.k), b(size_t(s.k) * s.n),
             c(size_t(s.m) * s.n);
@@ -480,13 +488,17 @@ run(const std::string &jsonPath, const std::string &baselinePath,
             gem.matmulNaive(s.m, s.k, s.n, a.data(), b.data(),
                             c.data());
         });
+        gemmini::setGemmIsa(gemmini::GemmIsa::Scalar);
         s.blockedNs = timeKernel(
+            [&] { gem.matmulPacked(s.m, a.data(), pb, c.data()); });
+        gemmini::setGemmIsa(isa);
+        s.simdNs = timeKernel(
             [&] { gem.matmulPacked(s.m, a.data(), pb, c.data()); });
         char dims[32];
         std::snprintf(dims, sizeof(dims), "%dx%dx%d", s.m, s.k, s.n);
-        std::printf("%-22s %-16s %12.0f %12.0f %8.2fx %8.2f\n",
+        std::printf("%-22s %-16s %12.0f %12.0f %12.0f %8.2fx %8.2f\n",
                     s.layer.c_str(), dims, s.naiveNs, s.blockedNs,
-                    s.speedup(), s.gflops());
+                    s.simdNs, s.simdSpeedup(), s.gflops());
     }
 
     // Per-frame E2E: sensor rendering + pose estimation + the full
@@ -560,10 +572,37 @@ run(const std::string &jsonPath, const std::string &baselinePath,
                 depth, classicNs, hotNs, classicNs / hotNs,
                 (unsigned long long)allocsPerTenFrames);
 
+    // Per-stage breakdown of the hot frame, plus the bridge's image
+    // codec (the wire hop a co-simulated frame also pays). Stages are
+    // timed in isolation, so their sum can differ slightly from the
+    // E2E number above.
+    double renderNs = timeKernel([&] {
+        cam.renderInto(world, drone.position(), drone.attitude(), img);
+    });
+    double poseNs = timeKernel([&] {
+        dnn::PoseEstimate est = dnn::estimatePose(img, ecfg, scratch);
+        benchmark::DoNotOptimize(est.headingRad);
+    });
+    double forwardNs = timeKernel(
+        [&] { dnn::runForward(*model, *w, *pw, in, ws, fr); });
+    double decodeNs = timeKernel([&] {
+        bridge::Packet p = bridge::encodeImageResp(img);
+        env::Image rt = bridge::decodeImageResp(p);
+        benchmark::DoNotOptimize(rt.pixels.data());
+    });
+
+    std::printf("\nhot-frame stage breakdown (gemm_isa=%s):\n"
+                "  render  %8.0f ns\n"
+                "  pose    %8.0f ns\n"
+                "  forward %8.0f ns\n"
+                "  decode  %8.0f ns (image codec round trip)\n",
+                isaName, renderNs, poseNs, forwardNs, decodeNs);
+
     // ---- JSON report ----
     if (!jsonPath.empty()) {
         std::ofstream js(jsonPath);
-        js << "{\n  \"report\": \"hotpath\",\n  \"gemm\": [\n";
+        js << "{\n  \"report\": \"hotpath\",\n  \"gemm_isa\": \""
+           << isaName << "\",\n  \"gemm\": [\n";
         for (size_t i = 0; i < shapes.size(); ++i) {
             const ShapeResult &s = shapes[i];
             js << "    {\"layer\": \"" << s.layer << "\", \"kind\": \""
@@ -571,7 +610,9 @@ run(const std::string &jsonPath, const std::string &baselinePath,
                << ", \"k\": " << s.k << ", \"n\": " << s.n
                << ", \"naive_ns\": " << s.naiveNs
                << ", \"blocked_ns\": " << s.blockedNs
+               << ", \"simd_ns\": " << s.simdNs
                << ", \"speedup\": " << s.speedup()
+               << ", \"simd_speedup\": " << s.simdSpeedup()
                << ", \"gflops\": " << s.gflops() << "}"
                << (i + 1 < shapes.size() ? "," : "") << "\n";
         }
@@ -579,6 +620,11 @@ run(const std::string &jsonPath, const std::string &baselinePath,
         js << "  \"frame_classic_ns\": " << classicNs << ",\n";
         js << "  \"frame_hotpath_ns\": " << hotNs << ",\n";
         js << "  \"frame_speedup\": " << classicNs / hotNs << ",\n";
+        js << "  \"frame_stages\": {\n";
+        js << "    \"render_ns\": " << renderNs << ",\n";
+        js << "    \"pose_ns\": " << poseNs << ",\n";
+        js << "    \"forward_ns\": " << forwardNs << ",\n";
+        js << "    \"decode_ns\": " << decodeNs << "\n  },\n";
         js << "  \"steady_allocs_per_10_frames\": "
            << allocsPerTenFrames << "\n}\n";
         std::printf("wrote %s\n", jsonPath.c_str());
@@ -587,11 +633,17 @@ run(const std::string &jsonPath, const std::string &baselinePath,
     // ---- baseline bookkeeping ----
     std::map<std::string, double> current;
     for (const ShapeResult &s : shapes) {
-        current["gemm_" + std::to_string(s.m) + "x" +
-                std::to_string(s.k) + "x" + std::to_string(s.n) +
-                "_blocked_ns"] = s.blockedNs;
+        std::string shape = std::to_string(s.m) + "x" +
+                            std::to_string(s.k) + "x" +
+                            std::to_string(s.n);
+        current["gemm_" + shape + "_blocked_ns"] = s.blockedNs;
+        current["gemm_" + shape + "_simd_ns"] = s.simdNs;
     }
     current["frame_hotpath_ns"] = hotNs;
+    current["frame_render_ns"] = renderNs;
+    current["frame_pose_ns"] = poseNs;
+    current["frame_forward_ns"] = forwardNs;
+    current["frame_decode_ns"] = decodeNs;
 
     if (!writeBaselinePath.empty()) {
         std::ofstream out(writeBaselinePath);

@@ -249,7 +249,16 @@ runStreamCell(size_t chunk_bytes, int clients,
                 t.ms = std::chrono::duration<double, std::milli>(
                            Clock::now() - f0)
                            .count();
-                t.bytes = r.trajectoryCsv.size();
+                // Same numerator for both encodings (the canonical
+                // CSV the fetch logically delivers) so MB/s compares
+                // delivery of identical data; a Binary fetch leaves
+                // trajectoryCsv empty, so render it here, outside
+                // the timed window.
+                t.bytes = !r.trajectoryCsv.empty()
+                              ? r.trajectoryCsv.size()
+                              : core::trajectoryCsvString(
+                                    r.trajectory)
+                                    .size();
                 return t;
             });
     ServerStatsSnapshot stats = server.stats();

@@ -89,7 +89,18 @@ run_preset() {
 run_preset default build
 run_preset asan build-asan
 
-# Perf smoke (default preset only): re-measure the hot-path kernels and
+# ISA-dispatch parity gate: the whole suite must also pass with the
+# GEMM dispatcher pinned to the scalar kernel (ROSE_GEMM_ISA=scalar).
+# The plain ctest above ran under auto — the best bit-exact SIMD tier
+# the host supports — so together the two passes prove the golden
+# hashes and every bit-identity contract hold on BOTH sides of the
+# dispatch. (avx2fma is never forced here: it is opt-in precisely
+# because it is not bit-identical.)
+echo "==== [default] scalar-forced ctest (dispatch parity) ===="
+ROSE_GEMM_ISA=scalar ctest --preset default
+
+# Perf smoke (default preset only): re-measure the hot-path kernels —
+# scalar and SIMD GEMM tiers plus the per-stage frame breakdown — and
 # fail on a >2x latency regression against the recorded baseline.
 # Refresh the baseline with:
 #   build/bench/bench_microbench --hotpath --write-baseline=ci/perf_baseline.txt

@@ -1,6 +1,7 @@
 #include "experiment.hh"
 
 #include <cmath>
+#include <cstdio>
 #include <sstream>
 
 #include "util/csv.hh"
@@ -92,10 +93,39 @@ trajectoryCsvString(const MissionResult &r)
 std::string
 trajectoryCsvString(const std::vector<TrajectorySample> &trajectory)
 {
-    std::ostringstream os;
-    CsvWriter csv(os, trajectoryHeader());
-    emitTrajectoryCsv(csv, trajectory);
-    return os.str();
+    // Hot path: this string is rendered once per served result and
+    // again by clients verifying fetches, so the ostringstream-per-
+    // cell CsvWriter is too slow here. printf's %.6g produces the
+    // same bytes as ostream's default (defaultfloat, precision 6)
+    // formatting, and no numeric cell ever needs CSV quoting, so a
+    // single snprintf per row stays byte-identical to the CsvWriter
+    // output (test_golden cross-checks the two paths).
+    static const std::string headerLine = [] {
+        std::string h;
+        for (const std::string &col : trajectoryHeader()) {
+            if (!h.empty())
+                h += ',';
+            h += col;
+        }
+        h += '\n';
+        return h;
+    }();
+
+    std::string out;
+    out.reserve(headerLine.size() + trajectory.size() * 96);
+    out += headerLine;
+    char row[256];
+    for (const TrajectorySample &s : trajectory) {
+        int n = std::snprintf(
+            row, sizeof row,
+            "%.6g,%.6g,%.6g,%.6g,%.6g,%.6g,%.6g,%llu,%.6g,%.6g,%.6g\n",
+            s.time, s.position.x, s.position.y, s.position.z, s.yaw,
+            s.speed, s.lateralOffset,
+            (unsigned long long)s.collisions, s.cmdForward,
+            s.cmdLateral, s.cmdYawRate);
+        out.append(row, size_t(n));
+    }
+    return out;
 }
 
 double

@@ -57,12 +57,15 @@ openColumn(int height, float *out)
         out[size_t(r)] = r < mid ? 0.85f : 0.15f;
 }
 
+/** SSD against a pre-widened contiguous column (see PoseScratch::
+ *  colBuf). float->double conversion is exact, so hoisting it out of
+ *  the sweep leaves every difference and sum bit-identical. */
 double
-ssd(const float *profile, int height, const env::Image &img, int c)
+ssd(const float *profile, int height, const double *col)
 {
     double sum = 0.0;
     for (int r = 0; r < height; ++r) {
-        double d = double(profile[size_t(r)]) - double(img.at(r, c));
+        double d = double(profile[size_t(r)]) - col[size_t(r)];
         sum += d * d;
     }
     return sum;
@@ -127,9 +130,15 @@ estimatePose(const env::Image &img, const EstimatorConfig &cfg,
 
     s.rayDist.resize(size_t(img.width));
     s.open.resize(size_t(img.width));
+    s.colBuf.resize(size_t(img.height));
 
     for (int c = 0; c < img.width; ++c) {
         double alpha = s.alpha[size_t(c)];
+
+        // Gather the column once; every candidate sweep reads it
+        // contiguously instead of striding through the image.
+        for (int r = 0; r < img.height; ++r)
+            s.colBuf[size_t(r)] = double(img.at(r, c));
 
         double best = 1e30;
         double best_d = cfg.maxDepth;
@@ -138,14 +147,15 @@ estimatePose(const env::Image &img, const EstimatorConfig &cfg,
             const float *profile =
                 &s.profiles[(ci * size_t(img.width) + size_t(c)) *
                             size_t(img.height)];
-            double e = ssd(profile, img.height, img, c);
+            double e = ssd(profile, img.height, s.colBuf.data());
             if (e < best) {
                 best = e;
                 best_d = s.candidates[ci];
                 best_open = false;
             }
         }
-        double e_open = ssd(s.openProfile.data(), img.height, img, c);
+        double e_open =
+            ssd(s.openProfile.data(), img.height, s.colBuf.data());
         if (e_open < best) {
             best_open = true;
             best_d = cfg.maxDepth;

@@ -121,6 +121,10 @@ struct PoseScratch
     // Per-call scratch.
     std::vector<double> rayDist;
     std::vector<uint8_t> open;
+    /** Current column's pixels, contiguous and pre-widened to double
+     *  (exact conversion) so the SSD sweeps don't re-stride the image
+     *  once per candidate. */
+    std::vector<double> colBuf;
 };
 
 /**

@@ -1,6 +1,8 @@
 #include "forward.hh"
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <utility>
 
 #include "dnn/layers.hh"
@@ -59,18 +61,35 @@ im2colInto(const LayerSpec &spec, const Tensor &input, float *out)
     spec.gemmDims(m, k, n);
     Shape os = spec.outShape();
 
+    // Each kx run is a contiguous slice of one input row; copy the
+    // in-bounds middle with memcpy and zero the padded edges instead of
+    // going through atPadded's per-element bounds checks. Values and
+    // layout are identical to the per-element formulation.
+    const int ih = spec.in.h, iw = spec.in.w, kk = spec.kernel;
+    const float *src = input.data().data();
     size_t row = 0;
     for (int oy = 0; oy < os.h; ++oy) {
         for (int ox = 0; ox < os.w; ++ox, ++row) {
-            size_t col = 0;
+            float *dst = out + row * size_t(k);
             int iy0 = oy * spec.stride - spec.pad;
             int ix0 = ox * spec.stride - spec.pad;
+            int x_lo = std::max(0, -ix0);       // first in-bounds kx
+            int x_hi = std::min(kk, iw - ix0);  // one past the last
             for (int ic = 0; ic < spec.in.c; ++ic) {
-                for (int ky = 0; ky < spec.kernel; ++ky) {
-                    for (int kx = 0; kx < spec.kernel; ++kx, ++col) {
-                        out[row * size_t(k) + col] =
-                            input.atPadded(ic, iy0 + ky, ix0 + kx);
+                const float *chan = src + size_t(ic) * ih * iw;
+                for (int ky = 0; ky < kk; ++ky, dst += kk) {
+                    int iy = iy0 + ky;
+                    if (iy < 0 || iy >= ih || x_lo >= x_hi) {
+                        std::fill(dst, dst + kk, 0.0f);
+                        continue;
                     }
+                    if (x_lo > 0)
+                        std::fill(dst, dst + x_lo, 0.0f);
+                    std::memcpy(dst + x_lo,
+                                chan + size_t(iy) * iw + ix0 + x_lo,
+                                size_t(x_hi - x_lo) * sizeof(float));
+                    if (x_hi < kk)
+                        std::fill(dst + x_hi, dst + kk, 0.0f);
                 }
             }
         }
@@ -268,15 +287,26 @@ convPackedInto(const LayerSpec &spec, const Tensor &input,
         ws.arena.floats(ForwardWorkspace::kSlotGemmOut, size_t(m) * n);
     gem.matmulPacked(m, a.data(), pb, c.data(), ws.gemmThreads);
 
+    // Epilogue walks the GEMM output row-contiguously (one row per
+    // spatial site, oc innermost) instead of striding through it once
+    // per channel; elementwise, so the bias+ReLU arithmetic per element
+    // is unchanged.
     Shape os = spec.outShape();
     out.reshape(os.c, os.h, os.w);
-    for (int oc = 0; oc < os.c; ++oc) {
-        float bias_v = bias.empty() ? 0.0f : bias[size_t(oc)];
-        for (int oy = 0; oy < os.h; ++oy) {
-            for (int ox = 0; ox < os.w; ++ox) {
-                float v = c[size_t(oy * os.w + ox) * n + oc] + bias_v;
-                out.at(oc, oy, ox) = relu ? std::max(0.0f, v) : v;
+    const int hw = os.h * os.w;
+    float *o = out.data().data();
+    const float *bp = bias.empty() ? nullptr : bias.data();
+    for (int xy = 0; xy < hw; ++xy) {
+        const float *crow = c.data() + size_t(xy) * n;
+        if (relu) {
+            for (int oc = 0; oc < n; ++oc) {
+                float v = crow[oc] + (bp ? bp[oc] : 0.0f);
+                o[size_t(oc) * hw + xy] = std::max(0.0f, v);
             }
+        } else {
+            for (int oc = 0; oc < n; ++oc)
+                o[size_t(oc) * hw + xy] =
+                    crow[oc] + (bp ? bp[oc] : 0.0f);
         }
     }
 }

@@ -1,5 +1,6 @@
 #include "sensors.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/serde.hh"
@@ -100,6 +101,21 @@ Camera::renderInto(const World &world, const Vec3 &position,
     ensureDirections(focal);
     double cam_z = position.z;
     double wall_h = world.wallHeight();
+    const int H = cfg_.height;
+    const double mid = H / 2.0 - 0.5;
+
+    // The floor brightness at row r is column-independent: hoist the
+    // divide chain out of the pixel loop into one per-frame table,
+    // using the exact expression the per-pixel code evaluated.
+    floorShade_.resize(size_t(H));
+    for (int r = 0; r < H; ++r) {
+        double floor_d =
+            focal * cam_z / std::max(0.5, double(r) - mid);
+        floorShade_[size_t(r)] = float(0.10 + 0.25 / (1.0 + 0.2 * floor_d));
+    }
+    // Horizon split of the open-corridor view: r < mid for integer r.
+    const int horizon = std::clamp(int(std::ceil(mid)), 0, H);
+    colShade_.resize(size_t(H));
 
     for (int c = 0; c < cfg_.width; ++c) {
         double az = yaw + colAlpha_[size_t(c)];
@@ -109,34 +125,55 @@ Camera::renderInto(const World &world, const Vec3 &position,
         double d = std::max(0.05, hit.distance * std::cos(az - yaw));
 
         // Rows of the wall's top and bottom edges.
-        double mid = cfg_.height / 2.0 - 0.5;
         double top_row = mid - focal * (wall_h - cam_z) / d;
         double bot_row = mid + focal * cam_z / d;
 
-        double shade_base = 0.25 + 0.6 / (1.0 + 0.12 * hit.distance);
-        for (int r = 0; r < cfg_.height; ++r) {
-            float v;
-            if (!hit.hit) {
-                // Open end of the corridor: horizon split.
-                v = r < mid ? 0.85f : 0.15f;
-            } else if (r < top_row) {
-                v = 0.85f; // sky above the wall
-            } else if (r > bot_row) {
-                // Floor: brightness falls off with projected distance.
-                double floor_d = focal * cam_z /
-                                 std::max(0.5, double(r) - mid);
-                v = float(0.10 + 0.25 / (1.0 + 0.2 * floor_d));
-            } else {
+        // The per-row branch ladder resolves to three contiguous bands
+        // (sky / wall / floor): for integer r, r < top_row iff
+        // r < ceil(top_row) and r > bot_row iff r >= floor(bot_row)+1.
+        // The floor test is subordinate to the sky test, so the floor
+        // band cannot start above the sky band's end.
+        float *shade = colShade_.data();
+        if (!hit.hit) {
+            // Open end of the corridor: horizon split.
+            for (int r = 0; r < horizon; ++r)
+                shade[r] = 0.85f;
+            for (int r = horizon; r < H; ++r)
+                shade[r] = 0.15f;
+        } else {
+            // Clamp in double before the int conversion: row edges can
+            // be far outside [0, H) for extreme poses.
+            int sky_end =
+                int(std::clamp(std::ceil(top_row), 0.0, double(H)));
+            int floor_begin = std::max(
+                sky_end,
+                int(std::clamp(std::floor(bot_row) + 1.0, 0.0,
+                               double(H))));
+
+            double shade_base =
+                0.25 + 0.6 / (1.0 + 0.12 * hit.distance);
+            double span = std::max(1.0, bot_row - top_row);
+            double tex_u = hit.point.x + hit.point.y;
+
+            for (int r = 0; r < sky_end; ++r)
+                shade[r] = 0.85f; // sky above the wall
+            for (int r = sky_end; r < floor_begin; ++r) {
                 // Wall: distance shading plus texture jitter keyed on
                 // the hit position and row height.
-                double frac = (bot_row - r) /
-                              std::max(1.0, bot_row - top_row);
-                double tex = textureAt(hit.point.x + hit.point.y,
-                                       frac * wall_h, hit.side);
-                v = float(shade_base *
-                          (1.0 + cfg_.textureAmplitude * (tex - 0.5)));
+                double frac = (bot_row - r) / span;
+                double tex = textureAt(tex_u, frac * wall_h, hit.side);
+                shade[r] = float(shade_base *
+                                 (1.0 +
+                                  cfg_.textureAmplitude * (tex - 0.5)));
             }
-            v += float(rng_.gaussian(0.0, cfg_.noiseStd));
+            for (int r = floor_begin; r < H; ++r)
+                shade[r] = floorShade_[size_t(r)];
+        }
+
+        // Noise pass: same row-ascending draw order as the fused loop.
+        for (int r = 0; r < H; ++r) {
+            float v =
+                shade[r] + float(rng_.gaussian(0.0, cfg_.noiseStd));
             img.at(r, c) = float(clampd(v, 0.0, 1.0));
         }
     }

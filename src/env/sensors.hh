@@ -150,6 +150,17 @@ class Camera
      */
     std::vector<double> colAlpha_;
     double dirFocal_ = 0.0; ///< focal the table was built for
+    /**
+     * Per-frame floor-shade table: the floor brightness at row r
+     * depends only on (focal, cam_z, r), not on the column, so it is
+     * computed once per frame with the exact per-pixel expression and
+     * looked up per column. Rebuilt every renderInto call (one divide
+     * per row instead of per floor pixel).
+     */
+    std::vector<float> floorShade_;
+    /** Per-column shade staging buffer (noise applied in a second
+     *  pass, preserving the row-ascending RNG draw order). */
+    std::vector<float> colShade_;
 };
 
 /**

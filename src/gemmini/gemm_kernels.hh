@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Internal interface between the GEMM dispatcher (gemmini.cc) and the
+ * per-ISA kernel translation units. Each kernel computes C rows
+ * [m0, m1) of C[M,N] = A[M,K] * B_packed with the identical blocked
+ * schedule and per-element k-ascending accumulation order; they differ
+ * only in how many n-panel lanes one instruction carries (and, for the
+ * FMA tier, in fusing the multiply-add).
+ *
+ * The x86 kernels live in separate .cc files compiled with their own
+ * -m flags (see CMakeLists.txt) so the rest of the binary never emits
+ * AVX instructions; ROSE_GEMM_HAVE_X86_KERNELS is defined for the
+ * gemmini target only on x86-64 builds.
+ */
+
+#ifndef ROSE_GEMMINI_GEMM_KERNELS_HH
+#define ROSE_GEMMINI_GEMM_KERNELS_HH
+
+namespace rose::gemmini::detail {
+
+/** Compute C rows [m0, m1) against panel-major packed B. */
+using GemmRowsFn = void (*)(int m0, int m1, int k, int n,
+                            const float *a, const float *packed,
+                            float *c);
+
+/** Portable reference microkernel (gemmini.cc). */
+void gemmRowsScalar(int m0, int m1, int k, int n, const float *a,
+                    const float *packed, float *c);
+
+#if ROSE_GEMM_HAVE_X86_KERNELS
+/** AVX2 n-panel vectorization, bit-identical to scalar. */
+void gemmRowsAvx2(int m0, int m1, int k, int n, const float *a,
+                  const float *packed, float *c);
+/** AVX2 + fused multiply-add: faster, NOT bit-identical (opt-in). */
+void gemmRowsAvx2Fma(int m0, int m1, int k, int n, const float *a,
+                     const float *packed, float *c);
+#endif
+
+} // namespace rose::gemmini::detail
+
+#endif // ROSE_GEMMINI_GEMM_KERNELS_HH

@@ -1,11 +1,164 @@
 #include "gemmini.hh"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
 #include <thread>
 
+#include "gemmini/gemm_kernels.hh"
+#include "util/cpufeat.hh"
 #include "util/logging.hh"
 
 namespace rose::gemmini {
+
+// ------------------------------------------------------- ISA dispatch
+
+const char *
+gemmIsaName(GemmIsa isa)
+{
+    switch (isa) {
+      case GemmIsa::Scalar: return "scalar";
+      case GemmIsa::Avx2: return "avx2";
+      case GemmIsa::Avx2Fma: return "avx2fma";
+    }
+    return "?";
+}
+
+bool
+parseGemmIsa(const std::string &text, bool &is_auto, GemmIsa &out)
+{
+    if (text == "auto") {
+        is_auto = true;
+        return true;
+    }
+    for (GemmIsa isa :
+         {GemmIsa::Scalar, GemmIsa::Avx2, GemmIsa::Avx2Fma}) {
+        if (text == gemmIsaName(isa)) {
+            is_auto = false;
+            out = isa;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+gemmIsaSupported(GemmIsa isa)
+{
+    switch (isa) {
+      case GemmIsa::Scalar:
+        return true;
+      case GemmIsa::Avx2:
+#if ROSE_GEMM_HAVE_X86_KERNELS
+        return cpuFeatures().avx2;
+#else
+        return false;
+#endif
+      case GemmIsa::Avx2Fma:
+#if ROSE_GEMM_HAVE_X86_KERNELS
+        return cpuFeatures().avx2 && cpuFeatures().fma;
+#else
+        return false;
+#endif
+    }
+    return false;
+}
+
+namespace {
+
+/** Best supported tier; FMA only when explicitly allowed. */
+GemmIsa
+bestSupported(bool allow_fma)
+{
+    if (allow_fma && gemmIsaSupported(GemmIsa::Avx2Fma))
+        return GemmIsa::Avx2Fma;
+    if (gemmIsaSupported(GemmIsa::Avx2))
+        return GemmIsa::Avx2;
+    return GemmIsa::Scalar;
+}
+
+/** Degrade an unsupported request down the tier chain. */
+GemmIsa
+clampSupported(GemmIsa want)
+{
+    if (gemmIsaSupported(want))
+        return want;
+    GemmIsa got = bestSupported(false);
+    rose_warn("ROSE_GEMM_ISA tier '", gemmIsaName(want),
+              "' is not supported on this host/build; using '",
+              gemmIsaName(got), "'");
+    return got;
+}
+
+/** Env-driven resolution (no explicit override in play). */
+GemmIsa
+resolveFromEnv()
+{
+    const char *env = std::getenv("ROSE_GEMM_ISA");
+    if (env && *env) {
+        bool is_auto = false;
+        GemmIsa want{};
+        if (!parseGemmIsa(env, is_auto, want)) {
+            rose_warn("unrecognized ROSE_GEMM_ISA value '", env,
+                      "' (expected auto|scalar|avx2|avx2fma); "
+                      "using auto");
+        } else if (!is_auto) {
+            return clampSupported(want);
+        }
+    }
+    const char *fma = std::getenv("ROSE_GEMM_FMA");
+    bool allow_fma =
+        fma && (std::strcmp(fma, "1") == 0 ||
+                std::strcmp(fma, "true") == 0);
+    return bestSupported(allow_fma);
+}
+
+/** Resolved tier, -1 while unresolved (first use / after reset). */
+std::atomic<int> g_isa{-1};
+
+detail::GemmRowsFn
+kernelFor(GemmIsa isa)
+{
+    switch (isa) {
+#if ROSE_GEMM_HAVE_X86_KERNELS
+      case GemmIsa::Avx2:
+        return detail::gemmRowsAvx2;
+      case GemmIsa::Avx2Fma:
+        return detail::gemmRowsAvx2Fma;
+#endif
+      default:
+        return detail::gemmRowsScalar;
+    }
+}
+
+} // namespace
+
+GemmIsa
+activeGemmIsa()
+{
+    int cur = g_isa.load(std::memory_order_acquire);
+    if (cur < 0) {
+        GemmIsa isa = resolveFromEnv();
+        // Last resolver wins; every candidate value is valid, so a
+        // race at first use is benign.
+        g_isa.store(int(isa), std::memory_order_release);
+        return isa;
+    }
+    return GemmIsa(cur);
+}
+
+void
+setGemmIsa(GemmIsa isa)
+{
+    g_isa.store(int(clampSupported(isa)), std::memory_order_release);
+}
+
+void
+resetGemmIsa()
+{
+    g_isa.store(-1, std::memory_order_release);
+}
 
 Gemmini::Gemmini(const GemminiConfig &cfg) : cfg_(cfg)
 {
@@ -165,15 +318,19 @@ tileTail(int mr, int k, const float *a, size_t lda, const float *bp,
             c[size_t(r) * ldc + j] = acc[r][j];
 }
 
+} // namespace
+
 /**
  * The blocked schedule over C rows [m0, m1) against panel-major packed
  * B: m is blocked so a slab of A rows stays cache-hot across all B
  * panels; within a (block, panel) pair rows advance by the register
- * tile height. Rows in [m0, m1) are written exactly once.
+ * tile height. Rows in [m0, m1) are written exactly once. The SIMD
+ * tiers (gemm_kernel_x86.inc) replicate this schedule instruction for
+ * instruction; this portable version doubles as the dispatch fallback.
  */
 void
-gemmRows(int m0, int m1, int k, int n, const float *a,
-         const float *packed, float *c)
+detail::gemmRowsScalar(int m0, int m1, int k, int n, const float *a,
+                       const float *packed, float *c)
 {
     const int npanels = (n + kPW - 1) / kPW;
     for (int ib = m0; ib < m1; ib += Gemmini::kRowBlock) {
@@ -193,20 +350,32 @@ gemmRows(int m0, int m1, int k, int n, const float *a,
     }
 }
 
+namespace {
+
 /**
  * Optional deterministic row parallelism: rows are split into disjoint
  * contiguous chunks aligned to the row block, one thread each. Every
  * output element is still produced by the identical k-sequential
- * accumulation, so results are bit-identical at any thread count.
+ * accumulation, so results are bit-identical at any thread count — and
+ * (outside the opt-in FMA tier) at any dispatched ISA tier, since the
+ * SIMD kernels vectorize across the n-panel only.
  */
 void
 gemmParallel(int m, int k, int n, const float *a, const float *packed,
              float *c, int threads)
 {
+    // Panel-wide vector ops don't pay off on tiny shapes (the dense
+    // classifier heads): under this work bound the scalar kernel wins
+    // outright, and falling back to it only ever moves a tier closer
+    // to the oracle, so degrade silently.
+    const detail::GemmRowsFn rows =
+        uint64_t(m) * k * n < (1u << 14)
+            ? detail::gemmRowsScalar
+            : kernelFor(activeGemmIsa());
     // Too small to amortize thread startup: run inline.
     if (threads < 2 || m < 2 * Gemmini::kRowBlock ||
         uint64_t(m) * k * n < (1u << 20)) {
-        gemmRows(0, m, k, n, a, packed, c);
+        rows(0, m, k, n, a, packed, c);
         return;
     }
     int blocks = (m + Gemmini::kRowBlock - 1) / Gemmini::kRowBlock;
@@ -223,7 +392,7 @@ gemmParallel(int m, int k, int n, const float *a, const float *packed,
         if (r0 >= r1)
             continue;
         pool.emplace_back(
-            [=] { gemmRows(r0, r1, k, n, a, packed, c); });
+            [=] { rows(r0, r1, k, n, a, packed, c); });
     }
     for (std::thread &th : pool)
         th.join();

@@ -23,6 +23,16 @@
  * argument) — so golden-trace hashes are preserved. Blocking reorders
  * only *which element* is worked on next (m/n), never the k order
  * within an element.
+ *
+ * The microkernel is runtime-dispatched over ISA tiers (GemmIsa):
+ * the portable scalar kernel, an AVX2 kernel vectorized across the
+ * 8-wide n-panel (same per-element k order, bit-identical — vector
+ * mul/add are per-lane IEEE mul/add), and an opt-in AVX2+FMA kernel
+ * whose fused multiply-adds round once per term and are therefore
+ * *not* bit-identical (tolerance-verified, never auto-selected). The
+ * tier is chosen at first use from cpuid (util/cpufeat.hh) and the
+ * ROSE_GEMM_ISA / ROSE_GEMM_FMA environment overrides, or explicitly
+ * via setGemmIsa() (rosed --gemm-isa, tests).
  */
 
 #ifndef ROSE_GEMMINI_GEMMINI_HH
@@ -30,11 +40,57 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "util/aligned.hh"
 #include "util/units.hh"
 
 namespace rose::gemmini {
+
+/**
+ * ISA tier of the functional GEMM microkernel. Scalar and Avx2 are
+ * bit-identical to the naive oracle; Avx2Fma fuses the multiply-add
+ * (one rounding per term instead of two) and is opt-in only.
+ */
+enum class GemmIsa : uint8_t
+{
+    Scalar = 0,
+    Avx2 = 1,
+    Avx2Fma = 2,
+};
+
+/** Human-readable tier name ("scalar", "avx2", "avx2fma"). */
+const char *gemmIsaName(GemmIsa isa);
+
+/**
+ * Parse a tier name as accepted by ROSE_GEMM_ISA / --gemm-isa:
+ * "auto" sets @p is_auto; the explicit names set @p out.
+ * @return false on an unrecognized string (outputs untouched).
+ */
+bool parseGemmIsa(const std::string &text, bool &is_auto, GemmIsa &out);
+
+/** True when @p isa is both compiled into this binary and supported
+ *  by the running CPU. Scalar is always supported. */
+bool gemmIsaSupported(GemmIsa isa);
+
+/**
+ * The tier the dispatcher is currently using. Resolved on first use:
+ * an explicit setGemmIsa() override wins, else ROSE_GEMM_ISA
+ * ({auto, scalar, avx2, avx2fma}), else auto — the best supported
+ * bit-exact tier, upgraded to Avx2Fma only when ROSE_GEMM_FMA=1.
+ * Unsupported requests degrade (avx2fma -> avx2 -> scalar) with a
+ * warning rather than failing.
+ */
+GemmIsa activeGemmIsa();
+
+/** Explicitly select a tier (CLI flag, tests). Degrades with a
+ *  warning when unsupported. Affects every Gemmini instance. */
+void setGemmIsa(GemmIsa isa);
+
+/** Drop any explicit override and re-resolve from the environment on
+ *  next use (tests). */
+void resetGemmIsa();
 
 /** Static accelerator configuration (defaults match the paper). */
 struct GemminiConfig
@@ -83,13 +139,15 @@ struct GemmCost
  * of the panel's columns; a ragged last panel is zero-padded to the
  * full width (padded lanes are computed but never stored). Weights are
  * immutable per layer, so packing happens once and is shared read-only
- * (see dnn::sharedPackedWeights).
+ * (see dnn::sharedPackedWeights). Storage is kSimdAlign-aligned so
+ * every panel row (kPanelWidth floats = 32 bytes) is one aligned
+ * vector load for the SIMD kernels.
  */
 struct PackedB
 {
     int k = 0;
     int n = 0;
-    std::vector<float> data;
+    AlignedVec<float> data;
 
     bool empty() const { return data.empty(); }
     size_t bytes() const { return data.size() * sizeof(float); }

@@ -1,0 +1,10 @@
+/**
+ * @file
+ * The bit-exact AVX2 tier of the GEMM microkernel. Compiled with
+ * -mavx2 (no -mfma) in its own translation unit; only the dispatcher
+ * calls in after cpuid confirms AVX2 support.
+ */
+
+#define ROSE_KERNEL_NAME gemmRowsAvx2
+#define ROSE_KERNEL_FMA 0
+#include "gemm_kernel_x86.inc"

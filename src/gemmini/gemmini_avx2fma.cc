@@ -1,0 +1,12 @@
+/**
+ * @file
+ * The opt-in AVX2+FMA tier of the GEMM microkernel. Fusing the
+ * multiply-add rounds once per term, so results are close to but not
+ * bit-identical with the oracle — this tier is never auto-selected
+ * (see activeGemmIsa()) and is verified by tolerance in the tests.
+ * Compiled with -mavx2 -mfma in its own translation unit.
+ */
+
+#define ROSE_KERNEL_NAME gemmRowsAvx2Fma
+#define ROSE_KERNEL_FMA 1
+#include "gemm_kernel_x86.inc"

@@ -316,6 +316,7 @@ ServeClient::tryFetchResult(uint64_t job_id, ServedResult &out,
         }
     }
     ResultData d = assembler.takeResult();
+    uint64_t payload_hash = d.payloadHash;
     out = std::move(d.result);
     // Failed executions stream too (an empty trajectory and a
     // failureReason); both terminal states travel in ResultEnd, so
@@ -324,18 +325,18 @@ ServeClient::tryFetchResult(uint64_t job_id, ServedResult &out,
     if (state_out)
         *state_out = d.state;
     // The bytes are verified locally: release the server-side record
-    // (the ack carries our hash so the server only drops what we
-    // actually hold).
-    ackVerified(job_id, fnv1a(out.trajectoryCsv));
+    // (the ack carries the hash of the payload we assembled — CSV or
+    // binary — so the server only drops what we actually hold).
+    ackVerified(job_id, payload_hash);
     return true;
 }
 
 void
-ServeClient::ackVerified(uint64_t job_id, uint64_t trajectory_hash)
+ServeClient::ackVerified(uint64_t job_id, uint64_t payload_hash)
 {
     Message resp;
     try {
-        resp = transact(encodeAckResult(job_id, trajectory_hash),
+        resp = transact(encodeAckResult(job_id, payload_hash),
                         true);
     } catch (const TransportError &) {
         // Best effort: the result is already safe in our hands; an

@@ -199,7 +199,7 @@ class ServeClient
     void reconnectOrThrow();
     /** Release a verified result server-side (best effort; throws
      *  ProtocolError only on a hash mismatch). */
-    void ackVerified(uint64_t job_id, uint64_t trajectory_hash);
+    void ackVerified(uint64_t job_id, uint64_t payload_hash);
 
     int fd_ = -1;
     std::string host_;

@@ -691,7 +691,18 @@ marshalResult(const core::MissionResult &r)
     s.degradedIntervals = uint32_t(r.degradedIntervals.size());
     s.trajectoryCsv = core::trajectoryCsvString(r);
     s.trajectoryHash = fnv1a(s.trajectoryCsv);
-    s.trajectory = r.trajectory;
+    // Quantize the binary payload once, here, instead of once per
+    // Binary fetch; a trajectory the record cannot represent (u32
+    // collision overflow) simply leaves the cache empty and fetches
+    // fall back to CSV.
+    try {
+        s.trajectoryBinary = encodeTrajectoryBinary(r.trajectory);
+        s.trajectoryBinaryHash =
+            fnv1a(s.trajectoryBinary.data(), s.trajectoryBinary.size());
+    } catch (const ProtocolError &) {
+        s.trajectoryBinary.clear();
+        s.trajectoryBinaryHash = 0;
+    }
     return s;
 }
 
@@ -742,6 +753,7 @@ encodeResultEnd(const ResultEndData &e)
     w.u32(e.chunkCount);
     w.u64(e.payloadBytes);
     w.u64(e.trajectoryHash);
+    w.u64(e.payloadHash);
     const ServedResult &s = e.result;
     w.u8(s.completed ? 1 : 0);
     w.u8(s.status);
@@ -775,6 +787,7 @@ decodeResultEnd(const Message &m)
     e.chunkCount = r.u32();
     e.payloadBytes = r.u64();
     e.trajectoryHash = r.u64();
+    e.payloadHash = r.u64();
     ServedResult &s = e.result;
     s.completed = r.u8() != 0;
     s.status = r.u8();
@@ -885,32 +898,44 @@ ResultStreamAssembler::finish(const ResultEndData &end)
             end.payloadBytes, " payload bytes, received ",
             payload_.size()));
 
+    // Integrity is checked over the payload bytes as received — no
+    // decoding (and for Binary no CSV re-render) sits between the
+    // wire and the hash, so a corrupt stream is caught before any
+    // decode runs and a Binary fetch verifies at memory speed.
+    uint64_t h = fnv1a(payload_.data(), payload_.size());
+    if (h != end.payloadHash)
+        throw ProtocolError(detail::concat(
+            "payload hash mismatch after reassembly of job ",
+            jobId_, " (", trajectoryEncodingName(end.encoding),
+            " encoding, ", payload_.size(), " payload bytes)"));
+
     ResultData d;
     d.jobId = end.jobId;
     d.state = end.state;
     d.result = end.result;
+    d.payloadHash = h;
     switch (end.encoding) {
       case TrajectoryEncoding::Csv:
+        // A Csv payload IS the canonical CSV, so the payload hash
+        // must coincide with the canonical-CSV hash the server
+        // advertises (and callers compare to goldens).
+        if (end.payloadHash != end.trajectoryHash)
+            throw ProtocolError(detail::concat(
+                "Csv stream payload hash disagrees with the "
+                "canonical trajectory hash for job ", jobId_));
         d.result.trajectoryCsv.assign(payload_.begin(),
                                       payload_.end());
         break;
       case TrajectoryEncoding::Binary:
-        // Canonical re-encode: the binary records quantize every
-        // cell to its printed decimal, so rendering them reproduces
-        // the server-side CSV bit-for-bit — which the hash check
-        // below then proves.
+        // The records quantize every cell to its printed decimal, so
+        // core::trajectoryCsvString over these samples reproduces
+        // the server-side canonical CSV bit-for-bit (test_serve pins
+        // this); trajectoryCsv stays empty here — callers render it
+        // on demand instead of paying for it inside every fetch.
         d.result.trajectory =
             decodeTrajectoryBinary(payload_.data(), payload_.size());
-        d.result.trajectoryCsv =
-            core::trajectoryCsvString(d.result.trajectory);
         break;
     }
-    uint64_t h = fnv1a(d.result.trajectoryCsv);
-    if (h != end.trajectoryHash)
-        throw ProtocolError(detail::concat(
-            "trajectory hash mismatch after reassembly of job ",
-            jobId_, " (", trajectoryEncodingName(end.encoding),
-            " encoding, ", payload_.size(), " payload bytes)"));
     payload_.clear();
     payload_.shrink_to_fit();
     result_ = std::move(d);

@@ -83,9 +83,15 @@ class ProtocolError : public std::runtime_error
  * crash-safety revision: SubmitMission carries a client-supplied
  * idempotency key (spec codec v2), FetchResult carries a resume byte
  * offset, and the one-shot release-at-stream-open moved to an
- * explicit hash-verified AckResult/AckReply exchange.
+ * explicit hash-verified AckResult/AckReply exchange. Version 4
+ * added a payload hash to ResultEnd — the FNV-1a of the stream's
+ * payload bytes in their wire encoding — so a Binary stream is
+ * verified over the bytes actually received instead of requiring the
+ * client to re-render the canonical CSV inside the fetch; AckResult
+ * correspondingly carries the payload hash of whichever encoding the
+ * client assembled.
  */
-constexpr uint8_t kServeProtocolVersion = 3;
+constexpr uint8_t kServeProtocolVersion = 4;
 
 /**
  * Version byte leading the SubmitMission payload (and the journal's
@@ -237,11 +243,15 @@ enum class JobState : uint8_t
 const char *jobStateName(JobState s);
 
 /**
- * How the trajectory payload of a result stream is encoded. Either
- * way the verification target is the canonical CSV: a Binary stream
- * is re-encoded client-side (decodeTrajectoryBinary +
- * core::trajectoryCsvString) before the FNV-1a hash is checked, so
- * golden hashes are preserved bit-for-bit in both encodings.
+ * How the trajectory payload of a result stream is encoded. Stream
+ * integrity is verified over the payload bytes as received (FNV-1a,
+ * ResultEnd.payloadHash) for both encodings. The canonical CSV hash
+ * still rides ResultEnd.trajectoryHash: a Csv stream's payload IS
+ * the canonical CSV (the two hashes coincide), and a Binary stream's
+ * records quantize every cell to its printed decimal, so rendering
+ * the decoded samples (core::trajectoryCsvString) reproduces the
+ * canonical CSV bit-for-bit — golden hashes are preserved in both
+ * encodings, without the client re-rendering CSV inside the fetch.
  */
 enum class TrajectoryEncoding : uint8_t
 {
@@ -325,8 +335,11 @@ struct StatusInfo
  * canonical form is the CSV string (core::trajectoryCsvString) — the
  * same bytes the golden-trace tests hash; `trajectoryHash` is its
  * FNV-1a and rides the ResultEnd frame so clients verify reassembly.
- * The raw samples are kept alongside so a Binary-encoding fetch can
- * be served without re-parsing the CSV.
+ * The server caches the quantized binary records alongside — encoded
+ * once at mission end, so a Binary fetch slices ready bytes instead
+ * of re-printing every cell through the canonical-f32 quantizer per
+ * fetch (at 44 bytes/record the cache is also smaller than the raw
+ * samples it replaces).
  */
 struct ServedResult
 {
@@ -345,12 +358,24 @@ struct ServedResult
     uint64_t simulatedCycles = 0;
     uint32_t trajectorySamples = 0;
     uint32_t degradedIntervals = 0;
-    /** Canonical trajectory CSV (hash target of test_golden.cc). */
+    /** Canonical trajectory CSV (hash target of test_golden.cc).
+     *  Client-side: filled by a Csv fetch; a Binary fetch leaves it
+     *  empty and fills `trajectory` instead — render on demand with
+     *  core::trajectoryCsvString(trajectory), which reproduces these
+     *  bytes exactly (the records are canonical-f32 quantized). */
     std::string trajectoryCsv;
     /** FNV-1a of trajectoryCsv (util/hash.hh). */
     uint64_t trajectoryHash = 0;
-    /** Raw samples (Binary stream source; empty after a CSV fetch). */
+    /** Decoded samples (client-side reassembly of a Binary stream
+     *  fills this; the server does not retain raw samples). */
     std::vector<core::TrajectorySample> trajectory;
+    /** Pre-encoded binary records (server-side Binary stream source;
+     *  empty when the trajectory cannot ride the fixed-width record,
+     *  e.g. a collision count past u32 or a journal-replayed job). */
+    std::vector<uint8_t> trajectoryBinary;
+    /** FNV-1a of trajectoryBinary (0 when the cache is empty);
+     *  Binary streams carry it as ResultEnd.payloadHash. */
+    uint64_t trajectoryBinaryHash = 0;
     /** Server-side queueing telemetry for this job. */
     double queueWaitMs = 0.0;
     double serviceMs = 0.0;
@@ -384,6 +409,12 @@ struct ResultEndData
     uint64_t payloadBytes = 0;
     /** FNV-1a of the canonical trajectory CSV. */
     uint64_t trajectoryHash = 0;
+    /** FNV-1a of the stream's payload bytes in their wire encoding:
+     *  equals trajectoryHash for a Csv stream (the payload IS the
+     *  canonical CSV) and the binary-record hash for Binary. The
+     *  assembler verifies reassembly against this, so no encoding
+     *  needs a client-side CSV re-render inside the fetch. */
+    uint64_t payloadHash = 0;
     /** Scalar fields only; trajectoryCsv/trajectory stay empty. */
     ServedResult result;
 };
@@ -404,6 +435,10 @@ struct ResultData
     ServedResult result;
     /** Terminal lifecycle state (Done or Failed) of the job. */
     JobState state = JobState::Done;
+    /** FNV-1a of the payload bytes the client assembled (verified
+     *  against ResultEnd.payloadHash); AckResult carries it back so
+     *  the server releases only bytes the client actually holds. */
+    uint64_t payloadHash = 0;
 };
 
 /**
@@ -412,8 +447,9 @@ struct ResultData
  * fuzzable: feed it decoded frames in arrival order and it enforces
  * every stream invariant — matching job id, strictly sequential
  * chunk seq, bounded accumulation, no frame after ResultEnd, totals
- * and chunk count matching, and the FNV-1a hash of the (re-encoded
- * when Binary) canonical CSV.
+ * and chunk count matching, and the FNV-1a payload hash over the
+ * assembled bytes in their wire encoding (so a Binary stream needs
+ * no CSV re-render to verify).
  */
 class ResultStreamAssembler
 {

@@ -307,11 +307,18 @@ runStreamSmoke(const std::string &host, uint16_t port, int timeout_ms,
         }
         serve::ServedResult r =
             client.waitResult(out.jobId, timeout_ms, 10, enc);
-        uint64_t served = fnv1a(r.trajectoryCsv);
+        // A Binary fetch delivers decoded samples, not CSV; render
+        // the canonical CSV here so the golden-hash comparison below
+        // proves both encodings carry bit-identical trajectories.
+        std::string servedCsv =
+            !r.trajectoryCsv.empty()
+                ? std::move(r.trajectoryCsv)
+                : core::trajectoryCsvString(r.trajectory);
+        uint64_t served = fnv1a(servedCsv);
         std::printf("stream-smoke: job %" PRIu64 " (%s) %zu bytes, "
                     "fnv1a 0x%016" PRIx64 "\n",
                     out.jobId, serve::trajectoryEncodingName(enc),
-                    r.trajectoryCsv.size(), served);
+                    servedCsv.size(), served);
         if (served != expect) {
             std::fprintf(stderr,
                          "stream-smoke: HASH MISMATCH (%s): served "

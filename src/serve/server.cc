@@ -46,6 +46,7 @@ jobRetainedBytes(const ServedResult *r)
     if (!r)
         return 0;
     return uint64_t(r->trajectoryCsv.size()) +
+           uint64_t(r->trajectoryBinary.size()) +
            uint64_t(r->trajectory.size()) *
                sizeof(core::TrajectorySample) +
            uint64_t(r->failureReason.size());
@@ -706,19 +707,18 @@ MissionServer::pumpStream(Connection &conn)
                 st.offset;
             c.bytes.assign(base, base + n);
         } else {
-            // Quantize lazily, one chunk's worth of records at a
-            // time, so a multi-megabyte binary stream never stalls
-            // the IO loop in a single call. (A resumed stream's
-            // offset is validated record-aligned at fetch.)
-            size_t per_chunk =
-                std::max<size_t>(1, cfg_.resultChunkBytes /
-                                        kTrajectoryBinaryRecordBytes);
-            size_t first =
-                size_t(st.offset / kTrajectoryBinaryRecordBytes);
-            size_t count = std::min(
-                per_chunk, st.src->trajectory.size() - first);
-            encodeTrajectoryBinaryRecords(
-                st.src->trajectory.data() + first, count, c.bytes);
+            // Slice the binary payload quantized once at mission end
+            // (marshalResult); chunks stay record-aligned so a
+            // resumed stream's byte sequence is identical.
+            size_t per_chunk = std::max<size_t>(
+                1, cfg_.resultChunkBytes /
+                       kTrajectoryBinaryRecordBytes) *
+                kTrajectoryBinaryRecordBytes;
+            size_t n = size_t(std::min<uint64_t>(
+                per_chunk, st.totalBytes - st.offset));
+            const uint8_t *base =
+                st.src->trajectoryBinary.data() + st.offset;
+            c.bytes.assign(base, base + n);
         }
         st.offset += c.bytes.size();
         sendMessage(conn, encodeResultChunk(c));
@@ -951,19 +951,18 @@ MissionServer::handleFetch(Connection &conn, const Message &req)
             return encodeErrorReply("job has no result payload");
         TrajectoryEncoding enc = freq.encoding;
         if (enc == TrajectoryEncoding::Binary) {
-            // Binary requires samples that re-encode to the stored
-            // CSV: a result that never went through marshalResult
-            // (the worker threw) has neither, a journal-replayed one
-            // retains only the CSV, and a collision count past u32
-            // cannot ride the fixed-width record — all fall back to
-            // the always-correct CSV payload.
+            // Binary requires the payload cache marshalResult built
+            // at mission end: a result that never went through
+            // marshalResult (the worker threw) has no cache, a
+            // journal-replayed one retains only the CSV, and a
+            // collision count past u32 could not ride the fixed-width
+            // record so marshalResult left the cache empty — all fall
+            // back to the always-correct CSV payload.
             bool encodable =
                 !src->trajectoryCsv.empty() &&
-                uint64_t(src->trajectory.size()) ==
-                    uint64_t(src->trajectorySamples);
-            for (const core::TrajectorySample &s : src->trajectory)
-                if (s.collisions > UINT32_MAX)
-                    encodable = false;
+                uint64_t(src->trajectoryBinary.size()) ==
+                    uint64_t(src->trajectorySamples) *
+                        kTrajectoryBinaryRecordBytes;
             if (!encodable) {
                 if (freq.resumeOffset > 0)
                     // A resumed binary stream must slice the exact
@@ -982,8 +981,7 @@ MissionServer::handleFetch(Connection &conn, const Message &req)
         stream->src = src;
         stream->totalBytes =
             enc == TrajectoryEncoding::Binary
-                ? uint64_t(src->trajectory.size()) *
-                      kTrajectoryBinaryRecordBytes
+                ? uint64_t(src->trajectoryBinary.size())
                 : uint64_t(src->trajectoryCsv.size());
 
         // Resume: the client presents how many payload bytes it
@@ -1018,6 +1016,12 @@ MissionServer::handleFetch(Connection &conn, const Message &req)
             end.chunkCount = uint32_t((to_send + slice - 1) / slice);
         }
         end.trajectoryHash = src->trajectoryHash;
+        // Integrity hash over the payload bytes as they travel: the
+        // canonical-CSV hash for a Csv stream (the payload IS the
+        // CSV), the cached binary-record hash for Binary.
+        end.payloadHash = enc == TrajectoryEncoding::Binary
+                              ? src->trajectoryBinaryHash
+                              : src->trajectoryHash;
         end.result = scalarResult(*src);
 
         // The job record stays retained (and fetchable) until the
@@ -1107,10 +1111,21 @@ MissionServer::handleAck(const Message &req)
         info.outcome = AckOutcome::UnknownJob;
         return encodeAckReply(info);
     }
-    uint64_t have = it->second.result
-                        ? it->second.result->trajectoryHash
-                        : fnv1a(std::string_view{});
-    if (have != ack.trajectoryHash) {
+    // The ack carries the payload hash of whichever encoding the
+    // client assembled: the canonical-CSV hash (Csv stream) or the
+    // binary-record hash (Binary stream) both prove possession of
+    // the bytes we hold.
+    bool holds_our_bytes;
+    if (const auto &res = it->second.result) {
+        holds_our_bytes =
+            ack.trajectoryHash == res->trajectoryHash ||
+            (!res->trajectoryBinary.empty() &&
+             ack.trajectoryHash == res->trajectoryBinaryHash);
+    } else {
+        holds_our_bytes =
+            ack.trajectoryHash == fnv1a(std::string_view{});
+    }
+    if (!holds_our_bytes) {
         // The client assembled different bytes than we hold: keep
         // the record so it can refetch from offset 0.
         info.outcome = AckOutcome::HashMismatch;

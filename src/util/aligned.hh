@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Aligned storage helpers for the SIMD kernels.
+ *
+ * The GEMM microkernel's packed panels are loaded 8 floats (32 bytes)
+ * at a time; serving them from 32-byte-aligned storage lets the AVX2
+ * path use aligned vector loads and keeps the panel rows from
+ * straddling cache lines. AlignedVec is a drop-in std::vector whose
+ * allocations are aligned to kSimdAlign via the aligned operator new
+ * (C++17 align_val_t), so existing .data()/.resize() call sites are
+ * unchanged.
+ */
+
+#ifndef ROSE_UTIL_ALIGNED_HH
+#define ROSE_UTIL_ALIGNED_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+namespace rose {
+
+/** Alignment of SIMD-loaded buffers (one AVX2 vector / half a cache
+ *  line). Chosen once here so the packer and the kernels agree. */
+constexpr size_t kSimdAlign = 32;
+
+/** Minimal aligned allocator (std::allocator semantics). */
+template <typename T, size_t Align = kSimdAlign>
+struct AlignedAlloc
+{
+    static_assert(Align >= alignof(T) && (Align & (Align - 1)) == 0,
+                  "alignment must be a power of two >= alignof(T)");
+    using value_type = T;
+
+    AlignedAlloc() noexcept = default;
+    template <typename U>
+    AlignedAlloc(const AlignedAlloc<U, Align> &) noexcept {}
+
+    template <typename U>
+    struct rebind
+    {
+        using other = AlignedAlloc<U, Align>;
+    };
+
+    T *
+    allocate(size_t n)
+    {
+        return static_cast<T *>(::operator new(
+            n * sizeof(T), std::align_val_t(Align)));
+    }
+
+    void
+    deallocate(T *p, size_t) noexcept
+    {
+        ::operator delete(p, std::align_val_t(Align));
+    }
+
+    template <typename U>
+    bool operator==(const AlignedAlloc<U, Align> &) const noexcept
+    { return true; }
+    template <typename U>
+    bool operator!=(const AlignedAlloc<U, Align> &) const noexcept
+    { return false; }
+};
+
+/** std::vector with kSimdAlign-aligned storage. */
+template <typename T>
+using AlignedVec = std::vector<T, AlignedAlloc<T, kSimdAlign>>;
+
+/** True when @p p is aligned to @p align bytes. */
+inline bool
+isAligned(const void *p, size_t align = kSimdAlign)
+{
+    return (reinterpret_cast<uintptr_t>(p) & (align - 1)) == 0;
+}
+
+} // namespace rose
+
+#endif // ROSE_UTIL_ALIGNED_HH

@@ -1,0 +1,30 @@
+#include "cpufeat.hh"
+
+namespace rose {
+
+namespace {
+
+CpuFeatures
+detect()
+{
+    CpuFeatures f;
+#if defined(__x86_64__) || defined(_M_X64)
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_cpu_init();
+    f.avx2 = __builtin_cpu_supports("avx2");
+    f.fma = __builtin_cpu_supports("fma");
+#endif
+#endif
+    return f;
+}
+
+} // namespace
+
+const CpuFeatures &
+cpuFeatures()
+{
+    static const CpuFeatures f = detect();
+    return f;
+}
+
+} // namespace rose

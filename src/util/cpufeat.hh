@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Runtime CPU feature detection for kernel dispatch.
+ *
+ * The SIMD GEMM microkernels (src/gemmini) are compiled per-file with
+ * the matching -m flags and selected at startup, so one binary runs
+ * correctly on any x86-64 host (and on non-x86 hosts, where detection
+ * reports no vector features and the portable kernel is used). The
+ * detection itself is this one tiny, cached probe; policy — which
+ * kernel tier to run — lives with the kernels, not here.
+ */
+
+#ifndef ROSE_UTIL_CPUFEAT_HH
+#define ROSE_UTIL_CPUFEAT_HH
+
+namespace rose {
+
+/** Vector features of the host CPU relevant to the kernels. */
+struct CpuFeatures
+{
+    bool avx2 = false;
+    bool fma = false; ///< FMA3 (always paired with avx2 checks here)
+};
+
+/** Detected features of the running host (probed once, cached). */
+const CpuFeatures &cpuFeatures();
+
+} // namespace rose
+
+#endif // ROSE_UTIL_CPUFEAT_HH

@@ -33,6 +33,14 @@ fnv1a(std::string_view bytes, uint64_t seed = kFnv1aOffsetBasis)
 static_assert(fnv1a("") == kFnv1aOffsetBasis);
 static_assert(fnv1a("a") == 0xaf63dc4c8601ec8cULL);
 
+/** 64-bit FNV-1a over a raw byte buffer (e.g. binary payloads). */
+inline uint64_t
+fnv1a(const void *data, size_t n, uint64_t seed = kFnv1aOffsetBasis)
+{
+    return fnv1a(
+        std::string_view(static_cast<const char *>(data), n), seed);
+}
+
 } // namespace rose
 
 #endif // ROSE_UTIL_HASH_HH

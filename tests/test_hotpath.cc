@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <new>
@@ -88,8 +89,9 @@ fillMatrix(std::vector<float> &m, Rng &rng, double zeroFrac)
     }
 }
 
+template <typename VecA, typename VecB>
 bool
-bitIdentical(const std::vector<float> &a, const std::vector<float> &b)
+bitIdentical(const VecA &a, const VecB &b)
 {
     return a.size() == b.size() &&
            (a.empty() ||
@@ -196,6 +198,172 @@ TEST(HotpathGemm, PackWeightsTransposedFoldsTranspose)
     Gemmini::packB(k, n, b.data(), fromB);
     Gemmini::packWeightsTransposed(k, n, wt.data(), fromW);
     EXPECT_TRUE(bitIdentical(fromB.data, fromW.data));
+}
+
+// ------------------------------------------------------- ISA dispatch
+
+namespace {
+
+/** RAII: drop any tier override so later tests see auto again. */
+struct IsaGuard
+{
+    ~IsaGuard() { resetGemmIsa(); }
+};
+
+} // namespace
+
+TEST(HotpathGemmIsa, NamesParseAndScalarAlwaysSupported)
+{
+    bool is_auto = false;
+    GemmIsa isa = GemmIsa::Avx2;
+    EXPECT_TRUE(parseGemmIsa("auto", is_auto, isa));
+    EXPECT_TRUE(is_auto);
+    for (GemmIsa t :
+         {GemmIsa::Scalar, GemmIsa::Avx2, GemmIsa::Avx2Fma}) {
+        is_auto = true;
+        GemmIsa parsed = GemmIsa::Scalar;
+        ASSERT_TRUE(parseGemmIsa(gemmIsaName(t), is_auto, parsed));
+        EXPECT_FALSE(is_auto);
+        EXPECT_EQ(parsed, t);
+    }
+    EXPECT_FALSE(parseGemmIsa("sse9", is_auto, isa));
+    EXPECT_FALSE(parseGemmIsa("", is_auto, isa));
+    EXPECT_TRUE(gemmIsaSupported(GemmIsa::Scalar));
+    // Whatever auto resolved to must itself be a supported tier.
+    EXPECT_TRUE(gemmIsaSupported(activeGemmIsa()));
+}
+
+TEST(HotpathGemmIsa, BitExactTiersMatchOracleExactly)
+{
+    // Every compiled-and-supported bit-exact tier must reproduce the
+    // naive oracle to the bit, across shapes that straddle the
+    // small-shape scalar fallback (< 2^14 multiply-adds), the 8-wide
+    // panel / 8-row tile boundaries, and ragged tails in every
+    // dimension — with +/-0.0 and subnormal inputs in the mix (the
+    // vector path must not flush or re-associate differently).
+    const int shapes[][3] = {
+        {1, 1, 1},    {4, 4, 4},    {16, 16, 16}, {32, 32, 32},
+        {33, 17, 31}, {8, 2048, 8}, {128, 9, 17}, {57, 64, 31},
+        {40, 28, 72}, {100, 33, 65},
+    };
+    IsaGuard guard;
+    Gemmini g;
+    Rng rng(0x15a);
+    for (const auto &s : shapes) {
+        int m = s[0], k = s[1], n = s[2];
+        std::vector<float> a(size_t(m) * k), b(size_t(k) * n);
+        fillMatrix(a, rng, 0.3);
+        fillMatrix(b, rng, 0.2);
+        for (size_t i = 0; i < a.size(); i += 17)
+            a[i] = 1e-41f; // subnormal
+        for (size_t i = 3; i < b.size(); i += 23)
+            b[i] = -1e-39f;
+        std::vector<float> oracle(size_t(m) * n);
+        g.matmulNaive(m, k, n, a.data(), b.data(), oracle.data());
+
+        for (GemmIsa tier : {GemmIsa::Scalar, GemmIsa::Avx2}) {
+            if (!gemmIsaSupported(tier))
+                continue;
+            setGemmIsa(tier);
+            std::vector<float> out(size_t(m) * n, -2.f);
+            g.matmul(m, k, n, a.data(), b.data(), out.data());
+            EXPECT_TRUE(bitIdentical(oracle, out))
+                << gemmIsaName(tier) << " " << m << "x" << k << "x"
+                << n;
+            // The packed + threaded path dispatches identically.
+            PackedB pb;
+            Gemmini::packB(k, n, b.data(), pb);
+            std::vector<float> par(size_t(m) * n, -3.f);
+            g.matmulPacked(m, a.data(), pb, par.data(), 3);
+            EXPECT_TRUE(bitIdentical(oracle, par))
+                << gemmIsaName(tier) << " threaded " << m << "x" << k
+                << "x" << n;
+        }
+    }
+}
+
+TEST(HotpathGemmIsa, FmaTierStaysWithinAccumulationTolerance)
+{
+    if (!gemmIsaSupported(GemmIsa::Avx2Fma))
+        GTEST_SKIP() << "avx2fma not compiled in or not supported "
+                        "by this CPU";
+    // FMA fuses the multiply-add rounding, so bit-identity to the
+    // oracle is NOT promised (that is why the tier is opt-in). What
+    // is promised: each output stays within a small multiple of the
+    // worst-case float accumulation error of its dot product.
+    IsaGuard guard;
+    Gemmini g;
+    Rng rng(0xf0a);
+    const int m = 45, k = 300, n = 33; // above the scalar fallback
+    std::vector<float> a(size_t(m) * k), b(size_t(k) * n);
+    fillMatrix(a, rng, 0.2);
+    fillMatrix(b, rng, 0.1);
+    std::vector<float> oracle(size_t(m) * n);
+    g.matmulNaive(m, k, n, a.data(), b.data(), oracle.data());
+
+    setGemmIsa(GemmIsa::Avx2Fma);
+    ASSERT_EQ(activeGemmIsa(), GemmIsa::Avx2Fma);
+    std::vector<float> fma(size_t(m) * n);
+    g.matmul(m, k, n, a.data(), b.data(), fma.data());
+
+    const double eps = 1.1920928955078125e-07; // 2^-23
+    for (int i = 0; i < m; ++i) {
+        for (int j = 0; j < n; ++j) {
+            double absSum = 0.0;
+            for (int t = 0; t < k; ++t)
+                absSum += std::fabs(double(a[size_t(i) * k + t]) *
+                                    double(b[size_t(t) * n + j]));
+            double tol = 2.0 * double(k) * eps * absSum + 1e-30;
+            ASSERT_NEAR(double(fma[size_t(i) * n + j]),
+                        double(oracle[size_t(i) * n + j]), tol)
+                << "element (" << i << "," << j << ")";
+        }
+    }
+}
+
+TEST(HotpathGemmIsa, UnsupportedRequestDegradesNotFails)
+{
+    IsaGuard guard;
+    // Requesting any tier — supported or not — must leave the
+    // dispatcher on a tier the host can actually run.
+    for (GemmIsa t :
+         {GemmIsa::Avx2Fma, GemmIsa::Avx2, GemmIsa::Scalar}) {
+        setGemmIsa(t);
+        EXPECT_TRUE(gemmIsaSupported(activeGemmIsa()))
+            << "requested " << gemmIsaName(t);
+    }
+    resetGemmIsa();
+    EXPECT_TRUE(gemmIsaSupported(activeGemmIsa()));
+}
+
+TEST(HotpathGemmIsa, ForwardPassParityScalarVsAuto)
+{
+    // The full DNN forward pass — im2col, packed GEMM, bias/relu,
+    // dense head — must be bit-identical whether the dispatcher runs
+    // the scalar kernel or whatever auto resolved to (auto only ever
+    // picks bit-exact tiers unless ROSE_GEMM_FMA opts in; CI pins a
+    // scalar-forced pass of the whole suite on top of this).
+    IsaGuard guard;
+    Model m = makeResNet(6);
+    Weights w = initWeights(m, 21);
+    PackedWeights pw = packWeights(m, w);
+    Tensor in(1, kDnnInputH, kDnnInputW);
+    Rng rng(303);
+    for (float &v : in.data())
+        v = float(rng.uniform(0, 1));
+
+    setGemmIsa(GemmIsa::Scalar);
+    ForwardWorkspace wsScalar;
+    ForwardResult scalar;
+    runForward(m, w, pw, in, wsScalar, scalar);
+
+    resetGemmIsa(); // back to auto (env / cpuid resolution)
+    ForwardWorkspace wsAuto;
+    ForwardResult fast;
+    runForward(m, w, pw, in, wsAuto, fast);
+
+    EXPECT_TRUE(bitIdentical(scalar.angularProbs, fast.angularProbs));
+    EXPECT_TRUE(bitIdentical(scalar.lateralProbs, fast.lateralProbs));
 }
 
 // --------------------------------------------------------- ScratchArena

@@ -368,6 +368,7 @@ buildStream(uint64_t job_id, const std::string &csv,
     end.chunkCount = seq;
     end.payloadBytes = csv.size();
     end.trajectoryHash = fnv1a(csv);
+    end.payloadHash = fnv1a(csv); // Csv payload IS the canonical CSV
     end.result = scalars;
     frames.push_back(encodeResultEnd(end));
     return frames;
@@ -393,6 +394,7 @@ TEST(ServeProto, ResultChunkAndEndRoundTrip)
     e.chunkCount = 13;
     e.payloadBytes = 123456789;
     e.trajectoryHash = 0xabcdef0123456789ULL;
+    e.payloadHash = 0x1122334455667788ULL;
     e.result = denseScalarResult();
     e.result.failureReason = "mission threw";
     ResultEndData e2 = decodeResultEnd(encodeResultEnd(e));
@@ -402,6 +404,7 @@ TEST(ServeProto, ResultChunkAndEndRoundTrip)
     EXPECT_EQ(e2.chunkCount, 13u);
     EXPECT_EQ(e2.payloadBytes, 123456789u);
     EXPECT_EQ(e2.trajectoryHash, e.trajectoryHash);
+    EXPECT_EQ(e2.payloadHash, e.payloadHash);
     EXPECT_EQ(e2.result.failureReason, "mission threw");
     EXPECT_EQ(e2.result.collisions, e.result.collisions);
     EXPECT_EQ(e2.result.simulatedCycles, e.result.simulatedCycles);
@@ -507,8 +510,9 @@ TEST(ServeProto, AssemblerReassemblesMultiChunkStream)
     EXPECT_EQ(d.result.trajectoryCsv, csv);
     EXPECT_EQ(d.result.collisions, scalars.collisions);
 
-    // Binary streams decode, re-encode to canonical CSV, and verify
-    // against the hash of that CSV.
+    // Binary streams verify over the record bytes themselves and
+    // deliver decoded samples; no CSV is rendered inside the fetch,
+    // but rendering the samples reproduces the canonical CSV.
     std::vector<uint8_t> bin = encodeTrajectoryBinary(samples);
     std::string binStr(bin.begin(), bin.end());
     std::vector<Message> binFrames =
@@ -521,6 +525,7 @@ TEST(ServeProto, AssemblerReassemblesMultiChunkStream)
     end.chunkCount = uint32_t(binFrames.size() - 1);
     end.payloadBytes = bin.size();
     end.trajectoryHash = fnv1a(core::trajectoryCsvString(samples));
+    end.payloadHash = fnv1a(bin.data(), bin.size());
     end.result = scalars;
     binFrames.back() = encodeResultEnd(end);
 
@@ -529,8 +534,30 @@ TEST(ServeProto, AssemblerReassemblesMultiChunkStream)
         binAssembler.feed(f);
     ASSERT_TRUE(binAssembler.complete());
     ResultData bd = binAssembler.takeResult();
-    EXPECT_EQ(bd.result.trajectoryCsv,
+    EXPECT_TRUE(bd.result.trajectoryCsv.empty())
+        << "Binary reassembly must not pay for a CSV render";
+    EXPECT_EQ(bd.payloadHash, end.payloadHash);
+    EXPECT_EQ(core::trajectoryCsvString(bd.result.trajectory),
               core::trajectoryCsvString(samples));
+
+    // A corrupted binary payload is caught by the payload hash even
+    // though no CSV is rendered.
+    {
+        std::vector<uint8_t> evil = bin;
+        evil[evil.size() / 2] ^= 0x40;
+        std::string evilStr(evil.begin(), evil.end());
+        std::vector<Message> evilFrames =
+            buildStream(10, evilStr, 555, scalars);
+        evilFrames.back() = encodeResultEnd(end);
+        ResultStreamAssembler a(10);
+        size_t i = 0;
+        EXPECT_THROW(
+            {
+                for (; i < evilFrames.size(); ++i)
+                    a.feed(evilFrames[i]);
+            },
+            ProtocolError);
+    }
 }
 
 TEST(ServeProto, AssemblerResumesAfterRewind)
@@ -569,6 +596,7 @@ TEST(ServeProto, AssemblerResumesAfterRewind)
     ResultEndData end = decodeResultEnd(resumed.back());
     end.payloadBytes = csv.size();
     end.trajectoryHash = fnv1a(csv);
+    end.payloadHash = fnv1a(csv);
     resumed.back() = encodeResultEnd(end);
     for (const Message &f : resumed)
         a.feed(f);
@@ -608,15 +636,22 @@ TEST(ServeProto, AssemblerRejectsProtocolViolations)
         EXPECT_THROW(a.feed(fs.back()), ProtocolError);
         EXPECT_FALSE(a.complete());
     }
-    { // corrupted verification hash
-        ResultStreamAssembler a(5);
-        std::vector<Message> fs = frames();
-        ResultEndData end = decodeResultEnd(fs.back());
-        end.trajectoryHash ^= 1;
-        fs.back() = encodeResultEnd(end);
-        for (size_t i = 0; i + 1 < fs.size(); ++i)
-            a.feed(fs[i]);
-        EXPECT_THROW(a.feed(fs.back()), ProtocolError);
+    { // corrupted verification hash — flipping either the payload
+      // hash or the canonical-CSV hash must be caught (a Csv stream
+      // requires them to agree)
+        for (int which = 0; which < 2; ++which) {
+            ResultStreamAssembler a(5);
+            std::vector<Message> fs = frames();
+            ResultEndData end = decodeResultEnd(fs.back());
+            if (which == 0)
+                end.payloadHash ^= 1;
+            else
+                end.trajectoryHash ^= 1;
+            fs.back() = encodeResultEnd(end);
+            for (size_t i = 0; i + 1 < fs.size(); ++i)
+                a.feed(fs[i]);
+            EXPECT_THROW(a.feed(fs.back()), ProtocolError);
+        }
     }
     { // a Progress frame must never reach the assembler
         ResultStreamAssembler a(5);
@@ -839,6 +874,7 @@ TEST(ServeFraming, RoundTripSurvivesArbitraryFragmentation)
         end.chunkCount = chunk.seq + 1;
         end.payloadBytes = chunk.bytes.size();
         end.trajectoryHash = rng.next();
+        end.payloadHash = rng.next();
         end.result.collisions = rng.next();
 
         std::vector<Message> sent{
@@ -1126,8 +1162,18 @@ TEST(ServeServer, LongMissionStreamsGoldenParityBothEncodings)
         ASSERT_TRUE(out.accepted) << out.detail;
         ServedResult r =
             client.waitResult(out.jobId, 120000, 10, enc);
-        EXPECT_EQ(fnv1a(r.trajectoryCsv), fnv1a(localCsv));
-        EXPECT_TRUE(r.trajectoryCsv == localCsv)
+        // A Binary fetch delivers decoded samples (no CSV render on
+        // the fetch path); rendering them locally must reproduce the
+        // canonical CSV bit-for-bit.
+        std::string servedCsv =
+            !r.trajectoryCsv.empty()
+                ? std::move(r.trajectoryCsv)
+                : core::trajectoryCsvString(r.trajectory);
+        if (enc == TrajectoryEncoding::Binary) {
+            EXPECT_EQ(r.trajectory.size(), local.trajectory.size());
+        }
+        EXPECT_EQ(fnv1a(servedCsv), fnv1a(localCsv));
+        EXPECT_TRUE(servedCsv == localCsv)
             << "streamed trajectory bytes drifted from the local run";
         EXPECT_EQ(r.trajectorySamples, local.trajectory.size());
     }
